@@ -1,0 +1,190 @@
+(* htlq — query videos with HTL from the command line.
+
+   Examples:
+     dune exec bin/htlq.exe -- --dataset casablanca \
+       --query 'man_woman and eventually moving_train' --top 5
+     dune exec bin/htlq.exe -- --dataset gulf --level 1 \
+       --query 'at scene level (seg.name = "takeoff")'
+     dune exec bin/htlq.exe -- --synthetic 1000 --seed 42 --backend sql \
+       --query 'p1 until p2'
+*)
+
+open Cmdliner
+
+type dataset =
+  | Casablanca
+  | Casablanca_store
+  | Gulf
+  | Synthetic of int
+  | Store_file of string
+  | Tables_file of string
+
+let make_context dataset seed level threshold =
+  match dataset with
+  | Casablanca ->
+      let ctx = Workload.Casablanca.context () in
+      { ctx with Engine.Context.threshold }
+  | Casablanca_store ->
+      Engine.Context.of_store ~threshold ?level
+        (Workload.Casablanca.store ())
+  | Gulf -> Engine.Context.of_store ~threshold ?level (Workload.Gulf_war.store ())
+  | Synthetic n ->
+      let ctx =
+        Workload.Synthetic.context_with_atoms ~seed ~n [ "p1"; "p2"; "p3" ]
+      in
+      { ctx with Engine.Context.threshold }
+  | Store_file path ->
+      Engine.Context.of_store ~threshold ?level (Storage.Io.load_store path)
+  | Tables_file path ->
+      let tables = Storage.Io.load_tables path in
+      let n =
+        List.fold_left
+          (fun acc (_, t) ->
+            List.fold_left
+              (fun acc (r : Simlist.Sim_table.row) ->
+                List.fold_left
+                  (fun acc (iv, _) -> max acc (Simlist.Interval.hi iv))
+                  acc
+                  (Simlist.Sim_list.entries r.list))
+              acc
+              (Simlist.Sim_table.rows t))
+          1 tables
+      in
+      Engine.Context.of_tables ~threshold ~n tables
+
+let run dataset seed level threshold backend query top classify_only =
+  match Htl.Parser.formula_of_string_opt query with
+  | Error msg ->
+      Format.eprintf "syntax error: %s@." msg;
+      exit 1
+  | Ok f -> (
+      let cls = Htl.Classify.classify f in
+      Format.printf "formula class: %s@." (Htl.Classify.cls_to_string cls);
+      if classify_only then exit 0;
+      let ctx = make_context dataset seed level threshold in
+      let backend =
+        match backend with
+        | "direct" -> Engine.Query.Direct_backend
+        | "sql" -> Engine.Query.Sql_backend_choice
+        | other ->
+            Format.eprintf "unknown backend %S (use direct or sql)@." other;
+            exit 1
+      in
+      match Engine.Query.run ~backend ctx f with
+      | result ->
+          Format.printf "@.%a@." (Engine.Topk.pp_table ?header:None) result;
+          Format.printf "@.top %d segments:@." top;
+          List.iter
+            (fun (id, sim) ->
+              Format.printf "  segment %d: %.4f (fraction %.3f)@." id
+                (Simlist.Sim.actual sim) (Simlist.Sim.fraction sim))
+            (Engine.Topk.top_k result ~k:top)
+      | exception Engine.Query.Error msg ->
+          Format.eprintf "error: %s@." msg;
+          exit 1)
+
+let dataset_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "casablanca" -> Ok Casablanca
+    | "casablanca-store" -> Ok Casablanca_store
+    | "gulf" -> Ok Gulf
+    | other -> (
+        match int_of_string_opt other with
+        | Some _ -> Error (`Msg "use --synthetic N for synthetic data")
+        | None -> Error (`Msg (Printf.sprintf "unknown dataset %S" other)))
+  in
+  let print ppf = function
+    | Casablanca -> Format.pp_print_string ppf "casablanca"
+    | Casablanca_store -> Format.pp_print_string ppf "casablanca-store"
+    | Gulf -> Format.pp_print_string ppf "gulf"
+    | Synthetic n -> Format.fprintf ppf "synthetic:%d" n
+    | Store_file path -> Format.fprintf ppf "store:%s" path
+    | Tables_file path -> Format.fprintf ppf "tables:%s" path
+  in
+  Arg.conv (parse, print)
+
+let cmd =
+  let dataset =
+    Arg.(
+      value
+      & opt dataset_arg Casablanca
+      & info [ "dataset" ] ~docv:"NAME"
+          ~doc:
+            "Dataset: casablanca (the paper's Tables 1-2 as input), \
+             casablanca-store (meta-data reconstruction), gulf (the \
+             4-level Gulf-war video).")
+  in
+  let synthetic =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "synthetic" ] ~docv:"N"
+          ~doc:"Use N random segments with atomic predicates p1, p2, p3.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+  in
+  let level =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "level" ] ~docv:"L"
+          ~doc:"Hierarchy level the query is asserted on (default: leaves).")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.5
+      & info [ "threshold" ] ~doc:"Fractional until-threshold.")
+  in
+  let backend =
+    Arg.(
+      value & opt string "direct"
+      & info [ "backend" ] ~doc:"Backend: direct or sql.")
+  in
+  let query =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "query"; "q" ] ~docv:"HTL" ~doc:"The HTL query.")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top"; "k" ] ~doc:"How many segments.")
+  in
+  let classify_only =
+    Arg.(
+      value & flag
+      & info [ "classify" ] ~doc:"Only print the formula's class and exit.")
+  in
+  let load_store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load-store" ] ~docv:"FILE"
+          ~doc:"Load a video store saved by the storage library.")
+  in
+  let load_tables =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load-tables" ] ~docv:"FILE"
+          ~doc:"Load a bundle of atomic similarity tables.")
+  in
+  let combine dataset synthetic load_store load_tables seed level threshold
+      backend query top classify_only =
+    let dataset =
+      match (synthetic, load_store, load_tables) with
+      | Some n, _, _ -> Synthetic n
+      | None, Some path, _ -> Store_file path
+      | None, None, Some path -> Tables_file path
+      | None, None, None -> dataset
+    in
+    run dataset seed level threshold backend query top classify_only
+  in
+  Cmd.v
+    (Cmd.info "htlq" ~doc:"Similarity-based retrieval of videos with HTL")
+    Term.(
+      const combine $ dataset $ synthetic $ load_store $ load_tables $ seed
+      $ level $ threshold $ backend $ query $ top $ classify_only)
+
+let () = exit (Cmd.eval cmd)

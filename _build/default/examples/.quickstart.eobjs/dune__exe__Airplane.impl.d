@@ -1,0 +1,1 @@
+examples/airplane.ml: Engine Entity Format Htl Metadata Seg_meta Simlist Value Video_model

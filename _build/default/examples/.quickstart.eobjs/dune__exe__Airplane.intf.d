@@ -1,0 +1,1 @@
+examples/airplane.mli:

@@ -1,0 +1,1 @@
+examples/browse.ml: Engine Entity Format List Metadata Seg_meta Simlist Value Video_model

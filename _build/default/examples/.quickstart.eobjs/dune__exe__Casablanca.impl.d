@@ -1,0 +1,1 @@
+examples/casablanca.ml: Engine Format Simlist Workload

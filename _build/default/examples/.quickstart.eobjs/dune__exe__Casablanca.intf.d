@@ -1,0 +1,1 @@
+examples/casablanca.mli:

@@ -1,0 +1,1 @@
+examples/gulf_war.ml: Engine Format Htl List Simlist Video_model Workload

@@ -1,0 +1,1 @@
+examples/gulf_war.mli:

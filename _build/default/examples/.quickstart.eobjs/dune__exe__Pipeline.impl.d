@@ -1,0 +1,1 @@
+examples/pipeline.ml: Analyzer Array Engine Format List Metadata Option String Video_model

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engine Entity Format List Metadata Seg_meta Simlist Value Video_model

@@ -1,0 +1,48 @@
+(* The paper's formula (C): the freeze quantifier.
+
+   "The video starts with a picture containing an airplane followed by
+   another picture in which the same plane appears at a higher altitude":
+
+     exists z . (present(z) and type(z) = "airplane")
+                and [h <- height(z)] eventually (present(z) and height(z) > h)
+
+     dune exec examples/airplane.exe
+*)
+
+open Metadata
+
+let plane ~id ~height =
+  Entity.make ~id ~otype:"airplane" ~attrs:[ ("height", Value.Int height) ] ()
+
+let shot objects = Seg_meta.make ~objects ()
+
+let () =
+  (* two planes: #1 climbs, #2 descends — only the climbing one should
+     match exactly *)
+  let shots =
+    [
+      shot [ plane ~id:1 ~height:100; plane ~id:2 ~height:900 ];
+      shot [ plane ~id:1 ~height:400 ];
+      shot [ plane ~id:2 ~height:500 ];
+      shot [ plane ~id:1 ~height:800; plane ~id:2 ~height:200 ];
+      shot [];
+    ]
+  in
+  let store =
+    Video_model.Store.of_video
+      (Video_model.Video.two_level ~title:"airshow" shots)
+  in
+  let query =
+    "exists z . (present(z) and type(z) = \"airplane\") and [h <- \
+     height(z)] eventually (present(z) and height(z) > h)"
+  in
+  let f = Htl.Parser.formula_of_string query in
+  Format.printf "formula (C): %s@.class: %s@.@." query
+    (Htl.Classify.cls_to_string (Htl.Classify.classify f));
+  let ctx = Engine.Context.of_store store in
+  let result = Engine.Query.run ctx f in
+  Format.printf "%a@." (Engine.Topk.pp_table ?header:None) result;
+  Format.printf
+    "@.(max %.1f = four weighted conditions; shots where a plane later \
+     flies higher score it in full)@."
+    (Simlist.Sim_list.max_sim result)

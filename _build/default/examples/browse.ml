@@ -1,0 +1,56 @@
+(* Browsing queries (§2.1): "the information provided by a browsing query
+   may indicate western movies starring John Wayne and nothing else" —
+   rank whole videos by a query on the upper levels of the hierarchy.
+
+     dune exec examples/browse.exe
+*)
+
+open Metadata
+
+let obj ~id ~otype ?attrs () = Entity.make ~id ~otype ?attrs ()
+let shot objects = Seg_meta.make ~objects ()
+
+let western =
+  Video_model.Video.two_level ~title:"The Searchers"
+    [
+      shot [ obj ~id:1 ~otype:"man" ~attrs:[ ("name", Value.Str "John Wayne") ] () ];
+      shot [ obj ~id:1 ~otype:"man" ~attrs:[ ("name", Value.Str "John Wayne") ] ();
+             obj ~id:2 ~otype:"horse" () ];
+      shot [];
+    ]
+
+let chase =
+  Video_model.Video.two_level ~title:"Bullitt"
+    [
+      shot [ obj ~id:3 ~otype:"car" () ];
+      shot [ obj ~id:3 ~otype:"car" (); obj ~id:4 ~otype:"car" () ];
+    ]
+
+let nature =
+  Video_model.Video.two_level ~title:"Wild Horses"
+    [ shot [ obj ~id:5 ~otype:"horse" () ]; shot [ obj ~id:6 ~otype:"horse" () ] ]
+
+let () =
+  let store = Video_model.Store.create [ western; chase; nature ] in
+  List.iter
+    (fun query ->
+      Format.printf "browse: %s@." query;
+      (match Engine.Browse.rank_videos store query with
+      | [] -> Format.printf "  (no matching video)@."
+      | ranked ->
+          List.iter
+            (fun (idx, title, sim) ->
+              Format.printf "  #%d %-14s %.3f (fraction %.2f)@." idx title
+                (Simlist.Sim.actual sim) (Simlist.Sim.fraction sim))
+            ranked);
+      Format.printf "@.")
+    [
+      (* title match at the root *)
+      "seg.title = \"Bullitt\"";
+      (* reach below the root: videos whose shots eventually show a horse *)
+      "at shot level (eventually (exists x . (present(x) and type(x) = \
+       \"horse\")))";
+      (* starring John Wayne *)
+      "at shot level (eventually (exists x . (present(x) and name(x) = \
+       \"John Wayne\")))";
+    ]

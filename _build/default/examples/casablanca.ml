@@ -1,0 +1,43 @@
+(* The paper's §4.1 test case end to end: "The Making of the Casablanca",
+   50 shots.  Prints Tables 1-4 of the paper; Tables 3 and 4 are computed
+   by the engine (both backends) from the shipped Tables 1 and 2.
+
+     dune exec examples/casablanca.exe
+*)
+
+module C = Workload.Casablanca
+
+let print_table title list =
+  Format.printf "@.%s@." title;
+  Format.printf "%a@." (Engine.Topk.pp_table ?header:None) list
+
+let () =
+  Format.printf
+    "The Making of the Casablanca — 50 shots, Query 1 = %s@." C.query1;
+
+  print_table "Table 1 (input): Moving-Train" C.moving_train;
+  print_table "Table 2 (input): Man-Woman" C.man_woman;
+
+  let ctx = C.context () in
+  let table3 = Engine.Query.run_string ctx "eventually moving_train" in
+  print_table "Table 3 (computed): eventually Moving-Train" table3;
+
+  let table4 = Engine.Query.run_string ctx C.query1 in
+  print_table "Table 4 (computed, direct approach): Query 1" table4;
+
+  let table4_sql =
+    Engine.Query.run_string ~backend:Engine.Query.Sql_backend_choice ctx
+      C.query1
+  in
+  Format.printf "@.SQL backend produces %s result.@."
+    (if Simlist.Sim_list.equal table4 table4_sql then "an identical"
+     else "A DIFFERENT (bug!)");
+
+  (* the same query through the full pipeline: meta-data reconstruction,
+     picture retrieval system included *)
+  let store = C.store () in
+  let ctx' = Engine.Context.of_store store in
+  let reconstructed = Engine.Query.run_string ctx' C.store_query1 in
+  print_table
+    "Query 1 over the meta-data reconstruction (our scorer's values)"
+    reconstructed

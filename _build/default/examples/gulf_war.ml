@@ -1,0 +1,30 @@
+(* The paper's §2.1 running example: a Gulf-war video arranged over four
+   levels (video / sub-plot / scene / shot), queried with level modal
+   operators — the extended-conjunctive fragment.
+
+     dune exec examples/gulf_war.exe
+*)
+
+let () =
+  let store = Workload.Gulf_war.store () in
+  Format.printf "Gulf war video: %d sub-plots, %d scenes, %d shots@.@."
+    (Video_model.Store.count_at store ~level:2)
+    (Video_model.Store.count_at store ~level:3)
+    (Video_model.Store.count_at store ~level:4);
+  (* queries are asserted on the whole video (level 1) *)
+  let ctx = Engine.Context.of_store store ~level:1 in
+  List.iter
+    (fun (name, src) ->
+      let f = Htl.Parser.formula_of_string src in
+      Format.printf "--- %s (%s)@.%s@." name
+        (Htl.Classify.cls_to_string (Htl.Classify.classify f))
+        src;
+      let result = Engine.Query.run ctx f in
+      (match Simlist.Sim_list.entries result with
+      | [] -> Format.printf "  no match@."
+      | _ ->
+          Format.printf "  video similarity: %.3f of %.3f@."
+            (Simlist.Sim_list.value_at result 1)
+            (Simlist.Sim_list.max_sim result));
+      Format.printf "@.")
+    Workload.Gulf_war.queries

@@ -1,0 +1,47 @@
+(* Quickstart: build a tiny two-level video, run an HTL query with the
+   similarity engine, print the ranked result.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Metadata
+
+let shot objects = Seg_meta.make ~objects ()
+let man ~id ~name = Entity.make ~id ~otype:"man" ~attrs:[ ("name", Value.Str name) ] ()
+let train ~id = Entity.make ~id ~otype:"train" ()
+
+let () =
+  (* 1. meta-data for six shots: John appears, then a train *)
+  let shots =
+    [
+      shot [ man ~id:1 ~name:"John Wayne" ];
+      shot [ man ~id:1 ~name:"John Wayne"; man ~id:2 ~name:"Bob" ];
+      shot [];
+      shot [ man ~id:1 ~name:"John Wayne" ];
+      shot [ train ~id:3 ];
+      shot [];
+    ]
+  in
+  let video = Video_model.Video.two_level ~title:"demo" shots in
+  let store = Video_model.Store.of_video video in
+
+  (* 2. an HTL query: John keeps appearing until a train shows up *)
+  let query =
+    "(exists x . (present(x) and name(x) = \"John Wayne\")) until (exists \
+     y . (present(y) and type(y) = \"train\"))"
+  in
+  let ctx = Engine.Context.of_store store in
+  let result = Engine.Query.run_string ctx query in
+
+  Format.printf "query: %s@.@." query;
+  Format.printf "similarity list (intervals of shot ids):@.%a@."
+    (Engine.Topk.pp_table ?header:None)
+    result;
+
+  (* 3. the top-3 shots *)
+  Format.printf "@.top 3 shots:@.";
+  List.iter
+    (fun (id, sim) ->
+      Format.printf "  shot %d: %.3f (fraction %.2f)@." id
+        (Simlist.Sim.actual sim) (Simlist.Sim.fraction sim))
+    (Engine.Query.top_k ctx ~k:3 query)

@@ -1,0 +1,1 @@
+lib/analyzer/annotate.ml: Array Cut_detection Hashtbl List Metadata Tracker Video_model

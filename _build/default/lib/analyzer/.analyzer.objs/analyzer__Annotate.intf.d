@@ -1,0 +1,1 @@
+lib/analyzer/annotate.mli: Signal Tracker Video_model

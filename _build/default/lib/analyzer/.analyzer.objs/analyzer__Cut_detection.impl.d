@@ -1,0 +1,1 @@
+lib/analyzer/cut_detection.ml: Array List Signal

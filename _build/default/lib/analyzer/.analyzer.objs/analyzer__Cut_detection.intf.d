@@ -1,0 +1,1 @@
+lib/analyzer/cut_detection.mli: Signal

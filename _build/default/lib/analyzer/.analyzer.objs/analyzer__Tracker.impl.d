@@ -1,0 +1,1 @@
+lib/analyzer/tracker.ml: Array Float List Metadata String

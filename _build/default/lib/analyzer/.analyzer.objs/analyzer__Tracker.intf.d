@@ -1,0 +1,1 @@
+lib/analyzer/tracker.mli: Metadata

@@ -1,0 +1,1 @@
+lib/analyzer/trajectory.ml: Array Float Hashtbl List Metadata

@@ -1,0 +1,1 @@
+lib/analyzer/trajectory.mli: Metadata

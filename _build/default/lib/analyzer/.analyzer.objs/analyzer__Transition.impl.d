@@ -1,0 +1,1 @@
+lib/analyzer/transition.ml: Array Cut_detection Format List

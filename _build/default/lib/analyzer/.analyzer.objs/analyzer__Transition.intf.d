@@ -1,0 +1,1 @@
+lib/analyzer/transition.mli: Format Signal

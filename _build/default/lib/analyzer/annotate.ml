@@ -1,0 +1,45 @@
+let dedup_objects objects =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (o : Metadata.Entity.t) ->
+      if Hashtbl.mem seen o.id then false
+      else begin
+        Hashtbl.add seen o.id ();
+        true
+      end)
+    objects
+
+let build_video ~title ?cut_threshold ?track_distance ~frames ~detections () =
+  let n = Array.length frames in
+  if n = 0 then invalid_arg "Annotate.build_video: no frames";
+  if Array.length detections <> n then
+    invalid_arg "Annotate.build_video: frames/detections length mismatch";
+  let entities = Tracker.track ?max_distance:track_distance detections in
+  let cuts = Cut_detection.detect ?threshold:cut_threshold frames in
+  let bounds = (0 :: cuts) @ [ n ] in
+  let shots =
+    let rec go = function
+      | lo :: (hi :: _ as rest) when hi > lo ->
+          let frame_segs =
+            List.init (hi - lo) (fun k ->
+                Video_model.Segment.leaf
+                  (Metadata.Seg_meta.make ~objects:entities.(lo + k) ()))
+          in
+          let shot_objects =
+            dedup_objects
+              (List.concat
+                 (List.init (hi - lo) (fun k -> entities.(lo + k))))
+          in
+          Video_model.Segment.make
+            ~meta:(Metadata.Seg_meta.make ~objects:shot_objects ())
+            frame_segs
+          :: go rest
+      | _ :: rest -> go rest
+      | [] -> []
+    in
+    go bounds
+  in
+  Video_model.Video.create ~title ~level_names:[ "video"; "shot"; "frame" ]
+    (Video_model.Segment.make
+       ~meta:(Metadata.Seg_meta.make ~attrs:[ ("title", Metadata.Value.Str title) ] ())
+       shots)

@@ -1,0 +1,16 @@
+(** Assembling the hierarchical video from analysis output: cut-detect
+    the frame stream into shots, track objects across frames, and build a
+    three-level video (video / shot / frame) whose shot meta-data
+    aggregates its frames' objects (the paper's "key frame" practice:
+    meta-data is associated with the shot as one picture). *)
+
+val build_video :
+  title:string ->
+  ?cut_threshold:float ->
+  ?track_distance:float ->
+  frames:Signal.frame array ->
+  detections:Tracker.detection list array ->
+  unit ->
+  Video_model.Video.t
+(** @raise Invalid_argument when the arrays' lengths differ or no frames
+    are given. *)

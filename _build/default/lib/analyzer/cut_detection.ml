@@ -1,0 +1,38 @@
+let differences frames =
+  let n = Array.length frames in
+  if n <= 1 then [||]
+  else
+    Array.init (n - 1) (fun i ->
+        Signal.l1_distance frames.(i).Signal.histogram
+          frames.(i + 1).Signal.histogram)
+
+let detect ?(threshold = 0.4) frames =
+  let diffs = differences frames in
+  let cuts = ref [] in
+  Array.iteri (fun i d -> if d > threshold then cuts := (i + 1) :: !cuts) diffs;
+  List.rev !cuts
+
+let segment ?threshold frames =
+  let cuts = detect ?threshold frames in
+  let n = Array.length frames in
+  let bounds = (0 :: cuts) @ [ n ] in
+  let rec go = function
+    | lo :: (hi :: _ as rest) ->
+        Array.sub frames lo (hi - lo) :: go rest
+    | [ _ ] | [] -> []
+  in
+  List.filter (fun shot -> Array.length shot > 0) (go bounds)
+
+let score ~detected ~truth =
+  let inter =
+    List.length (List.filter (fun c -> List.mem c truth) detected)
+  in
+  let precision =
+    if detected = [] then if truth = [] then 1. else 0.
+    else float_of_int inter /. float_of_int (List.length detected)
+  in
+  let recall =
+    if truth = [] then 1.
+    else float_of_int inter /. float_of_int (List.length truth)
+  in
+  (precision, recall)

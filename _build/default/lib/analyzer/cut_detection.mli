@@ -1,0 +1,17 @@
+(** Histogram-difference cut detection (the method of [21, 11] the paper
+    cites for segmenting "The Making of the Casablanca" into 50 shots). *)
+
+val differences : Signal.frame array -> float array
+(** [differences frames].(i) is the L1 histogram distance between frames
+    [i] and [i+1]; length is [Array.length frames - 1]. *)
+
+val detect : ?threshold:float -> Signal.frame array -> int list
+(** 0-based indices [i] such that a new shot starts at frame [i]
+    (difference between [i-1] and [i] above [threshold], default 0.4). *)
+
+val segment : ?threshold:float -> Signal.frame array -> Signal.frame array list
+(** Split the frame sequence into shots at the detected cuts. *)
+
+val score : detected:int list -> truth:int list -> float * float
+(** (precision, recall) of a detection against the ground truth; both 1
+    when either list is empty and they are equal. *)

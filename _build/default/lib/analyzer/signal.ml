@@ -1,0 +1,101 @@
+type frame = { histogram : float array }
+
+let normalize h =
+  let total = Array.fold_left ( +. ) 0. h in
+  if total <= 0. then h else Array.map (fun v -> v /. total) h
+
+let random_base rng bins =
+  normalize (Array.init bins (fun _ -> 0.05 +. Random.State.float rng 1.))
+
+let l1_distance_raw a b =
+  let acc = ref 0. in
+  Array.iteri (fun i v -> acc := !acc +. Float.abs (v -. b.(i))) a;
+  !acc
+
+let perturb rng noise base =
+  normalize
+    (Array.map
+       (fun v -> Float.max 0. (v +. (Random.State.float rng (2. *. noise) -. noise)))
+       base)
+
+let scripted ~seed ?(bins = 16) ?(noise = 0.01) ~shot_lengths () =
+  if shot_lengths = [] then invalid_arg "Signal.scripted: no shots";
+  List.iter
+    (fun l -> if l < 1 then invalid_arg "Signal.scripted: non-positive length")
+    shot_lengths;
+  let rng = Random.State.make [| seed; 0x51f15e |] in
+  let frames = ref [] and cuts = ref [] and pos = ref 0 in
+  let prev_base = ref None in
+  (* consecutive shots must look different (that is what makes them
+     shots); resample until the base moves far enough *)
+  let distinct_base () =
+    let rec draw tries =
+      let b = random_base rng bins in
+      match !prev_base with
+      | Some p when tries < 50 && l1_distance_raw p b < 0.6 -> draw (tries + 1)
+      | _ -> b
+    in
+    let b = draw 0 in
+    prev_base := Some b;
+    b
+  in
+  List.iteri
+    (fun k len ->
+      if k > 0 then cuts := !pos :: !cuts;
+      let base = distinct_base () in
+      for _ = 1 to len do
+        frames := { histogram = perturb rng noise base } :: !frames;
+        incr pos
+      done)
+    shot_lengths;
+  (Array.of_list (List.rev !frames), List.rev !cuts)
+
+let scripted_with_dissolves ~seed ?(bins = 16) ?(noise = 0.005) ?(dissolve = 6)
+    ~shot_lengths () =
+  if shot_lengths = [] then
+    invalid_arg "Signal.scripted_with_dissolves: no shots";
+  List.iter
+    (fun l ->
+      if l < 1 then invalid_arg "Signal.scripted_with_dissolves: bad length")
+    shot_lengths;
+  let rng = Random.State.make [| seed; 0xd155 |] in
+  let frames = ref [] and starts = ref [] and pos = ref 0 in
+  let prev_base = ref None in
+  let fresh_base () =
+    let rec draw tries =
+      let b = random_base rng bins in
+      match !prev_base with
+      | Some p when tries < 50 && l1_distance_raw p b < 0.8 -> draw (tries + 1)
+      | _ -> b
+    in
+    draw 0
+  in
+  List.iteri
+    (fun k len ->
+      let base = fresh_base () in
+      (match !prev_base with
+      | Some p when k > 0 && dissolve > 0 ->
+          (* interpolate from the previous shot's base to the new one *)
+          for step = 1 to dissolve do
+            let t = float_of_int step /. float_of_int (dissolve + 1) in
+            let mixed =
+              normalize
+                (Array.mapi (fun i v -> ((1. -. t) *. p.(i)) +. (t *. v)) base)
+            in
+            frames := { histogram = perturb rng noise mixed } :: !frames;
+            incr pos
+          done
+      | _ -> ());
+      if k > 0 then starts := !pos :: !starts;
+      prev_base := Some base;
+      for _ = 1 to len do
+        frames := { histogram = perturb rng noise base } :: !frames;
+        incr pos
+      done)
+    shot_lengths;
+  (Array.of_list (List.rev !frames), List.rev !starts)
+
+let l1_distance a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Signal.l1_distance: bin counts differ";
+  l1_distance_raw a b

@@ -1,0 +1,39 @@
+(** Synthetic frame signals.
+
+    The paper's video analyzer box segments real footage with
+    cut-detection [21, 11] before meta-data entry.  We have no 1997
+    footage, so this module synthesises the signal those detectors
+    consume: per-frame colour histograms with a stable per-shot base,
+    per-frame noise, and abrupt changes at scripted cut points. *)
+
+type frame = { histogram : float array }
+
+val scripted :
+  seed:int ->
+  ?bins:int ->
+  ?noise:float ->
+  shot_lengths:int list ->
+  unit ->
+  frame array * int list
+(** Frames for consecutive shots of the given lengths (each shot gets an
+    independent random base histogram) and the ground-truth cut
+    positions: the 0-based indices of each shot's first frame except the
+    very first.  [noise] (default 0.01) perturbs each frame.
+    @raise Invalid_argument on empty or non-positive lengths. *)
+
+val scripted_with_dissolves :
+  seed:int ->
+  ?bins:int ->
+  ?noise:float ->
+  ?dissolve:int ->
+  shot_lengths:int list ->
+  unit ->
+  frame array * int list
+(** Like {!scripted}, but consecutive shots are joined by [dissolve]
+    (default 6) linearly interpolated frames — a gradual transition.
+    The returned positions are the 0-based indices where each new shot's
+    first clean frame sits (the frame after its dissolve). *)
+
+val l1_distance : float array -> float array -> float
+(** Sum of absolute bin differences (histograms are normalised, so the
+    result is in [[0, 2]]). *)

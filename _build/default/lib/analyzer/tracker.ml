@@ -1,0 +1,47 @@
+type detection = { otype : string; bbox : Metadata.Bbox.t }
+
+let center_distance a b =
+  let ax, ay = Metadata.Bbox.center a and bx, by = Metadata.Bbox.center b in
+  Float.sqrt (((ax -. bx) ** 2.) +. ((ay -. by) ** 2.))
+
+let track ?(max_distance = 2.0) ?(first_id = 1) frames =
+  let next_id = ref first_id in
+  let prev : (int * detection) list ref = ref [] in
+  Array.map
+    (fun detections ->
+      let available = ref !prev in
+      let assigned =
+        List.map
+          (fun d ->
+            (* closest unclaimed same-typed object of the previous frame *)
+            let best =
+              List.fold_left
+                (fun best (id, p) ->
+                  if not (String.equal p.otype d.otype) then best
+                  else
+                    let dist = center_distance p.bbox d.bbox in
+                    match best with
+                    | Some (_, bd) when bd <= dist -> best
+                    | _ when dist <= max_distance -> Some (id, dist)
+                    | _ -> best)
+                None !available
+            in
+            let id =
+              match best with
+              | Some (id, _) ->
+                  available := List.filter (fun (i, _) -> i <> id) !available;
+                  id
+              | None ->
+                  let id = !next_id in
+                  incr next_id;
+                  id
+            in
+            (id, d))
+          detections
+      in
+      prev := assigned;
+      List.map
+        (fun (id, d) ->
+          Metadata.Entity.make ~id ~otype:d.otype ~bbox:d.bbox ())
+        assigned)
+    frames

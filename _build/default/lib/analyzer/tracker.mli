@@ -1,0 +1,21 @@
+(** Greedy nearest-neighbour object tracking.
+
+    §2.2 assumes universal object ids: "once an object is identified in a
+    frame of a scene, it is easy to track it in subsequent frames until
+    it disappears".  This module provides that substrate: per-frame
+    detections (type + bounding box) are associated frame to frame by
+    proximity of box centres (same type only); each chain of associations
+    receives one universal id. *)
+
+type detection = { otype : string; bbox : Metadata.Bbox.t }
+
+val track :
+  ?max_distance:float ->
+  ?first_id:int ->
+  detection list array ->
+  Metadata.Entity.t list array
+(** Per-frame entity lists with ids consistent across frames.  A
+    detection matches the closest same-typed object of the previous frame
+    within [max_distance] (default 2.0) of its centre; unmatched
+    detections start new tracks with fresh ids from [first_id]
+    (default 1). *)

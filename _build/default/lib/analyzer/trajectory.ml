@@ -1,0 +1,66 @@
+type t = { object_id : int; points : (int * (float * float)) list }
+
+let of_entities frames =
+  let tbl : (int, (int * (float * float)) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  Array.iteri
+    (fun frame_idx entities ->
+      List.iter
+        (fun (o : Metadata.Entity.t) ->
+          match o.bbox with
+          | None -> ()
+          | Some b ->
+              let point = (frame_idx, Metadata.Bbox.center b) in
+              let points =
+                match Hashtbl.find_opt tbl o.id with
+                | Some r -> r
+                | None ->
+                    let r = ref [] in
+                    Hashtbl.add tbl o.id r;
+                    r
+              in
+              points := point :: !points)
+        entities)
+    frames;
+  Hashtbl.fold
+    (fun object_id points acc ->
+      { object_id; points = List.rev !points } :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.object_id b.object_id)
+
+let dist (x1, y1) (x2, y2) =
+  Float.sqrt (((x1 -. x2) ** 2.) +. ((y1 -. y2) ** 2.))
+
+let displacement t =
+  match (t.points, List.rev t.points) with
+  | (_, first) :: _, (_, last) :: _ -> dist first last
+  | [], _ | _, [] -> 0.
+
+let path_length t =
+  let rec go = function
+    | (_, a) :: ((_, b) :: _ as rest) -> dist a b +. go rest
+    | [ _ ] | [] -> 0.
+  in
+  go t.points
+
+let is_moving ?(eps = 0.5) t = displacement t > eps
+
+let annotate_motion ?eps frames =
+  let moving =
+    List.filter_map
+      (fun t -> if is_moving ?eps t then Some t.object_id else None)
+      (of_entities frames)
+  in
+  Array.map
+    (fun entities ->
+      List.map
+        (fun (o : Metadata.Entity.t) ->
+          if List.mem o.id moving && not (List.mem_assoc "moving" o.attrs)
+          then
+            Metadata.Entity.make ~id:o.id ~otype:o.otype
+              ~attrs:(("moving", Metadata.Value.Bool true) :: o.attrs)
+              ?bbox:o.bbox ()
+          else o)
+        entities)
+    frames

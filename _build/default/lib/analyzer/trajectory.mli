@@ -1,0 +1,31 @@
+(** Trajectories of tracked objects — the substrate behind the paper's
+    motion predicates ("a moving train", reference [23]: finding
+    trajectories of feature points in a monocular image sequence).
+
+    A trajectory is the sequence of bounding-box centres one universal
+    object id traces through consecutive frames. *)
+
+type t = {
+  object_id : int;
+  points : (int * (float * float)) list;
+      (** (0-based frame index, box centre), in frame order *)
+}
+
+val of_entities : Metadata.Entity.t list array -> t list
+(** Trajectories of every object appearing (with a bounding box) in the
+    per-frame entity lists, ordered by object id. *)
+
+val displacement : t -> float
+(** Euclidean distance between the first and last observed centres. *)
+
+val path_length : t -> float
+(** Sum of step distances. *)
+
+val is_moving : ?eps:float -> t -> bool
+(** Total displacement above [eps] (default 0.5). *)
+
+val annotate_motion :
+  ?eps:float -> Metadata.Entity.t list array -> Metadata.Entity.t list array
+(** Add [("moving", Bool true)] to every occurrence of each moving object
+    — after this, HTL queries like [moving(z) = true] work on analyzed
+    footage. *)

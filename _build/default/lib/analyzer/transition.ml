@@ -1,0 +1,37 @@
+type t = Cut of int | Gradual of { first : int; last : int }
+
+let detect ?(high = 0.4) ?(low = 0.1) frames =
+  let diffs = Cut_detection.differences frames in
+  let out = ref [] in
+  let i = ref 0 in
+  let n = Array.length diffs in
+  while !i < n do
+    let d = diffs.(!i) in
+    if d > high then begin
+      out := Cut (!i + 1) :: !out;
+      incr i
+    end
+    else if d > low then begin
+      (* candidate gradual transition: accumulate while the step
+         difference stays above the low threshold *)
+      let start = !i in
+      let acc = ref 0. in
+      while !i < n && diffs.(!i) > low do
+        acc := !acc +. diffs.(!i);
+        incr i
+      done;
+      if !acc > high then
+        out := Gradual { first = start + 1; last = !i } :: !out
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let boundaries transitions =
+  List.map
+    (function Cut i -> i | Gradual { last; _ } -> last + 1)
+    transitions
+
+let pp ppf = function
+  | Cut i -> Format.fprintf ppf "cut@%d" i
+  | Gradual { first; last } -> Format.fprintf ppf "gradual@[%d..%d]" first last

@@ -1,0 +1,22 @@
+(** Gradual-transition detection (twin-comparison): abrupt cuts exceed a
+    high threshold in one frame step; dissolves and fades accumulate many
+    small steps, each above a low threshold, whose sum eventually exceeds
+    the high one.  Complements {!Cut_detection} for edited footage (the
+    paper cites [11, 21] for segmentation of production video). *)
+
+type t =
+  | Cut of int  (** new shot starts at this 0-based frame *)
+  | Gradual of { first : int; last : int }
+      (** transition frames [first..last]; the new shot starts at
+          [last + 1] *)
+
+val detect : ?high:float -> ?low:float -> Signal.frame array -> t list
+(** Twin-comparison with [high] (default 0.4) and [low] (default 0.1)
+    thresholds, in temporal order.  [low] must sit above the noise floor
+    of the signal (roughly [bins * noise]). *)
+
+val boundaries : t list -> int list
+(** First-frame indices of the shots the transitions induce (excluding
+    frame 0). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/engine/atomic.ml: Context Format Htl List Picture Simlist

@@ -1,0 +1,1 @@
+lib/engine/atomic.mli: Context Htl Simlist

@@ -1,0 +1,1 @@
+lib/engine/browse.ml: Context Float List Query Simlist Video_model

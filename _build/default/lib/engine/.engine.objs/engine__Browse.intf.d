@@ -1,0 +1,1 @@
+lib/engine/browse.mli: Simlist Video_model

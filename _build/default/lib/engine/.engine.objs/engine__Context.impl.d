@@ -1,0 +1,1 @@
+lib/engine/context.ml: Picture Simlist Video_model

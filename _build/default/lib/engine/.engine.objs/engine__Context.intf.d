@@ -1,0 +1,1 @@
+lib/engine/context.mli: Picture Simlist Video_model

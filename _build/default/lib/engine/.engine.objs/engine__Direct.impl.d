@@ -1,0 +1,1 @@
+lib/engine/direct.ml: Atomic Context Format Hashtbl Htl List Metadata Option Picture Simlist Video_model

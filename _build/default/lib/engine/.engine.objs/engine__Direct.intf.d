@@ -1,0 +1,1 @@
+lib/engine/direct.mli: Context Htl Simlist

@@ -1,0 +1,1 @@
+lib/engine/query.ml: Array Atomic Context Direct Format Htl Reference Simlist Sql_backend Topk Type1

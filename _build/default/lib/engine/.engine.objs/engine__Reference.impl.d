@@ -1,0 +1,1 @@
+lib/engine/reference.ml: Array Atomic Context Float Format Htl List Metadata Picture Simlist Video_model

@@ -1,0 +1,1 @@
+lib/engine/sql_backend.ml: Atomic Context Direct Format Htl List Printf Reference Relational Simlist

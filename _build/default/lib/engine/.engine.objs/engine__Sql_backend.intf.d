@@ -1,0 +1,1 @@
+lib/engine/sql_backend.mli: Context Htl Relational Simlist

@@ -1,0 +1,1 @@
+lib/engine/topk.ml: Float Format List Simlist

@@ -1,0 +1,1 @@
+lib/engine/type1.ml: Atomic Context Format Htl Simlist

@@ -1,0 +1,1 @@
+lib/engine/type1.mli: Context Htl Simlist

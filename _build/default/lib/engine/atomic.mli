@@ -1,0 +1,18 @@
+(** Resolution of atomic (maximal non-temporal) subformulas to similarity
+    tables: precomputed tables are looked up by nullary predicate name,
+    everything else goes through the picture retrieval substrate. *)
+
+exception Unsupported of string
+
+val named_table : Context.t -> Htl.Ast.t -> Simlist.Sim_table.t option
+(** The precomputed table when the formula is a bare predicate of a known
+    name. *)
+
+val resolve : Context.t -> Htl.Ast.t -> Simlist.Sim_table.t
+(** @raise Unsupported when the formula is a named table reference that
+    is unknown and no store is configured, or when the picture system
+    rejects it. *)
+
+val max_of : Context.t -> Htl.Ast.t -> float
+(** Maximum similarity of an atomic unit (the table max without building
+    the table when possible). *)

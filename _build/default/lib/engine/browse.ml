@@ -1,0 +1,21 @@
+exception Error of string
+
+let rank_videos ?(threshold = 0.5) store query =
+  let ctx = Context.of_store ~threshold ~level:1 store in
+  let list =
+    try Query.run_string ctx query
+    with Query.Error msg -> raise (Error msg)
+  in
+  let videos = Video_model.Store.videos store in
+  let scored =
+    List.mapi
+      (fun vidx (v : Video_model.Video.t) ->
+        let root =
+          Simlist.Interval.lo (Video_model.Store.video_span store ~video:vidx ~level:1)
+        in
+        (vidx, v.title, Simlist.Sim_list.sim_at list root))
+      videos
+  in
+  List.filter (fun (_, _, s) -> Simlist.Sim.actual s > 0.) scored
+  |> List.stable_sort (fun (_, _, a) (_, _, b) ->
+         Float.compare (Simlist.Sim.actual b) (Simlist.Sim.actual a))

@@ -1,0 +1,17 @@
+(** Browsing (§2.1/§2.2): "if the information provided in the query
+    pertains to the upper levels only, then the user is interested in
+    browsing" — e.g. {e western movies starring John Wayne}.  A browsing
+    query is evaluated at the root level and ranks whole videos. *)
+
+exception Error of string
+
+val rank_videos :
+  ?threshold:float ->
+  Video_model.Store.t ->
+  string ->
+  (int * string * Simlist.Sim.t) list
+(** [rank_videos store query] parses [query], evaluates it at level 1 of
+    every video, and returns [(video index, title, similarity)] sorted by
+    decreasing similarity; videos with zero similarity are omitted.
+    Level modal operators let the query reach below the root.
+    @raise Error on syntax errors or unsupported formulas. *)

@@ -1,0 +1,47 @@
+type t = {
+  store : Video_model.Store.t option;
+  picture_config : Picture.Retrieval.config;
+  tables : (string * Simlist.Sim_table.t) list;
+  threshold : float;
+  conj_mode : Simlist.Sim_list.conj_mode;
+  reorder_joins : bool;
+  level : int;
+  extents : Simlist.Extent.t;
+}
+
+let of_store ?(config = Picture.Retrieval.default_config) ?(threshold = 0.5)
+    ?(conj_mode = Simlist.Sim_list.Weighted_sum) ?(reorder_joins = false)
+    ?(tables = []) ?level store =
+  let level =
+    match level with Some l -> l | None -> Video_model.Store.levels store
+  in
+  {
+    store = Some store;
+    picture_config = config;
+    tables;
+    threshold;
+    conj_mode;
+    reorder_joins;
+    level;
+    extents = Video_model.Store.extents_at store ~level;
+  }
+
+let of_tables ?(threshold = 0.5)
+    ?(conj_mode = Simlist.Sim_list.Weighted_sum) ?(reorder_joins = false) ~n
+    ?extents tables =
+  let extents =
+    match extents with Some e -> e | None -> Simlist.Extent.single n
+  in
+  {
+    store = None;
+    picture_config = Picture.Retrieval.default_config;
+    tables;
+    threshold;
+    conj_mode;
+    reorder_joins;
+    level = 1;
+    extents;
+  }
+
+let with_level t ~level ~extents = { t with level; extents }
+let segment_count t = Simlist.Extent.total t.extents

@@ -1,0 +1,52 @@
+(** Evaluation contexts.
+
+    A context fixes everything the retrieval algorithms need besides the
+    formula: where atomic similarity tables come from (the picture
+    retrieval system over a store, and/or precomputed named tables — the
+    paper's experiments feed precomputed tables), the level the query is
+    asserted on, the proper-sequence extents of that level, and the
+    until-threshold. *)
+
+type t = {
+  store : Video_model.Store.t option;
+  picture_config : Picture.Retrieval.config;
+  tables : (string * Simlist.Sim_table.t) list;
+      (** precomputed atomic tables, keyed by nullary predicate name *)
+  threshold : float;  (** fractional-similarity threshold for [until] *)
+  conj_mode : Simlist.Sim_list.conj_mode;
+      (** conjunction semantics; [Weighted_sum] is the paper's (§2.5),
+          the others are the §5 "other similarity functions" extension *)
+  reorder_joins : bool;
+      (** when true, the table algorithms flatten [And] chains and join
+          smallest tables first (an optimisation the paper leaves to the
+          relational engine in its SQL variant) *)
+  level : int;  (** level the formula is asserted on *)
+  extents : Simlist.Extent.t;  (** proper sequences of that level *)
+}
+
+val of_store :
+  ?config:Picture.Retrieval.config ->
+  ?threshold:float ->
+  ?conj_mode:Simlist.Sim_list.conj_mode ->
+  ?reorder_joins:bool ->
+  ?tables:(string * Simlist.Sim_table.t) list ->
+  ?level:int ->
+  Video_model.Store.t ->
+  t
+(** [level] defaults to the leaf level; extents are the per-video spans. *)
+
+val of_tables :
+  ?threshold:float ->
+  ?conj_mode:Simlist.Sim_list.conj_mode ->
+  ?reorder_joins:bool ->
+  n:int ->
+  ?extents:Simlist.Extent.t ->
+  (string * Simlist.Sim_table.t) list ->
+  t
+(** Store-less context over segment ids [1..n] — the §4 experimental
+    setting where atomic similarity tables are the input.  [extents]
+    defaults to a single sequence. *)
+
+val with_level : t -> level:int -> extents:Simlist.Extent.t -> t
+
+val segment_count : t -> int

@@ -1,0 +1,202 @@
+open Htl.Ast
+module Sim_list = Simlist.Sim_list
+module Sim_table = Simlist.Sim_table
+module Interval = Simlist.Interval
+module Extent = Simlist.Extent
+module Store = Video_model.Store
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+let require_store (ctx : Context.t) what =
+  match ctx.store with
+  | Some store -> store
+  | None -> unsupported "%s requires a video store" what
+
+let map_lists f table =
+  let max = Sim_table.max_sim table in
+  Sim_table.create
+    ~obj_cols:(Sim_table.obj_cols table)
+    ~attr_cols:(Sim_table.attr_cols table)
+    ~max
+    (List.filter_map
+       (fun (r : Sim_table.row) ->
+         let list = f r.list in
+         if Sim_list.is_empty list && r.attrs = [] then None
+         else Some { r with list })
+       (Sim_table.rows table))
+
+(* value table of attribute function [attr] (of an object variable or of
+   the segment itself) over the context's level *)
+let value_table (ctx : Context.t) ~attr ~obj =
+  let store = require_store ctx "the freeze quantifier" in
+  let n = Store.count_at store ~level:ctx.level in
+  let to_range_value id = function
+    | Metadata.Value.Int k -> Some (Simlist.Range.Vint k)
+    | Metadata.Value.Str s -> Some (Simlist.Range.Vstr s)
+    | Metadata.Value.Float _ ->
+        unsupported
+          "frozen attribute %s has a float value at segment %d (§3.3 \
+           restricts attribute variables to integers)"
+          attr id
+    | Metadata.Value.Bool _ ->
+        unsupported "frozen attribute %s has a boolean value" attr
+  in
+  (* group consecutive segments with the same value into spans *)
+  let spans_of values =
+    (* values : (id, value) list, ascending ids *)
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (id, v) ->
+        let spans = Option.value ~default:[] (Hashtbl.find_opt tbl v) in
+        let spans =
+          match spans with
+          | last :: rest when Interval.hi last + 1 = id ->
+              Interval.make (Interval.lo last) id :: rest
+          | _ -> Interval.point id :: spans
+        in
+        Hashtbl.replace tbl v spans)
+      values;
+    Hashtbl.fold (fun v spans acc -> (v, List.rev spans) :: acc) tbl []
+  in
+  match obj with
+  | None ->
+      let values = ref [] in
+      for id = n downto 1 do
+        match Metadata.Seg_meta.attr (Store.meta store ~level:ctx.level ~id) attr with
+        | Some v -> (
+            match to_range_value id v with
+            | Some rv -> values := (id, rv) :: !values
+            | None -> ())
+        | None -> ()
+      done;
+      Simlist.Value_table.create ~obj_cols:[]
+        (List.map
+           (fun (v, spans) -> { Simlist.Value_table.objs = []; value = v; spans })
+           (spans_of !values))
+  | Some x ->
+      let idx = Picture.Index.build store ~level:ctx.level in
+      let rows = ref [] in
+      List.iter
+        (fun oid ->
+          let values = ref [] in
+          List.iter
+            (fun id ->
+              match
+                Metadata.Seg_meta.object_attr
+                  (Store.meta store ~level:ctx.level ~id)
+                  oid attr
+              with
+              | Some v -> (
+                  match to_range_value id v with
+                  | Some rv -> values := (id, rv) :: !values
+                  | None -> ())
+              | None -> ())
+            (List.rev (Picture.Index.segments_of_object idx oid));
+          List.iter
+            (fun (v, spans) ->
+              rows :=
+                { Simlist.Value_table.objs = [ (x, oid) ]; value = v; spans }
+                :: !rows)
+            (spans_of !values))
+        (Picture.Index.objects_at_level idx);
+      Simlist.Value_table.create ~obj_cols:[ x ] (List.rev !rows)
+
+(* at-level evaluation: per-parent descendant sequences *)
+let at_level_extents (ctx : Context.t) ~target =
+  let store = require_store ctx "a level operator" in
+  let parents = Store.count_at store ~level:ctx.level in
+  let spans =
+    List.init parents (fun i ->
+        match
+          Store.descendants_span store ~level:ctx.level ~id:(i + 1) ~target
+        with
+        | Some span -> span
+        | None ->
+            unsupported "segment %d has no descendants at level %d" (i + 1)
+              target)
+  in
+  (spans, Extent.of_spans spans)
+
+(* lift a level-[target] similarity list back to the parent level: the
+   parent's value is the list's value at its first descendant *)
+let lift_to_parents spans list =
+  let entries =
+    List.mapi
+      (fun i span ->
+        (Interval.point (i + 1), Sim_list.value_at list (Interval.lo span)))
+      spans
+  in
+  Sim_list.of_entries ~max:(Sim_list.max_sim list)
+    (List.filter (fun (_, v) -> v > 0.) entries)
+
+let resolve_level (ctx : Context.t) = function
+  | Next_level -> ctx.level + 1
+  | Level_index i -> i
+  | Level_name name -> (
+      let store = require_store ctx "a named level operator" in
+      match Store.level_index store name with
+      | Some i -> i
+      | None -> unsupported "unknown level %S" name)
+
+let rec eval (ctx : Context.t) f =
+  if is_non_temporal f then Atomic.resolve ctx f
+  else
+    match f with
+    | And (_, _) when ctx.reorder_joins ->
+        (* flatten the chain and join the smallest tables first; the
+           conjunction combiners are associative and commutative, so the
+           result is unchanged (property-tested) *)
+        let rec flatten = function
+          | And (a, b) -> flatten a @ flatten b
+          | g -> [ g ]
+        in
+        let tables = List.map (eval ctx) (flatten f) in
+        let sorted =
+          List.sort
+            (fun a b ->
+              compare (Sim_table.row_count a) (Sim_table.row_count b))
+            tables
+        in
+        let combine = Sim_list.conjunction_mode ctx.conj_mode in
+        (match sorted with
+        | [] -> assert false
+        | first :: rest ->
+            List.fold_left (fun acc t -> Sim_table.join ~combine acc t) first rest)
+    | And (g, h) ->
+        Sim_table.join
+          ~combine:(Sim_list.conjunction_mode ctx.conj_mode)
+          (eval ctx g) (eval ctx h)
+    | Until (g, h) ->
+        Sim_table.join
+          ~combine:(fun lg lh ->
+            Sim_list.until_merge ~threshold:ctx.threshold ~extents:ctx.extents
+              lg lh)
+          (eval ctx g) (eval ctx h)
+    | Next g -> map_lists (Sim_list.next_shift ~extents:ctx.extents) (eval ctx g)
+    | Eventually g ->
+        map_lists (Sim_list.eventually ~extents:ctx.extents) (eval ctx g)
+    | Exists (x, g) -> Sim_table.project_obj_var (eval ctx g) x
+    | Freeze { var; attr; obj; body } ->
+        let table = eval ctx body in
+        let vt = value_table ctx ~attr ~obj in
+        Sim_table.freeze_join table ~var vt
+    | At_level (sel, g) ->
+        let target = resolve_level ctx sel in
+        if target <= ctx.level then
+          unsupported "level operator must descend (at level %d from %d)"
+            target ctx.level;
+        let spans, extents = at_level_extents ctx ~target in
+        let inner = eval (Context.with_level ctx ~level:target ~extents) g in
+        map_lists (lift_to_parents spans) inner
+    | Or _ -> unsupported "disjunction has no similarity semantics"
+    | Not _ -> unsupported "negation has no similarity semantics"
+    | Atom _ -> assert false (* atoms are non-temporal *)
+
+let eval_closed ctx f =
+  let rec strip = function
+    | Exists (_, g) -> strip g
+    | g -> g
+  in
+  Sim_table.project_exists (eval ctx (strip f))

@@ -1,0 +1,39 @@
+(** The general direct algorithms (§3.2–§3.3 + level operators): inductive
+    computation of similarity {e tables} for type (2), conjunctive and
+    extended conjunctive formulas.
+
+    Subformulas with free variables evaluate to tables whose rows are
+    evaluations; [And]/[Until] are natural joins combining the rows'
+    lists; the freeze quantifier joins against a value table extracted
+    from the store; [at-level] operators evaluate the body over each
+    parent's descendant sequence and lift the value at the first
+    descendant back to the parent. *)
+
+exception Unsupported of string
+
+val eval : Context.t -> Htl.Ast.t -> Simlist.Sim_table.t
+(** Evaluate a (possibly open) conjunctive-fragment formula at the
+    context's level. *)
+
+val eval_closed : Context.t -> Htl.Ast.t -> Simlist.Sim_list.t
+(** Strip the existential prefix, evaluate the body, project. *)
+
+val value_table :
+  Context.t -> attr:string -> obj:string option -> Simlist.Value_table.t
+(** The §3.3 value table of an attribute function over the context's
+    level (exposed for tests). *)
+
+(** {1 Level-operator plumbing} (shared with the SQL backend) *)
+
+val resolve_level : Context.t -> Htl.Ast.level_sel -> int
+(** @raise Unsupported on an unknown level name or a missing store. *)
+
+val at_level_extents :
+  Context.t -> target:int -> Simlist.Interval.t list * Simlist.Extent.t
+(** Per-parent descendant spans at [target], and the extent partition
+    they form (the proper sequences the body evaluates over). *)
+
+val lift_to_parents :
+  Simlist.Interval.t list -> Simlist.Sim_list.t -> Simlist.Sim_list.t
+(** Map a target-level similarity list back to the parent level: the
+    parent's value is the list's value at its first descendant. *)

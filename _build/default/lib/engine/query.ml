@@ -1,0 +1,64 @@
+exception Error of string
+
+type backend = Direct_backend | Sql_backend_choice
+
+let classify = Htl.Classify.classify
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let run ?(backend = Direct_backend) ctx f =
+  match Htl.Classify.check f with
+  | Error reason -> fail "unsupported formula: %s" reason
+  | Ok cls -> (
+      match backend with
+      | Sql_backend_choice -> (
+          match cls with
+          | Htl.Classify.Type1 -> (
+              try Sql_backend.run (Sql_backend.create ctx) ctx f with
+              | Sql_backend.Unsupported msg | Atomic.Unsupported msg ->
+                  fail "%s" msg)
+          | Htl.Classify.Type2 | Htl.Classify.Conjunctive
+          | Htl.Classify.Extended_conjunctive -> (
+              try Sql_backend.run_conjunctive (Sql_backend.create ctx) ctx f
+              with
+              | Sql_backend.Unsupported msg
+              | Atomic.Unsupported msg
+              | Direct.Unsupported msg ->
+                  fail "%s" msg)
+          | Htl.Classify.General -> assert false)
+      | Direct_backend -> (
+          match cls with
+          | Htl.Classify.Type1 -> (
+              try Type1.eval ctx f with
+              | Type1.Unsupported msg | Atomic.Unsupported msg ->
+                  fail "%s" msg)
+          | Htl.Classify.Type2 | Htl.Classify.Conjunctive
+          | Htl.Classify.Extended_conjunctive -> (
+              try Direct.eval_closed ctx f with
+              | Direct.Unsupported msg
+              | Atomic.Unsupported msg
+              | Reference.Unsupported msg ->
+                  fail "%s" msg)
+          | Htl.Classify.General -> assert false))
+
+let run_with_fallback (ctx : Context.t) f =
+  match Htl.Classify.check f with
+  | Ok _ -> run ctx f
+  | Error _ -> (
+      if not (Htl.Ast.is_closed f) then
+        fail "cannot evaluate an open formula: %s" (Htl.Pretty.to_string f);
+      match ctx.store with
+      | None -> fail "the exact-semantics fallback requires a video store"
+      | Some store -> (
+          match Htl.Exact.eval_over_level store ~level:ctx.level f with
+          | bools ->
+              Simlist.Sim_list.of_dense ~max:1.
+                (Array.map (fun b -> if b then 1. else 0.) bools)
+          | exception Invalid_argument msg -> fail "%s" msg))
+
+let run_string ?backend ctx src =
+  match Htl.Parser.formula_of_string_opt src with
+  | Error msg -> fail "syntax error: %s" msg
+  | Ok f -> run ?backend ctx f
+
+let top_k ?backend ctx ~k src = Topk.top_k (run_string ?backend ctx src) ~k

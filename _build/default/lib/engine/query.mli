@@ -1,0 +1,44 @@
+(** The unified retrieval entry point: parse → classify → dispatch to the
+    class-specific algorithm → rank (figure 1's architecture). *)
+
+exception Error of string
+
+type backend =
+  | Direct_backend  (** the §3 interval-list / table algorithms *)
+  | Sql_backend_choice  (** translation to SQL over {!Relational} *)
+
+val classify : Htl.Ast.t -> Htl.Classify.cls
+
+val run :
+  ?backend:backend -> Context.t -> Htl.Ast.t -> Simlist.Sim_list.t
+(** Evaluate a closed formula of any supported class over the context's
+    level.  The SQL backend supports type (1) only (as benchmarked in
+    §4.2); the direct backend dispatches type (1) formulas to the list
+    algorithms and everything up to extended conjunctive to the table
+    algorithms.
+    @raise Error on general formulas, open formulas, or backend
+    limitations — the message says which. *)
+
+val run_string :
+  ?backend:backend -> Context.t -> string -> Simlist.Sim_list.t
+(** Parse then {!run}. *)
+
+val run_with_fallback : Context.t -> Htl.Ast.t -> Simlist.Sim_list.t
+(** Like {!run} with the direct backend, but formulas outside the
+    extended-conjunctive fragment (negation, disjunction, free temporal
+    quantification) fall back to the exact boolean semantics of §2.3: a
+    segment scores [(1, 1)] when it satisfies the formula and [(0, 1)]
+    otherwise.  This implements the §5 future-work item "extension of the
+    above methods to the full language" in its simplest sound form; it
+    requires a video store.
+    @raise Error when the fallback is needed but no store is available,
+    or the formula is open. *)
+
+val top_k :
+  ?backend:backend ->
+  Context.t ->
+  k:int ->
+  string ->
+  (int * Simlist.Sim.t) list
+(** The end-to-end user operation: parse, evaluate, return the k best
+    segments. *)

@@ -1,0 +1,200 @@
+open Htl.Ast
+module Sim = Simlist.Sim
+module Sim_list = Simlist.Sim_list
+module Sim_table = Simlist.Sim_table
+module Interval = Simlist.Interval
+module Store = Video_model.Store
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+type env = {
+  objs : (string * int) list;
+  attrs : (string * Metadata.Value.t option) list;
+}
+
+let empty_env = { objs = []; attrs = [] }
+
+(* an object id no object in any store uses: binding a quantified variable
+   to it scores like "any absent object" *)
+let absent_object = -1
+
+let rec max_similarity (ctx : Context.t) f =
+  if is_non_temporal f then Atomic.max_of ctx f
+  else
+    match f with
+    | And (g, h) -> max_similarity ctx g +. max_similarity ctx h
+    | Until (_, h) -> max_similarity ctx h
+    | Next g | Eventually g | Exists (_, g) | At_level (_, g) ->
+        max_similarity ctx g
+    | Freeze { body; _ } -> max_similarity ctx body
+    | Or _ | Not _ -> unsupported "no similarity semantics for Or/Not"
+    | Atom _ -> assert false
+
+let domain (ctx : Context.t) =
+  let from_store =
+    match ctx.store with
+    | Some store -> Store.all_object_ids store
+    | None -> []
+  in
+  let from_tables =
+    List.concat_map
+      (fun (_, table) ->
+        List.concat_map
+          (fun (r : Sim_table.row) -> List.map snd r.objs)
+          (Sim_table.rows table))
+      ctx.tables
+  in
+  absent_object :: List.sort_uniq compare (from_store @ from_tables)
+
+let combine_conj (ctx : Context.t) ~mg ~mh ag ah =
+  match ctx.conj_mode with
+  | Simlist.Sim_list.Weighted_sum -> ag +. ah
+  | Simlist.Sim_list.Min_fraction ->
+      let frac m a = if m = 0. then 1. else a /. m in
+      Float.min (frac mg ag) (frac mh ah) *. (mg +. mh)
+  | Simlist.Sim_list.Product_fraction ->
+      let frac m a = if m = 0. then 1. else a /. m in
+      frac mg ag *. frac mh ah *. (mg +. mh)
+
+(* actual similarity of an atomic (non-temporal) unit under a full
+   evaluation *)
+let rec atomic_actual (ctx : Context.t) env ~pos f =
+  match Atomic.named_table ctx f with
+  | Some table ->
+      (* best matching row of the precomputed table *)
+      List.fold_left
+        (fun acc (r : Sim_table.row) ->
+          let matches =
+            List.for_all
+              (fun (v, o) ->
+                match List.assoc_opt v env.objs with
+                | Some o' -> o = o'
+                | None -> false)
+              r.objs
+          in
+          if matches then Float.max acc (Sim_list.value_at r.list pos) else acc)
+        0. (Sim_table.rows table)
+  | None -> (
+      match ctx.store with
+      | Some store ->
+          Picture.Retrieval.score_at ~config:ctx.picture_config
+            ~attrs:env.attrs store ~level:ctx.level ~id:pos ~env:env.objs f
+      | None -> (
+          match f with
+          | And (g, h) ->
+              combine_conj ctx ~mg:(Atomic.max_of ctx g)
+                ~mh:(Atomic.max_of ctx h)
+                (atomic_actual ctx env ~pos g)
+                (atomic_actual ctx env ~pos h)
+          | Exists (x, g) ->
+              List.fold_left
+                (fun acc oid ->
+                  Float.max acc
+                    (atomic_actual ctx
+                       { env with objs = (x, oid) :: env.objs }
+                       ~pos g))
+                0. (domain ctx)
+          | _ ->
+              unsupported "cannot score %s without a store"
+                (Htl.Pretty.to_string f)))
+
+let rec actual (ctx : Context.t) env ~span ~pos f =
+  if is_non_temporal f then atomic_actual ctx env ~pos f
+  else
+    match f with
+    | And (g, h) ->
+        combine_conj ctx ~mg:(max_similarity ctx g) ~mh:(max_similarity ctx h)
+          (actual ctx env ~span ~pos g)
+          (actual ctx env ~span ~pos h)
+    | Next g ->
+        if pos + 1 <= Interval.hi span then actual ctx env ~span ~pos:(pos + 1) g
+        else 0.
+    | Until (g, h) ->
+        let mg = max_similarity ctx g in
+        let frac u =
+          if mg = 0. then 0. else actual ctx env ~span ~pos:u g /. mg
+        in
+        let rec go u best =
+          let best = Float.max best (actual ctx env ~span ~pos:u h) in
+          if u < Interval.hi span && frac u >= ctx.threshold then
+            go (u + 1) best
+          else best
+        in
+        go pos 0.
+    | Eventually g ->
+        let rec go u best =
+          let best = Float.max best (actual ctx env ~span ~pos:u g) in
+          if u < Interval.hi span then go (u + 1) best else best
+        in
+        go pos 0.
+    | Exists (x, g) ->
+        List.fold_left
+          (fun acc oid ->
+            Float.max acc
+              (actual ctx { env with objs = (x, oid) :: env.objs } ~span ~pos g))
+          0. (domain ctx)
+    | Freeze { var; attr; obj; body } ->
+        let store =
+          match ctx.store with
+          | Some s -> s
+          | None -> unsupported "freeze requires a store"
+        in
+        let meta = Store.meta store ~level:ctx.level ~id:pos in
+        let value =
+          match obj with
+          | Some x -> (
+              match List.assoc_opt x env.objs with
+              | Some oid -> Metadata.Seg_meta.object_attr meta oid attr
+              | None -> None)
+          | None -> Metadata.Seg_meta.attr meta attr
+        in
+        (* an undefined attribute function fails the freeze: the 3.3
+           value-table join has no row to offer *)
+        (match value with
+        | None -> 0.
+        | Some _ ->
+            actual ctx
+              { env with attrs = (var, value) :: env.attrs }
+              ~span ~pos body)
+    | At_level (sel, g) -> (
+        let store =
+          match ctx.store with
+          | Some s -> s
+          | None -> unsupported "level operators require a store"
+        in
+        let target =
+          match sel with
+          | Next_level -> ctx.level + 1
+          | Level_index i -> i
+          | Level_name name -> (
+              match Store.level_index store name with
+              | Some i -> i
+              | None -> unsupported "unknown level %S" name)
+        in
+        if target <= ctx.level then
+          unsupported "level operator must descend the hierarchy";
+        match Store.descendants_span store ~level:ctx.level ~id:pos ~target with
+        | None -> 0.
+        | Some span' ->
+            let ctx' =
+              Context.with_level ctx ~level:target
+                ~extents:(Simlist.Extent.single 1)
+              (* extents unused below; similarity recursion carries span *)
+            in
+            actual ctx' env ~span:span' ~pos:(Interval.lo span') g)
+    | Or _ | Not _ -> unsupported "no similarity semantics for Or/Not"
+    | Atom _ -> assert false
+
+let similarity_at ctx ~span ~pos f =
+  Sim.make
+    ~actual:(actual ctx empty_env ~span ~pos f)
+    ~max:(max_similarity ctx f)
+
+let similarity_over_level (ctx : Context.t) f =
+  let n = Context.segment_count ctx in
+  Array.init n (fun i ->
+      let id = i + 1 in
+      let span = Simlist.Extent.containing ctx.extents id in
+      similarity_at ctx ~span ~pos:id f)

@@ -1,0 +1,23 @@
+(** Naive reference implementation of the similarity semantics (§2.5),
+    computed directly from the definitions one segment at a time —
+    exponential in the worst case, used as the oracle the efficient
+    algorithms are property-tested against. *)
+
+exception Unsupported of string
+
+val max_similarity : Context.t -> Htl.Ast.t -> float
+(** The formula's maximum similarity [m] (a function of the formula
+    only). *)
+
+val similarity_at :
+  Context.t ->
+  span:Simlist.Interval.t ->
+  pos:int ->
+  Htl.Ast.t ->
+  Simlist.Sim.t
+(** Similarity of a closed formula at position [pos] of the proper
+    sequence covering [span] at the context's level. *)
+
+val similarity_over_level : Context.t -> Htl.Ast.t -> Simlist.Sim.t array
+(** Similarity at every segment of the context's level (index = id - 1),
+    sequences given by the context's extents. *)

@@ -1,0 +1,47 @@
+module Sim_list = Simlist.Sim_list
+module Sim = Simlist.Sim
+module Interval = Simlist.Interval
+
+let ranked_intervals list =
+  List.sort
+    (fun (i1, v1) (i2, v2) ->
+      match Float.compare v2 v1 with
+      | 0 -> Interval.compare i1 i2
+      | c -> c)
+    (Sim_list.entries list)
+
+let top_k list ~k =
+  let max = Sim_list.max_sim list in
+  let rec expand acc = function
+    | [] -> acc
+    | (iv, v) :: tl ->
+        let ids =
+          List.init (Interval.length iv) (fun i -> Interval.lo iv + i)
+        in
+        expand
+          (List.rev_append (List.map (fun id -> (id, v)) ids) acc)
+          tl
+  in
+  let all = expand [] (Sim_list.entries list) in
+  let sorted =
+    List.sort
+      (fun (id1, v1) (id2, v2) ->
+        match Float.compare v2 v1 with 0 -> compare id1 id2 | c -> c)
+      all
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | (id, v) :: tl -> (id, Sim.make ~actual:v ~max) :: take (n - 1) tl
+  in
+  take k sorted
+
+let pp_table ?(header = ("Start", "End", "Sim")) ppf list =
+  let s, e, v = header in
+  Format.fprintf ppf "@[<v>%-8s %-8s %s@," s e v;
+  List.iter
+    (fun (iv, act) ->
+      Format.fprintf ppf "%-8d %-8d %.6f@," (Interval.lo iv)
+        (Interval.hi iv) act)
+    (ranked_intervals list);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,18 @@
+(** Ranking: the paper presents the top k video segments with the highest
+    similarity values (§1), and reports ranked interval tables like
+    Table 4. *)
+
+val ranked_intervals :
+  Simlist.Sim_list.t -> (Simlist.Interval.t * float) list
+(** All entries sorted by decreasing actual similarity, ties by interval
+    start — the layout of the paper's Table 4. *)
+
+val top_k : Simlist.Sim_list.t -> k:int -> (int * Simlist.Sim.t) list
+(** The k segment ids with the highest similarity (ties broken by id). *)
+
+val pp_table :
+  ?header:string * string * string ->
+  Format.formatter ->
+  Simlist.Sim_list.t ->
+  unit
+(** Print a ranked interval table in the paper's three-column layout. *)

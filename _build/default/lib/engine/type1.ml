@@ -1,0 +1,27 @@
+open Htl.Ast
+module Sim_list = Simlist.Sim_list
+module Sim_table = Simlist.Sim_table
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+let rec eval (ctx : Context.t) f =
+  if is_non_temporal f then begin
+    if free_obj_vars f <> [] || free_attr_vars f <> [] then
+      unsupported "type (1) requires closed atomic units: %s"
+        (Htl.Pretty.to_string f);
+    Sim_table.project_exists (Atomic.resolve ctx f)
+  end
+  else
+    match f with
+    | And (g, h) ->
+        Sim_list.conjunction_mode ctx.conj_mode (eval ctx g) (eval ctx h)
+    | Until (g, h) ->
+        Sim_list.until_merge ~threshold:ctx.threshold ~extents:ctx.extents
+          (eval ctx g) (eval ctx h)
+    | Next g -> Sim_list.next_shift ~extents:ctx.extents (eval ctx g)
+    | Eventually g -> Sim_list.eventually ~extents:ctx.extents (eval ctx g)
+    | Or _ | Not _ | Exists _ | Freeze _ | At_level _ ->
+        unsupported "not a type (1) construct: %s" (Htl.Pretty.to_string f)
+    | Atom _ -> assert false (* atoms are non-temporal *)

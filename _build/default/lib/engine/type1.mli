@@ -1,0 +1,10 @@
+(** The §3.1 algorithm for type (1) formulas: every atomic unit is closed,
+    so the whole computation runs on similarity {e lists} with the
+    dedicated merges — overall O(l·p) where l is the total input list
+    length and p the formula length. *)
+
+exception Unsupported of string
+
+val eval : Context.t -> Htl.Ast.t -> Simlist.Sim_list.t
+(** @raise Unsupported when the formula is not type (1) (open atomic
+    units, freeze, level operators, negation, disjunction). *)

@@ -1,0 +1,1 @@
+lib/htl/ast.ml: List Metadata Option String

@@ -1,0 +1,1 @@
+lib/htl/ast.mli: Metadata

@@ -1,0 +1,1 @@
+lib/htl/classify.ml: Ast Format String

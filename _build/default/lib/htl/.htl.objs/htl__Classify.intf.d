@@ -1,0 +1,1 @@
+lib/htl/classify.mli: Ast Format

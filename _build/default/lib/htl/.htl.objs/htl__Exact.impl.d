@@ -1,0 +1,1 @@
+lib/htl/exact.ml: Array Ast List Metadata Printf Simlist Video_model

@@ -1,0 +1,1 @@
+lib/htl/exact.mli: Ast Metadata Simlist Video_model

@@ -1,0 +1,1 @@
+lib/htl/lexer.ml: Ast Buffer Format List Pretty Printf String

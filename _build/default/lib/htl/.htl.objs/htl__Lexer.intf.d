@@ -1,0 +1,1 @@
+lib/htl/lexer.mli: Ast Format

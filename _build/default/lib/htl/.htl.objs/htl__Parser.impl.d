@@ -1,0 +1,1 @@
+lib/htl/parser.ml: Ast Format Lexer List Metadata Printf

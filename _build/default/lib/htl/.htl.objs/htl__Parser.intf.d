@@ -1,0 +1,1 @@
+lib/htl/parser.mli: Ast

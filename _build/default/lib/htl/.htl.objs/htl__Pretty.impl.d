@@ -1,0 +1,1 @@
+lib/htl/pretty.ml: Ast Float Format Metadata String

@@ -1,0 +1,1 @@
+lib/htl/pretty.mli: Ast Format

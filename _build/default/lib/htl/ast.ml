@@ -1,0 +1,112 @@
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type term =
+  | Const of Metadata.Value.t
+  | Attr_var of string
+  | Obj_attr of string * string
+  | Seg_attr of string
+
+type atom =
+  | True
+  | False
+  | Present of string
+  | Cmp of cmp * term * term
+  | Rel of string * string list
+
+type level_sel = Next_level | Level_index of int | Level_name of string
+
+type t =
+  | Atom of atom
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Next of t
+  | Until of t * t
+  | Eventually of t
+  | Exists of string * t
+  | Freeze of freeze
+  | At_level of level_sel * t
+
+and freeze = { var : string; attr : string; obj : string option; body : t }
+
+let exists_list vars f = List.fold_right (fun v acc -> Exists (v, acc)) vars f
+
+let rec and_list = function
+  | [] -> Atom True
+  | [ f ] -> f
+  | f :: rest -> And (f, and_list rest)
+
+let atom a = Atom a
+
+let term_obj_vars = function
+  | Const _ | Attr_var _ | Seg_attr _ -> []
+  | Obj_attr (_, x) -> [ x ]
+
+let term_attr_vars = function
+  | Const _ | Obj_attr _ | Seg_attr _ -> []
+  | Attr_var y -> [ y ]
+
+let atom_obj_vars = function
+  | True | False -> []
+  | Present x -> [ x ]
+  | Cmp (_, t1, t2) -> term_obj_vars t1 @ term_obj_vars t2
+  | Rel (_, args) -> args
+
+let atom_attr_vars = function
+  | True | False | Present _ | Rel _ -> []
+  | Cmp (_, t1, t2) -> term_attr_vars t1 @ term_attr_vars t2
+
+let remove x l = List.filter (fun v -> v <> x) l
+
+let rec fv_obj = function
+  | Atom a -> atom_obj_vars a
+  | And (f, g) | Or (f, g) | Until (f, g) -> fv_obj f @ fv_obj g
+  | Not f | Next f | Eventually f | At_level (_, f) -> fv_obj f
+  | Exists (x, f) -> remove x (fv_obj f)
+  | Freeze { obj; body; _ } ->
+      Option.to_list obj @ fv_obj body
+
+let rec fv_attr = function
+  | Atom a -> atom_attr_vars a
+  | And (f, g) | Or (f, g) | Until (f, g) -> fv_attr f @ fv_attr g
+  | Not f | Next f | Eventually f | At_level (_, f) -> fv_attr f
+  | Exists (_, f) -> fv_attr f
+  | Freeze { var; body; _ } -> remove var (fv_attr body)
+
+let free_obj_vars f = List.sort_uniq String.compare (fv_obj f)
+let free_attr_vars f = List.sort_uniq String.compare (fv_attr f)
+let is_closed f = free_obj_vars f = [] && free_attr_vars f = []
+
+let rec has_temporal = function
+  | Atom _ -> false
+  | And (f, g) | Or (f, g) -> has_temporal f || has_temporal g
+  | Until (_, _) | Next _ | Eventually _ -> true
+  | Not f | Exists (_, f) | At_level (_, f) -> has_temporal f
+  | Freeze { body; _ } -> has_temporal body
+
+let rec has_level_ops = function
+  | Atom _ -> false
+  | And (f, g) | Or (f, g) | Until (f, g) ->
+      has_level_ops f || has_level_ops g
+  | Not f | Next f | Eventually f | Exists (_, f) -> has_level_ops f
+  | Freeze { body; _ } -> has_level_ops body
+  | At_level (_, _) -> true
+
+let rec has_freeze = function
+  | Atom _ -> false
+  | And (f, g) | Or (f, g) | Until (f, g) -> has_freeze f || has_freeze g
+  | Not f | Next f | Eventually f | Exists (_, f) | At_level (_, f) ->
+      has_freeze f
+  | Freeze _ -> true
+
+let is_non_temporal f = (not (has_temporal f)) && not (has_level_ops f)
+
+let rec size = function
+  | Atom _ -> 1
+  | And (f, g) | Or (f, g) | Until (f, g) -> 1 + size f + size g
+  | Not f | Next f | Eventually f | Exists (_, f) | At_level (_, f) ->
+      1 + size f
+  | Freeze { body; _ } -> 1 + size body
+
+let equal_atom (a : atom) (b : atom) = a = b
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,82 @@
+(** Abstract syntax of HTL, the Hierarchical Temporal Logic of §2.2.
+
+    Two kinds of variables: {e object variables} (bound by [exists],
+    ranging over universal object ids) and {e attribute variables} (bound
+    by the freeze quantifier [[y <- q]], ranging over attribute values).
+
+    [Or] is not part of the paper's language; it is provided for the exact
+    (boolean) semantics only and classifies as [General] — the similarity
+    engine rejects it. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+(** Terms of the first-order layer. *)
+type term =
+  | Const of Metadata.Value.t
+  | Attr_var of string  (** attribute variable, bound by a freeze *)
+  | Obj_attr of string * string  (** [Obj_attr (q, x)] is [q(x)] *)
+  | Seg_attr of string  (** attribute of the current segment, [seg.q] *)
+
+(** Atomic (non-temporal) predicates, evaluated on one segment's
+    meta-data by the picture retrieval substrate. *)
+type atom =
+  | True
+  | False
+  | Present of string  (** [present(x)] *)
+  | Cmp of cmp * term * term
+  | Rel of string * string list  (** named k-ary predicate over object vars *)
+
+type level_sel =
+  | Next_level  (** [at next level] *)
+  | Level_index of int  (** [at level i], 1-based, root = 1 *)
+  | Level_name of string  (** [at shot level] etc. *)
+
+type t =
+  | Atom of atom
+  | And of t * t
+  | Or of t * t  (** extension; not in the paper's HTL *)
+  | Not of t
+  | Next of t
+  | Until of t * t
+  | Eventually of t
+  | Exists of string * t
+  | Freeze of freeze
+  | At_level of level_sel * t
+
+and freeze = {
+  var : string;  (** the attribute variable being frozen *)
+  attr : string;  (** the attribute function [q] *)
+  obj : string option;  (** [Some x] for [q(x)], [None] for [seg.q] *)
+  body : t;
+}
+
+val exists_list : string list -> t -> t
+(** [exists_list [x1; ...; xn] f] is [Exists (x1, ... Exists (xn, f))]. *)
+
+val and_list : t list -> t
+(** Right-nested conjunction; [Atom True] for the empty list. *)
+
+val atom : atom -> t
+
+val free_obj_vars : t -> string list
+(** Sorted, without duplicates. *)
+
+val free_attr_vars : t -> string list
+
+val is_closed : t -> bool
+
+val has_temporal : t -> bool
+(** Contains [Next], [Until] or [Eventually]. *)
+
+val has_level_ops : t -> bool
+val has_freeze : t -> bool
+
+val is_non_temporal : t -> bool
+(** No temporal and no level modal operators (§2.2): the formula asserts a
+    property of a single segment's meta-data. *)
+
+val size : t -> int
+(** Number of AST nodes — the paper's formula length [p]. *)
+
+val equal : t -> t -> bool
+val equal_atom : atom -> atom -> bool

@@ -1,0 +1,99 @@
+open Ast
+
+type cls = Type1 | Type2 | Conjunctive | Extended_conjunctive | General
+
+let rank = function
+  | Type1 -> 0
+  | Type2 -> 1
+  | Conjunctive -> 2
+  | Extended_conjunctive -> 3
+  | General -> 4
+
+let subclass a b = rank a <= rank b
+
+let cls_to_string = function
+  | Type1 -> "type (1)"
+  | Type2 -> "type (2)"
+  | Conjunctive -> "conjunctive"
+  | Extended_conjunctive -> "extended conjunctive"
+  | General -> "general"
+
+let pp_cls ppf c = Format.pp_print_string ppf (cls_to_string c)
+
+
+(* No Not/Or anywhere under a conjunctive formula. *)
+let rec negation_free = function
+  | Atom _ -> true
+  | Not _ | Or _ -> false
+  | And (f, g) | Until (f, g) -> negation_free f && negation_free g
+  | Next f | Eventually f | Exists (_, f) | At_level (_, f) -> negation_free f
+  | Freeze { body; _ } -> negation_free body
+
+(* Existential quantifiers must appear in a prefix position — at the very
+   beginning, or at the beginning of a level operator's body (that is
+   where the extended-conjunctive algorithm re-enters the §3.2 machinery)
+   — or scope over non-temporal, level-free subformulas. *)
+let rec exists_placement_ok ~prefix = function
+  | Atom _ -> true
+  | And (f, g) | Or (f, g) | Until (f, g) ->
+      exists_placement_ok ~prefix:false f && exists_placement_ok ~prefix:false g
+  | Not f | Next f | Eventually f -> exists_placement_ok ~prefix:false f
+  | At_level (_, f) -> exists_placement_ok ~prefix:true f
+  | Freeze { body; _ } -> exists_placement_ok ~prefix:false body
+  | Exists (_, f) ->
+      if prefix then exists_placement_ok ~prefix:true f
+      else is_non_temporal f && exists_placement_ok ~prefix:false f
+
+(* Does some existential quantifier (prefix included) scope over a
+   temporal operator?  Distinguishes type (1) from type (2). *)
+let rec exists_over_temporal = function
+  | Atom _ -> false
+  | And (f, g) | Or (f, g) | Until (f, g) ->
+      exists_over_temporal f || exists_over_temporal g
+  | Not f | Next f | Eventually f | At_level (_, f) -> exists_over_temporal f
+  | Freeze { body; _ } -> exists_over_temporal body
+  | Exists (_, f) -> has_temporal f || has_level_ops f || exists_over_temporal f
+
+(* §3.3's restriction: a comparison involving an attribute variable must
+   compare it against a constant or an attribute function (so satisfying
+   values form a range); two attribute variables may not be compared, and
+   [!=] on an attribute variable is not range-representable. *)
+let is_attr_var = function Attr_var _ -> true | Const _ | Obj_attr _ | Seg_attr _ -> false
+
+let atom_attr_ok = function
+  | True | False | Present _ | Rel _ -> true
+  | Cmp (cmp, t1, t2) -> (
+      match (is_attr_var t1, is_attr_var t2) with
+      | true, true -> false
+      | false, false -> true
+      | true, false | false, true -> cmp <> Ne)
+
+let rec attr_predicates_ok = function
+  | Atom a -> atom_attr_ok a
+  | And (f, g) | Or (f, g) | Until (f, g) ->
+      attr_predicates_ok f && attr_predicates_ok g
+  | Not f | Next f | Eventually f | Exists (_, f) | At_level (_, f) ->
+      attr_predicates_ok f
+  | Freeze { body; _ } -> attr_predicates_ok body
+
+let check f =
+  if not (is_closed f) then
+    Error
+      (Format.asprintf "formula is not closed (free: %s)"
+         (String.concat ", " (free_obj_vars f @ free_attr_vars f)))
+  else if not (negation_free f) then
+    Error "negation or disjunction is outside every conjunctive class"
+  else if not (exists_placement_ok ~prefix:true f) then
+    Error
+      "an inner existential quantifier scopes over a temporal or level \
+       operator"
+  else if not (attr_predicates_ok f) then
+    Error
+      "attribute variables may only be compared with =, <, <=, >, >= \
+       against a constant or attribute function"
+  else if has_level_ops f then Ok Extended_conjunctive
+  else if has_freeze f then Ok Conjunctive
+  else if exists_over_temporal f then Ok Type2
+  else Ok Type1
+
+let classify f = match check f with Ok c -> c | Error _ -> General

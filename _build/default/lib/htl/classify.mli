@@ -1,0 +1,31 @@
+(** Classification of HTL formulas into the paper's four subclasses
+    (§2.5, §3), each with its own retrieval algorithm:
+
+    type (1) ⊂ type (2) ⊂ conjunctive ⊂ extended conjunctive ⊂ general.
+
+    A {e conjunctive} formula has no negation (and no disjunction), no
+    level modal operators, every variable bound, and every existential
+    quantifier either in the leading prefix or with a temporal-operator-
+    free scope.  A {e type (2)} formula is conjunctive without freeze
+    quantifiers; a {e type (1)} formula additionally has no temporal
+    operator inside any existential scope.  {e Extended conjunctive}
+    formulas relax conjunctive by allowing level modal operators. *)
+
+type cls =
+  | Type1
+  | Type2
+  | Conjunctive
+  | Extended_conjunctive
+  | General
+
+val classify : Ast.t -> cls
+(** Smallest class containing the formula. *)
+
+val check : Ast.t -> (cls, string) result
+(** Like {!classify} but explains why a formula is only [General]. *)
+
+val subclass : cls -> cls -> bool
+(** [subclass a b]: every formula of class [a] also belongs to class [b]. *)
+
+val pp_cls : Format.formatter -> cls -> unit
+val cls_to_string : cls -> string

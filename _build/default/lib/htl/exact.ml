@@ -1,0 +1,150 @@
+open Ast
+module Store = Video_model.Store
+module Interval = Simlist.Interval
+
+type env = {
+  objs : (string * int) list;
+  attrs : (string * Metadata.Value.t) list;
+}
+
+let empty_env = { objs = []; attrs = [] }
+
+let obj_of env x =
+  match List.assoc_opt x env.objs with
+  | Some id -> id
+  | None -> invalid_arg (Printf.sprintf "Exact: unbound object variable %s" x)
+
+let attr_of env y =
+  match List.assoc_opt y env.attrs with
+  | Some v -> v
+  | None ->
+      invalid_arg (Printf.sprintf "Exact: unbound attribute variable %s" y)
+
+let eval_term store ~env ~level ~pos = function
+  | Const v -> Some v
+  | Attr_var y -> Some (attr_of env y)
+  | Obj_attr (q, x) ->
+      Metadata.Seg_meta.object_attr (Store.meta store ~level ~id:pos)
+        (obj_of env x) q
+  | Seg_attr q -> Metadata.Seg_meta.attr (Store.meta store ~level ~id:pos) q
+
+let eval_cmp cmp v1 v2 =
+  match cmp with
+  | Eq -> Metadata.Value.equal v1 v2
+  | Ne -> not (Metadata.Value.equal v1 v2)
+  | Lt | Le | Gt | Ge -> (
+      match Metadata.Value.compare_num v1 v2 with
+      | Some c -> (
+          match cmp with
+          | Lt -> c < 0
+          | Le -> c <= 0
+          | Gt -> c > 0
+          | Ge -> c >= 0
+          | Eq | Ne -> assert false)
+      | None -> false)
+
+let eval_atom store ~env ~level ~pos = function
+  | True -> true
+  | False -> false
+  | Present x ->
+      Metadata.Seg_meta.present (Store.meta store ~level ~id:pos) (obj_of env x)
+  | Cmp (cmp, t1, t2) -> (
+      match
+        ( eval_term store ~env ~level ~pos t1,
+          eval_term store ~env ~level ~pos t2 )
+      with
+      | Some v1, Some v2 -> eval_cmp cmp v1 v2
+      | _, _ -> false)
+  | Rel (r, args) ->
+      Metadata.Seg_meta.has_relationship
+        (Store.meta store ~level ~id:pos)
+        r
+        (List.map (obj_of env) args)
+
+let resolve_level store ~level = function
+  | Next_level -> level + 1
+  | Level_index i -> i
+  | Level_name name -> (
+      match Store.level_index store name with
+      | Some i -> i
+      | None -> invalid_arg (Printf.sprintf "Exact: unknown level %S" name))
+
+let rec holds store ~env ~level ~span ~pos f =
+  if not (Interval.contains span pos) then
+    invalid_arg "Exact: position outside the proper sequence";
+  match f with
+  | Atom a -> eval_atom store ~env ~level ~pos a
+  | And (f, g) ->
+      holds store ~env ~level ~span ~pos f && holds store ~env ~level ~span ~pos g
+  | Or (f, g) ->
+      holds store ~env ~level ~span ~pos f || holds store ~env ~level ~span ~pos g
+  | Not f -> not (holds store ~env ~level ~span ~pos f)
+  | Next f ->
+      pos + 1 <= Interval.hi span
+      && holds store ~env ~level ~span ~pos:(pos + 1) f
+  | Until (g, h) ->
+      let rec search u =
+        if u > Interval.hi span then false
+        else if holds store ~env ~level ~span ~pos:u h then true
+        else
+          holds store ~env ~level ~span ~pos:u g
+          && search (u + 1)
+      in
+      search pos
+  | Eventually f ->
+      let rec search u =
+        u <= Interval.hi span
+        && (holds store ~env ~level ~span ~pos:u f || search (u + 1))
+      in
+      search pos
+  | Exists (x, f) ->
+      List.exists
+        (fun oid ->
+          holds store
+            ~env:{ env with objs = (x, oid) :: env.objs }
+            ~level ~span ~pos f)
+        (Store.all_object_ids store)
+  | Freeze { var; attr; obj; body } -> (
+      let value =
+        match obj with
+        | Some x ->
+            Metadata.Seg_meta.object_attr
+              (Store.meta store ~level ~id:pos)
+              (obj_of env x) attr
+        | None -> Metadata.Seg_meta.attr (Store.meta store ~level ~id:pos) attr
+      in
+      match value with
+      | None -> false
+      | Some v ->
+          holds store
+            ~env:{ env with attrs = (var, v) :: env.attrs }
+            ~level ~span ~pos body)
+  | At_level (sel, f) -> (
+      let target = resolve_level store ~level sel in
+      if target <= level then
+        invalid_arg "Exact: level operator must descend the hierarchy";
+      match Store.descendants_span store ~level ~id:pos ~target with
+      | None -> false
+      | Some span' ->
+          holds store ~env ~level:target ~span:span'
+            ~pos:(Interval.lo span') f)
+
+let holds_at store ?(env = empty_env) ~level ~span ~pos f =
+  holds store ~env ~level ~span ~pos f
+
+let satisfied_by_video store ~video f =
+  (* the root of video [v] has some global id at level 1; its proper
+     sequence is just itself *)
+  let root_id =
+    Interval.lo (Store.video_span store ~video ~level:1)
+  in
+  holds store ~env:empty_env ~level:1 ~span:(Interval.point root_id)
+    ~pos:root_id f
+
+let eval_over_level store ~level f =
+  let n = Store.count_at store ~level in
+  Array.init n (fun i ->
+      let id = i + 1 in
+      let v = (Store.node store ~level ~id).Store.video in
+      let span = Store.video_span store ~video:v ~level in
+      holds store ~env:empty_env ~level ~span ~pos:id f)

@@ -1,0 +1,39 @@
+(** Exact (boolean) satisfaction semantics of HTL (§2.3) — the
+    non-similarity reference.  Directly recursive over the formula and the
+    hierarchy; supports the whole language including [Not] and [Or].
+    Intended for tests, examples and as the ground truth that exact
+    matches receive full similarity. *)
+
+type env = {
+  objs : (string * int) list;  (** object variables -> object ids *)
+  attrs : (string * Metadata.Value.t) list;  (** frozen attribute values *)
+}
+
+val empty_env : env
+
+val eval_cmp : Ast.cmp -> Metadata.Value.t -> Metadata.Value.t -> bool
+(** Comparison on attribute values: [=]/[!=] use {!Metadata.Value.equal};
+    the orderings hold only between numeric values. *)
+
+val holds_at :
+  Video_model.Store.t ->
+  ?env:env ->
+  level:int ->
+  span:Simlist.Interval.t ->
+  pos:int ->
+  Ast.t ->
+  bool
+(** Satisfaction at segment [pos] of the proper sequence covering global
+    ids [span] at [level].
+    @raise Invalid_argument on an unbound variable, an out-of-range
+    position, or an unknown level name. *)
+
+val satisfied_by_video : Video_model.Store.t -> video:int -> Ast.t -> bool
+(** §2.3's top-level notion: satisfaction at the root, in the sequence
+    consisting of only the root. *)
+
+val eval_over_level :
+  Video_model.Store.t -> level:int -> Ast.t -> bool array
+(** For every segment at [level] (index = global id - 1): satisfaction at
+    that position, with the proper sequence being its video's segments at
+    that level. *)

@@ -1,0 +1,240 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | EXISTS
+  | UNTIL
+  | AND
+  | OR
+  | NOT
+  | NEXT
+  | EVENTUALLY
+  | AT
+  | LEVEL
+  | PRESENT
+  | TRUE
+  | FALSE
+  | SEG
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | DOT
+  | ARROW
+  | CMP of Ast.cmp
+
+  | EOF
+
+exception Error of string * int
+
+let keyword_of_string = function
+  | "exists" -> Some EXISTS
+  | "until" -> Some UNTIL
+  | "and" -> Some AND
+  | "or" -> Some OR
+  | "not" -> Some NOT
+  | "next" -> Some NEXT
+  | "eventually" -> Some EVENTUALLY
+  | "at" -> Some AT
+  | "level" -> Some LEVEL
+  | "present" -> Some PRESENT
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | "seg" -> Some SEG
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let pos = ref 0 in
+  let peek_at k = if !pos + k < n then Some src.[!pos + k] else None in
+  let peek () = peek_at 0 in
+  let advance () = incr pos in
+  let lex_ident () =
+    let start = !pos in
+    while (match peek () with Some c -> is_ident_char c | None -> false) do
+      advance ()
+    done;
+    let word = String.sub src start (!pos - start) in
+    match keyword_of_string word with Some kw -> kw | None -> IDENT word
+  in
+  let lex_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let is_float = ref false in
+    let continue () =
+      match peek () with
+      | Some c when is_digit c -> true
+      | Some ('.' | 'e' | 'E') ->
+          is_float := true;
+          true
+      | Some ('+' | '-') ->
+          (* sign inside an exponent only *)
+          !pos > start
+          && (src.[!pos - 1] = 'e' || src.[!pos - 1] = 'E')
+      | Some _ | None -> false
+    in
+    while continue () do
+      advance ()
+    done;
+    let text = String.sub src start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> FLOAT f
+      | None -> raise (Error (Printf.sprintf "bad float %S" text, start))
+    else
+      match int_of_string_opt text with
+      | Some i -> INT i
+      | None -> raise (Error (Printf.sprintf "bad integer %S" text, start))
+  in
+  let lex_string quote =
+    let start = !pos in
+    advance ();
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Error ("unterminated string", start))
+      | Some c when c = quote ->
+          advance ();
+          STRING (Buffer.contents buf)
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('\\' as e) | Some ('"' as e) | Some ('\'' as e) ->
+              Buffer.add_char buf e;
+              advance ();
+              go ()
+          | Some 'n' ->
+              Buffer.add_char buf '\n';
+              advance ();
+              go ()
+          | Some c -> raise (Error (Printf.sprintf "bad escape '\\%c'" c, !pos))
+          | None -> raise (Error ("unterminated string", start)))
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let rec loop () =
+    match peek () with
+    | None -> emit EOF
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        loop ()
+    | Some c when is_ident_start c ->
+        emit (lex_ident ());
+        loop ()
+    | Some c when is_digit c ->
+        emit (lex_number ());
+        loop ()
+    | Some '-' when (match peek_at 1 with Some c -> is_digit c | None -> false)
+      ->
+        emit (lex_number ());
+        loop ()
+    | Some ('"' as q) | Some ('\'' as q) ->
+        emit (lex_string q);
+        loop ()
+    | Some '(' ->
+        advance ();
+        emit LPAREN;
+        loop ()
+    | Some ')' ->
+        advance ();
+        emit RPAREN;
+        loop ()
+    | Some '[' ->
+        advance ();
+        emit LBRACKET;
+        loop ()
+    | Some ']' ->
+        advance ();
+        emit RBRACKET;
+        loop ()
+    | Some ',' ->
+        advance ();
+        emit COMMA;
+        loop ()
+    | Some '.' ->
+        advance ();
+        emit DOT;
+        loop ()
+    | Some '=' ->
+        advance ();
+        emit (CMP Ast.Eq);
+        loop ()
+    | Some '!' -> (
+        advance ();
+        match peek () with
+        | Some '=' ->
+            advance ();
+            emit (CMP Ast.Ne);
+            loop ()
+        | _ -> raise (Error ("expected '=' after '!'", !pos - 1)))
+    | Some '<' -> (
+        advance ();
+        match peek () with
+        | Some '-' ->
+            advance ();
+            emit ARROW;
+            loop ()
+        | Some '=' ->
+            advance ();
+            emit (CMP Ast.Le);
+            loop ()
+        | _ ->
+            emit (CMP Ast.Lt);
+            loop ())
+    | Some '>' -> (
+        advance ();
+        match peek () with
+        | Some '=' ->
+            advance ();
+            emit (CMP Ast.Ge);
+            loop ()
+        | _ ->
+            emit (CMP Ast.Gt);
+            loop ())
+    | Some c -> raise (Error (Printf.sprintf "unexpected character %C" c, !pos))
+  in
+  loop ();
+  List.rev !tokens
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "identifier %S" s
+  | INT n -> Format.fprintf ppf "integer %d" n
+  | FLOAT f -> Format.fprintf ppf "float %g" f
+  | STRING s -> Format.fprintf ppf "string %S" s
+  | EXISTS -> Format.pp_print_string ppf "'exists'"
+  | UNTIL -> Format.pp_print_string ppf "'until'"
+  | AND -> Format.pp_print_string ppf "'and'"
+  | OR -> Format.pp_print_string ppf "'or'"
+  | NOT -> Format.pp_print_string ppf "'not'"
+  | NEXT -> Format.pp_print_string ppf "'next'"
+  | EVENTUALLY -> Format.pp_print_string ppf "'eventually'"
+  | AT -> Format.pp_print_string ppf "'at'"
+  | LEVEL -> Format.pp_print_string ppf "'level'"
+  | PRESENT -> Format.pp_print_string ppf "'present'"
+  | TRUE -> Format.pp_print_string ppf "'true'"
+  | FALSE -> Format.pp_print_string ppf "'false'"
+  | SEG -> Format.pp_print_string ppf "'seg'"
+  | LPAREN -> Format.pp_print_string ppf "'('"
+  | RPAREN -> Format.pp_print_string ppf "')'"
+  | LBRACKET -> Format.pp_print_string ppf "'['"
+  | RBRACKET -> Format.pp_print_string ppf "']'"
+  | COMMA -> Format.pp_print_string ppf "','"
+  | DOT -> Format.pp_print_string ppf "'.'"
+  | ARROW -> Format.pp_print_string ppf "'<-'"
+  | CMP c -> Pretty.pp_cmp ppf c
+  | EOF -> Format.pp_print_string ppf "end of input"

@@ -1,0 +1,37 @@
+(** Tokenizer for the HTL concrete syntax. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | EXISTS
+  | UNTIL
+  | AND
+  | OR
+  | NOT
+  | NEXT
+  | EVENTUALLY
+  | AT
+  | LEVEL
+  | PRESENT
+  | TRUE
+  | FALSE
+  | SEG
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | DOT
+  | ARROW  (** [<-] *)
+  | CMP of Ast.cmp
+  | EOF
+
+exception Error of string * int
+(** message and 0-based character offset *)
+
+val tokenize : string -> token list
+(** @raise Error on an unexpected character or unterminated string. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,245 @@
+open Ast
+
+exception Error of string
+
+type state = { mutable tokens : Lexer.token list }
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let peek st = match st.tokens with [] -> Lexer.EOF | t :: _ -> t
+
+let peek2 st =
+  match st.tokens with _ :: t :: _ -> t | _ -> Lexer.EOF
+
+let advance st =
+  match st.tokens with [] -> () | _ :: tl -> st.tokens <- tl
+
+let expect st token what =
+  if peek st = token then advance st
+  else fail "expected %s but found %a" what Lexer.pp_token (peek st)
+
+let expect_ident st what =
+  match peek st with
+  | Lexer.IDENT x ->
+      advance st;
+      x
+  | t -> fail "expected %s but found %a" what Lexer.pp_token t
+
+(* terms ------------------------------------------------------------- *)
+
+let parse_term st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      Const (Metadata.Value.Int n)
+  | Lexer.FLOAT f ->
+      advance st;
+      Const (Metadata.Value.Float f)
+  | Lexer.STRING s ->
+      advance st;
+      Const (Metadata.Value.Str s)
+  | Lexer.TRUE ->
+      advance st;
+      Const (Metadata.Value.Bool true)
+  | Lexer.FALSE ->
+      advance st;
+      Const (Metadata.Value.Bool false)
+  | Lexer.SEG ->
+      advance st;
+      expect st Lexer.DOT "'.' after 'seg'";
+      Seg_attr (expect_ident st "attribute name")
+  | Lexer.IDENT q when peek2 st = Lexer.LPAREN ->
+      advance st;
+      advance st;
+      let x = expect_ident st "object variable" in
+      expect st Lexer.RPAREN "')'";
+      Obj_attr (q, x)
+  | Lexer.IDENT y ->
+      advance st;
+      Attr_var y
+  | t -> fail "expected a term but found %a" Lexer.pp_token t
+
+(* atoms -------------------------------------------------------------- *)
+
+let parse_cmp_tail st t1 =
+  match peek st with
+  | Lexer.CMP cmp ->
+      advance st;
+      let t2 = parse_term st in
+      Atom (Cmp (cmp, t1, t2))
+  | t -> fail "expected a comparison operator but found %a" Lexer.pp_token t
+
+let parse_atom st =
+  match peek st with
+  | Lexer.TRUE when (match peek2 st with Lexer.CMP _ -> false | _ -> true) ->
+      advance st;
+      Atom True
+  | Lexer.FALSE when (match peek2 st with Lexer.CMP _ -> false | _ -> true) ->
+      advance st;
+      Atom False
+  | Lexer.PRESENT ->
+      advance st;
+      expect st Lexer.LPAREN "'(' after 'present'";
+      let x = expect_ident st "object variable" in
+      expect st Lexer.RPAREN "')'";
+      Atom (Present x)
+  | Lexer.IDENT name when peek2 st = Lexer.LPAREN ->
+      (* could be a relation r(x, y, ...) or an attribute term q(x)
+         followed by a comparison *)
+      advance st;
+      advance st;
+      let first = expect_ident st "object variable" in
+      let rec args acc =
+        match peek st with
+        | Lexer.COMMA ->
+            advance st;
+            args (expect_ident st "object variable" :: acc)
+        | _ -> List.rev acc
+      in
+      let arguments = args [ first ] in
+      expect st Lexer.RPAREN "')'";
+      (match (arguments, peek st) with
+      | [ x ], Lexer.CMP _ -> parse_cmp_tail st (Obj_attr (name, x))
+      | _, _ -> Atom (Rel (name, arguments)))
+  | Lexer.IDENT name when (match peek2 st with Lexer.CMP _ -> false | _ -> true)
+    ->
+      (* a bare identifier is a nullary (propositional) predicate, like
+         the paper's abstract M1, M2, M3 *)
+      advance st;
+      Atom (Rel (name, []))
+  | Lexer.INT _ | Lexer.FLOAT _ | Lexer.STRING _ | Lexer.SEG | Lexer.IDENT _
+  | Lexer.TRUE | Lexer.FALSE ->
+      let t1 = parse_term st in
+      parse_cmp_tail st t1
+  | t -> fail "expected an atomic formula but found %a" Lexer.pp_token t
+
+(* formulas ----------------------------------------------------------- *)
+
+let parse_level_spec st =
+  match peek st with
+  | Lexer.NEXT ->
+      advance st;
+      expect st Lexer.LEVEL "'level' after 'at next'";
+      Next_level
+  | Lexer.LEVEL -> (
+      advance st;
+      match peek st with
+      | Lexer.INT i ->
+          advance st;
+          if i < 1 then fail "level index must be >= 1, got %d" i;
+          Level_index i
+      | t -> fail "expected a level number but found %a" Lexer.pp_token t)
+  | Lexer.IDENT name ->
+      advance st;
+      expect st Lexer.LEVEL (Printf.sprintf "'level' after 'at %s'" name);
+      Level_name name
+  | t -> fail "expected a level specification but found %a" Lexer.pp_token t
+
+let rec parse_formula st =
+  match peek st with
+  | Lexer.EXISTS ->
+      advance st;
+      let first = expect_ident st "object variable" in
+      let rec vars acc =
+        match peek st with
+        | Lexer.COMMA ->
+            advance st;
+            vars (expect_ident st "object variable" :: acc)
+        | _ -> List.rev acc
+      in
+      let xs = vars [ first ] in
+      expect st Lexer.DOT "'.' after quantified variables";
+      exists_list xs (parse_formula st)
+  | Lexer.LBRACKET ->
+      advance st;
+      let var = expect_ident st "attribute variable" in
+      expect st Lexer.ARROW "'<-'";
+      let attr, obj =
+        match peek st with
+        | Lexer.SEG ->
+            advance st;
+            expect st Lexer.DOT "'.' after 'seg'";
+            (expect_ident st "attribute name", None)
+        | Lexer.IDENT q ->
+            advance st;
+            expect st Lexer.LPAREN "'(' after attribute function";
+            let x = expect_ident st "object variable" in
+            expect st Lexer.RPAREN "')'";
+            (q, Some x)
+        | t ->
+            fail "expected an attribute function but found %a" Lexer.pp_token t
+      in
+      expect st Lexer.RBRACKET "']'";
+      Freeze { var; attr; obj; body = parse_formula st }
+  | _ -> parse_or st
+
+and parse_or st =
+  let left = parse_until st in
+  if peek st = Lexer.OR then begin
+    advance st;
+    Or (left, parse_or st)
+  end
+  else left
+
+and parse_until st =
+  let left = parse_and st in
+  if peek st = Lexer.UNTIL then begin
+    advance st;
+    Until (left, parse_until st)
+  end
+  else left
+
+and parse_and st =
+  let left = parse_prefix st in
+  if peek st = Lexer.AND then begin
+    advance st;
+    And (left, parse_and st)
+  end
+  else left
+
+and parse_prefix st =
+  match peek st with
+  | Lexer.EXISTS | Lexer.LBRACKET ->
+      (* a quantifier after a binary operator extends as far right as
+         possible, as usual *)
+      parse_formula st
+  | Lexer.NOT ->
+      advance st;
+      Not (parse_prefix st)
+  | Lexer.NEXT ->
+      advance st;
+      Next (parse_prefix st)
+  | Lexer.EVENTUALLY ->
+      advance st;
+      Eventually (parse_prefix st)
+  | Lexer.AT ->
+      advance st;
+      let sel = parse_level_spec st in
+      expect st Lexer.LPAREN "'(' after the level operator";
+      let f = parse_formula st in
+      expect st Lexer.RPAREN "')'";
+      At_level (sel, f)
+  | Lexer.LPAREN ->
+      advance st;
+      let f = parse_formula st in
+      expect st Lexer.RPAREN "')'";
+      f
+  | _ -> parse_atom st
+
+let formula_of_string src =
+  let tokens =
+    try Lexer.tokenize src
+    with Lexer.Error (msg, pos) ->
+      raise (Error (Printf.sprintf "lexical error at offset %d: %s" pos msg))
+  in
+  let st = { tokens } in
+  let f = parse_formula st in
+  (match peek st with
+  | Lexer.EOF -> ()
+  | t -> fail "trailing input: %a" Lexer.pp_token t);
+  f
+
+let formula_of_string_opt src =
+  match formula_of_string src with
+  | f -> Ok f
+  | exception Error msg -> Error msg

@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the HTL concrete syntax.
+
+    Grammar sketch (binary operators from loosest to tightest: [or],
+    [until] (right-associative), [and]; [not]/[next]/[eventually] are
+    prefix; comparisons and relations are atoms):
+
+    {v
+    f        ::= 'exists' x (',' x)* '.' f
+               | '[' y '<-' (q '(' x ')' | 'seg' '.' q) ']' f
+               | or-formula
+    prefix   ::= 'not' prefix | 'next' prefix | 'eventually' prefix
+               | 'at' ('next' 'level' | 'level' INT | NAME 'level') '(' f ')'
+               | '(' f ')' | atom
+    atom     ::= 'true' | 'false' | 'present' '(' x ')'
+               | r '(' x (',' x)* ')'            (named relation)
+               | term ('='|'!='|'<'|'<='|'>'|'>=') term
+    term     ::= INT | FLOAT | STRING | 'true' | 'false'
+               | q '(' x ')' | 'seg' '.' q | y    (attribute variable)
+    v} *)
+
+exception Error of string
+(** Human-readable syntax error. *)
+
+val formula_of_string : string -> Ast.t
+(** @raise Error on any lexical or syntax error. *)
+
+val formula_of_string_opt : string -> (Ast.t, string) result

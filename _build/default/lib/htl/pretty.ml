@@ -1,0 +1,62 @@
+open Ast
+
+let pp_cmp ppf cmp =
+  Format.pp_print_string ppf
+    (match cmp with
+    | Eq -> "="
+    | Ne -> "!="
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">=")
+
+let pp_value ppf (v : Metadata.Value.t) =
+  match v with
+  | Int n -> Format.pp_print_int ppf n
+  | Float f ->
+      (* keep a '.' so the token re-lexes as a float, not an int *)
+      if Float.is_integer f then Format.fprintf ppf "%.1f" f
+      else Format.fprintf ppf "%.17g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Bool b -> Format.pp_print_bool ppf b
+
+let pp_term ppf = function
+  | Const v -> pp_value ppf v
+  | Attr_var y -> Format.pp_print_string ppf y
+  | Obj_attr (q, x) -> Format.fprintf ppf "%s(%s)" q x
+  | Seg_attr q -> Format.fprintf ppf "seg.%s" q
+
+let pp_atom ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Present x -> Format.fprintf ppf "present(%s)" x
+  | Cmp (cmp, t1, t2) ->
+      Format.fprintf ppf "%a %a %a" pp_term t1 pp_cmp cmp pp_term t2
+  | Rel (r, []) -> Format.pp_print_string ppf r
+  | Rel (r, args) ->
+      Format.fprintf ppf "%s(%s)" r (String.concat ", " args)
+
+let pp_level_sel ppf = function
+  | Next_level -> Format.pp_print_string ppf "next level"
+  | Level_index i -> Format.fprintf ppf "level %d" i
+  | Level_name n -> Format.fprintf ppf "%s level" n
+
+let rec pp ppf = function
+  | Atom a -> pp_atom ppf a
+  | And (f, g) -> Format.fprintf ppf "(@[%a@ and %a@])" pp f pp g
+  | Or (f, g) -> Format.fprintf ppf "(@[%a@ or %a@])" pp f pp g
+  | Not f -> Format.fprintf ppf "not (%a)" pp f
+  | Next f -> Format.fprintf ppf "next (%a)" pp f
+  | Until (f, g) -> Format.fprintf ppf "(@[%a@ until %a@])" pp f pp g
+  | Eventually f -> Format.fprintf ppf "eventually (%a)" pp f
+  | Exists (x, f) -> Format.fprintf ppf "(exists %s . %a)" x pp f
+  | Freeze { var; attr; obj; body } ->
+      let target ppf = function
+        | Some x -> Format.fprintf ppf "%s(%s)" attr x
+        | None -> Format.fprintf ppf "seg.%s" attr
+      in
+      Format.fprintf ppf "([%s <- %a] %a)" var target obj pp body
+  | At_level (sel, f) ->
+      Format.fprintf ppf "at %a (%a)" pp_level_sel sel pp f
+
+let to_string f = Format.asprintf "%a" pp f

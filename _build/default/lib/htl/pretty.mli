@@ -1,0 +1,9 @@
+(** Printing HTL formulas back to the concrete syntax accepted by
+    {!Parser} ([Parser.formula_of_string (to_string f)] re-reads [f]
+    exactly; binary operators are printed fully parenthesised). *)
+
+val pp_cmp : Format.formatter -> Ast.cmp -> unit
+val pp_term : Format.formatter -> Ast.term -> unit
+val pp_atom : Format.formatter -> Ast.atom -> unit
+val pp : Format.formatter -> Ast.t -> unit
+val to_string : Ast.t -> string

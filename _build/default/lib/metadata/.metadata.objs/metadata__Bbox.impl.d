@@ -1,0 +1,1 @@
+lib/metadata/bbox.ml: Float Format

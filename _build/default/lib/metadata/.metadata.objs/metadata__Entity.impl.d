@@ -1,0 +1,1 @@
+lib/metadata/entity.ml: Bbox Format List Value

@@ -1,0 +1,1 @@
+lib/metadata/entity.mli: Bbox Format Value

@@ -1,0 +1,1 @@
+lib/metadata/relationship.ml: Format List String

@@ -1,0 +1,1 @@
+lib/metadata/seg_meta.ml: Entity Format List Option Relationship String Value

@@ -1,0 +1,1 @@
+lib/metadata/seg_meta.mli: Entity Format Relationship Value

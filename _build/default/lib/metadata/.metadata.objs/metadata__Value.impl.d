@@ -1,0 +1,1 @@
+lib/metadata/value.ml: Float Format String

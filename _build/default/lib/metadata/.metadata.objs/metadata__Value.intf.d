@@ -1,0 +1,1 @@
+lib/metadata/value.mli: Format

@@ -1,0 +1,19 @@
+type t = { x0 : float; y0 : float; x1 : float; y1 : float }
+
+let make ~x0 ~y0 ~x1 ~y1 =
+  if x0 > x1 || y0 > y1 then invalid_arg "Bbox.make: inverted box";
+  { x0; y0; x1; y1 }
+
+let center t = ((t.x0 +. t.x1) /. 2., (t.y0 +. t.y1) /. 2.)
+let width t = t.x1 -. t.x0
+let height t = t.y1 -. t.y0
+let area t = width t *. height t
+
+let overlaps a b =
+  Float.max a.x0 b.x0 <= Float.min a.x1 b.x1
+  && Float.max a.y0 b.y0 <= Float.min a.y1 b.y1
+
+let inside a b = a.x0 >= b.x0 && a.x1 <= b.x1 && a.y0 >= b.y0 && a.y1 <= b.y1
+let left_of a b = a.x1 < b.x0
+let above a b = a.y0 > b.y1
+let pp ppf t = Format.fprintf ppf "(%g,%g)-(%g,%g)" t.x0 t.y0 t.x1 t.y1

@@ -1,0 +1,24 @@
+(** Bounding boxes for objects in a frame, in image coordinates
+    (x grows rightward, y grows upward).  Used to derive the spatial
+    relationships of the picture retrieval substrate. *)
+
+type t = private { x0 : float; y0 : float; x1 : float; y1 : float }
+
+val make : x0:float -> y0:float -> x1:float -> y1:float -> t
+(** @raise Invalid_argument unless [x0 <= x1] and [y0 <= y1]. *)
+
+val center : t -> float * float
+val width : t -> float
+val height : t -> float
+val area : t -> float
+val overlaps : t -> t -> bool
+val inside : t -> t -> bool
+(** [inside a b]: [a] lies entirely within [b]. *)
+
+val left_of : t -> t -> bool
+(** [left_of a b]: [a] ends before [b] starts on the x axis. *)
+
+val above : t -> t -> bool
+(** [above a b]: [a] starts above [b]'s end on the y axis. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+type t = {
+  id : int;
+  otype : string;
+  attrs : (string * Value.t) list;
+  bbox : Bbox.t option;
+}
+
+let make ~id ~otype ?(attrs = []) ?bbox () = { id; otype; attrs; bbox }
+
+let attr t name =
+  match name with
+  | "type" -> Some (Value.Str t.otype)
+  | "id" -> Some (Value.Int t.id)
+  | _ -> List.assoc_opt name t.attrs
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>#%d:%s%a@]" t.id t.otype
+    (Format.pp_print_list (fun ppf (k, v) ->
+         Format.fprintf ppf " %s=%a" k Value.pp v))
+    t.attrs

@@ -1,0 +1,23 @@
+(** Objects in the meta-data (the paper's "objects").
+
+    Every object carries a universal object id: the paper assumes that the
+    same real-world object receives the same id across all the frames of a
+    video (object tracking), so an id is the unit the [present] predicate
+    and the existential quantifier range over. *)
+
+type t = {
+  id : int;  (** universal object id *)
+  otype : string;  (** type name, a node of {!Picture.Taxonomy} *)
+  attrs : (string * Value.t) list;  (** e.g. name, height, color *)
+  bbox : Bbox.t option;  (** position in the frame, when known *)
+}
+
+val make :
+  id:int -> otype:string -> ?attrs:(string * Value.t) list ->
+  ?bbox:Bbox.t -> unit -> t
+
+val attr : t -> string -> Value.t option
+(** Attribute lookup; ["type"] resolves to the object type, ["id"] to the
+    object id. *)
+
+val pp : Format.formatter -> t -> unit

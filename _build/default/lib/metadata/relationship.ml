@@ -1,0 +1,12 @@
+type t = { name : string; args : int list }
+
+let make name args = { name; args }
+let arity t = List.length t.args
+let equal a b = String.equal a.name b.name && a.args = b.args
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%a)" t.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    t.args

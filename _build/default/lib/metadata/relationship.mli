@@ -1,0 +1,11 @@
+(** Named k-ary relationships among objects in one video segment, e.g.
+    [fires_at(3, 7)] or [holds(3, 12)].  Spatial relationships can either
+    be stored explicitly or derived from bounding boxes (see
+    [Picture.Spatial]). *)
+
+type t = { name : string; args : int list }
+
+val make : string -> int list -> t
+val arity : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

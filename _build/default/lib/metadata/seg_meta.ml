@@ -1,0 +1,36 @@
+type t = {
+  objects : Entity.t list;
+  relationships : Relationship.t list;
+  attrs : (string * Value.t) list;
+}
+
+let empty = { objects = []; relationships = []; attrs = [] }
+
+let make ?(objects = []) ?(relationships = []) ?(attrs = []) () =
+  { objects; relationships; attrs }
+
+let find_object t id = List.find_opt (fun (o : Entity.t) -> o.id = id) t.objects
+let present t id = Option.is_some (find_object t id)
+
+let objects_of_type t otype =
+  List.filter (fun (o : Entity.t) -> String.equal o.otype otype) t.objects
+
+let object_attr t id name =
+  Option.bind (find_object t id) (fun o -> Entity.attr o name)
+
+let has_relationship t name args =
+  List.exists
+    (fun r -> Relationship.equal r (Relationship.make name args))
+    t.relationships
+
+let attr t name = List.assoc_opt name t.attrs
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>objects: %a@,relationships: %a@,attrs: %a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Entity.pp)
+    t.objects
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Relationship.pp)
+    t.relationships
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun ppf (k, v) ->
+         Format.fprintf ppf "%s=%a" k Value.pp v))
+    t.attrs

@@ -1,0 +1,35 @@
+(** Meta-data of a single video segment: the objects present, the
+    relationships among them, and segment-level attributes (title, type of
+    movie, ...).  This is what atomic HTL formulas are evaluated against. *)
+
+type t = {
+  objects : Entity.t list;
+  relationships : Relationship.t list;
+  attrs : (string * Value.t) list;
+}
+
+val empty : t
+
+val make :
+  ?objects:Entity.t list ->
+  ?relationships:Relationship.t list ->
+  ?attrs:(string * Value.t) list ->
+  unit ->
+  t
+
+val find_object : t -> int -> Entity.t option
+(** Lookup by universal object id. *)
+
+val present : t -> int -> bool
+
+val objects_of_type : t -> string -> Entity.t list
+(** Exact type match (taxonomy-aware matching lives in [Picture]). *)
+
+val object_attr : t -> int -> string -> Value.t option
+
+val has_relationship : t -> string -> int list -> bool
+
+val attr : t -> string -> Value.t option
+(** Segment-level attribute. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+type t = Int of int | Float of float | Str of string | Bool of bool
+
+let equal a b =
+  match (a, b) with
+  | Int a, Int b -> a = b
+  | Float a, Float b -> a = b
+  | Int a, Float b | Float b, Int a -> float_of_int a = b
+  | Str a, Str b -> String.equal a b
+  | Bool a, Bool b -> a = b
+  | (Int _ | Float _ | Str _ | Bool _), _ -> false
+
+let as_float = function
+  | Int n -> Some (float_of_int n)
+  | Float f -> Some f
+  | Str _ | Bool _ -> None
+
+let compare_num a b =
+  match (as_float a, as_float b) with
+  | Some x, Some y -> Some (Float.compare x y)
+  | _, _ -> None
+
+let as_int = function Int n -> Some n | Float _ | Str _ | Bool _ -> None
+let as_string = function Str s -> Some s | Int _ | Float _ | Bool _ -> None
+
+let pp ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Bool b -> Format.pp_print_bool ppf b
+
+let to_string t = Format.asprintf "%a" pp t

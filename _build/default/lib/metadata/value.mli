@@ -1,0 +1,15 @@
+(** Attribute values in the extended E-R meta-data model. *)
+
+type t = Int of int | Float of float | Str of string | Bool of bool
+
+val equal : t -> t -> bool
+
+val compare_num : t -> t -> int option
+(** Numeric comparison for [Int]/[Float] (mixed allowed); [None] for
+    non-numeric operands. *)
+
+val as_int : t -> int option
+val as_float : t -> float option
+val as_string : t -> string option
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/picture/index.ml: Hashtbl List Metadata Option Video_model

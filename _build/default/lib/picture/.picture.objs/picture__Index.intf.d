@@ -1,0 +1,1 @@
+lib/picture/index.mli: Video_model

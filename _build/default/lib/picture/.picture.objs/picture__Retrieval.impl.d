@@ -1,0 +1,1 @@
+lib/picture/retrieval.ml: Array Float Format Hashtbl Htl Index List Metadata Option Simlist Spatial Taxonomy Video_model Weights

@@ -1,0 +1,1 @@
+lib/picture/retrieval.mli: Htl Metadata Simlist Taxonomy Video_model Weights

@@ -1,0 +1,1 @@
+lib/picture/spatial.ml: List Metadata

@@ -1,0 +1,1 @@
+lib/picture/taxonomy.ml: Float List Map Printf String

@@ -1,0 +1,1 @@
+lib/picture/taxonomy.mli:

@@ -1,0 +1,1 @@
+lib/picture/weights.ml: Hashtbl Htl List

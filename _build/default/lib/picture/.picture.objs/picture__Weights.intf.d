@@ -1,0 +1,1 @@
+lib/picture/weights.mli: Htl

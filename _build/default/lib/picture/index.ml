@@ -1,0 +1,52 @@
+type t = {
+  level : int;
+  segment_count : int;
+  by_object : (int, int list) Hashtbl.t;
+  by_type : (string, int list) Hashtbl.t;
+  by_relationship : (string, int list) Hashtbl.t;
+}
+
+let add_posting tbl key seg =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+  (* segments are scanned in increasing id order; store reversed *)
+  match prev with
+  | s :: _ when s = seg -> ()
+  | _ -> Hashtbl.replace tbl key (seg :: prev)
+
+let build store ~level =
+  let n = Video_model.Store.count_at store ~level in
+  let t =
+    {
+      level;
+      segment_count = n;
+      by_object = Hashtbl.create 64;
+      by_type = Hashtbl.create 64;
+      by_relationship = Hashtbl.create 16;
+    }
+  in
+  for id = 1 to n do
+    let meta = Video_model.Store.meta store ~level ~id in
+    List.iter
+      (fun (o : Metadata.Entity.t) ->
+        add_posting t.by_object o.id id;
+        add_posting t.by_type o.otype id)
+      meta.Metadata.Seg_meta.objects;
+    List.iter
+      (fun (r : Metadata.Relationship.t) ->
+        add_posting t.by_relationship r.name id)
+      meta.Metadata.Seg_meta.relationships
+  done;
+  t
+
+let postings tbl key =
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt tbl key))
+
+let segments_of_object t oid = postings t.by_object oid
+let segments_of_type t name = postings t.by_type name
+let segments_of_relationship t name = postings t.by_relationship name
+
+let objects_at_level t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.by_object [])
+
+let level t = t.level
+let segment_count t = t.segment_count

@@ -1,0 +1,22 @@
+(** Inverted indices over one level of the video store, as used by the
+    picture retrieval system to find candidate segments for the conditions
+    of a query ([27] §"indices on spatial relationships"). *)
+
+type t
+
+val build : Video_model.Store.t -> level:int -> t
+
+val segments_of_object : t -> int -> int list
+(** Sorted global ids of the segments containing the object. *)
+
+val segments_of_type : t -> string -> int list
+(** Segments containing at least one object of exactly this type. *)
+
+val segments_of_relationship : t -> string -> int list
+(** Segments storing at least one relationship with this name. *)
+
+val objects_at_level : t -> int list
+(** Sorted universal object ids present in at least one segment. *)
+
+val level : t -> int
+val segment_count : t -> int

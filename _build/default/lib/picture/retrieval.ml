@@ -1,0 +1,358 @@
+open Htl.Ast
+module Store = Video_model.Store
+module Seg_meta = Metadata.Seg_meta
+module Sim_list = Simlist.Sim_list
+module Sim_table = Simlist.Sim_table
+module Range = Simlist.Range
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+type config = {
+  taxonomy : Taxonomy.t;
+  weights : Weights.t;
+  max_rows : int;
+}
+
+let default_config =
+  { taxonomy = Taxonomy.default; weights = Weights.default; max_rows = 20_000 }
+
+(* Evaluation environments: an object variable bound to [None] is a
+   wildcard — it stands for any object that appears nowhere in the data,
+   so every condition involving it scores 0.  An attribute variable bound
+   to [None] had an undefined attribute function frozen into it. *)
+type env = {
+  objs : (string * int option) list;
+  attrs : (string * Metadata.Value.t option) list;
+}
+
+
+
+let obj_binding env x =
+  match List.assoc_opt x env.objs with Some b -> b | None -> None
+
+let rec validate = function
+  | Atom _ -> ()
+  | And (f, g) -> validate f; validate g
+  | Exists (_, f) | Freeze { body = f; _ } -> validate f
+  | Or _ -> unsupported "disjunction has no similarity semantics (§2.5)"
+  | Not _ -> unsupported "negation has no similarity semantics (§2.5)"
+  | Next _ | Until _ | Eventually _ ->
+      unsupported "temporal operator inside an atomic formula"
+  | At_level _ -> unsupported "level operator inside an atomic formula"
+
+(* --- scoring ---------------------------------------------------------- *)
+
+let eval_term store ~level ~env ~id = function
+  | Const v -> Some v
+  | Attr_var y -> (
+      match List.assoc_opt y env.attrs with
+      | Some v -> v
+      | None -> unsupported "unbound attribute variable %s" y)
+  | Obj_attr (q, x) -> (
+      match obj_binding env x with
+      | Some oid -> Seg_meta.object_attr (Store.meta store ~level ~id) oid q
+      | None -> None)
+  | Seg_attr q -> Seg_meta.attr (Store.meta store ~level ~id) q
+
+(* [type(x) = "T"] (either way round) gets taxonomy-graded credit. *)
+let type_query cmp t1 t2 =
+  match (cmp, t1, t2) with
+  | Eq, Obj_attr ("type", x), Const (Metadata.Value.Str t)
+  | Eq, Const (Metadata.Value.Str t), Obj_attr ("type", x) ->
+      Some (x, t)
+  | _, _, _ -> None
+
+let credit cfg store ~level ~env ~id atom =
+  let meta () = Store.meta store ~level ~id in
+  match atom with
+  | True -> 1.
+  | False -> 0.
+  | Present x -> (
+      match obj_binding env x with
+      | Some oid when Seg_meta.present (meta ()) oid -> 1.
+      | Some _ | None -> 0.)
+  | Rel (r, args) ->
+      let ids = List.filter_map (obj_binding env) args in
+      if List.length ids = List.length args && Spatial.holds (meta ()) r ids
+      then 1.
+      else 0.
+  | Cmp (cmp, t1, t2) -> (
+      match type_query cmp t1 t2 with
+      | Some (x, asked) -> (
+          match obj_binding env x with
+          | Some oid -> (
+              match Seg_meta.find_object (meta ()) oid with
+              | Some o ->
+                  Taxonomy.similarity cfg.taxonomy ~asked
+                    ~found:o.Metadata.Entity.otype
+              | None -> 0.)
+          | None -> 0.)
+      | None -> (
+          match
+            ( eval_term store ~level ~env ~id t1,
+              eval_term store ~level ~env ~id t2 )
+          with
+          | Some v1, Some v2 -> if Htl.Exact.eval_cmp cmp v1 v2 then 1. else 0.
+          | _, _ -> 0.))
+
+let rec score cfg store ~level ~env ~id = function
+  | Atom a -> Weights.atom_weight cfg.weights a *. credit cfg store ~level ~env ~id a
+  | And (f, g) ->
+      score cfg store ~level ~env ~id f +. score cfg store ~level ~env ~id g
+  | Exists (x, body) ->
+      (* best local witness; the wildcard covers objects absent here *)
+      let meta = Store.meta store ~level ~id in
+      let options =
+        None
+        :: List.map
+             (fun (o : Metadata.Entity.t) -> Some o.id)
+             meta.Seg_meta.objects
+      in
+      List.fold_left
+        (fun acc c ->
+          Float.max acc
+            (score cfg store ~level
+               ~env:{ env with objs = (x, c) :: env.objs }
+               ~id body))
+        0. options
+  | Freeze { var; attr; obj; body } -> (
+      let meta = Store.meta store ~level ~id in
+      let value =
+        match obj with
+        | Some x ->
+            Option.bind (obj_binding env x) (fun oid ->
+                Seg_meta.object_attr meta oid attr)
+        | None -> Seg_meta.attr meta attr
+      in
+      (* an undefined attribute function fails the freeze (§3.3: the
+         value table offers no row) *)
+      match value with
+      | None -> 0.
+      | Some _ ->
+          score cfg store ~level
+            ~env:{ env with attrs = (var, value) :: env.attrs }
+            ~id body)
+  | (Or _ | Not _ | Next _ | Until _ | Eventually _ | At_level _) as f ->
+      unsupported "cannot score %s" (Htl.Pretty.to_string f)
+
+(* --- attribute-variable regions ---------------------------------------- *)
+
+(* Collect the comparisons constraining the free attribute variable [y]
+   as [(cmp, other-term)] pairs, normalised with [y] on the left.
+   Scope-aware: a freeze re-binding [y] shadows it; other-term may not
+   depend on inner-quantified object variables (the satisfying region
+   would then not be a plain range). *)
+let y_atoms f y =
+  let flip = function
+    | Lt -> Gt
+    | Le -> Ge
+    | Gt -> Lt
+    | Ge -> Le
+    | (Eq | Ne) as c -> c
+  in
+  let check_other ~local t =
+    (match t with
+    | Attr_var _ ->
+        unsupported "comparison between two attribute variables (§3.3)"
+    | Const _ | Obj_attr _ | Seg_attr _ -> ());
+    (match t with
+    | Obj_attr (_, x) when List.mem x local ->
+        unsupported
+          "attribute-variable comparison depends on an inner existential"
+    | _ -> ());
+    t
+  in
+  let rec go ~local acc = function
+    | Atom (Cmp (c, Attr_var v, t)) when v = y ->
+        (c, check_other ~local t) :: acc
+    | Atom (Cmp (c, t, Attr_var v)) when v = y ->
+        (flip c, check_other ~local t) :: acc
+    | Atom _ -> acc
+    | And (f, g) -> go ~local (go ~local acc f) g
+    | Exists (x, f) -> go ~local:(x :: local) acc f
+    | Freeze { var; body = _; _ } when var = y -> acc (* shadowed *)
+    | Freeze { body; _ } -> go ~local acc body
+    | Or (f, g) | Until (f, g) -> go ~local (go ~local acc f) g
+    | Not f | Next f | Eventually f | At_level (_, f) -> go ~local acc f
+  in
+  go ~local:[] [] f
+
+(* The elementary regions of [y] under a fixed object binding: ranges on
+   which every comparison's truth is constant, each with a representative
+   value used to evaluate the formula on that region. *)
+let regions cfg store ~level ~n ~env_objs f y =
+  ignore cfg;
+  let atoms = y_atoms f y in
+  let ints = Hashtbl.create 16 and strs = Hashtbl.create 16 in
+  let env = { objs = env_objs; attrs = [] } in
+  List.iter
+    (fun (_, t) ->
+      for id = 1 to n do
+        match eval_term store ~level ~env ~id t with
+        | Some (Metadata.Value.Int k) -> Hashtbl.replace ints k ()
+        | Some (Metadata.Value.Str s) -> Hashtbl.replace strs s ()
+        | Some (Metadata.Value.Float _) ->
+            unsupported
+              "frozen attribute variables must range over integers (§3.3)"
+        | Some (Metadata.Value.Bool _) ->
+            unsupported "frozen attribute variables cannot be boolean"
+        | None -> ()
+      done)
+    atoms;
+  let int_points = List.sort compare (Hashtbl.fold (fun k () l -> k :: l) ints [])
+  and str_points = Hashtbl.fold (fun k () l -> k :: l) strs [] in
+  match (int_points, str_points) with
+  | [], [] -> [ (Range.full_int, Metadata.Value.Int 0) ]
+  | _ :: _, _ :: _ ->
+      unsupported "attribute variable compared with both integers and strings"
+  | [], strs ->
+      (Range.full_str, Metadata.Value.Str "\000<other>")
+      :: List.map (fun s -> (Range.str_eq s, Metadata.Value.Str s)) strs
+  | (first :: _ as points), [] ->
+      let last = List.nth points (List.length points - 1) in
+      let middle =
+        let rec go = function
+          | a :: (b :: _ as tl) ->
+              let point = (Range.int_eq a, Metadata.Value.Int a) in
+              if b > a + 1 then
+                point
+                :: (Range.int_between (a + 1) (b - 1), Metadata.Value.Int (a + 1))
+                :: go tl
+              else point :: go tl
+          | [ a ] -> [ (Range.int_eq a, Metadata.Value.Int a) ]
+          | [] -> []
+        in
+        go points
+      in
+      ((Range.int_le (first - 1), Metadata.Value.Int (first - 1)) :: middle)
+      @ [ (Range.int_ge (last + 1), Metadata.Value.Int (last + 1)) ]
+
+(* --- table construction ------------------------------------------------ *)
+
+let cartesian options_per_var =
+  List.fold_right
+    (fun options acc ->
+      List.concat_map (fun o -> List.map (fun rest -> o :: rest) acc) options)
+    options_per_var [ [] ]
+
+let merge_sorted_unique xs ys =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], l | l, [] -> l
+    | x :: xtl, y :: ytl ->
+        if x < y then x :: go xtl ys
+        else if y < x then y :: go xs ytl
+        else x :: go xtl ytl
+  in
+  go xs ys
+
+let eval ?(config = default_config) store ~level f =
+  validate f;
+  let max_total = Weights.total config.weights f in
+  let obj_vars = free_obj_vars f in
+  let attr_vars = free_attr_vars f in
+  let idx = Index.build store ~level in
+  let n = Index.segment_count idx in
+  let support = Index.objects_at_level idx in
+  let combo_count =
+    Float.pow (float_of_int (1 + List.length support))
+      (float_of_int (List.length obj_vars))
+  in
+  if combo_count > float_of_int config.max_rows then
+    unsupported "too many candidate evaluations (%d objects, %d variables)"
+      (List.length support) (List.length obj_vars);
+  let option_lists =
+    List.map
+      (fun x -> List.map (fun o -> (x, o)) (None :: List.map Option.some support))
+      obj_vars
+  in
+  let combos = cartesian option_lists in
+  (* per-region base lists (all object variables wildcarded) are shared
+     by every binding; cache them by representative values *)
+  let base_cache : (Metadata.Value.t option list, float array) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let score_all ~env_objs ~attrs ~only =
+    let env = { objs = env_objs; attrs } in
+    match only with
+    | None ->
+        Array.init n (fun i -> score config store ~level ~env ~id:(i + 1) f)
+    | Some (base, candidates) ->
+        let arr = Array.copy base in
+        List.iter
+          (fun id -> arr.(id - 1) <- score config store ~level ~env ~id f)
+          candidates;
+        arr
+  in
+  let rows = ref [] and row_count = ref 0 in
+  List.iter
+    (fun combo ->
+      let bound = List.filter_map (fun (x, o) -> Option.map (fun o -> (x, o)) o) combo in
+      let region_sets =
+        List.map (fun y -> regions config store ~level ~n ~env_objs:combo f y)
+          attr_vars
+      in
+      let region_combos = cartesian region_sets in
+      List.iter
+        (fun rc ->
+          incr row_count;
+          if !row_count > config.max_rows then
+            unsupported "similarity table exceeds %d rows" config.max_rows;
+          let attrs =
+            List.map2 (fun y (_, rep) -> (y, Some rep)) attr_vars rc
+          in
+          let reps = List.map snd attrs in
+          let base =
+            match Hashtbl.find_opt base_cache reps with
+            | Some b -> b
+            | None ->
+                let b =
+                  score_all
+                    ~env_objs:(List.map (fun (x, _) -> (x, None)) combo)
+                    ~attrs ~only:None
+                in
+                Hashtbl.add base_cache reps b;
+                b
+          in
+          let dense =
+            if bound = [] then base
+            else
+              let candidates =
+                List.fold_left
+                  (fun acc (_, oid) ->
+                    merge_sorted_unique acc (Index.segments_of_object idx oid))
+                  [] bound
+              in
+              score_all ~env_objs:combo ~attrs ~only:(Some (base, candidates))
+          in
+          (* a bound row indistinguishable from the wildcard row is
+             subsumed by it *)
+          let redundant = bound <> [] && dense = base in
+          if not redundant then begin
+            let list = Sim_list.of_dense ~max:max_total dense in
+            (* empty rows still matter when they carry a range (they mark
+               region coverage for later joins) *)
+            if attr_vars <> [] || not (Sim_list.is_empty list) then
+              rows :=
+                {
+                  Sim_table.objs = List.sort compare bound;
+                  attrs =
+                    List.map2 (fun y (range, _) -> (y, range)) attr_vars rc;
+                  list;
+                }
+                :: !rows
+          end)
+        region_combos)
+    combos;
+  Sim_table.create ~obj_cols:obj_vars ~attr_cols:attr_vars ~max:max_total
+    (List.rev !rows)
+
+let score_at ?(config = default_config) ?(attrs = []) store ~level ~id ~env f =
+  validate f;
+  score config store ~level
+    ~env:{ objs = List.map (fun (x, o) -> (x, Some o)) env; attrs }
+    ~id f
+
+let max_similarity ?(config = default_config) f = Weights.total config.weights f

@@ -1,0 +1,56 @@
+(** Similarity-based evaluation of atomic (non-temporal) HTL formulas —
+    the reimplementation of the picture retrieval system the paper builds
+    on ([27, 25, 2]).
+
+    Given a non-temporal formula, produces the {!Simlist.Sim_table} the
+    video algorithms of §3 consume: one row per relevant evaluation of
+    the free object variables (plus one {e wildcard} row standing for
+    every object not mentioned in the data — its bindings are simply
+    absent), attribute-variable columns carrying satisfying ranges, and a
+    similarity list over the segments of the chosen level.
+
+    Scoring: the similarity of a formula at a segment is the weighted sum
+    of its satisfied atomic conditions ({!Weights}); a type condition
+    [type(x) = "T"] earns taxonomy-graded partial credit; inner
+    existentials score the best local witness; the maximum similarity is
+    the total weight. *)
+
+exception Unsupported of string
+(** Raised on formulas outside the supported fragment: temporal or level
+    operators, negation/disjunction, comparisons between two attribute
+    variables, non-integer/non-string frozen values, or row blow-up past
+    [max_rows]. *)
+
+type config = {
+  taxonomy : Taxonomy.t;
+  weights : Weights.t;
+  max_rows : int;  (** evaluation-enumeration safety cap *)
+}
+
+val default_config : config
+
+val eval :
+  ?config:config ->
+  Video_model.Store.t ->
+  level:int ->
+  Htl.Ast.t ->
+  Simlist.Sim_table.t
+(** Evaluate a non-temporal formula over all segments of [level].
+    @raise Unsupported as described above. *)
+
+val score_at :
+  ?config:config ->
+  ?attrs:(string * Metadata.Value.t option) list ->
+  Video_model.Store.t ->
+  level:int ->
+  id:int ->
+  env:(string * int) list ->
+  Htl.Ast.t ->
+  float
+(** Similarity of a closed-after-binding non-temporal formula at one
+    segment — the one-picture scoring primitive (exposed for tests and
+    the naive reference evaluator).  [attrs] supplies values for free
+    attribute variables ([None] = the frozen attribute was undefined). *)
+
+val max_similarity : ?config:config -> Htl.Ast.t -> float
+(** Total weight of the formula. *)

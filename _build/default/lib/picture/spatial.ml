@@ -1,0 +1,24 @@
+let derived = [ "left_of"; "right_of"; "above"; "below"; "overlaps"; "inside" ]
+
+let derive name (a : Metadata.Bbox.t) (b : Metadata.Bbox.t) =
+  match name with
+  | "left_of" -> Metadata.Bbox.left_of a b
+  | "right_of" -> Metadata.Bbox.left_of b a
+  | "above" -> Metadata.Bbox.above a b
+  | "below" -> Metadata.Bbox.above b a
+  | "overlaps" -> Metadata.Bbox.overlaps a b
+  | "inside" -> Metadata.Bbox.inside a b
+  | _ -> false
+
+let holds meta name args =
+  Metadata.Seg_meta.has_relationship meta name args
+  ||
+  match args with
+  | [ x; y ] when List.mem name derived -> (
+      match (Metadata.Seg_meta.find_object meta x, Metadata.Seg_meta.find_object meta y) with
+      | Some ox, Some oy -> (
+          match (ox.Metadata.Entity.bbox, oy.Metadata.Entity.bbox) with
+          | Some ba, Some bb -> derive name ba bb
+          | _, _ -> false)
+      | _, _ -> false)
+  | _ -> false

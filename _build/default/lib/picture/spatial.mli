@@ -1,0 +1,11 @@
+(** Spatial relationships, either stored explicitly in the meta-data or
+    derived from object bounding boxes (the spatial indices of [26, 27]). *)
+
+val derived : string list
+(** Relation names this module can derive from bounding boxes:
+    [left_of], [right_of], [above], [below], [overlaps], [inside]. *)
+
+val holds : Metadata.Seg_meta.t -> string -> int list -> bool
+(** [holds meta r args]: true when the relationship is stored explicitly,
+    or when [r] is a derivable binary spatial relation and the objects'
+    bounding boxes satisfy it. *)

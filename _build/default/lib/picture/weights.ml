@@ -1,0 +1,39 @@
+type t = { default_weight : float; table : (string, float) Hashtbl.t }
+
+let create ?(default_weight = 1.) entries =
+  let table = Hashtbl.create 16 in
+  List.iter (fun (k, w) -> Hashtbl.replace table k w) entries;
+  { default_weight; table }
+
+let default = create []
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some w -> w
+  | None -> t.default_weight
+
+let term_key = function
+  | Htl.Ast.Obj_attr (q, _) -> Some ("attr:" ^ q)
+  | Htl.Ast.Seg_attr q -> Some ("attr:" ^ q)
+  | Htl.Ast.Const _ | Htl.Ast.Attr_var _ -> None
+
+let atom_key = function
+  | Htl.Ast.True -> "true"
+  | Htl.Ast.False -> "false"
+  | Htl.Ast.Present _ -> "present"
+  | Htl.Ast.Rel (r, _) -> "rel:" ^ r
+  | Htl.Ast.Cmp (_, t1, t2) -> (
+      match term_key t1 with
+      | Some k -> k
+      | None -> ( match term_key t2 with Some k -> k | None -> "cmp"))
+
+let atom_weight t a = find t (atom_key a)
+
+let rec total t (f : Htl.Ast.t) =
+  match f with
+  | Atom a -> atom_weight t a
+  | And (f, g) -> total t f +. total t g
+  | Exists (_, f) -> total t f
+  | Freeze { body; _ } -> total t body
+  | Or _ | Not _ | Next _ | Until _ | Eventually _ | At_level _ ->
+      invalid_arg "Weights.total: not a non-temporal conjunctive formula"

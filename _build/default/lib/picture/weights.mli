@@ -1,0 +1,27 @@
+(** Per-condition weights.
+
+    The similarity of a non-temporal formula is the weighted sum of its
+    satisfied conditions; the maximum similarity is the sum of all the
+    weights (§2.5 and [27]).  Weights are looked up by condition key:
+    ["present"], ["rel:<name>"], ["attr:<name>"], ["true"], ["false"],
+    ["cmp"] (constant-only comparison). *)
+
+type t
+
+val default : t
+(** Every condition weighs 1. *)
+
+val create : ?default_weight:float -> (string * float) list -> t
+
+val find : t -> string -> float
+
+val atom_key : Htl.Ast.atom -> string
+(** The lookup key of an atomic predicate. *)
+
+val atom_weight : t -> Htl.Ast.atom -> float
+
+val total : t -> Htl.Ast.t -> float
+(** Maximum similarity of a non-temporal formula: the sum of its atoms'
+    weights (quantifiers and freezes are transparent).
+    @raise Invalid_argument on temporal or level operators, [Not] or
+    [Or]. *)

@@ -1,0 +1,1 @@
+lib/relational/catalog.ml: Array Hashtbl List Plan Printf Sql String Table

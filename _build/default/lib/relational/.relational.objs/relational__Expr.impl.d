@@ -1,0 +1,1 @@
+lib/relational/expr.ml: Array Format List Stdlib Table Value

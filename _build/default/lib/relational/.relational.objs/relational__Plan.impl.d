@@ -1,0 +1,1 @@
+lib/relational/plan.ml: Array Expr Hashtbl List Table Value

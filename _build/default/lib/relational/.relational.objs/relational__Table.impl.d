@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Format List Printf String Value

@@ -1,0 +1,56 @@
+type t = { tables : (string, Table.t) Hashtbl.t }
+
+let create () = { tables = Hashtbl.create 16 }
+let put t name table = Hashtbl.replace t.tables name table
+
+let find t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some table -> table
+  | None -> invalid_arg (Printf.sprintf "Catalog: unknown table %S" name)
+
+let mem t name = Hashtbl.mem t.tables name
+let drop t name = Hashtbl.remove t.tables name
+
+let table_names t =
+  List.sort String.compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [])
+
+let run_select t query =
+  Plan.run ~lookup:(fun name -> find t name) (Sql.plan_query query)
+
+let exec t = function
+  | Sql.Create_table (name, cols) ->
+      put t name (Table.empty ~cols);
+      None
+  | Sql.Create_table_as (name, select) ->
+      let result = run_select t select in
+      put t name result;
+      Some result
+  | Sql.Insert (name, rows) ->
+      let table = find t name in
+      let arity = Table.arity table in
+      let rows =
+        List.map
+          (fun vs ->
+            if List.length vs <> arity then
+              invalid_arg "Catalog: INSERT arity mismatch";
+            Array.of_list vs)
+          rows
+      in
+      put t name
+        (Table.create ~cols:(Table.cols table) (Table.rows table @ rows));
+      None
+  | Sql.Drop_table { name; if_exists } ->
+      if (not if_exists) && not (mem t name) then
+        invalid_arg (Printf.sprintf "Catalog: unknown table %S" name);
+      drop t name;
+      None
+  | Sql.Select_stmt select -> Some (run_select t select)
+
+let exec_sql t src = List.map (exec t) (Sql.parse src)
+
+let query t src =
+  match List.rev (exec_sql t src) with
+  | Some table :: _ -> table
+  | None :: _ | [] ->
+      invalid_arg "Catalog.query: last statement returned no table"

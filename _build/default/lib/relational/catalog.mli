@@ -1,0 +1,23 @@
+(** The database: named tables plus a statement executor. *)
+
+type t
+
+val create : unit -> t
+val put : t -> string -> Table.t -> unit
+val find : t -> string -> Table.t
+(** @raise Invalid_argument on an unknown table. *)
+
+val mem : t -> string -> bool
+val drop : t -> string -> unit
+val table_names : t -> string list
+
+val exec : t -> Sql.stmt -> Table.t option
+(** Run one statement; SELECTs return their result, DDL/DML return
+    [None].  [CREATE TABLE ... AS] stores and also returns the table. *)
+
+val exec_sql : t -> string -> Table.t option list
+(** Parse and run a script. @raise Sql.Error / Invalid_argument. *)
+
+val query : t -> string -> Table.t
+(** Run a script whose last statement is a SELECT and return its result.
+    @raise Invalid_argument if the last statement returns nothing. *)

@@ -1,0 +1,137 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type t =
+  | Col of string
+  | Lit of Value.t
+  | Binop of binop * t * t
+  | Not of t
+  | Coalesce of t list
+  | Between of t * t * t
+
+let col c = Col c
+let int n = Lit (Value.Int n)
+let str s = Lit (Value.Str s)
+
+module Infix = struct
+  let ( = ) a b = Binop (Eq, a, b)
+  let ( && ) a b = Binop (And, a, b)
+end
+
+let truthy = function
+  | Value.Null -> false
+  | Value.Int 0 -> false
+  | Value.Int _ | Value.Float _ | Value.Str _ -> true
+
+let of_bool b = if b then Value.Int 1 else Value.Int 0
+
+let cmp_result op a b =
+  match op with
+  | Eq -> of_bool (Value.equal a b)
+  | Ne -> of_bool (not (Value.is_null a) && not (Value.is_null b) && not (Value.equal a b))
+  | Lt | Le | Gt | Ge -> (
+      match Value.compare_sql a b with
+      | None -> of_bool false
+      | Some c ->
+          of_bool
+            (match op with
+            | Lt -> Stdlib.( < ) c 0
+            | Le -> Stdlib.( <= ) c 0
+            | Gt -> Stdlib.( > ) c 0
+            | Ge -> Stdlib.( >= ) c 0
+            | Add | Sub | Mul | Div | Eq | Ne | And | Or -> assert false))
+  | Add | Sub | Mul | Div | And | Or -> assert false
+
+let compile ~cols expr =
+  let index name =
+    let t = Table.empty ~cols in
+    Table.col_index t name
+  in
+  let rec go = function
+    | Col name ->
+        let i = index name in
+        fun row -> row.(i)
+    | Lit v -> fun _ -> v
+    | Binop (And, a, b) ->
+        let fa = go a and fb = go b in
+        fun row -> of_bool (truthy (fa row) && truthy (fb row))
+    | Binop (Or, a, b) ->
+        let fa = go a and fb = go b in
+        fun row -> of_bool (truthy (fa row) || truthy (fb row))
+    | Binop (Add, a, b) ->
+        let fa = go a and fb = go b in
+        fun row -> Value.add (fa row) (fb row)
+    | Binop (Sub, a, b) ->
+        let fa = go a and fb = go b in
+        fun row -> Value.sub (fa row) (fb row)
+    | Binop (Mul, a, b) ->
+        let fa = go a and fb = go b in
+        fun row -> Value.mul (fa row) (fb row)
+    | Binop (Div, a, b) ->
+        let fa = go a and fb = go b in
+        fun row -> Value.div (fa row) (fb row)
+    | Binop ((Eq | Ne | Lt | Le | Gt | Ge) as op, a, b) ->
+        let fa = go a and fb = go b in
+        fun row -> cmp_result op (fa row) (fb row)
+    | Not a ->
+        let fa = go a in
+        fun row -> of_bool (not (truthy (fa row)))
+    | Coalesce es ->
+        let fs = List.map go es in
+        fun row ->
+          let rec first = function
+            | [] -> Value.Null
+            | f :: tl ->
+                let v = f row in
+                if Value.is_null v then first tl else v
+          in
+          first fs
+    | Between (x, lo, hi) ->
+        let fx = go x and flo = go lo and fhi = go hi in
+        fun row ->
+          let v = fx row in
+          of_bool
+            (truthy (cmp_result Ge v (flo row))
+            && truthy (cmp_result Le v (fhi row)))
+  in
+  go expr
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "AND"
+  | Or -> "OR"
+
+let rec pp ppf = function
+  | Col c -> Format.pp_print_string ppf c
+  | Lit v -> Value.pp ppf v
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp a (binop_str op) pp b
+  | Not a -> Format.fprintf ppf "NOT (%a)" pp a
+  | Coalesce es ->
+      Format.fprintf ppf "COALESCE(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp)
+        es
+  | Between (x, lo, hi) ->
+      Format.fprintf ppf "(%a BETWEEN %a AND %a)" pp x pp lo pp hi

@@ -1,0 +1,43 @@
+(** Scalar expressions over rows.  Booleans are represented as integers
+    (0 = false); comparisons involving NULL are false, arithmetic with
+    NULL is NULL. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type t =
+  | Col of string  (** possibly qualified, resolved by suffix match *)
+  | Lit of Value.t
+  | Binop of binop * t * t
+  | Not of t
+  | Coalesce of t list
+  | Between of t * t * t
+
+val col : string -> t
+val int : int -> t
+val str : string -> t
+
+module Infix : sig
+  val ( = ) : t -> t -> t
+  val ( && ) : t -> t -> t
+end
+
+val compile : cols:string list -> t -> Value.t array -> Value.t
+(** Resolve column references against [cols] once and return an evaluator.
+    @raise Invalid_argument on unknown/ambiguous columns. *)
+
+val truthy : Value.t -> bool
+(** NULL and 0 are false. *)
+
+val pp : Format.formatter -> t -> unit

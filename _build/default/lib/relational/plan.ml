@@ -1,0 +1,267 @@
+type order = Asc | Desc
+
+type agg =
+  | Min of Expr.t
+  | Max of Expr.t
+  | Sum of Expr.t
+  | Count of Expr.t
+  | Count_star
+
+type t =
+  | Scan of string
+  | Values of string list * Value.t array list
+  | Alias of string * t
+  | Select of Expr.t * t
+  | Project of (Expr.t * string) list * t
+  | Hash_join of {
+      left : t;
+      right : t;
+      left_keys : Expr.t list;
+      right_keys : Expr.t list;
+    }
+  | Nested_join of { left : t; right : t; cond : Expr.t }
+  | Band_join of {
+      points : t;
+      point : Expr.t;
+      intervals : t;
+      lo : Expr.t;
+      hi : Expr.t;
+    }
+  | Sort of (Expr.t * order) list * t
+  | Row_num of string * t
+  | Group_by of {
+      keys : (Expr.t * string) list;
+      aggs : (agg * string) list;
+      input : t;
+    }
+  | Distinct of t
+  | Union_all of t * t
+  | Limit of int * t
+
+let join_cols (a : Table.t) (b : Table.t) = Table.cols a @ Table.cols b
+
+let concat_rows (ra : Value.t array) rb = Array.append ra rb
+
+let agg_init = function
+  | Min _ | Max _ -> Value.Null
+  | Sum _ -> Value.Null
+  | Count _ | Count_star -> Value.Int 0
+
+let agg_step ~cols =
+  let compiled e = Expr.compile ~cols e in
+  function
+  | Min e ->
+      let f = compiled e in
+      fun acc row ->
+        let v = f row in
+        if Value.is_null v then acc
+        else if Value.is_null acc then v
+        else if Value.compare_total v acc < 0 then v
+        else acc
+  | Max e ->
+      let f = compiled e in
+      fun acc row ->
+        let v = f row in
+        if Value.is_null v then acc
+        else if Value.is_null acc then v
+        else if Value.compare_total v acc > 0 then v
+        else acc
+  | Sum e ->
+      let f = compiled e in
+      fun acc row ->
+        let v = f row in
+        if Value.is_null v then acc
+        else if Value.is_null acc then v
+        else Value.add acc v
+  | Count e ->
+      let f = compiled e in
+      fun acc row ->
+        if Value.is_null (f row) then acc else Value.add acc (Value.Int 1)
+  | Count_star -> fun acc _row -> Value.add acc (Value.Int 1)
+
+let rec run ~lookup plan =
+  match plan with
+  | Scan name -> lookup name
+  | Values (cols, rows) -> Table.create ~cols rows
+  | Alias (prefix, p) -> Table.prefix_cols (run ~lookup p) prefix
+  | Select (cond, p) ->
+      let t = run ~lookup p in
+      let f = Expr.compile ~cols:(Table.cols t) cond in
+      Table.create ~cols:(Table.cols t)
+        (List.filter (fun r -> Expr.truthy (f r)) (Table.rows t))
+  | Project (items, p) ->
+      let t = run ~lookup p in
+      let fs =
+        List.map (fun (e, name) -> (Expr.compile ~cols:(Table.cols t) e, name)) items
+      in
+      Table.create ~cols:(List.map snd fs)
+        (List.map
+           (fun r -> Array.of_list (List.map (fun (f, _) -> f r) fs))
+           (Table.rows t))
+  | Hash_join { left; right; left_keys; right_keys } ->
+      let lt = run ~lookup left and rt = run ~lookup right in
+      if List.length left_keys <> List.length right_keys then
+        invalid_arg "Plan: hash join key arity mismatch";
+      let lfs = List.map (Expr.compile ~cols:(Table.cols lt)) left_keys
+      and rfs = List.map (Expr.compile ~cols:(Table.cols rt)) right_keys in
+      let key fs row = List.map (fun f -> f row) fs in
+      (* build on the right side *)
+      let index = Hashtbl.create (max 16 (Table.cardinality rt)) in
+      List.iter
+        (fun r ->
+          let k = key rfs r in
+          if not (List.exists Value.is_null k) then Hashtbl.add index k r)
+        (Table.rows rt);
+      let out = ref [] in
+      List.iter
+        (fun l ->
+          let k = key lfs l in
+          if not (List.exists Value.is_null k) then
+            List.iter
+              (fun r -> out := concat_rows l r :: !out)
+              (Hashtbl.find_all index k))
+        (Table.rows lt);
+      Table.create ~cols:(join_cols lt rt) (List.rev !out)
+  | Nested_join { left; right; cond } ->
+      let lt = run ~lookup left and rt = run ~lookup right in
+      let cols = join_cols lt rt in
+      let f = Expr.compile ~cols cond in
+      let out = ref [] in
+      List.iter
+        (fun l ->
+          List.iter
+            (fun r ->
+              let row = concat_rows l r in
+              if Expr.truthy (f row) then out := row :: !out)
+            (Table.rows rt))
+        (Table.rows lt);
+      Table.create ~cols (List.rev !out)
+  | Band_join { points; point; intervals; lo; hi } ->
+      let pt = run ~lookup points and it = run ~lookup intervals in
+      let fp = Expr.compile ~cols:(Table.cols pt) point in
+      let flo = Expr.compile ~cols:(Table.cols it) lo
+      and fhi = Expr.compile ~cols:(Table.cols it) hi in
+      (* sort points by value, then binary-search each interval's lo *)
+      let pts =
+        Array.of_list
+          (List.filter_map
+             (fun r ->
+               match Value.as_int (fp r) with
+               | Some v -> Some (v, r)
+               | None -> None)
+             (Table.rows pt))
+      in
+      Array.sort (fun (a, _) (b, _) -> compare a b) pts;
+      let n = Array.length pts in
+      let first_geq v =
+        let lo = ref 0 and hi = ref n in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if fst pts.(mid) < v then lo := mid + 1 else hi := mid
+        done;
+        !lo
+      in
+      let out = ref [] in
+      List.iter
+        (fun r ->
+          match (Value.as_int (flo r), Value.as_int (fhi r)) with
+          | Some l, Some h ->
+              let i = ref (first_geq l) in
+              while !i < n && fst pts.(!i) <= h do
+                out := concat_rows (snd pts.(!i)) r :: !out;
+                incr i
+              done
+          | _, _ -> ())
+        (Table.rows it);
+      Table.create ~cols:(join_cols pt it) (List.rev !out)
+  | Sort (keys, p) ->
+      let t = run ~lookup p in
+      let fs =
+        List.map
+          (fun (e, ord) -> (Expr.compile ~cols:(Table.cols t) e, ord))
+          keys
+      in
+      let cmp a b =
+        let rec go = function
+          | [] -> 0
+          | (f, ord) :: tl -> (
+              let c = Value.compare_total (f a) (f b) in
+              let c = match ord with Asc -> c | Desc -> -c in
+              match c with 0 -> go tl | c -> c)
+        in
+        go fs
+      in
+      Table.create ~cols:(Table.cols t) (List.stable_sort cmp (Table.rows t))
+  | Row_num (name, p) ->
+      let t = run ~lookup p in
+      let rows =
+        List.mapi
+          (fun i r -> Array.append r [| Value.Int (i + 1) |])
+          (Table.rows t)
+      in
+      Table.create ~cols:(Table.cols t @ [ name ]) rows
+  | Group_by { keys; aggs; input } ->
+      let t = run ~lookup input in
+      let cols = Table.cols t in
+      let key_fs = List.map (fun (e, _) -> Expr.compile ~cols e) keys in
+      let steps = List.map (fun (a, _) -> agg_step ~cols a) aggs in
+      let inits = List.map (fun (a, _) -> agg_init a) aggs in
+      let groups : (Value.t list, Value.t list ref) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let order = ref [] in
+      List.iter
+        (fun r ->
+          let k = List.map (fun f -> f r) key_fs in
+          let acc =
+            match Hashtbl.find_opt groups k with
+            | Some acc -> acc
+            | None ->
+                let acc = ref inits in
+                Hashtbl.add groups k acc;
+                order := k :: !order;
+                acc
+          in
+          acc := List.map2 (fun step a -> step a r) steps !acc)
+        (Table.rows t);
+      let out_cols = List.map snd keys @ List.map snd aggs in
+      let rows =
+        List.rev_map
+          (fun k ->
+            let acc = !(Hashtbl.find groups k) in
+            Array.of_list (k @ acc))
+          !order
+      in
+      let rows =
+        (* a global aggregate over an empty input still yields one row *)
+        if keys = [] && rows = [] then [ Array.of_list inits ] else rows
+      in
+      Table.create ~cols:out_cols rows
+  | Distinct p ->
+      let t = run ~lookup p in
+      let seen = Hashtbl.create 64 in
+      let rows =
+        List.filter
+          (fun r ->
+            let k = Array.to_list r in
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          (Table.rows t)
+      in
+      Table.create ~cols:(Table.cols t) rows
+  | Union_all (a, b) ->
+      let ta = run ~lookup a and tb = run ~lookup b in
+      if List.length (Table.cols ta) <> List.length (Table.cols tb) then
+        invalid_arg "Plan: UNION ALL arity mismatch";
+      Table.create ~cols:(Table.cols ta) (Table.rows ta @ Table.rows tb)
+  | Limit (n, p) ->
+      let t = run ~lookup p in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | r :: tl -> r :: take (n - 1) tl
+      in
+      Table.create ~cols:(Table.cols t) (take n (Table.rows t))

@@ -1,0 +1,49 @@
+(** Physical query plans and their (materializing) executor. *)
+
+type order = Asc | Desc
+
+type agg =
+  | Min of Expr.t
+  | Max of Expr.t
+  | Sum of Expr.t
+  | Count of Expr.t  (** non-NULL count *)
+  | Count_star
+
+type t =
+  | Scan of string
+  | Values of string list * Value.t array list
+  | Alias of string * t  (** qualify every output column with a prefix *)
+  | Select of Expr.t * t
+  | Project of (Expr.t * string) list * t
+  | Hash_join of {
+      left : t;
+      right : t;
+      left_keys : Expr.t list;
+      right_keys : Expr.t list;
+    }  (** equi-join; output columns are left's then right's *)
+  | Nested_join of { left : t; right : t; cond : Expr.t }
+  | Band_join of {
+      points : t;
+      point : Expr.t;
+      intervals : t;
+      lo : Expr.t;
+      hi : Expr.t;
+    }
+      (** [point BETWEEN lo AND hi]: sort-based containment join —
+          the physical operator that makes per-id interval expansion
+          affordable (Sybase-style merge band join) *)
+  | Sort of (Expr.t * order) list * t
+  | Row_num of string * t  (** append a 1-based row-number column *)
+  | Group_by of {
+      keys : (Expr.t * string) list;
+      aggs : (agg * string) list;
+      input : t;
+    }
+  | Distinct of t
+  | Union_all of t * t
+  | Limit of int * t
+
+val run : lookup:(string -> Table.t) -> t -> Table.t
+(** Execute a plan; [lookup] resolves base-table names.
+    @raise Invalid_argument on schema errors (unknown table/column,
+    duplicate output columns, ...). *)

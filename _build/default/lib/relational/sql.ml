@@ -1,0 +1,787 @@
+type item =
+  | Star
+  | Item of Expr.t * string option
+  | Agg_item of Plan.agg * string option
+  | Rownum_item of string option
+
+type select = {
+  distinct : bool;
+  items : item list;
+  from : (string * string) option;
+  joins : (string * string * Expr.t) list;
+  where : Expr.t option;
+  group_by : Expr.t list;
+  order_by : (Expr.t * Plan.order) list;
+  limit : int option;
+}
+
+type query = select list
+
+type stmt =
+  | Create_table of string * string list
+  | Create_table_as of string * query
+  | Insert of string * Value.t list list
+  | Drop_table of { name : string; if_exists : bool }
+  | Select_stmt of query
+
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* --- lexer -------------------------------------------------------------- *)
+
+type token =
+  | IDENT of string
+  | KW of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+let keywords =
+  [
+    "SELECT"; "DISTINCT"; "FROM"; "JOIN"; "ON"; "WHERE"; "GROUP"; "BY";
+    "ORDER"; "ASC"; "DESC"; "LIMIT"; "CREATE"; "TABLE"; "AS"; "INSERT";
+    "INTO"; "VALUES"; "DROP"; "IF"; "EXISTS"; "AND"; "OR"; "NOT"; "BETWEEN";
+    "NULL"; "COALESCE"; "MIN"; "MAX"; "SUM"; "COUNT"; "ROWNUM"; "UNION";
+    "ALL";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let out = ref [] in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let cur () = peek 0 in
+  let emit t = out := t :: !out in
+  while !pos < n do
+    match cur () with
+    | None -> pos := n
+    | Some (' ' | '\t' | '\n' | '\r') -> incr pos
+    | Some '-' when peek 1 = Some '-' ->
+        (* comment to end of line *)
+        while !pos < n && src.[!pos] <> '\n' do
+          incr pos
+        done
+    | Some c when is_ident_start c ->
+        let start = !pos in
+        while !pos < n && (is_ident_char src.[!pos] || src.[!pos] = '.') do
+          incr pos
+        done;
+        let word = String.sub src start (!pos - start) in
+        let upper = String.uppercase_ascii word in
+        if List.mem upper keywords && not (String.contains word '.') then
+          emit (KW upper)
+        else emit (IDENT word)
+    | Some c when is_digit c ->
+        let start = !pos in
+        let is_float = ref false in
+        while
+          !pos < n
+          &&
+          match src.[!pos] with
+          | c when is_digit c -> true
+          | '.' | 'e' | 'E' ->
+              is_float := true;
+              true
+          | '+' | '-' ->
+              !pos > start && (src.[!pos - 1] = 'e' || src.[!pos - 1] = 'E')
+          | _ -> false
+        do
+          incr pos
+        done;
+        let text = String.sub src start (!pos - start) in
+        if !is_float then
+          match float_of_string_opt text with
+          | Some f -> emit (FLOAT f)
+          | None -> fail "bad float literal %S" text
+        else (
+          match int_of_string_opt text with
+          | Some i -> emit (INT i)
+          | None -> fail "bad integer literal %S" text)
+    | Some '\'' ->
+        incr pos;
+        let buf = Buffer.create 16 in
+        let closed = ref false in
+        while not !closed do
+          match cur () with
+          | None -> fail "unterminated string literal"
+          | Some '\'' when peek 1 = Some '\'' ->
+              Buffer.add_char buf '\'';
+              pos := !pos + 2
+          | Some '\'' ->
+              incr pos;
+              closed := true
+          | Some c ->
+              Buffer.add_char buf c;
+              incr pos
+        done;
+        emit (STRING (Buffer.contents buf))
+    | Some '(' -> incr pos; emit LPAREN
+    | Some ')' -> incr pos; emit RPAREN
+    | Some ',' -> incr pos; emit COMMA
+    | Some ';' -> incr pos; emit SEMI
+    | Some '*' -> incr pos; emit STAR
+    | Some '+' -> incr pos; emit PLUS
+    | Some '-' -> incr pos; emit MINUS
+    | Some '/' -> incr pos; emit SLASH
+    | Some '=' -> incr pos; emit EQ
+    | Some '!' when peek 1 = Some '=' -> pos := !pos + 2; emit NE
+    | Some '<' when peek 1 = Some '>' -> pos := !pos + 2; emit NE
+    | Some '<' when peek 1 = Some '=' -> pos := !pos + 2; emit LE
+    | Some '<' -> incr pos; emit LT
+    | Some '>' when peek 1 = Some '=' -> pos := !pos + 2; emit GE
+    | Some '>' -> incr pos; emit GT
+    | Some c -> fail "unexpected character %C" c
+  done;
+  emit EOF;
+  List.rev !out
+
+(* --- parser -------------------------------------------------------------- *)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: tl -> st.toks <- tl
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "identifier %S" s
+  | KW s -> Format.fprintf ppf "'%s'" s
+  | INT n -> Format.fprintf ppf "%d" n
+  | FLOAT f -> Format.fprintf ppf "%g" f
+  | STRING s -> Format.fprintf ppf "'%s'" s
+  | LPAREN -> Format.pp_print_string ppf "'('"
+  | RPAREN -> Format.pp_print_string ppf "')'"
+  | COMMA -> Format.pp_print_string ppf "','"
+  | SEMI -> Format.pp_print_string ppf "';'"
+  | STAR -> Format.pp_print_string ppf "'*'"
+  | PLUS -> Format.pp_print_string ppf "'+'"
+  | MINUS -> Format.pp_print_string ppf "'-'"
+  | SLASH -> Format.pp_print_string ppf "'/'"
+  | EQ -> Format.pp_print_string ppf "'='"
+  | NE -> Format.pp_print_string ppf "'!='"
+  | LT -> Format.pp_print_string ppf "'<'"
+  | LE -> Format.pp_print_string ppf "'<='"
+  | GT -> Format.pp_print_string ppf "'>'"
+  | GE -> Format.pp_print_string ppf "'>='"
+  | EOF -> Format.pp_print_string ppf "end of input"
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else fail "expected %s but found %a" what pp_token (peek st)
+
+let expect_kw st kw = expect st (KW kw) (Printf.sprintf "'%s'" kw)
+
+let expect_ident st what =
+  match peek st with
+  | IDENT s ->
+      advance st;
+      s
+  | t -> fail "expected %s but found %a" what pp_token t
+
+(* expressions *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if peek st = KW "OR" then begin
+    advance st;
+    Expr.Binop (Expr.Or, left, parse_or st)
+  end
+  else left
+
+and parse_and st =
+  let left = parse_not st in
+  if peek st = KW "AND" then begin
+    advance st;
+    Expr.Binop (Expr.And, left, parse_and st)
+  end
+  else left
+
+and parse_not st =
+  if peek st = KW "NOT" then begin
+    advance st;
+    Expr.Not (parse_not st)
+  end
+  else parse_cmp st
+
+and parse_cmp st =
+  let left = parse_add st in
+  match peek st with
+  | EQ -> advance st; Expr.Binop (Expr.Eq, left, parse_add st)
+  | NE -> advance st; Expr.Binop (Expr.Ne, left, parse_add st)
+  | LT -> advance st; Expr.Binop (Expr.Lt, left, parse_add st)
+  | LE -> advance st; Expr.Binop (Expr.Le, left, parse_add st)
+  | GT -> advance st; Expr.Binop (Expr.Gt, left, parse_add st)
+  | GE -> advance st; Expr.Binop (Expr.Ge, left, parse_add st)
+  | KW "BETWEEN" ->
+      advance st;
+      let lo = parse_add st in
+      expect_kw st "AND";
+      let hi = parse_add st in
+      Expr.Between (left, lo, hi)
+  | _ -> left
+
+and parse_add st =
+  let rec loop left =
+    match peek st with
+    | PLUS ->
+        advance st;
+        loop (Expr.Binop (Expr.Add, left, parse_mul st))
+    | MINUS ->
+        advance st;
+        loop (Expr.Binop (Expr.Sub, left, parse_mul st))
+    | _ -> left
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop left =
+    match peek st with
+    | STAR ->
+        advance st;
+        loop (Expr.Binop (Expr.Mul, left, parse_primary st))
+    | SLASH ->
+        advance st;
+        loop (Expr.Binop (Expr.Div, left, parse_primary st))
+    | _ -> left
+  in
+  loop (parse_primary st)
+
+and parse_primary st =
+  match peek st with
+  | INT n -> advance st; Expr.Lit (Value.Int n)
+  | FLOAT f -> advance st; Expr.Lit (Value.Float f)
+  | STRING s -> advance st; Expr.Lit (Value.Str s)
+  | KW "NULL" -> advance st; Expr.Lit Value.Null
+  | MINUS ->
+      advance st;
+      Expr.Binop (Expr.Sub, Expr.Lit (Value.Int 0), parse_primary st)
+  | KW "COALESCE" ->
+      advance st;
+      expect st LPAREN "'('";
+      let rec args acc =
+        let e = parse_expr st in
+        if peek st = COMMA then begin
+          advance st;
+          args (e :: acc)
+        end
+        else List.rev (e :: acc)
+      in
+      let es = args [] in
+      expect st RPAREN "')'";
+      Expr.Coalesce es
+  | IDENT name -> advance st; Expr.Col name
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN "')'";
+      e
+  | t -> fail "expected an expression but found %a" pp_token t
+
+(* select items *)
+
+let parse_alias st =
+  if peek st = KW "AS" then begin
+    advance st;
+    Some (expect_ident st "column alias")
+  end
+  else None
+
+let parse_item st =
+  match peek st with
+  | STAR -> advance st; Star
+  | KW (("MIN" | "MAX" | "SUM" | "COUNT") as fn) ->
+      advance st;
+      expect st LPAREN "'('";
+      let agg =
+        if fn = "COUNT" && peek st = STAR then begin
+          advance st;
+          Plan.Count_star
+        end
+        else
+          let e = parse_expr st in
+          match fn with
+          | "MIN" -> Plan.Min e
+          | "MAX" -> Plan.Max e
+          | "SUM" -> Plan.Sum e
+          | "COUNT" -> Plan.Count e
+          | _ -> assert false
+      in
+      expect st RPAREN "')'";
+      Agg_item (agg, parse_alias st)
+  | KW "ROWNUM" ->
+      advance st;
+      expect st LPAREN "'('";
+      expect st RPAREN "')'";
+      Rownum_item (parse_alias st)
+  | _ ->
+      let e = parse_expr st in
+      Item (e, parse_alias st)
+
+let rec parse_items st acc =
+  let item = parse_item st in
+  if peek st = COMMA then begin
+    advance st;
+    parse_items st (item :: acc)
+  end
+  else List.rev (item :: acc)
+
+let parse_table_ref st =
+  let name = expect_ident st "table name" in
+  match peek st with
+  | IDENT alias ->
+      advance st;
+      (name, alias)
+  | _ -> (name, name)
+
+let rec parse_select st =
+  expect_kw st "SELECT";
+  let distinct =
+    if peek st = KW "DISTINCT" then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  let items = parse_items st [] in
+  let from, joins =
+    if peek st = KW "FROM" then begin
+      advance st;
+      let base = parse_table_ref st in
+      let rec join_loop acc =
+        if peek st = KW "JOIN" then begin
+          advance st;
+          let name, alias = parse_table_ref st in
+          expect_kw st "ON";
+          let cond = parse_expr st in
+          join_loop ((name, alias, cond) :: acc)
+        end
+        else List.rev acc
+      in
+      (Some base, join_loop [])
+    end
+    else (None, [])
+  in
+  let where =
+    if peek st = KW "WHERE" then begin
+      advance st;
+      Some (parse_expr st)
+    end
+    else None
+  in
+  let group_by =
+    if peek st = KW "GROUP" then begin
+      advance st;
+      expect_kw st "BY";
+      let rec exprs acc =
+        let e = parse_expr st in
+        if peek st = COMMA then begin
+          advance st;
+          exprs (e :: acc)
+        end
+        else List.rev (e :: acc)
+      in
+      exprs []
+    end
+    else []
+  in
+  let order_by =
+    if peek st = KW "ORDER" then begin
+      advance st;
+      expect_kw st "BY";
+      let rec keys acc =
+        let e = parse_expr st in
+        let ord =
+          match peek st with
+          | KW "ASC" -> advance st; Plan.Asc
+          | KW "DESC" -> advance st; Plan.Desc
+          | _ -> Plan.Asc
+        in
+        if peek st = COMMA then begin
+          advance st;
+          keys ((e, ord) :: acc)
+        end
+        else List.rev ((e, ord) :: acc)
+      in
+      keys []
+    end
+    else []
+  in
+  let limit =
+    if peek st = KW "LIMIT" then begin
+      advance st;
+      match peek st with
+      | INT n -> advance st; Some n
+      | t -> fail "expected a row count but found %a" pp_token t
+    end
+    else None
+  in
+  { distinct; items; from; joins; where; group_by; order_by; limit }
+
+and parse_query st =
+  let first = parse_select st in
+  let rec unions acc =
+    if peek st = KW "UNION" then begin
+      advance st;
+      expect_kw st "ALL";
+      unions (parse_select st :: acc)
+    end
+    else List.rev acc
+  in
+  unions [ first ]
+
+and parse_stmt st =
+  match peek st with
+  | KW "SELECT" -> Select_stmt (parse_query st)
+  | KW "CREATE" ->
+      advance st;
+      expect_kw st "TABLE";
+      let name = expect_ident st "table name" in
+      if peek st = KW "AS" then begin
+        advance st;
+        Create_table_as (name, parse_query st)
+      end
+      else begin
+        expect st LPAREN "'('";
+        let rec cols acc =
+          let c = expect_ident st "column name" in
+          if peek st = COMMA then begin
+            advance st;
+            cols (c :: acc)
+          end
+          else List.rev (c :: acc)
+        in
+        let cs = cols [] in
+        expect st RPAREN "')'";
+        Create_table (name, cs)
+      end
+  | KW "INSERT" ->
+      advance st;
+      expect_kw st "INTO";
+      let name = expect_ident st "table name" in
+      expect_kw st "VALUES";
+      let parse_tuple () =
+        expect st LPAREN "'('";
+        let rec vals acc =
+          let v =
+            match peek st with
+            | INT n -> advance st; Value.Int n
+            | FLOAT f -> advance st; Value.Float f
+            | STRING s -> advance st; Value.Str s
+            | KW "NULL" -> advance st; Value.Null
+            | MINUS -> (
+                advance st;
+                match peek st with
+                | INT n -> advance st; Value.Int (-n)
+                | FLOAT f -> advance st; Value.Float (-.f)
+                | t -> fail "expected a number but found %a" pp_token t)
+            | t -> fail "expected a literal but found %a" pp_token t
+          in
+          if peek st = COMMA then begin
+            advance st;
+            vals (v :: acc)
+          end
+          else List.rev (v :: acc)
+        in
+        let vs = vals [] in
+        expect st RPAREN "')'";
+        vs
+      in
+      let rec tuples acc =
+        let t = parse_tuple () in
+        if peek st = COMMA then begin
+          advance st;
+          tuples (t :: acc)
+        end
+        else List.rev (t :: acc)
+      in
+      Insert (name, tuples [])
+  | KW "DROP" ->
+      advance st;
+      expect_kw st "TABLE";
+      let if_exists =
+        if peek st = KW "IF" then begin
+          advance st;
+          expect_kw st "EXISTS";
+          true
+        end
+        else false
+      in
+      Drop_table { name = expect_ident st "table name"; if_exists }
+  | t -> fail "expected a statement but found %a" pp_token t
+
+let parse src =
+  let st = { toks = tokenize src } in
+  let rec loop acc =
+    match peek st with
+    | EOF -> List.rev acc
+    | SEMI ->
+        advance st;
+        loop acc
+    | _ ->
+        let s = parse_stmt st in
+        (match peek st with
+        | SEMI | EOF -> ()
+        | t -> fail "expected ';' but found %a" pp_token t);
+        loop (s :: acc)
+  in
+  loop []
+
+(* --- planning ------------------------------------------------------------ *)
+
+let rec conjuncts = function
+  | Expr.Binop (Expr.And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+(* alias a qualified column reference belongs to, when syntactically
+   obvious *)
+let col_side = function
+  | Expr.Col name -> (
+      match String.index_opt name '.' with
+      | Some i -> Some (String.sub name 0 i)
+      | None -> None)
+  | _ -> None
+
+let rec expr_aliases acc = function
+  | Expr.Col _ as c -> (
+      match col_side c with Some a -> a :: acc | None -> acc)
+  | Expr.Lit _ -> acc
+  | Expr.Binop (_, a, b) -> expr_aliases (expr_aliases acc a) b
+  | Expr.Not a -> expr_aliases acc a
+  | Expr.Coalesce es -> List.fold_left expr_aliases acc es
+  | Expr.Between (a, b, c) ->
+      expr_aliases (expr_aliases (expr_aliases acc a) b) c
+
+let plan_join left_plan left_aliases (name, alias, cond) =
+  let right_plan = Plan.Alias (alias, Plan.Scan name) in
+  let side e =
+    let aliases = List.sort_uniq String.compare (expr_aliases [] e) in
+    match aliases with
+    | [] -> `Unknown
+    | _ when List.for_all (fun a -> a = alias) aliases -> `Right
+    | _ when List.for_all (fun a -> List.mem a left_aliases) aliases -> `Left
+    | _ -> `Mixed
+  in
+  let cs = conjuncts cond in
+  let equi, band, rest =
+    List.fold_left
+      (fun (equi, band, rest) c ->
+        match c with
+        | Expr.Binop (Expr.Eq, a, b) -> (
+            match (side a, side b) with
+            | `Left, `Right -> ((a, b) :: equi, band, rest)
+            | `Right, `Left -> ((b, a) :: equi, band, rest)
+            | _ -> (equi, band, c :: rest))
+        | Expr.Between (x, lo, hi) -> (
+            match (side x, side lo, side hi) with
+            | `Left, `Right, `Right -> (equi, (`Lp, x, lo, hi) :: band, rest)
+            | `Right, `Left, `Left -> (equi, (`Rp, x, lo, hi) :: band, rest)
+            | _ -> (equi, band, c :: rest))
+        | c -> (equi, band, c :: rest))
+      ([], [], []) cs
+  in
+  let joined =
+    match (equi, band) with
+    | (_ :: _ as pairs), _ ->
+        (* prefer the hash join; any band conditions go to the filter *)
+        let band_exprs =
+          List.map (fun (_, x, lo, hi) -> Expr.Between (x, lo, hi)) band
+        in
+        let base =
+          Plan.Hash_join
+            {
+              left = left_plan;
+              right = right_plan;
+              left_keys = List.map fst pairs;
+              right_keys = List.map snd pairs;
+            }
+        in
+        List.fold_left (fun p c -> Plan.Select (c, p)) base (band_exprs @ rest)
+    | [], (`Lp, x, lo, hi) :: more ->
+        let base =
+          Plan.Band_join
+            { points = left_plan; point = x; intervals = right_plan; lo; hi }
+        in
+        let more_exprs =
+          List.map (fun (_, x, lo, hi) -> Expr.Between (x, lo, hi)) more
+        in
+        List.fold_left (fun p c -> Plan.Select (c, p)) base (more_exprs @ rest)
+    | [], (`Rp, x, lo, hi) :: more ->
+        let base =
+          Plan.Band_join
+            { points = right_plan; point = x; intervals = left_plan; lo; hi }
+        in
+        let more_exprs =
+          List.map (fun (_, x, lo, hi) -> Expr.Between (x, lo, hi)) more
+        in
+        List.fold_left (fun p c -> Plan.Select (c, p)) base (more_exprs @ rest)
+    | [], [] ->
+        Plan.Nested_join { left = left_plan; right = right_plan; cond }
+  in
+  (joined, alias :: left_aliases)
+
+let base_name c =
+  match String.rindex_opt c '.' with
+  | Some i -> String.sub c (i + 1) (String.length c - i - 1)
+  | None -> c
+
+let item_name i = function
+  | Star -> assert false
+  | Item (Expr.Col c, None) -> base_name c
+  | Item (_, Some n) | Agg_item (_, Some n) | Rownum_item (Some n) -> n
+  | Item (_, None) -> Printf.sprintf "col%d" i
+  | Agg_item (_, None) -> Printf.sprintf "agg%d" i
+  | Rownum_item None -> "rownum"
+
+let plan_select (q : select) =
+  let source =
+    match q.from with
+    | None -> Plan.Values ([], [ [||] ])
+    | Some (name, alias) ->
+        let base = Plan.Alias (alias, Plan.Scan name) in
+        let plan, _ =
+          List.fold_left
+            (fun (p, aliases) j -> plan_join p aliases j)
+            (base, [ alias ]) q.joins
+        in
+        plan
+  in
+  let filtered =
+    match q.where with None -> source | Some c -> Plan.Select (c, source)
+  in
+  let has_agg =
+    List.exists (function Agg_item _ -> true | _ -> false) q.items
+  in
+  let has_rownum =
+    List.exists (function Rownum_item _ -> true | _ -> false) q.items
+  in
+  if has_rownum && (has_agg || q.group_by <> []) then
+    fail "ROWNUM() cannot be combined with aggregation";
+  let order_consumed = ref false in
+  let projected =
+    if has_agg || q.group_by <> [] then begin
+      (* name group keys k0, k1, ...; aggregates a0, a1, ... *)
+      let keys = List.mapi (fun i e -> (e, Printf.sprintf "k%d" i)) q.group_by in
+      let aggs =
+        List.concat
+          (List.mapi
+             (fun i -> function
+               | Agg_item (a, _) -> [ (a, Printf.sprintf "a%d" i) ]
+               | _ -> [])
+             q.items)
+      in
+      let grouped = Plan.Group_by { keys; aggs; input = filtered } in
+      let items =
+        List.mapi
+          (fun i it ->
+            match it with
+            | Star -> fail "SELECT * cannot be combined with GROUP BY"
+            | Agg_item (_, _) ->
+                (Expr.Col (Printf.sprintf "a%d" i), item_name i it)
+            | Item (e, _) -> (
+                match
+                  List.find_opt (fun (ke, _) -> ke = e) keys
+                with
+                | Some (_, kname) -> (Expr.Col kname, item_name i it)
+                | None ->
+                    fail
+                      "select item %a does not appear in GROUP BY"
+                      Expr.pp e)
+            | Rownum_item _ -> assert false)
+          q.items
+      in
+      Plan.Project (items, grouped)
+    end
+    else if has_rownum then begin
+      let sorted =
+        match q.order_by with
+        | [] -> fail "ROWNUM() requires ORDER BY"
+        | keys -> Plan.Sort (keys, filtered)
+      in
+      let numbered = Plan.Row_num ("__rownum", sorted) in
+      let items =
+        List.mapi
+          (fun i it ->
+            match it with
+            | Star -> fail "SELECT * cannot be combined with ROWNUM()"
+            | Item (e, _) -> (e, item_name i it)
+            | Rownum_item _ -> (Expr.Col "__rownum", item_name i it)
+            | Agg_item _ -> assert false)
+          q.items
+      in
+      Plan.Project (items, numbered)
+    end
+    else if List.for_all (fun it -> it = Star) q.items && q.items <> [] then
+      filtered
+    else begin
+      let items =
+        List.mapi
+          (fun i it ->
+            match it with
+            | Star -> fail "mixing * with other select items is unsupported"
+            | Item (e, _) -> (e, item_name i it)
+            | Agg_item _ | Rownum_item _ -> assert false)
+          q.items
+      in
+      (* ORDER BY keys that are not plain output-column references must be
+         evaluated against the pre-projection columns *)
+      let output_names = List.map snd items in
+      let sorts_after =
+        List.for_all
+          (fun (e, _) ->
+            match e with
+            | Expr.Col c -> List.mem c output_names
+            | _ -> false)
+          q.order_by
+      in
+      if q.order_by = [] || sorts_after then Plan.Project (items, filtered)
+      else begin
+        order_consumed := true;
+        Plan.Project (items, Plan.Sort (q.order_by, filtered))
+      end
+    end
+  in
+  let dedup = if q.distinct then Plan.Distinct projected else projected in
+  let ordered =
+    match (q.order_by, has_rownum || !order_consumed) with
+    | [], _ | _, true -> dedup (* the sort already happened upstream *)
+    | keys, false -> Plan.Sort (keys, dedup)
+  in
+  match q.limit with None -> ordered | Some n -> Plan.Limit (n, ordered)
+
+let plan_query = function
+  | [] -> raise (Error "empty query")
+  | first :: rest ->
+      List.fold_left
+        (fun acc sel -> Plan.Union_all (acc, plan_select sel))
+        (plan_select first) rest
+
+let pp_stmt ppf = function
+  | Create_table (n, cols) ->
+      Format.fprintf ppf "CREATE TABLE %s (%s)" n (String.concat ", " cols)
+  | Create_table_as (n, _) -> Format.fprintf ppf "CREATE TABLE %s AS SELECT ..." n
+  | Insert (n, rows) ->
+      Format.fprintf ppf "INSERT INTO %s (%d rows)" n (List.length rows)
+  | Drop_table { name; if_exists } ->
+      Format.fprintf ppf "DROP TABLE %s%s" (if if_exists then "IF EXISTS " else "") name
+  | Select_stmt _ -> Format.fprintf ppf "SELECT ..."

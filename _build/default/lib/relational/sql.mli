@@ -1,0 +1,57 @@
+(** A small SQL dialect — the surface language of the Sybase-substitute
+    backend.  Supported statements:
+
+    {v
+    CREATE TABLE t (c1, c2, ...);           -- untyped columns
+    CREATE TABLE t AS SELECT ...;
+    INSERT INTO t VALUES (v, ...), (v, ...);
+    DROP TABLE [IF EXISTS] t;
+    SELECT [DISTINCT] item, ... FROM t [a] [JOIN u [b] ON cond]*
+      [WHERE e] [GROUP BY e, ...] [ORDER BY e [ASC|DESC], ...] [LIMIT n];
+    v}
+
+    Select items: [*], [expr [AS name]], [MIN/MAX/SUM/COUNT(expr)],
+    [COUNT( * )], and [ROWNUM()] (Sybase-identity-style: numbers the rows
+    after the ORDER BY — the backend uses it to build corridor group ids
+    with [id - rownum]).  Joins recognise equality conditions (hash join)
+    and [p BETWEEN lo AND hi] conditions (merge band join). *)
+
+type item =
+  | Star
+  | Item of Expr.t * string option
+  | Agg_item of Plan.agg * string option
+  | Rownum_item of string option
+
+type select = {
+  distinct : bool;
+  items : item list;
+  from : (string * string) option;  (** table, alias *)
+  joins : (string * string * Expr.t) list;  (** table, alias, ON *)
+  where : Expr.t option;
+  group_by : Expr.t list;
+  order_by : (Expr.t * Plan.order) list;
+  limit : int option;
+}
+
+type query = select list
+(** [UNION ALL] of one or more selects. *)
+
+type stmt =
+  | Create_table of string * string list
+  | Create_table_as of string * query
+  | Insert of string * Value.t list list
+  | Drop_table of { name : string; if_exists : bool }
+  | Select_stmt of query
+
+exception Error of string
+
+val parse : string -> stmt list
+(** Parse a ';'-separated script. @raise Error on syntax errors. *)
+
+val plan_select : select -> Plan.t
+(** Compile a SELECT to a physical plan. @raise Error on unsupported
+    shapes (e.g. non-grouped select items under GROUP BY). *)
+
+val plan_query : query -> Plan.t
+
+val pp_stmt : Format.formatter -> stmt -> unit

@@ -1,0 +1,72 @@
+type t = { cols : string list; rows : Value.t array list }
+
+let check_unique cols =
+  let sorted = List.sort String.compare cols in
+  let rec go = function
+    | a :: (b :: _ as tl) ->
+        if String.equal a b then
+          invalid_arg (Printf.sprintf "Table: duplicate column %S" a);
+        go tl
+    | [ _ ] | [] -> ()
+  in
+  go sorted
+
+let create ~cols rows =
+  check_unique cols;
+  let arity = List.length cols in
+  List.iter
+    (fun r ->
+      if Array.length r <> arity then
+        invalid_arg
+          (Printf.sprintf "Table: row arity %d, expected %d" (Array.length r)
+             arity))
+    rows;
+  { cols; rows }
+
+let empty ~cols = create ~cols []
+let cols t = t.cols
+let rows t = t.rows
+let cardinality t = List.length t.rows
+let arity t = List.length t.cols
+
+let col_index t name =
+  let indexed = List.mapi (fun i c -> (c, i)) t.cols in
+  match List.assoc_opt name indexed with
+  | Some i -> i
+  | None -> (
+      let suffix = "." ^ name in
+      let matches =
+        List.filter
+          (fun (c, _) ->
+            String.length c > String.length suffix
+            && String.ends_with ~suffix c)
+          indexed
+      in
+      match matches with
+      | [ (_, i) ] -> i
+      | [] -> invalid_arg (Printf.sprintf "Table: unknown column %S" name)
+      | _ -> invalid_arg (Printf.sprintf "Table: ambiguous column %S" name))
+
+let rename_cols t names =
+  if List.length names <> arity t then
+    invalid_arg "Table.rename_cols: arity mismatch";
+  create ~cols:names t.rows
+
+let prefix_cols t prefix =
+  (* strip any previous qualification so re-aliasing stays readable *)
+  let base c =
+    match String.rindex_opt c '.' with
+    | Some i -> String.sub c (i + 1) (String.length c - i - 1)
+    | None -> c
+  in
+  create ~cols:(List.map (fun c -> prefix ^ "." ^ base c) t.cols) t.rows
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s@," (String.concat " | " t.cols);
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%s@,"
+        (String.concat " | "
+           (Array.to_list (Array.map Value.to_string r))))
+    t.rows;
+  Format.fprintf ppf "(%d rows)@]" (cardinality t)

@@ -1,0 +1,23 @@
+(** In-memory relations: named columns + rows of values. *)
+
+type t = { cols : string list; rows : Value.t array list }
+
+val create : cols:string list -> Value.t array list -> t
+(** @raise Invalid_argument on duplicate column names or arity mismatch. *)
+
+val empty : cols:string list -> t
+val cols : t -> string list
+val rows : t -> Value.t array list
+val cardinality : t -> int
+val arity : t -> int
+
+val col_index : t -> string -> int
+(** Resolve a possibly-qualified column reference: exact match first, then
+    a unique [prefix.name] suffix match.
+    @raise Invalid_argument when missing or ambiguous. *)
+
+val rename_cols : t -> string list -> t
+val prefix_cols : t -> string -> t
+(** [prefix_cols t "a"] renames every column [c] to ["a.c"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+type t = Null | Int of int | Float of float | Str of string
+
+let is_null = function Null -> true | Int _ | Float _ | Str _ -> false
+
+let as_float = function
+  | Int n -> Some (float_of_int n)
+  | Float f -> Some f
+  | Null | Str _ -> None
+
+let equal a b =
+  match (a, b) with
+  | Null, _ | _, Null -> false
+  | Int a, Int b -> a = b
+  | Str a, Str b -> String.equal a b
+  | (Int _ | Float _), (Int _ | Float _) -> (
+      match (as_float a, as_float b) with
+      | Some x, Some y -> x = y
+      | _ -> false)
+  | Str _, (Int _ | Float _) | (Int _ | Float _), Str _ -> false
+
+let compare_sql a b =
+  match (a, b) with
+  | Null, _ | _, Null -> None
+  | Int a, Int b -> Some (compare a b)
+  | Str a, Str b -> Some (String.compare a b)
+  | (Int _ | Float _), (Int _ | Float _) -> (
+      match (as_float a, as_float b) with
+      | Some x, Some y -> Some (Float.compare x y)
+      | _ -> None)
+  | Str _, (Int _ | Float _) | (Int _ | Float _), Str _ -> None
+
+let rank = function Null -> 0 | Int _ -> 1 | Float _ -> 1 | Str _ -> 2
+
+let compare_total a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Int x, Int y -> compare x y
+  | Str x, Str y -> String.compare x y
+  | (Int _ | Float _), (Int _ | Float _) -> (
+      match (as_float a, as_float b) with
+      | Some x, Some y -> Float.compare x y
+      | _ -> assert false)
+  | _ -> compare (rank a) (rank b)
+
+let arith fi ff a b =
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> Int (fi x y)
+  | (Int _ | Float _), (Int _ | Float _) -> (
+      match (as_float a, as_float b) with
+      | Some x, Some y -> Float (ff x y)
+      | _ -> Null)
+  | Str _, _ | _, Str _ -> invalid_arg "Value: arithmetic on strings"
+
+let add = arith ( + ) ( +. )
+let sub = arith ( - ) ( -. )
+let mul = arith ( * ) ( *. )
+
+let div a b =
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | Int _, Int 0 -> invalid_arg "Value.div: division by zero"
+  | Int x, Int y -> Int (x / y)
+  | (Int _ | Float _), (Int _ | Float _) -> (
+      match (as_float a, as_float b) with
+      | Some x, Some y -> Float (x /. y)
+      | _ -> Null)
+  | Str _, _ | _, Str _ -> invalid_arg "Value: arithmetic on strings"
+
+let as_int = function Int n -> Some n | Null | Float _ | Str _ -> None
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "NULL"
+  | Int n -> Format.pp_print_int ppf n
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "'%s'" s
+
+let to_string v = Format.asprintf "%a" pp v

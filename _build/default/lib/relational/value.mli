@@ -1,0 +1,26 @@
+(** SQL values.  Dynamically typed; NULL comparisons follow a simplified
+    two-valued logic (any comparison involving NULL is false, arithmetic
+    with NULL is NULL) — enough for the dialect the backend generates. *)
+
+type t = Null | Int of int | Float of float | Str of string
+
+val equal : t -> t -> bool
+(** SQL [=]: false when either side is NULL. *)
+
+val compare_sql : t -> t -> int option
+(** Ordering for [<], [<=], ...: [None] when either side is NULL or the
+    types are incomparable; ints and floats compare numerically. *)
+
+val compare_total : t -> t -> int
+(** Total order for ORDER BY / GROUP BY keys: NULL first, then numbers,
+    then strings. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+
+val is_null : t -> bool
+val as_int : t -> int option
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

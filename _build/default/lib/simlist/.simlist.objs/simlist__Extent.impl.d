@@ -1,0 +1,1 @@
+lib/simlist/extent.ml: Array Format Interval List Printf

@@ -1,0 +1,1 @@
+lib/simlist/extent.mli: Format Interval

@@ -1,0 +1,1 @@
+lib/simlist/interval.mli: Format

@@ -1,0 +1,1 @@
+lib/simlist/range.mli: Format

@@ -1,0 +1,1 @@
+lib/simlist/sim.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/simlist/sim_list.ml: Array Extent Float Format Interval List Option Printf Sim

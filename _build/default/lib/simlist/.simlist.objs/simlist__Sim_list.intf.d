@@ -1,0 +1,1 @@
+lib/simlist/sim_list.mli: Extent Format Interval Sim

@@ -1,0 +1,1 @@
+lib/simlist/sim_table.ml: Array Format Hashtbl List Option Printf Range Sim_list String Value_table

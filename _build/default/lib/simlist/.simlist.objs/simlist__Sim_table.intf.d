@@ -1,0 +1,1 @@
+lib/simlist/sim_table.mli: Format Range Sim_list Value_table

@@ -1,0 +1,1 @@
+lib/simlist/value_table.ml: Format Interval List Range String

@@ -1,0 +1,1 @@
+lib/simlist/value_table.mli: Format Interval Range

@@ -1,0 +1,28 @@
+type t = { lo : int; hi : int }
+
+let make lo hi =
+  if lo > hi then
+    invalid_arg (Printf.sprintf "Interval.make: lo (%d) > hi (%d)" lo hi);
+  { lo; hi }
+
+let point i = { lo = i; hi = i }
+let lo t = t.lo
+let hi t = t.hi
+let length t = t.hi - t.lo + 1
+let contains t i = t.lo <= i && i <= t.hi
+
+let intersect a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo <= hi then Some { lo; hi } else None
+
+let overlaps a b = max a.lo b.lo <= min a.hi b.hi
+let adjacent a b = a.hi + 1 = b.lo
+let shift d t = { lo = t.lo + d; hi = t.hi + d }
+let clip t ~within = intersect t within
+
+let compare a b =
+  match Int.compare a.lo b.lo with 0 -> Int.compare a.hi b.hi | c -> c
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let pp ppf t = Format.fprintf ppf "[%d,%d]" t.lo t.hi
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,44 @@
+(** Closed integer intervals [lo, hi] over segment ids.
+
+    Segment ids are 1-based and globally sequential per level (see
+    {!Extent}).  Intervals are the unit of run-length compression in the
+    paper's similarity lists: an entry [([beg,end], (act, max))] states
+    that every id in [beg..end] has the given similarity. *)
+
+type t = private { lo : int; hi : int }
+
+val make : int -> int -> t
+(** [make lo hi] is the interval [lo, hi].
+    @raise Invalid_argument if [lo > hi]. *)
+
+val point : int -> t
+(** [point i] is the singleton interval [i, i]. *)
+
+val lo : t -> int
+val hi : t -> int
+
+val length : t -> int
+(** Number of ids covered; always >= 1. *)
+
+val contains : t -> int -> bool
+
+val intersect : t -> t -> t option
+(** Intersection, [None] if disjoint. *)
+
+val overlaps : t -> t -> bool
+
+val adjacent : t -> t -> bool
+(** [adjacent a b] iff [a.hi + 1 = b.lo] (a immediately precedes b). *)
+
+val shift : int -> t -> t
+(** [shift d t] translates both endpoints by [d]. *)
+
+val clip : t -> within:t -> t option
+(** [clip t ~within] is the part of [t] inside [within]. *)
+
+val compare : t -> t -> int
+(** Order by [lo], then [hi]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,67 @@
+type value = Vint of int | Vstr of string
+
+type t =
+  | Ints of { lo : int option; hi : int option }
+  | Str of string option
+
+let full_int = Ints { lo = None; hi = None }
+let full_str = Str None
+let int_eq n = Ints { lo = Some n; hi = Some n }
+let int_le n = Ints { lo = None; hi = Some n }
+let int_ge n = Ints { lo = Some n; hi = None }
+let int_lt n = Ints { lo = None; hi = Some (n - 1) }
+let int_gt n = Ints { lo = Some (n + 1); hi = None }
+let int_between lo hi = Ints { lo = Some lo; hi = Some hi }
+let str_eq s = Str (Some s)
+
+let max_bound a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (max a b)
+
+let min_bound a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (min a b)
+
+let intersect a b =
+  match (a, b) with
+  | Ints a, Ints b ->
+      let lo = max_bound a.lo b.lo and hi = min_bound a.hi b.hi in
+      let empty =
+        match (lo, hi) with Some l, Some h -> l > h | _ -> false
+      in
+      if empty then None else Some (Ints { lo; hi })
+  | Str None, (Str _ as s) | (Str _ as s), Str None -> Some s
+  | Str (Some x), Str (Some y) -> if x = y then Some (Str (Some x)) else None
+  | Ints _, Str _ | Str _, Ints _ ->
+      invalid_arg "Range.intersect: mixed integer and string ranges"
+
+let mem v t =
+  match (v, t) with
+  | Vint n, Ints { lo; hi } ->
+      (match lo with None -> true | Some l -> l <= n)
+      && (match hi with None -> true | Some h -> n <= h)
+  | Vstr _, Str None -> true
+  | Vstr s, Str (Some s') -> s = s'
+  | Vint _, Str _ | Vstr _, Ints _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Ints a, Ints b -> a.lo = b.lo && a.hi = b.hi
+  | Str a, Str b -> a = b
+  | Ints _, Str _ | Str _, Ints _ -> false
+
+let pp_bound inf ppf = function
+  | None -> Format.pp_print_string ppf inf
+  | Some n -> Format.pp_print_int ppf n
+
+let pp ppf = function
+  | Ints { lo; hi } ->
+      Format.fprintf ppf "[%a..%a]" (pp_bound "-inf") lo (pp_bound "+inf") hi
+  | Str None -> Format.pp_print_string ppf "<any>"
+  | Str (Some s) -> Format.fprintf ppf "%S" s
+
+let pp_value ppf = function
+  | Vint n -> Format.pp_print_int ppf n
+  | Vstr s -> Format.fprintf ppf "%S" s

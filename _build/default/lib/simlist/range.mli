@@ -1,0 +1,35 @@
+(** Ranges of attribute values.
+
+    §3.3: attribute variables (introduced by the freeze quantifier) are
+    constrained only by predicates of the form [y < q], [y <= q], [y > q],
+    [y >= q], [y = q] for integer attributes, and [y = q] otherwise, so
+    the satisfying values of a variable always form a range — an integer
+    interval with optional infinities, or a string equality constraint. *)
+
+type value = Vint of int | Vstr of string
+
+type t =
+  | Ints of { lo : int option; hi : int option }
+      (** Integer range; [None] bounds are infinite. *)
+  | Str of string option
+      (** [Str None] is any string, [Str (Some s)] exactly [s]. *)
+
+val full_int : t
+val full_str : t
+val int_eq : int -> t
+val int_le : int -> t
+val int_ge : int -> t
+val int_lt : int -> t
+val int_gt : int -> t
+val int_between : int -> int -> t
+val str_eq : string -> t
+
+val intersect : t -> t -> t option
+(** [None] when the intersection is empty.
+    @raise Invalid_argument when mixing integer and string ranges. *)
+
+val mem : value -> t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_value : Format.formatter -> value -> unit

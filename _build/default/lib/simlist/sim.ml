@@ -1,0 +1,19 @@
+type t = { actual : float; max : float }
+
+let make ~actual ~max =
+  if not (0. <= actual && actual <= max) then
+    invalid_arg
+      (Printf.sprintf "Sim.make: need 0 <= actual <= max, got (%g, %g)" actual
+         max);
+  { actual; max }
+
+let zero ~max = make ~actual:0. ~max
+let exact ~max = make ~actual:max ~max
+let actual t = t.actual
+let max_sim t = t.max
+let fraction t = if t.max = 0. then 0. else t.actual /. t.max
+
+let conj a b = { actual = a.actual +. b.actual; max = a.max +. b.max }
+let best a b = if a.actual >= b.actual then a else b
+let equal a b = a.actual = b.actual && a.max = b.max
+let pp ppf t = Format.fprintf ppf "(%g, %g)" t.actual t.max

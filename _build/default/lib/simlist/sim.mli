@@ -1,0 +1,33 @@
+(** Similarity values.
+
+    The paper (§2.5) represents how closely a segment satisfies a formula
+    as a pair [(a, m)] with [0 <= a <= m]: [a] is the actual similarity,
+    [m] the maximum possible one.  [m] depends only on the formula, so
+    similarity lists store a single [m] for all entries and a per-entry
+    actual value; this module holds the combination rules. *)
+
+type t = private { actual : float; max : float }
+
+val make : actual:float -> max:float -> t
+(** @raise Invalid_argument unless [0 <= actual <= max]. *)
+
+val zero : max:float -> t
+(** Complete mismatch: [(0, max)]. *)
+
+val exact : max:float -> t
+(** Exact match: [(max, max)]. *)
+
+val actual : t -> float
+val max_sim : t -> float
+
+val fraction : t -> float
+(** Fractional similarity [a /. m]; 0 when [m = 0]. *)
+
+val conj : t -> t -> t
+(** Conjunction rule: [(a1+a2, m1+m2)]. *)
+
+val best : t -> t -> t
+(** The one with the larger actual value (for [exists] / [until]). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

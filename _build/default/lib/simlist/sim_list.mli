@@ -1,0 +1,115 @@
+(** Similarity lists (§3.1 of the paper).
+
+    A similarity list records, for one formula, the similarity value of
+    every video segment: a sorted list of disjoint entries
+    [([beg, end], act)] plus a single maximum value [max] shared by all
+    entries (the paper notes that [max] depends only on the formula).
+    Ids absent from every entry have actual similarity 0 — only non-zero
+    ids are stored.
+
+    Canonical form (maintained by every operation): entries sorted by
+    interval, pairwise disjoint, actual values in [(0, max]], and no two
+    adjacent intervals carrying the same value. *)
+
+type t
+
+type entry = Interval.t * float
+
+val empty : max:float -> t
+(** No segment has non-zero similarity. *)
+
+val of_entries : max:float -> entry list -> t
+(** Builds a canonical list: sorts, drops non-positive values, coalesces
+    adjacent equal-valued intervals.
+    @raise Invalid_argument if intervals overlap, if an actual value
+    exceeds [max] (beyond float tolerance), or if [max < 0]. *)
+
+val entries : t -> entry list
+val max_sim : t -> float
+
+val length : t -> int
+(** Number of entries (the paper's [length(L)]). *)
+
+val is_empty : t -> bool
+
+val covered : t -> int
+(** Total number of ids with non-zero similarity. *)
+
+val value_at : t -> int -> float
+(** Actual similarity at an id (0 when absent). *)
+
+val sim_at : t -> int -> Sim.t
+
+val fraction_at : t -> int -> float
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 The paper's merge algorithms} *)
+
+val conjunction : t -> t -> t
+(** [f = g /\ h] (§3.1): modified merge of the two sorted lists; where
+    both cover an id the actual values add; where only one covers it the
+    value is kept (partial satisfaction).  Result max is the sum of the
+    input maxima.  O(|g| + |h|). *)
+
+(** Alternative conjunction semantics — §5 lists "other similarity
+    functions, other than the fractional similarity function" as future
+    work; these are two standard candidates.  All three share the result
+    maximum [m1 + m2] so the until-threshold machinery is unaffected. *)
+type conj_mode =
+  | Weighted_sum  (** the paper's rule: [a1 + a2] *)
+  | Min_fraction  (** fuzzy AND: fraction is [min (f1, f2)] *)
+  | Product_fraction  (** probabilistic AND: fraction is [f1 *. f2] *)
+
+val conjunction_mode : conj_mode -> t -> t -> t
+(** [conjunction_mode Weighted_sum] = {!conjunction}. *)
+
+val conjunction_many : t list -> t
+(** Left fold of {!conjunction}.
+    @raise Invalid_argument on the empty list. *)
+
+val next_shift : extents:Extent.t -> t -> t
+(** [f = next g]: entry intervals shift left by one, clipped so that no
+    id reads its successor across an extent boundary; the last id of each
+    extent gets similarity 0.  O(|g|). *)
+
+val until_merge : ?threshold:float -> extents:Extent.t -> t -> t -> t
+(** [until_merge ~extents g h] is [f = g until h] (§3.1): g entries whose fractional similarity is
+    below [threshold] (default 0.5) are discarded, the rest coalesce into
+    corridors; inside a corridor [[b,e]] the value at [i] is the maximum
+    actual h value at any id in [[i, e+1]] (clipped to the extent); ids
+    outside every corridor keep the h value at the id itself (the until
+    semantics allow [u'' = u]).  Result max is [max_sim h].
+    O(|g| + |h|) per extent. *)
+
+val eventually : extents:Extent.t -> t -> t
+(** [f = eventually g = true until g]: per-extent suffix maximum.
+    O(|g|). *)
+
+val merge_max : t list -> t
+(** Pointwise maximum of m lists sharing one [max] — the final step of
+    the type (2) algorithm (m-way merge).  Divide-and-conquer,
+    O(l log m) where l is the total entry count.
+    @raise Invalid_argument on the empty list or differing maxima. *)
+
+val merge_max_pairwise : t list -> t
+(** Same result via an O(l·m) left fold — kept for the ablation bench. *)
+
+val restrict : t -> Interval.t list -> t
+(** Keep only ids inside the given sorted disjoint intervals (used by the
+    freeze-quantifier join, §3.3). *)
+
+val scale_max : t -> max:float -> t
+(** Re-declare the maximum (e.g. after an existential projection changed
+    the formula but not the attainable maximum).
+    @raise Invalid_argument if any actual value would exceed the new
+    maximum. *)
+
+(** {1 Dense conversions (testing and the reference evaluator)} *)
+
+val to_dense : n:int -> t -> float array
+(** Array of actual values indexed by [id - 1]. *)
+
+val of_dense : max:float -> float array -> t

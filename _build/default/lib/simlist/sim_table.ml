@@ -1,0 +1,253 @@
+type row = {
+  objs : (string * int) list;
+  attrs : (string * Range.t) list;
+  list : Sim_list.t;
+}
+
+type t = {
+  obj_cols : string list;
+  attr_cols : string list;
+  max : float;
+  rows : row list;
+}
+
+let sorted_strings l = List.sort_uniq String.compare l
+
+let check_sorted_subset ~what bound cols =
+  let rec sorted = function
+    | a :: (b :: _ as tl) -> String.compare a b < 0 && sorted tl
+    | [ _ ] | [] -> true
+  in
+  if not (sorted bound) then
+    invalid_arg (Printf.sprintf "Sim_table: %s bindings must be sorted" what);
+  List.iter
+    (fun v ->
+      if not (List.mem v cols) then
+        invalid_arg
+          (Printf.sprintf "Sim_table: %s binds undeclared variable %s" what v))
+    bound
+
+let create ~obj_cols ~attr_cols ~max rows =
+  let obj_cols = sorted_strings obj_cols
+  and attr_cols = sorted_strings attr_cols in
+  List.iter
+    (fun r ->
+      check_sorted_subset ~what:"object" (List.map fst r.objs) obj_cols;
+      check_sorted_subset ~what:"attribute" (List.map fst r.attrs) attr_cols;
+      if Sim_list.max_sim r.list <> max then
+        invalid_arg "Sim_table.create: row list max differs from table max")
+    rows;
+  { obj_cols; attr_cols; max; rows }
+
+let of_sim_list list =
+  {
+    obj_cols = [];
+    attr_cols = [];
+    max = Sim_list.max_sim list;
+    rows = [ { objs = []; attrs = []; list } ];
+  }
+
+let obj_cols t = t.obj_cols
+let attr_cols t = t.attr_cols
+let max_sim t = t.max
+let rows t = t.rows
+let row_count t = List.length t.rows
+
+(* Merge two sorted association lists; [combine] decides what happens when
+   both bind a key ([None] aborts the whole unification). *)
+let unify_assoc combine xs ys =
+  let rec go xs ys acc =
+    match (xs, ys) with
+    | [], rest | rest, [] -> Some (List.rev_append acc rest)
+    | ((kx, vx) as x) :: xtl, ((ky, vy) as y) :: ytl ->
+        let c = String.compare kx ky in
+        if c < 0 then go xtl ys (x :: acc)
+        else if c > 0 then go xs ytl (y :: acc)
+        else
+          Option.bind (combine vx vy) (fun v ->
+              go xtl ytl ((kx, v) :: acc))
+  in
+  go xs ys []
+
+let unify_objs = unify_assoc (fun a b -> if a = b then Some a else None)
+let unify_attrs = unify_assoc Range.intersect
+
+let try_join_rows combine ra rb =
+  match unify_objs ra.objs rb.objs with
+  | None -> None
+  | Some objs -> (
+      match unify_attrs ra.attrs rb.attrs with
+      | None -> None
+      | exception Invalid_argument _ -> None
+      | Some attrs -> Some { objs; attrs; list = combine ra.list rb.list })
+
+let join ~combine a b =
+  let result_max =
+    Sim_list.max_sim
+      (combine (Sim_list.empty ~max:a.max) (Sim_list.empty ~max:b.max))
+  in
+  let shared_objs =
+    List.filter (fun c -> List.mem c b.obj_cols) a.obj_cols
+  in
+  let binds_all r = List.for_all (fun c -> List.mem_assoc c r.objs) shared_objs in
+  let use_hash =
+    shared_objs <> []
+    && List.for_all binds_all a.rows
+    && List.for_all binds_all b.rows
+  in
+  let a_rows = Array.of_list a.rows and b_rows = Array.of_list b.rows in
+  let a_matched = Array.make (Array.length a_rows) false
+  and b_matched = Array.make (Array.length b_rows) false in
+  let out = ref [] in
+  (* a row with an empty list is only droppable when it carries no
+     attribute ranges: a range row marks which part of the attribute
+     space it covers, and losing it would let a later until-join treat
+     the complement region as matched (see the freeze tests) *)
+  let keep row = row.attrs <> [] || not (Sim_list.is_empty row.list) in
+  let consider ia ib =
+    match try_join_rows combine a_rows.(ia) b_rows.(ib) with
+    | None -> ()
+    | Some row ->
+        a_matched.(ia) <- true;
+        b_matched.(ib) <- true;
+        if keep row then out := row :: !out
+  in
+  if use_hash then begin
+    let key r = List.map (fun c -> List.assoc c r.objs) shared_objs in
+    let index = Hashtbl.create (Array.length b_rows) in
+    Array.iteri (fun ib rb -> Hashtbl.add index (key rb) ib) b_rows;
+    Array.iteri
+      (fun ia ra ->
+        List.iter (fun ib -> consider ia ib) (Hashtbl.find_all index (key ra)))
+      a_rows
+  end
+  else
+    Array.iteri
+      (fun ia _ ->
+        Array.iteri (fun ib _ -> consider ia ib) b_rows)
+      a_rows;
+  (* pad unmatched rows with the other side's empty list: a conjunct that
+     matches nothing still satisfies the formula partially (§2.5) *)
+  let empty_a = Sim_list.empty ~max:a.max
+  and empty_b = Sim_list.empty ~max:b.max in
+  Array.iteri
+    (fun ia ra ->
+      if not a_matched.(ia) then begin
+        let row = { ra with list = combine ra.list empty_b } in
+        if keep row then out := row :: !out
+      end)
+    a_rows;
+  Array.iteri
+    (fun ib rb ->
+      if not b_matched.(ib) then begin
+        let row = { rb with list = combine empty_a rb.list } in
+        if keep row then out := row :: !out
+      end)
+    b_rows;
+  (* canonicalise: several row pairs can intersect to the same
+     (binding, ranges) key — e.g. an empty region row against several
+     overlapping partners — and without merging them the row count grows
+     multiplicatively along a join chain *)
+  let dedup rows =
+    let groups = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun r ->
+        let key = (r.objs, r.attrs) in
+        match Hashtbl.find_opt groups key with
+        | Some lists -> lists := r.list :: !lists
+        | None ->
+            Hashtbl.add groups key (ref [ r.list ]);
+            order := (key, r) :: !order)
+      rows;
+    List.rev_map
+      (fun ((key, r) : _ * row) ->
+        match !(Hashtbl.find groups key) with
+        | [ single ] -> { r with list = single }
+        | lists -> { r with list = Sim_list.merge_max lists })
+      !order
+  in
+  create
+    ~obj_cols:(sorted_strings (a.obj_cols @ b.obj_cols))
+    ~attr_cols:(sorted_strings (a.attr_cols @ b.attr_cols))
+    ~max:result_max
+    (dedup (List.rev !out))
+
+let project_exists t =
+  match t.rows with
+  | [] -> Sim_list.empty ~max:t.max
+  | rows -> Sim_list.merge_max (List.map (fun r -> r.list) rows)
+
+let project_obj_var t var =
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let objs = List.remove_assoc var r.objs in
+      let key = (objs, r.attrs) in
+      match Hashtbl.find_opt groups key with
+      | Some lists -> lists := r.list :: !lists
+      | None ->
+          Hashtbl.add groups key (ref [ r.list ]);
+          order := key :: !order)
+    t.rows;
+  let rows =
+    List.rev_map
+      (fun ((objs, attrs) as key) ->
+        { objs; attrs; list = Sim_list.merge_max !(Hashtbl.find groups key) })
+      !order
+  in
+  create
+    ~obj_cols:(List.filter (fun c -> c <> var) t.obj_cols)
+    ~attr_cols:t.attr_cols ~max:t.max rows
+
+let freeze_join t ~var vt =
+  let range_of r =
+    match List.assoc_opt var r.attrs with
+    | Some range -> range
+    | None -> (
+        (* unconstrained: any value matches *)
+        match (Value_table.rows vt : Value_table.row list) with
+        | { value = Range.Vint _; _ } :: _ -> Range.full_int
+        | { value = Range.Vstr _; _ } :: _ -> Range.full_str
+        | [] -> Range.full_int)
+  in
+  let out = ref [] in
+  List.iter
+    (fun row ->
+      let range = range_of row in
+      List.iter
+        (fun (vrow : Value_table.row) ->
+          if Range.mem vrow.value range then
+            match unify_objs row.objs vrow.objs with
+            | None -> ()
+            | Some objs ->
+                let list = Sim_list.restrict row.list vrow.spans in
+                let attrs = List.remove_assoc var row.attrs in
+                if attrs <> [] || not (Sim_list.is_empty list) then
+                  out := { objs; attrs; list } :: !out)
+        (Value_table.rows vt))
+    t.rows;
+  create
+    ~obj_cols:(sorted_strings (t.obj_cols @ Value_table.obj_cols vt))
+    ~attr_cols:(List.filter (fun c -> c <> var) t.attr_cols)
+    ~max:t.max (List.rev !out)
+
+let filter_rows f t = { t with rows = List.filter f t.rows }
+
+let pp ppf t =
+  let pp_row ppf r =
+    Format.fprintf ppf "@[<h>{%a%a} %a@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun ppf (k, v) ->
+           Format.fprintf ppf "%s=%d" k v))
+      r.objs
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun ppf (k, v) ->
+           Format.fprintf ppf " %s in %a" k Range.pp v))
+      r.attrs Sim_list.pp r.list
+  in
+  Format.fprintf ppf "@[<v>table objs=(%s) attrs=(%s) max=%g@,%a@]"
+    (String.concat "," t.obj_cols)
+    (String.concat "," t.attr_cols)
+    t.max
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_row)
+    t.rows

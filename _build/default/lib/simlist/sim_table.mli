@@ -1,0 +1,72 @@
+(** Similarity tables (§3.2–3.3).
+
+    A similarity table represents the similarity of a formula with free
+    variables: each row carries an evaluation — object variables bound to
+    object ids, attribute variables constrained to {!Range.t}s — and the
+    similarity list of the formula under that evaluation.
+
+    Rows bind a {e subset} of the table's columns: a variable absent from
+    a row is unconstrained (it arose from padding an unmatched row in an
+    outer join, and the row's list is valid for every value of that
+    variable).  The paper uses plain natural joins; we additionally keep
+    unmatched rows padded with the other side's empty list, which is what
+    the partial-match semantics of §2.5 require (a conjunct with zero
+    similarity still leaves the other conjunct's similarity standing) and
+    is sound for the final [exists]-projection because all combiners are
+    pointwise monotone. *)
+
+type row = {
+  objs : (string * int) list;  (** bound object variables, sorted *)
+  attrs : (string * Range.t) list;  (** constrained attribute variables *)
+  list : Sim_list.t;
+}
+
+type t
+
+val create :
+  obj_cols:string list ->
+  attr_cols:string list ->
+  max:float ->
+  row list ->
+  t
+(** @raise Invalid_argument if a row binds a variable outside the declared
+    columns, binds them unsorted, or its list's max differs from [max]. *)
+
+val of_sim_list : Sim_list.t -> t
+(** Closed-formula table: no columns, one row. *)
+
+val obj_cols : t -> string list
+val attr_cols : t -> string list
+val max_sim : t -> float
+val rows : t -> row list
+val row_count : t -> int
+
+val join :
+  combine:(Sim_list.t -> Sim_list.t -> Sim_list.t) ->
+  t ->
+  t ->
+  t
+(** Natural join: rows whose shared bound object variables agree and whose
+    shared attribute ranges intersect are combined ([combine] is the
+    conjunction or until merge — it also determines the result max);
+    unmatched rows are padded with the other side's empty list.
+    Hash join on the shared object columns when every row binds them all,
+    else nested-loop. *)
+
+val project_exists : t -> Sim_list.t
+(** [exists x1...xn f]: the pointwise maximum over all evaluations
+    ({!Sim_list.merge_max} over the rows). *)
+
+val project_obj_var : t -> string -> t
+(** [exists x f] with other variables remaining free: drop the column,
+    max-merging rows that become identical. *)
+
+val freeze_join : t -> var:string -> Value_table.t -> t
+(** [[y <- q] f] (§3.3): joins the table with the value table of [q] —
+    rows agree on shared object variables and the value of [q] lies in the
+    row's range for [var]; the similarity list is restricted to the spans
+    where [q] takes that value; the [var] column disappears. *)
+
+val filter_rows : (row -> bool) -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+type row = {
+  objs : (string * int) list;
+  value : Range.value;
+  spans : Interval.t list;
+}
+
+type t = { obj_cols : string list; rows : row list }
+
+let check_spans spans =
+  let rec go = function
+    | a :: (b :: _ as tl) ->
+        if Interval.hi a >= Interval.lo b then
+          invalid_arg "Value_table: spans must be sorted and disjoint";
+        go tl
+    | [ _ ] | [] -> ()
+  in
+  go spans
+
+let create ~obj_cols rows =
+  let obj_cols = List.sort String.compare obj_cols in
+  List.iter
+    (fun r ->
+      if List.map fst r.objs <> obj_cols then
+        invalid_arg "Value_table.create: row binds wrong variables";
+      check_spans r.spans)
+    rows;
+  { obj_cols; rows }
+
+let obj_cols t = t.obj_cols
+let rows t = t.rows
+
+let pp ppf t =
+  let pp_row ppf r =
+    Format.fprintf ppf "@[<h>%a | %a | %a@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun ppf (k, v) ->
+           Format.fprintf ppf "%s=%d" k v))
+      r.objs Range.pp_value r.value
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space Interval.pp)
+      r.spans
+  in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_row)
+    t.rows

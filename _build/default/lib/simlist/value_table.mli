@@ -1,0 +1,22 @@
+(** Value tables for the freeze quantifier (§3.3).
+
+    The value of an attribute function [q] (say [height(x)]) is given by a
+    table whose rows bind the object variables free in [q], give the value
+    of [q] under that binding, and list the intervals of segment ids where
+    [q] takes that value. *)
+
+type row = {
+  objs : (string * int) list;  (** object-variable binding, sorted by name *)
+  value : Range.value;  (** the value of the attribute function *)
+  spans : Interval.t list;  (** sorted disjoint ids where that value holds *)
+}
+
+type t
+
+val create : obj_cols:string list -> row list -> t
+(** @raise Invalid_argument if a row binds different variables than
+    [obj_cols], or its spans are unsorted/overlapping. *)
+
+val obj_cols : t -> string list
+val rows : t -> row list
+val pp : Format.formatter -> t -> unit

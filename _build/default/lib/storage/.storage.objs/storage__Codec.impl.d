@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Array Format List Metadata Sexp Simlist Video_model

@@ -1,0 +1,1 @@
+lib/storage/codec.mli: Metadata Sexp Simlist Video_model

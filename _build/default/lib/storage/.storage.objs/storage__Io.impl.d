@@ -1,0 +1,1 @@
+lib/storage/io.ml: Codec Format Fun Sexp

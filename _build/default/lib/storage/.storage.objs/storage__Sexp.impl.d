@@ -1,0 +1,1 @@
+lib/storage/sexp.ml: Buffer Format List Printf String

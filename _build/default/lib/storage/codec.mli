@@ -1,0 +1,25 @@
+(** S-expression codecs for the meta-data database and for similarity
+    tables (so atomic tables can be exchanged with an external picture
+    retrieval system, as the paper does).
+
+    All decoders raise {!Sexp.Conv_error} on malformed input. *)
+
+val value_to_sexp : Metadata.Value.t -> Sexp.t
+val value_of_sexp : Sexp.t -> Metadata.Value.t
+val entity_to_sexp : Metadata.Entity.t -> Sexp.t
+val entity_of_sexp : Sexp.t -> Metadata.Entity.t
+val seg_meta_to_sexp : Metadata.Seg_meta.t -> Sexp.t
+val seg_meta_of_sexp : Sexp.t -> Metadata.Seg_meta.t
+val video_to_sexp : Video_model.Video.t -> Sexp.t
+val video_of_sexp : Sexp.t -> Video_model.Video.t
+val store_to_sexp : Video_model.Store.t -> Sexp.t
+val store_of_sexp : Sexp.t -> Video_model.Store.t
+val sim_list_to_sexp : Simlist.Sim_list.t -> Sexp.t
+val sim_list_of_sexp : Sexp.t -> Simlist.Sim_list.t
+val sim_table_to_sexp : Simlist.Sim_table.t -> Sexp.t
+val sim_table_of_sexp : Sexp.t -> Simlist.Sim_table.t
+
+val tables_to_sexp : (string * Simlist.Sim_table.t) list -> Sexp.t
+(** A named bundle of atomic similarity tables. *)
+
+val tables_of_sexp : Sexp.t -> (string * Simlist.Sim_table.t) list

@@ -1,0 +1,25 @@
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let save_store path store =
+  write_file path
+    (Format.asprintf "; HTL video store@.%a@." Sexp.pp
+       (Codec.store_to_sexp store))
+
+let load_store path = Codec.store_of_sexp (Sexp.of_string (read_file path))
+
+let save_tables path tables =
+  write_file path
+    (Format.asprintf "; HTL atomic similarity tables@.%a@." Sexp.pp
+       (Codec.tables_to_sexp tables))
+
+let load_tables path = Codec.tables_of_sexp (Sexp.of_string (read_file path))

@@ -1,0 +1,9 @@
+(** Reading and writing the meta-data database and similarity-table
+    bundles on disk. *)
+
+val save_store : string -> Video_model.Store.t -> unit
+val load_store : string -> Video_model.Store.t
+(** @raise Sexp.Parse_error / Sexp.Conv_error / Sys_error. *)
+
+val save_tables : string -> (string * Simlist.Sim_table.t) list -> unit
+val load_tables : string -> (string * Simlist.Sim_table.t) list

@@ -1,0 +1,189 @@
+type t = Atom of string | List of t list
+
+exception Parse_error of string * int
+exception Conv_error of string
+
+let conv_fail fmt = Format.kasprintf (fun s -> raise (Conv_error s)) fmt
+
+(* --- printing ----------------------------------------------------------- *)
+
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (fun c ->
+         match c with
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' -> true
+         | _ -> false)
+       s
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let atom_to_string s = if needs_quoting s then quote s else s
+
+let rec to_string = function
+  | Atom s -> atom_to_string s
+  | List items -> "(" ^ String.concat " " (List.map to_string items) ^ ")"
+
+let rec pp ppf = function
+  | Atom s -> Format.pp_print_string ppf (atom_to_string s)
+  | List items ->
+      Format.fprintf ppf "(@[<hv>%a@])"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp)
+        items
+
+(* --- parsing ------------------------------------------------------------- *)
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let fail c fmt =
+  Format.kasprintf (fun s -> raise (Parse_error (s, c.pos))) fmt
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      c.pos <- c.pos + 1;
+      skip_ws c
+  | Some ';' ->
+      (* comment to end of line *)
+      while peek c <> None && peek c <> Some '\n' do
+        c.pos <- c.pos + 1
+      done;
+      skip_ws c
+  | _ -> ()
+
+let parse_quoted c =
+  c.pos <- c.pos + 1;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' ->
+        c.pos <- c.pos + 1;
+        Atom (Buffer.contents buf)
+    | Some '\\' -> (
+        c.pos <- c.pos + 1;
+        match peek c with
+        | Some '"' ->
+            Buffer.add_char buf '"';
+            c.pos <- c.pos + 1;
+            go ()
+        | Some '\\' ->
+            Buffer.add_char buf '\\';
+            c.pos <- c.pos + 1;
+            go ()
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            c.pos <- c.pos + 1;
+            go ()
+        | Some ch -> fail c "bad escape '\\%c'" ch
+        | None -> fail c "unterminated string")
+    | Some ch ->
+        Buffer.add_char buf ch;
+        c.pos <- c.pos + 1;
+        go ()
+  in
+  go ()
+
+let parse_bare c =
+  let start = c.pos in
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';') | None -> ()
+    | Some _ ->
+        c.pos <- c.pos + 1;
+        go ()
+  in
+  go ();
+  if c.pos = start then fail c "expected an atom";
+  Atom (String.sub c.src start (c.pos - start))
+
+let rec parse_one c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '(' ->
+      c.pos <- c.pos + 1;
+      let rec items acc =
+        skip_ws c;
+        match peek c with
+        | Some ')' ->
+            c.pos <- c.pos + 1;
+            List (List.rev acc)
+        | None -> fail c "unclosed '('"
+        | Some _ -> items (parse_one c :: acc)
+      in
+      items []
+  | Some ')' -> fail c "unexpected ')'"
+  | Some '"' -> parse_quoted c
+  | Some _ -> parse_bare c
+
+let of_string src =
+  let c = { src; pos = 0 } in
+  let v = parse_one c in
+  skip_ws c;
+  (match peek c with
+  | None -> ()
+  | Some _ -> fail c "trailing input");
+  v
+
+let many_of_string src =
+  let c = { src; pos = 0 } in
+  let rec go acc =
+    skip_ws c;
+    match peek c with
+    | None -> List.rev acc
+    | Some _ -> go (parse_one c :: acc)
+  in
+  go []
+
+(* --- helpers --------------------------------------------------------------- *)
+
+let atom s = Atom s
+let int n = Atom (string_of_int n)
+let float f = Atom (Printf.sprintf "%.17g" f)
+let list items = List items
+let field name args = List (Atom name :: args)
+
+let as_atom = function
+  | Atom s -> s
+  | List _ -> conv_fail "expected an atom, got a list"
+
+let as_int t =
+  match int_of_string_opt (as_atom t) with
+  | Some n -> n
+  | None -> conv_fail "expected an integer, got %s" (to_string t)
+
+let as_float t =
+  match float_of_string_opt (as_atom t) with
+  | Some f -> f
+  | None -> conv_fail "expected a number, got %s" (to_string t)
+
+let as_list = function
+  | List items -> items
+  | Atom s -> conv_fail "expected a list, got atom %s" s
+
+let assoc_opt key items =
+  List.find_map
+    (function
+      | List (Atom k :: args) when String.equal k key -> Some args
+      | _ -> None)
+    items
+
+let assoc key items =
+  match assoc_opt key items with
+  | Some args -> args
+  | None -> conv_fail "missing field %S" key

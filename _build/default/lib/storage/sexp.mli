@@ -1,0 +1,42 @@
+(** Minimal S-expressions: the on-disk syntax of the meta-data database
+    (the paper assumes "another database that contains the meta-data
+    describing the contents of the various videos" — this is ours). *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string * int
+(** message, 0-based offset *)
+
+val to_string : t -> string
+(** Canonical printing; atoms are quoted when needed. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented human-friendly printing. *)
+
+val of_string : string -> t
+(** Parse exactly one S-expression. @raise Parse_error. *)
+
+val many_of_string : string -> t list
+(** Parse a sequence of S-expressions. @raise Parse_error. *)
+
+(** Construction and destruction helpers *)
+
+val atom : string -> t
+val int : int -> t
+val float : float -> t
+val list : t list -> t
+val field : string -> t list -> t
+(** [field "name" args] is [List (Atom "name" :: args)]. *)
+
+exception Conv_error of string
+
+val as_atom : t -> string
+val as_int : t -> int
+val as_float : t -> float
+val as_list : t -> t list
+
+val assoc : string -> t list -> t list
+(** Find [List (Atom key :: args)] among the given sexps and return
+    [args]. @raise Conv_error when missing. *)
+
+val assoc_opt : string -> t list -> t list option

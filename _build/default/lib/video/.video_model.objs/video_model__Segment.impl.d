@@ -1,0 +1,1 @@
+lib/video/segment.ml: List Metadata Option

@@ -1,0 +1,1 @@
+lib/video/store.ml: Array Hashtbl List Metadata Printf Segment Simlist Video

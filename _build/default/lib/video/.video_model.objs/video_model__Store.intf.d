@@ -1,0 +1,1 @@
+lib/video/store.mli: Metadata Simlist Video

@@ -1,0 +1,1 @@
+lib/video/video.ml: Array List Metadata Printf Segment String

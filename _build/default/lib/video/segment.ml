@@ -1,0 +1,25 @@
+type t = { meta : Metadata.Seg_meta.t; children : t list }
+
+let make ?(meta = Metadata.Seg_meta.empty) children = { meta; children }
+let leaf meta = { meta; children = [] }
+
+let rec depth t =
+  match t.children with
+  | [] -> 1
+  | children -> 1 + List.fold_left (fun d c -> max d (depth c)) 0 children
+
+let uniform_depth t =
+  let rec go t =
+    match t.children with
+    | [] -> Some 1
+    | first :: rest ->
+        Option.bind (go first) (fun d ->
+            if List.for_all (fun c -> go c = Some d) rest then Some (d + 1)
+            else None)
+  in
+  go t
+
+let rec count_at t level =
+  if level <= 0 then invalid_arg "Segment.count_at: level must be positive";
+  if level = 1 then 1
+  else List.fold_left (fun acc c -> acc + count_at c (level - 1)) 0 t.children

@@ -1,0 +1,20 @@
+(** Segment trees: the hierarchical decomposition of one video
+    (video → sub-plots → scenes → shots → frames, §2.1).  A segment is any
+    node; its children are its decomposition at the next level, in
+    temporal order. *)
+
+type t = { meta : Metadata.Seg_meta.t; children : t list }
+
+val make : ?meta:Metadata.Seg_meta.t -> t list -> t
+val leaf : Metadata.Seg_meta.t -> t
+
+val depth : t -> int
+(** Length of the longest root-to-leaf path ([1] for a leaf). *)
+
+val uniform_depth : t -> int option
+(** [Some d] when every leaf lies at the same depth [d] — the paper's
+    model requires this. *)
+
+val count_at : t -> int -> int
+(** Number of descendants at a given 1-based level (the node itself is
+    level 1). *)

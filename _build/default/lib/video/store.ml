@@ -1,0 +1,137 @@
+type node = {
+  video : int;
+  level : int;
+  id : int;
+  parent : int option;
+  children_span : Simlist.Interval.t option;
+  meta : Metadata.Seg_meta.t;
+}
+
+type t = { videos : Video.t list; by_level : node array array }
+(* by_level.(l-1).(id-1) is the node with global id [id] at level [l]. *)
+
+let create videos =
+  (match videos with
+  | [] -> invalid_arg "Store.create: no videos"
+  | first :: rest ->
+      let names v = Array.to_list v.Video.level_names in
+      List.iter
+        (fun v ->
+          if names v <> names first then
+            invalid_arg "Store.create: videos disagree on level names")
+        rest);
+  let levels = Video.levels (List.hd videos) in
+  let acc : node list ref array = Array.make levels (ref []) in
+  Array.iteri (fun i _ -> acc.(i) <- ref []) acc;
+  let counters = Array.make levels 0 in
+  let next_id level =
+    counters.(level - 1) <- counters.(level - 1) + 1;
+    counters.(level - 1)
+  in
+  let rec walk vidx level parent (seg : Segment.t) =
+    let id = next_id level in
+    let child_ids =
+      List.map (fun c -> walk vidx (level + 1) (Some id) c) seg.children
+    in
+    let children_span =
+      match child_ids with
+      | [] -> None
+      | first :: _ ->
+          let last = List.nth child_ids (List.length child_ids - 1) in
+          Some (Simlist.Interval.make first last)
+    in
+    let node = { video = vidx; level; id; parent; children_span; meta = seg.meta } in
+    acc.(level - 1) := node :: !(acc.(level - 1));
+    id
+  in
+  List.iteri (fun vidx v -> ignore (walk vidx 1 None v.Video.root)) videos;
+  let by_level =
+    Array.map (fun l -> Array.of_list (List.rev !l)) acc
+  in
+  (* ids were assigned in walk order which is temporal order per level *)
+  Array.iter
+    (fun nodes ->
+      Array.iteri (fun i n -> assert (n.id = i + 1)) nodes)
+    by_level;
+  { videos; by_level }
+
+let of_video v = create [ v ]
+let videos t = t.videos
+let levels t = Array.length t.by_level
+let level_name t i = Video.level_name (List.hd t.videos) i
+let level_index t name = Video.level_index (List.hd t.videos) name
+
+let count_at t ~level =
+  if level < 1 || level > levels t then
+    invalid_arg "Store.count_at: level out of range";
+  Array.length t.by_level.(level - 1)
+
+let node t ~level ~id =
+  if level < 1 || level > levels t then
+    invalid_arg "Store.node: level out of range";
+  let nodes = t.by_level.(level - 1) in
+  if id < 1 || id > Array.length nodes then
+    invalid_arg (Printf.sprintf "Store.node: id %d out of range at level %d" id level);
+  nodes.(id - 1)
+
+let meta t ~level ~id = (node t ~level ~id).meta
+let nodes_at t ~level =
+  if level < 1 || level > levels t then
+    invalid_arg "Store.nodes_at: level out of range";
+  t.by_level.(level - 1)
+
+let video_span t ~video ~level =
+  let nodes = nodes_at t ~level in
+  let first = ref 0 and last = ref 0 in
+  Array.iter
+    (fun n ->
+      if n.video = video then begin
+        if !first = 0 then first := n.id;
+        last := n.id
+      end)
+    nodes;
+  if !first = 0 then
+    invalid_arg "Store.video_span: video has no segments at this level";
+  Simlist.Interval.make !first !last
+
+let extents_at t ~level =
+  let spans =
+    List.mapi (fun vidx _ -> video_span t ~video:vidx ~level) t.videos
+  in
+  Simlist.Extent.of_spans spans
+
+let descendants_span t ~level ~id ~target =
+  if target <= level then None
+  else
+    let rec go level id_lo id_hi =
+      if level = target then Some (Simlist.Interval.make id_lo id_hi)
+      else
+        let lo_node = node t ~level ~id:id_lo
+        and hi_node = node t ~level ~id:id_hi in
+        match (lo_node.children_span, hi_node.children_span) with
+        | Some lo_span, Some hi_span ->
+            go (level + 1)
+              (Simlist.Interval.lo lo_span)
+              (Simlist.Interval.hi hi_span)
+        | _, _ -> None
+    in
+    go level id id
+
+let locate t ~level ~id =
+  let n = node t ~level ~id in
+  let span = video_span t ~video:n.video ~level in
+  let title = (List.nth t.videos n.video).Video.title in
+  (n.video, title, id - Simlist.Interval.lo span + 1)
+
+let all_object_ids t =
+  let ids = Hashtbl.create 64 in
+  Array.iter
+    (fun nodes ->
+      Array.iter
+        (fun n ->
+          List.iter
+            (fun (o : Metadata.Entity.t) -> Hashtbl.replace ids o.id ())
+            n.meta.Metadata.Seg_meta.objects)
+        nodes)
+    t.by_level;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) ids [])

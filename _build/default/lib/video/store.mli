@@ -1,0 +1,62 @@
+(** The video database: several videos sharing one level structure,
+    flattened into per-level arrays with global 1-based segment ids.
+
+    Global numbering follows temporal order video by video, so the
+    descendants of any segment occupy a contiguous id range at every lower
+    level — that range is what temporal operators scope over (a {e proper
+    sequence}, §2.3), and it is exposed as {!Simlist.Extent} values. *)
+
+type node = {
+  video : int;  (** 0-based index into {!videos} *)
+  level : int;  (** 1-based level, root = 1 *)
+  id : int;  (** global id within the level *)
+  parent : int option;  (** global id at [level - 1] *)
+  children_span : Simlist.Interval.t option;
+      (** global ids of the children at [level + 1] *)
+  meta : Metadata.Seg_meta.t;
+}
+
+type t
+
+val create : Video.t list -> t
+(** @raise Invalid_argument when the list is empty or the videos disagree
+    on level names. *)
+
+val of_video : Video.t -> t
+
+val videos : t -> Video.t list
+val levels : t -> int
+val level_name : t -> int -> string
+val level_index : t -> string -> int option
+
+val count_at : t -> level:int -> int
+(** Total number of segments at a level, across all videos. *)
+
+val node : t -> level:int -> id:int -> node
+(** @raise Invalid_argument when out of range. *)
+
+val meta : t -> level:int -> id:int -> Metadata.Seg_meta.t
+
+val nodes_at : t -> level:int -> node array
+
+val extents_at : t -> level:int -> Simlist.Extent.t
+(** The proper-sequence partition of a level when a query ranges over
+    whole videos: one extent per video. *)
+
+val descendants_span :
+  t -> level:int -> id:int -> target:int -> Simlist.Interval.t option
+(** Global-id span of the descendants of segment [(level, id)] at level
+    [target]; [None] when [target <= level] or the segment has no
+    descendants there. *)
+
+val video_span : t -> video:int -> level:int -> Simlist.Interval.t
+(** Global-id span of one video's segments at a level. *)
+
+val locate : t -> level:int -> id:int -> int * string * int
+(** Map a global segment id back to the paper's (video, segment) pair:
+    (0-based video index, video title, 1-based position within that
+    video's sequence at the level). *)
+
+val all_object_ids : t -> int list
+(** Every universal object id mentioned anywhere in the store (the domain
+    of existential quantification), sorted. *)

@@ -1,0 +1,46 @@
+type t = { title : string; level_names : string array; root : Segment.t }
+
+let create ~title ~level_names root =
+  if level_names = [] then invalid_arg "Video.create: no level names";
+  let expected = List.length level_names in
+  (match Segment.uniform_depth root with
+  | Some d when d = expected -> ()
+  | Some d ->
+      invalid_arg
+        (Printf.sprintf
+           "Video.create: tree depth %d but %d level names given" d expected)
+  | None -> invalid_arg "Video.create: leaves are not all at the same depth");
+  { title; level_names = Array.of_list level_names; root }
+
+let two_level ~title ?(leaf_name = "shot") metas =
+  if metas = [] then invalid_arg "Video.two_level: no segments";
+  let attrs = [ ("title", Metadata.Value.Str title) ] in
+  create ~title ~level_names:[ "video"; leaf_name ]
+    (Segment.make
+       ~meta:(Metadata.Seg_meta.make ~attrs ())
+       (List.map Segment.leaf metas))
+
+let levels t = Array.length t.level_names
+
+let level_name t i =
+  if i < 1 || i > levels t then invalid_arg "Video.level_name: out of range";
+  t.level_names.(i - 1)
+
+let level_index t name =
+  let rec find i =
+    if i >= Array.length t.level_names then None
+    else if String.equal t.level_names.(i) name then Some (i + 1)
+    else find (i + 1)
+  in
+  find 0
+
+let segments_at t level =
+  let rec go seg l =
+    if l = 1 then [ seg ]
+    else List.concat_map (fun c -> go c (l - 1)) seg.Segment.children
+  in
+  if level < 1 || level > levels t then
+    invalid_arg "Video.segments_at: out of range";
+  go t.root level
+
+let count_at t level = Segment.count_at t.root level

@@ -1,0 +1,29 @@
+(** One video: a named, level-labelled segment tree with all leaves at the
+    same depth (§2.1). *)
+
+type t = private {
+  title : string;
+  level_names : string array;  (** index [i] names level [i+1]; root is level 1 *)
+  root : Segment.t;
+}
+
+val create : title:string -> level_names:string list -> Segment.t -> t
+(** @raise Invalid_argument when the tree's leaves are not all at depth
+    [List.length level_names], or no level names are given. *)
+
+val two_level : title:string -> ?leaf_name:string -> Metadata.Seg_meta.t list -> t
+(** Convenience for the paper's §3 setting: a root plus one sequence of
+    children (default level names: ["video"; "shot"]).
+    @raise Invalid_argument on an empty list. *)
+
+val levels : t -> int
+val level_name : t -> int -> string
+(** @raise Invalid_argument for an out-of-range level. *)
+
+val level_index : t -> string -> int option
+(** 1-based index of a named level. *)
+
+val segments_at : t -> int -> Segment.t list
+(** All segments at a level, in temporal order. *)
+
+val count_at : t -> int -> int

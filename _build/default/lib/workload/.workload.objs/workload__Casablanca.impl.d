@@ -1,0 +1,1 @@
+lib/workload/casablanca.ml: Engine Entity List Metadata Seg_meta Simlist Value Video_model

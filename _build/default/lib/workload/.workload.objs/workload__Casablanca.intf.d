@@ -1,0 +1,1 @@
+lib/workload/casablanca.mli: Engine Simlist Video_model

@@ -1,0 +1,1 @@
+lib/workload/gulf_war.ml: Entity Metadata Relationship Seg_meta Value Video_model

@@ -1,0 +1,1 @@
+lib/workload/gulf_war.mli: Video_model

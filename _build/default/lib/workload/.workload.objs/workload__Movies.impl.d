@@ -1,0 +1,1 @@
+lib/workload/movies.ml: Bbox Entity Htl List Metadata Printf Relationship Rng Seg_meta Value Video_model

@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Engine Float List Rng Simlist

@@ -1,0 +1,91 @@
+module Sim_list = Simlist.Sim_list
+module Interval = Simlist.Interval
+
+let shot_count = 50
+let iv = Interval.make
+
+let moving_train =
+  Sim_list.of_entries ~max:9.787 [ (iv 9 9, 9.787) ]
+
+let man_woman =
+  Sim_list.of_entries ~max:6.26
+    [
+      (iv 1 4, 2.595);
+      (iv 6 6, 1.26);
+      (iv 8 8, 1.26);
+      (iv 10 44, 1.26);
+      (iv 47 49, 6.26);
+    ]
+
+let tables =
+  [
+    ("moving_train", Simlist.Sim_table.of_sim_list moving_train);
+    ("man_woman", Simlist.Sim_table.of_sim_list man_woman);
+  ]
+
+let context () = Engine.Context.of_tables ~n:shot_count tables
+let query1 = "man_woman and eventually moving_train"
+
+let expected_table3 =
+  Sim_list.of_entries ~max:9.787 [ (iv 1 9, 9.787) ]
+
+let expected_table4 =
+  [
+    (iv 1 4, 12.382);
+    (iv 6 6, 11.047);
+    (iv 8 8, 11.047);
+    (iv 5 5, 9.787);
+    (iv 7 7, 9.787);
+    (iv 9 9, 9.787);
+    (iv 47 49, 6.26);
+    (iv 10 44, 1.26);
+  ]
+
+(* --- meta-data reconstruction ------------------------------------------ *)
+
+open Metadata
+
+(* universal object ids of the reconstruction *)
+let rick = 1 (* man *)
+let ilsa = 2 (* woman *)
+let sam = 3 (* man *)
+let train = 4
+let narrator = 5 (* man *)
+
+let man ~id ~name = Entity.make ~id ~otype:"man" ~attrs:[ ("name", Value.Str name) ] ()
+let woman ~id ~name = Entity.make ~id ~otype:"woman" ~attrs:[ ("name", Value.Str name) ] ()
+
+let shot objects =
+  Seg_meta.make ~objects ()
+
+let store () =
+  (* shots 1-4: a man and a woman; 5: empty studio; 6, 8: two men;
+     7: empty; 9: the moving train; 10-44: interview footage, two men;
+     45-46: stills; 47-49: the man and the woman together (exact match);
+     50: credits *)
+  let shots =
+    List.init shot_count (fun i ->
+        let id = i + 1 in
+        if id <= 4 then shot [ man ~id:rick ~name:"Rick"; woman ~id:ilsa ~name:"Ilsa" ]
+        else if id = 6 || id = 8 then
+          shot [ man ~id:rick ~name:"Rick"; man ~id:sam ~name:"Sam" ]
+        else if id = 9 then
+          shot
+            [
+              Entity.make ~id:train ~otype:"train"
+                ~attrs:[ ("moving", Value.Bool true) ]
+                ();
+            ]
+        else if id >= 10 && id <= 44 then
+          shot [ man ~id:narrator ~name:"Narrator"; man ~id:sam ~name:"Sam" ]
+        else if id >= 47 && id <= 49 then
+          shot [ man ~id:rick ~name:"Rick"; woman ~id:ilsa ~name:"Ilsa" ]
+        else shot [])
+  in
+  Video_model.Store.of_video
+    (Video_model.Video.two_level ~title:"The Making of the Casablanca" shots)
+
+let store_query1 =
+  "(exists x, y . present(x) and type(x) = \"man\" and present(y) and \
+   type(y) = \"woman\") and eventually (exists z . present(z) and type(z) \
+   = \"train\" and moving(z) = true)"

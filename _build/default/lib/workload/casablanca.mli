@@ -1,0 +1,46 @@
+(** The paper's §4.1 test case: "The Making of the Casablanca", a
+    30-minute video cut-detected into 50 shots.
+
+    The atomic similarity tables (Tables 1 and 2) are shipped verbatim —
+    exactly as in the paper, where they are computed by the picture
+    retrieval system and {e fed as input} to the video retrieval system.
+    Running Query 1 over them must reproduce Tables 3 and 4 digit for
+    digit.
+
+    A meta-data reconstruction of the 50 shots is also provided so the
+    full pipeline (picture system included) can be exercised end to end;
+    its atomic values are our scorer's, not the original SCORE system's,
+    so they differ numerically while agreeing on which shots match. *)
+
+val shot_count : int
+(** 50 *)
+
+val moving_train : Simlist.Sim_list.t
+(** Table 1: the [Moving-Train] predicate — shot 9, value 9.787. *)
+
+val man_woman : Simlist.Sim_list.t
+(** Table 2: the [Man-Woman] predicate — [1,4] 2.595; [6] 1.26; [8] 1.26;
+    [10,44] 1.26; [47,49] 6.26. *)
+
+val tables : (string * Simlist.Sim_table.t) list
+(** [moving_train] and [man_woman], keyed for query use. *)
+
+val context : unit -> Engine.Context.t
+(** Store-less context over the 50 shots with the two tables. *)
+
+val query1 : string
+(** "Query 1": [man_woman and eventually moving_train]. *)
+
+val expected_table3 : Simlist.Sim_list.t
+(** The paper's Table 3: [eventually Moving-Train] = [1,9] at 9.787. *)
+
+val expected_table4 : (Simlist.Interval.t * float) list
+(** The paper's Table 4, ranked: (1-4, 12.382), (6, 11.047), (8, 11.047),
+    (5, 9.787), (7, 9.787), (9, 9.787), (47-49, 6.26), (10-44, 1.26). *)
+
+val store : unit -> Video_model.Store.t
+(** The 50-shot meta-data reconstruction. *)
+
+val store_query1 : string
+(** Query 1 spelled against the reconstruction's meta-data (a
+    man-and-woman shot eventually followed by a moving train). *)

@@ -1,0 +1,137 @@
+open Metadata
+
+(* universal object ids *)
+let bomber = 1
+let fighter = 2
+let command_center = 3
+let airfield = 4
+let tank = 5
+let soldier = 6
+let flag = 7
+
+let plane ~id ~height =
+  Entity.make ~id ~otype:"airplane"
+    ~attrs:[ ("height", Value.Int height) ]
+    ()
+
+let obj ~id ~otype = Entity.make ~id ~otype ()
+
+let shot ?(objects = []) ?(relationships = []) ?(attrs = []) () =
+  Video_model.Segment.leaf (Seg_meta.make ~objects ~relationships ~attrs ())
+
+let scene ~name shots =
+  Video_model.Segment.make
+    ~meta:(Seg_meta.make ~attrs:[ ("name", Value.Str name) ] ())
+    shots
+
+let subplot ~name scenes =
+  Video_model.Segment.make
+    ~meta:(Seg_meta.make ~attrs:[ ("name", Value.Str name) ] ())
+    scenes
+
+let video () =
+  let takeoff =
+    scene ~name:"takeoff"
+      [
+        shot
+          ~objects:[ plane ~id:bomber ~height:0; plane ~id:fighter ~height:0 ]
+          ~relationships:[ Relationship.make "on_ground" [ bomber ] ]
+          ();
+        shot
+          ~objects:[ plane ~id:bomber ~height:200; plane ~id:fighter ~height:350 ]
+          ();
+        shot ~objects:[ plane ~id:bomber ~height:800 ] ();
+      ]
+  in
+  let strike =
+    scene ~name:"strike"
+      [
+        shot
+          ~objects:[ plane ~id:bomber ~height:900; obj ~id:command_center ~otype:"building" ]
+          ();
+        shot
+          ~objects:[ plane ~id:bomber ~height:850; obj ~id:command_center ~otype:"building" ]
+          ~relationships:[ Relationship.make "destroys" [ bomber; command_center ] ]
+          ();
+        shot
+          ~objects:[ plane ~id:fighter ~height:700; obj ~id:airfield ~otype:"building" ]
+          ~relationships:[ Relationship.make "destroys" [ fighter; airfield ] ]
+          ();
+      ]
+  in
+  let return_home =
+    scene ~name:"return"
+      [
+        shot ~objects:[ plane ~id:bomber ~height:400 ] ();
+        shot ~objects:[ plane ~id:bomber ~height:0 ] ();
+      ]
+  in
+  let ground_war =
+    subplot ~name:"ground war"
+      [
+        scene ~name:"advance"
+          [
+            shot ~objects:[ obj ~id:tank ~otype:"car"; obj ~id:soldier ~otype:"man" ] ();
+            shot ~objects:[ obj ~id:tank ~otype:"car" ] ();
+          ];
+        scene ~name:"clash"
+          [
+            shot
+              ~objects:[ obj ~id:tank ~otype:"car"; obj ~id:soldier ~otype:"man" ]
+              ~relationships:[ Relationship.make "fires_at" [ tank; soldier ] ]
+              ();
+          ];
+      ]
+  in
+  let surrender =
+    subplot ~name:"surrender"
+      [
+        scene ~name:"white flag"
+          [
+            shot
+              ~objects:[ obj ~id:soldier ~otype:"man"; obj ~id:flag ~otype:"thing" ]
+              ~relationships:[ Relationship.make "holds" [ soldier; flag ] ]
+              ();
+            shot ~objects:[ obj ~id:soldier ~otype:"man" ] ();
+          ];
+      ]
+  in
+  Video_model.Video.create ~title:"Gulf war"
+    ~level_names:[ "video"; "subplot"; "scene"; "shot" ]
+    (Video_model.Segment.make
+       ~meta:
+         (Seg_meta.make
+            ~attrs:
+              [
+                ("title", Value.Str "Gulf war");
+                ("type", Value.Str "military operation");
+              ]
+            ())
+       [
+         subplot ~name:"bombing" [ takeoff; strike; return_home ];
+         ground_war;
+         surrender;
+       ])
+
+let store () = Video_model.Store.of_video (video ())
+
+let queries =
+  [
+    ( "browse",
+      (* browsing query: information about the top level only *)
+      "seg.type = \"military operation\"" );
+    ( "strike-pattern",
+      (* the paper's formula (A) shape, asserted at the shot level:
+         planes on the ground, then in the air until something is
+         destroyed *)
+      "at shot level ((exists x . on_ground(x)) and next ((exists x . \
+       (present(x) and type(x) = \"airplane\" and height(x) > 0)) until \
+       (exists x, y . destroys(x, y))))" );
+    ( "climbing-plane",
+      (* the paper's formula (C): a plane later seen strictly higher *)
+      "at shot level (exists z . (present(z) and type(z) = \"airplane\") \
+       and [h <- height(z)] eventually (present(z) and height(z) > h))" );
+    ( "scene-names",
+      "at scene level (seg.name = \"takeoff\" and eventually (seg.name = \
+       \"strike\"))" );
+  ]

@@ -1,0 +1,11 @@
+(** The paper's running §2.1 example: a Gulf-war video arranged over four
+    levels (video / sub-plot / scene / shot) — bombing of positions, the
+    ground war, the surrender — used by the extended-conjunctive examples
+    and tests. *)
+
+val video : unit -> Video_model.Video.t
+val store : unit -> Video_model.Store.t
+
+val queries : (string * string) list
+(** Named showcase queries (name, HTL source), all supported by the
+    direct engine at the shot level or via level operators. *)

@@ -1,0 +1,208 @@
+open Metadata
+
+let types = [ "man"; "woman"; "train"; "car"; "gun"; "horse"; "dog" ]
+let names = [ "alpha"; "beta"; "gamma"; "delta" ]
+let rel_names = [ "holds"; "fires_at"; "near" ]
+
+let random_object rng ~id =
+  let otype = Rng.pick rng types in
+  let attrs =
+    List.concat
+      [
+        (if Rng.bool rng then [ ("name", Value.Str (Rng.pick rng names)) ]
+         else []);
+        (if Rng.bool rng then [ ("speed", Value.Int (10 * (1 + Rng.int rng 9))) ]
+         else []);
+      ]
+  in
+  let bbox =
+    if Rng.bool rng then
+      let x0 = Rng.float rng 8. and y0 = Rng.float rng 8. in
+      Some
+        (Bbox.make ~x0 ~y0
+           ~x1:(x0 +. 0.5 +. Rng.float rng 2.)
+           ~y1:(y0 +. 0.5 +. Rng.float rng 2.))
+    else None
+  in
+  Entity.make ~id ~otype ~attrs ?bbox ()
+
+let random_meta rng ~object_pool =
+  let count = Rng.int rng 4 in
+  let ids = ref [] in
+  for _ = 1 to count do
+    let id = 1 + Rng.int rng object_pool in
+    if not (List.mem id !ids) then ids := id :: !ids
+  done;
+  let objects = List.map (fun id -> random_object rng ~id) !ids in
+  let relationships =
+    match !ids with
+    | a :: b :: _ when Rng.bool rng ->
+        [ Relationship.make (Rng.pick rng rel_names) [ a; b ] ]
+    | _ -> []
+  in
+  let attrs =
+    if Rng.bool rng then
+      [ ("mood", Value.Str (Rng.pick rng [ "calm"; "tense" ])) ]
+    else []
+  in
+  Seg_meta.make ~objects ~relationships ~attrs ()
+
+let level_names = [ "video"; "plot"; "scene"; "shot"; "frame" ]
+
+let random_store rng ?(videos = 1) ?(levels = 2) ?(branching = 4)
+    ?(object_pool = 6) () =
+  if levels < 2 || levels > List.length level_names then
+    invalid_arg "Movies.random_store: levels out of range";
+  let rec build depth =
+    if depth = levels then
+      Video_model.Segment.leaf (random_meta rng ~object_pool)
+    else
+      let children =
+        List.init (1 + Rng.int rng branching) (fun _ -> build (depth + 1))
+      in
+      Video_model.Segment.make ~meta:(random_meta rng ~object_pool) children
+  in
+  let names = List.filteri (fun i _ -> i < levels) level_names in
+  let mk_video k =
+    Video_model.Video.create
+      ~title:(Printf.sprintf "movie-%d" k)
+      ~level_names:names (build 1)
+  in
+  Video_model.Store.create (List.init videos mk_video)
+
+(* --- random formulas ----------------------------------------------------- *)
+
+let random_atom_closed rng =
+  let open Htl.Ast in
+  match Rng.int rng 5 with
+  | 0 ->
+      Exists
+        ( "u",
+          And
+            ( Atom (Present "u"),
+              Atom
+                (Cmp
+                   ( Eq,
+                     Obj_attr ("type", "u"),
+                     Const (Value.Str (Rng.pick rng types)) )) ) )
+  | 1 -> Exists ("u", Exists ("v", Atom (Rel (Rng.pick rng rel_names, [ "u"; "v" ]))))
+  | 2 ->
+      Atom
+        (Cmp
+           (Eq, Seg_attr "mood", Const (Value.Str (Rng.pick rng [ "calm"; "tense" ]))))
+  | 3 ->
+      Exists
+        ( "u",
+          And
+            ( Atom (Present "u"),
+              Atom
+                (Cmp
+                   ( (if Rng.bool rng then Gt else Le),
+                     Obj_attr ("speed", "u"),
+                     Const (Value.Int (10 * (1 + Rng.int rng 9))) )) ) )
+  | _ -> Atom True
+
+let rec random_type1 rng ~depth =
+  let open Htl.Ast in
+  if depth <= 0 then random_atom_closed rng
+  else
+    let sub () = random_type1 rng ~depth:(depth - 1) in
+    match Rng.int rng 5 with
+    | 0 -> And (sub (), sub ())
+    | 1 -> Until (sub (), sub ())
+    | 2 -> Next (sub ())
+    | 3 -> Eventually (sub ())
+    | _ -> random_atom_closed rng
+
+let random_type1_formula rng ~depth = random_type1 rng ~depth
+
+let random_atom_open rng var =
+  let open Htl.Ast in
+  match Rng.int rng 3 with
+  | 0 ->
+      And
+        ( Atom (Present var),
+          Atom
+            (Cmp
+               ( Eq,
+                 Obj_attr ("type", var),
+                 Const (Value.Str (Rng.pick rng types)) )) )
+  | 1 -> Atom (Present var)
+  | _ ->
+      And
+        ( Atom (Present var),
+          Atom
+            (Cmp
+               ( Gt,
+                 Obj_attr ("speed", var),
+                 Const (Value.Int (10 * (1 + Rng.int rng 9))) )) )
+
+let rec random_type2_body rng var ~depth =
+  let open Htl.Ast in
+  if depth <= 0 then random_atom_open rng var
+  else
+    let sub () = random_type2_body rng var ~depth:(depth - 1) in
+    match Rng.int rng 5 with
+    | 0 -> And (sub (), sub ())
+    | 1 -> Until (sub (), sub ())
+    | 2 -> Next (sub ())
+    | 3 -> Eventually (sub ())
+    | _ -> random_atom_open rng var
+
+let random_type2_formula rng ~depth =
+  Htl.Ast.Exists ("x", random_type2_body rng "x" ~depth)
+
+(* conjunctive: freeze the speed of the quantified object and compare it
+   later in time *)
+let random_conjunctive_formula rng ~depth =
+  let open Htl.Ast in
+  let var = "x" and attr_var = "v" in
+  let freeze_atom () =
+    let cmp = Rng.pick rng [ Gt; Ge; Lt; Le; Eq ] in
+    if Rng.bool rng then Atom (Cmp (cmp, Obj_attr ("speed", var), Attr_var attr_var))
+    else Atom (Cmp (cmp, Attr_var attr_var, Obj_attr ("speed", var)))
+  in
+  let unit () =
+    if Rng.bool rng then random_atom_open rng var else freeze_atom ()
+  in
+  let rec body depth =
+    if depth <= 0 then unit ()
+    else
+      let sub () = body (depth - 1) in
+      match Rng.int rng 5 with
+      | 0 -> And (sub (), sub ())
+      | 1 -> Until (sub (), sub ())
+      | 2 -> Next (sub ())
+      | 3 -> Eventually (sub ())
+      | _ -> unit ()
+  in
+  Exists
+    ( var,
+      And
+        ( Atom (Present var),
+          Freeze { var = attr_var; attr = "speed"; obj = Some var; body = body depth }
+        ) )
+
+(* extended conjunctive: level operators over type (1)/(2) bodies *)
+let random_extended_formula rng ~depth ~max_level =
+  let open Htl.Ast in
+  let rec from_level current depth =
+    if current >= max_level || (depth > 0 && Rng.int rng 3 = 0) then
+      (* a plain temporal body at this level *)
+      if Rng.bool rng then random_type1 rng ~depth:(min depth 2)
+      else Exists ("x", random_type2_body rng "x" ~depth:(min depth 2))
+    else
+      let target = current + 1 + Rng.int rng (max_level - current) in
+      let sel =
+        if target = current + 1 && Rng.bool rng then Next_level
+        else if Rng.bool rng then Level_index target
+        else Level_name (List.nth level_names (target - 1))
+      in
+      let inner = from_level target (depth - 1) in
+      (* the level operator may sit under temporal operators *)
+      match Rng.int rng 3 with
+      | 0 -> At_level (sel, inner)
+      | 1 -> Eventually (At_level (sel, inner))
+      | _ -> And (At_level (sel, inner), random_atom_closed rng)
+  in
+  from_level 1 depth

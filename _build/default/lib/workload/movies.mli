@@ -1,0 +1,35 @@
+(** Random movie generator: stores with arbitrary hierarchy shapes and
+    random meta-data, used by stress and property tests (engine vs.
+    naive-reference oracle). *)
+
+val random_store :
+  Rng.t ->
+  ?videos:int ->
+  ?levels:int ->
+  ?branching:int ->
+  ?object_pool:int ->
+  unit ->
+  Video_model.Store.t
+(** [levels] >= 2 (default 2: video + shots); every internal node gets
+    1..[branching] children; leaf segments carry 0..3 objects drawn from
+    a pool of [object_pool] ids with random types/attributes, random
+    relationships among co-present objects, and random segment
+    attributes. *)
+
+val random_type1_formula : Rng.t -> depth:int -> Htl.Ast.t
+(** A random type (1) formula whose atomic units are closed queries over
+    {!random_store}-style meta-data. *)
+
+val random_type2_formula : Rng.t -> depth:int -> Htl.Ast.t
+(** A random prefix-quantified type (2) formula over one or two object
+    variables. *)
+
+val random_conjunctive_formula : Rng.t -> depth:int -> Htl.Ast.t
+(** A random conjunctive formula: a prefix-quantified object variable
+    whose [speed] attribute is frozen and compared across time. *)
+
+val random_extended_formula :
+  Rng.t -> depth:int -> max_level:int -> Htl.Ast.t
+(** A random extended-conjunctive formula asserted at level 1: level
+    modal operators (possibly nested) over type (1)/(2) bodies.
+    [max_level] is the store's depth. *)

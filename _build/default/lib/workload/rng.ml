@@ -1,0 +1,21 @@
+type t = Random.State.t
+
+let make seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5bd1e995 |]
+let int t bound = Random.State.int t bound
+let float t bound = Random.State.float t bound
+let bool t = Random.State.bool t
+
+let geometric t ~mean =
+  if mean <= 1. then 1
+  else
+    let p = 1. /. mean in
+    let rec go k =
+      if Random.State.float t 1. < p then k else go (k + 1)
+    in
+    go 1
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]

@@ -1,0 +1,22 @@
+(** Deterministic random source — every generator takes an explicit seed
+    so that experiments and property tests are reproducible. *)
+
+type t
+
+val make : int -> t
+val int : t -> int -> int
+(** [int t bound] in [[0, bound)]. *)
+
+val float : t -> float -> float
+(** [float t bound] in [[0, bound)]. *)
+
+val bool : t -> bool
+
+val geometric : t -> mean:float -> int
+(** Geometric variate with the given mean, at least 1. *)
+
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on an empty list. *)
+
+val split : t -> t
+(** An independent stream derived from the current state. *)

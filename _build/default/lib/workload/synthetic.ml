@@ -1,0 +1,32 @@
+module Sim_list = Simlist.Sim_list
+module Interval = Simlist.Interval
+
+let similarity_list rng ~n ?(selectivity = 0.1) ?(mean_run = 5.) ?(max = 10.)
+    () =
+  let mean_gap = mean_run *. (1. -. selectivity) /. Float.max 1e-9 selectivity in
+  let entries = ref [] in
+  (* start inside a gap or a run proportionally *)
+  let pos = ref (1 + Rng.int rng (int_of_float (Float.max 1. mean_gap))) in
+  while !pos <= n do
+    let run = Rng.geometric rng ~mean:mean_run in
+    let hi = min n (!pos + run - 1) in
+    let value =
+      let k = 1 + Rng.int rng 16 in
+      float_of_int k *. max /. 16.
+    in
+    entries := (Interval.make !pos hi, value) :: !entries;
+    let gap = Rng.geometric rng ~mean:(Float.max 1. mean_gap) in
+    pos := hi + 1 + gap
+  done;
+  Sim_list.of_entries ~max (List.rev !entries)
+
+let atomic_table rng ~n ?selectivity ?mean_run ?max () =
+  Simlist.Sim_table.of_sim_list
+    (similarity_list rng ~n ?selectivity ?mean_run ?max ())
+
+let context_with_atoms ~seed ~n ?selectivity ?extents names =
+  let rng = Rng.make seed in
+  let tables =
+    List.map (fun name -> (name, atomic_table rng ~n ?selectivity ())) names
+  in
+  Engine.Context.of_tables ~n ?extents tables

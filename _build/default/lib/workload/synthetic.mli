@@ -1,0 +1,38 @@
+(** Randomly generated similarity lists — the §4.2 workload ("we compared
+    the performance of the two approaches on randomly generated data...
+    approximately about one tenth of these shots satisfy the atomic
+    predicates"). *)
+
+val similarity_list :
+  Rng.t ->
+  n:int ->
+  ?selectivity:float ->
+  ?mean_run:float ->
+  ?max:float ->
+  unit ->
+  Simlist.Sim_list.t
+(** A random similarity list over ids [1..n]: runs of covered ids with
+    geometric length (mean [mean_run], default 5) separated by geometric
+    gaps sized so that the covered fraction is about [selectivity]
+    (default 0.1); actual values are uniform in (0, max] (default max
+    10), quantized to 1/16ths so coalescing can occur. *)
+
+val atomic_table :
+  Rng.t ->
+  n:int ->
+  ?selectivity:float ->
+  ?mean_run:float ->
+  ?max:float ->
+  unit ->
+  Simlist.Sim_table.t
+(** {!similarity_list} wrapped as a closed one-row table. *)
+
+val context_with_atoms :
+  seed:int ->
+  n:int ->
+  ?selectivity:float ->
+  ?extents:Simlist.Extent.t ->
+  string list ->
+  Engine.Context.t
+(** A store-less context with one random atomic table per name — the
+    benchmark setting of Tables 5 and 6. *)

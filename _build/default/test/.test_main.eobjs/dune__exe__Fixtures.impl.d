@@ -1,0 +1,1 @@
+test/fixtures.ml: Entity List Metadata Relationship Seg_meta Value Video_model

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Extent Float Format Interval List QCheck QCheck_alcotest Sim_list Simlist String

@@ -1,0 +1,1 @@
+test/test_analyzer.ml: Alcotest Analyzer Annotate Array Cut_detection Engine List Metadata Printf Signal Simlist Tracker Trajectory Transition Video_model

@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Array Engine Extent Fixtures Format Htl Interval List Metadata Printf Relational Sim_list Sim_table Simlist String Video_model

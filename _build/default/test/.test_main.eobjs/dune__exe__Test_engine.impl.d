@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Context Direct Engine Fixtures Float Helpers Htl List Metadata Printf QCheck Query Reference Simlist Sql_backend String Topk Video_model Workload

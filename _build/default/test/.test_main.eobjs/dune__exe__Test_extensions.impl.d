@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Browse Context Engine Fixtures Float Helpers Htl List Printf QCheck Query Reference Simlist Workload

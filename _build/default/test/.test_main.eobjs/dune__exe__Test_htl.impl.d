@@ -1,0 +1,1 @@
+test/test_htl.ml: Alcotest Ast Classify Helpers Htl List Metadata Parser Pretty QCheck String

@@ -1,0 +1,1 @@
+test/test_picture.ml: Alcotest Fixtures Float Htl List Metadata Picture Printf Retrieval Simlist Spatial Taxonomy Weights

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Catalog List Plan Relational Sql Stdlib Table Value

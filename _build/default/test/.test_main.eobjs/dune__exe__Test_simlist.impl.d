@@ -1,0 +1,1 @@
+test/test_simlist.ml: Alcotest Array Extent Helpers Interval List QCheck Range Sim Sim_list Sim_table Simlist Value_table

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Codec Engine Filename Fixtures Float Format Fun Helpers Io List Metadata Printf Sexp Simlist Storage Sys Video_model Workload

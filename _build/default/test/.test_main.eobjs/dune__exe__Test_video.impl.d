@@ -1,0 +1,1 @@
+test/test_video.ml: Alcotest Bbox Entity Fixtures Htl List Metadata Seg_meta Segment Simlist Store Value Video Video_model

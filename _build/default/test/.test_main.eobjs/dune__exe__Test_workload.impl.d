@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Engine Htl List Metadata Printf Simlist Video_model Workload

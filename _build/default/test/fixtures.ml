@@ -1,0 +1,86 @@
+(* Shared store fixtures for the video-model / HTL / picture tests. *)
+
+open Metadata
+
+let obj ?attrs ?bbox ~id ~otype () = Entity.make ~id ~otype ?attrs ?bbox ()
+
+(* object ids used throughout: 1 john (man), 2 mary (woman), 3 gun,
+   4 train, 5 bob (man), 6 car, 7 horse *)
+let john ?bbox () =
+  obj ~id:1 ~otype:"man" ~attrs:[ ("name", Value.Str "John Wayne") ] ?bbox ()
+
+let mary ?bbox () =
+  obj ~id:2 ~otype:"woman" ~attrs:[ ("name", Value.Str "Mary") ] ?bbox ()
+
+let gun () = obj ~id:3 ~otype:"gun" ()
+
+let train ~speed () =
+  obj ~id:4 ~otype:"train" ~attrs:[ ("speed", Value.Int speed) ] ()
+
+let bob () = obj ~id:5 ~otype:"man" ~attrs:[ ("name", Value.Str "Bob") ] ()
+let car () = obj ~id:6 ~otype:"car" ()
+let horse () = obj ~id:7 ~otype:"horse" ()
+
+let shot ?(objects = []) ?(relationships = []) ?(attrs = []) () =
+  Seg_meta.make ~objects ~relationships ~attrs ()
+
+(* A 6-shot western at two levels (video, shot):
+   1: john + mary           4: john fires at bob
+   2: john holding the gun  5: faster train + john
+   3: the train (speed 50)  6: empty
+*)
+let western_shots =
+  [
+    shot ~objects:[ john (); mary () ] ();
+    shot
+      ~objects:[ john (); gun () ]
+      ~relationships:[ Relationship.make "holds" [ 1; 3 ] ]
+      ();
+    shot ~objects:[ train ~speed:50 () ] ();
+    shot
+      ~objects:[ john (); bob () ]
+      ~relationships:[ Relationship.make "fires_at" [ 1; 5 ] ]
+      ();
+    shot ~objects:[ train ~speed:80 (); john () ] ();
+    shot ();
+  ]
+
+let western () = Video_model.Video.two_level ~title:"western" western_shots
+
+let western_store () = Video_model.Store.of_video (western ())
+
+(* A second movie, used for multi-video stores: 3 shots, a car chase. *)
+let chase_shots =
+  [
+    shot ~objects:[ car (); bob () ] ();
+    shot ~objects:[ car (); horse () ] ();
+    shot ~objects:[ horse () ] ();
+  ]
+
+let chase () = Video_model.Video.two_level ~title:"chase" chase_shots
+
+let two_movie_store () = Video_model.Store.create [ western (); chase () ]
+
+(* A three-level video (video, scene, shot): two scenes of 2 and 3 shots. *)
+let layered () =
+  let scene name shots =
+    Video_model.Segment.make
+      ~meta:(shot ~attrs:[ ("name", Value.Str name) ] ())
+      (List.map Video_model.Segment.leaf shots)
+  in
+  Video_model.Video.create ~title:"layered"
+    ~level_names:[ "video"; "scene"; "shot" ]
+    (Video_model.Segment.make
+       ~meta:(shot ~attrs:[ ("type", Value.Str "western") ] ())
+       [
+         scene "intro"
+           [ shot ~objects:[ john () ] (); shot ~objects:[ john (); gun () ] () ];
+         scene "trains"
+           [
+             shot ~objects:[ train ~speed:30 () ] ();
+             shot ~objects:[ train ~speed:60 () ] ();
+             shot ~objects:[ mary () ] ();
+           ];
+       ])
+
+let layered_store () = Video_model.Store.of_video (layered ())

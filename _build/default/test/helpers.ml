@@ -1,0 +1,120 @@
+(* Shared test utilities: dense (array-based) reference implementations of
+   the similarity-list operations, and qcheck generators.  The dense code
+   follows the §2.5 definitions literally, one id at a time, and serves as
+   the oracle for the interval algorithms. *)
+
+open Simlist
+
+let sim_list_testable =
+  Alcotest.testable Sim_list.pp Sim_list.equal
+
+let interval_testable = Alcotest.testable Interval.pp Interval.equal
+
+(* --- dense references ---------------------------------------------- *)
+
+let dense_conj = Array.map2 ( +. )
+
+let dense_max = Array.map2 Float.max
+
+(* [next g] at i reads g at i+1 unless i is the last id of its extent. *)
+let dense_next ~extents g =
+  let n = Array.length g in
+  Array.init n (fun i ->
+      let id = i + 1 in
+      if Interval.hi (Extent.containing extents id) = id then 0.
+      else g.(i + 1))
+
+(* [g until h] at i: the best h value at any id j >= i (same extent)
+   reachable through ids whose g fraction stays >= threshold. *)
+let dense_until ?(threshold = 0.5) ~extents ~gmax g h =
+  let n = Array.length g in
+  let frac i = if gmax = 0. then 0. else g.(i) /. gmax in
+  Array.init n (fun i ->
+      let id = i + 1 in
+      let ext_hi = Interval.hi (Extent.containing extents id) in
+      let best = ref h.(i) in
+      let j = ref i in
+      while !j + 1 < n && !j + 1 <= ext_hi - 1 && frac !j >= threshold do
+        incr j;
+        best := Float.max !best h.(!j)
+      done;
+      !best)
+
+let dense_eventually ~extents h =
+  let n = Array.length h in
+  Array.init n (fun i ->
+      let id = i + 1 in
+      let ext_hi = Interval.hi (Extent.containing extents id) in
+      let best = ref 0. in
+      for j = i to ext_hi - 1 do
+        best := Float.max !best h.(j)
+      done;
+      !best)
+
+(* --- generators ------------------------------------------------------ *)
+
+(* A random dense similarity array: each id independently non-zero with
+   probability [density]; values are multiples of 1/8 in (0, max] so that
+   float comparisons are exact and coalescing triggers often. *)
+let gen_dense ?(density = 0.4) ~n ~max () =
+  let open QCheck.Gen in
+  let cell =
+    float_bound_inclusive 1. >>= fun toss ->
+    if toss > density then return 0.
+    else map (fun k -> float_of_int k *. max /. 8.) (int_range 1 8)
+  in
+  array_repeat n cell
+
+let gen_extents ~n =
+  let open QCheck.Gen in
+  int_range 1 4 >>= fun parts ->
+  if parts = 1 || parts >= n then return (Extent.single n)
+  else
+    let to_extents cuts =
+      let cuts = List.sort_uniq compare cuts in
+      let cuts = List.filter (fun c -> c > 0 && c < n) cuts in
+      let rec lengths prev = function
+        | [] -> [ n - prev ]
+        | c :: tl -> (c - prev) :: lengths c tl
+      in
+      Extent.of_lengths (lengths 0 cuts)
+    in
+    map to_extents (list_repeat (parts - 1) (int_range 1 (n - 1)))
+
+let pp_dense a =
+  String.concat ";" (Array.to_list (Array.map string_of_float a))
+
+(* arbitrary for (n, extents, dense array) *)
+let arb_dense_with_extents ?(max = 8.) () =
+  let gen =
+    let open QCheck.Gen in
+    int_range 1 60 >>= fun n ->
+    gen_extents ~n >>= fun extents ->
+    map (fun a -> (n, extents, a)) (gen_dense ~n ~max ())
+  in
+  let print (n, extents, a) =
+    Format.asprintf "n=%d %a dense=[%s]" n Extent.pp extents (pp_dense a)
+  in
+  QCheck.make ~print gen
+
+let arb_two_dense_with_extents ?(max_a = 8.) ?(max_b = 8.) () =
+  let gen =
+    let open QCheck.Gen in
+    int_range 1 60 >>= fun n ->
+    gen_extents ~n >>= fun extents ->
+    gen_dense ~n ~max:max_a () >>= fun a ->
+    map (fun b -> (n, extents, a, b)) (gen_dense ~n ~max:max_b ())
+  in
+  let print (n, extents, a, b) =
+    Format.asprintf "n=%d %a a=[%s] b=[%s]" n Extent.pp extents (pp_dense a)
+      (pp_dense b)
+  in
+  QCheck.make ~print gen
+
+let check_dense_equal ~what expected actual_list =
+  let n = Array.length expected in
+  let got = Sim_list.to_dense ~n actual_list in
+  Alcotest.(check (array (float 1e-9))) what expected got
+
+let qtest ?(count = 300) name prop arb =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)

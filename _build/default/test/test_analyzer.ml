@@ -1,0 +1,252 @@
+(* Tests for the video-analyzer substrate: synthetic signal, cut
+   detection, object tracking, annotation, and end-to-end analysis
+   feeding the query engine. *)
+
+open Analyzer
+
+let analyzer_tests =
+  let open Alcotest in
+  [
+    test_case "scripted signal has the right shape" `Quick (fun () ->
+        let frames, cuts =
+          Signal.scripted ~seed:1 ~shot_lengths:[ 5; 3; 7 ] ()
+        in
+        check int "frames" 15 (Array.length frames);
+        check (list int) "ground truth cuts" [ 5; 8 ] cuts;
+        Array.iter
+          (fun (f : Signal.frame) ->
+            let total = Array.fold_left ( +. ) 0. f.histogram in
+            check (float 1e-6) "normalised" 1. total)
+          frames);
+    test_case "cut detection recovers scripted cuts" `Quick (fun () ->
+        let frames, truth =
+          Signal.scripted ~seed:42 ~noise:0.005 ~shot_lengths:[ 8; 6; 9; 4 ] ()
+        in
+        let detected = Cut_detection.detect frames in
+        let precision, recall = Cut_detection.score ~detected ~truth in
+        check (float 0.) "precision" 1. precision;
+        check (float 0.) "recall" 1. recall);
+    test_case "cut detection across many seeds" `Quick (fun () ->
+        for seed = 1 to 20 do
+          let frames, truth =
+            Signal.scripted ~seed ~noise:0.005
+              ~shot_lengths:[ 5; 5; 5; 5; 5 ] ()
+          in
+          let detected = Cut_detection.detect frames in
+          let precision, recall = Cut_detection.score ~detected ~truth in
+          check (float 0.) (Printf.sprintf "precision seed %d" seed) 1. precision;
+          check (float 0.) (Printf.sprintf "recall seed %d" seed) 1. recall
+        done);
+    test_case "segment splits at cuts" `Quick (fun () ->
+        let frames, _ = Signal.scripted ~seed:7 ~shot_lengths:[ 4; 6 ] () in
+        match Cut_detection.segment frames with
+        | [ a; b ] ->
+            check int "first shot" 4 (Array.length a);
+            check int "second shot" 6 (Array.length b)
+        | shots -> failf "expected 2 shots, got %d" (List.length shots));
+    test_case "no cuts in a single shot" `Quick (fun () ->
+        let frames, _ = Signal.scripted ~seed:3 ~shot_lengths:[ 10 ] () in
+        check (list int) "none" [] (Cut_detection.detect frames));
+    test_case "tracker keeps a moving object's id stable" `Quick (fun () ->
+        let box x = Metadata.Bbox.make ~x0:x ~y0:0. ~x1:(x +. 1.) ~y1:1. in
+        let det x = { Tracker.otype = "car"; bbox = box x } in
+        let frames = [| [ det 0. ]; [ det 0.5 ]; [ det 1.0 ]; [ det 1.4 ] |] in
+        let tracked = Tracker.track frames in
+        let ids =
+          Array.to_list
+            (Array.map
+               (fun objs -> (List.hd objs).Metadata.Entity.id)
+               tracked)
+        in
+        check (list int) "one id" [ 1; 1; 1; 1 ] ids);
+    test_case "tracker separates distant and differently-typed objects"
+      `Quick (fun () ->
+        let box x = Metadata.Bbox.make ~x0:x ~y0:0. ~x1:(x +. 1.) ~y1:1. in
+        let frames =
+          [|
+            [
+              { Tracker.otype = "car"; bbox = box 0. };
+              { Tracker.otype = "man"; bbox = box 0.2 };
+            ];
+            [
+              { Tracker.otype = "car"; bbox = box 0.4 };
+              { Tracker.otype = "man"; bbox = box 0.1 };
+              { Tracker.otype = "car"; bbox = box 9. };
+            ];
+          |]
+        in
+        let tracked = Tracker.track frames in
+        let ids_of k =
+          List.sort compare
+            (List.map (fun (o : Metadata.Entity.t) -> o.id) tracked.(k))
+        in
+        check (list int) "frame 0" [ 1; 2 ] (ids_of 0);
+        (* same car and man continue; the far car is a new object *)
+        check (list int) "frame 1" [ 1; 2; 3 ] (ids_of 1));
+    test_case "tracker reuses a track only once per frame" `Quick (fun () ->
+        let box x = Metadata.Bbox.make ~x0:x ~y0:0. ~x1:(x +. 1.) ~y1:1. in
+        let det x = { Tracker.otype = "car"; bbox = box x } in
+        let frames = [| [ det 0. ]; [ det 0.1; det 0.2 ] |] in
+        let tracked = Tracker.track frames in
+        let ids =
+          List.sort compare
+            (List.map (fun (o : Metadata.Entity.t) -> o.id) tracked.(1))
+        in
+        check (list int) "two distinct ids" [ 1; 2 ] ids);
+    test_case "annotate builds a valid three-level video" `Quick (fun () ->
+        let frames, _ = Signal.scripted ~seed:5 ~shot_lengths:[ 3; 4 ] () in
+        let box x = Metadata.Bbox.make ~x0:x ~y0:0. ~x1:(x +. 1.) ~y1:1. in
+        let detections =
+          Array.init 7 (fun i ->
+              if i < 3 then
+                [ { Tracker.otype = "man"; bbox = box (float_of_int i *. 0.1) } ]
+              else
+                [ { Tracker.otype = "train"; bbox = box (float_of_int i *. 0.1) } ])
+        in
+        let video =
+          Annotate.build_video ~title:"clip" ~frames ~detections ()
+        in
+        check int "levels" 3 (Video_model.Video.levels video);
+        check int "frames" 7 (Video_model.Video.count_at video 3);
+        check int "shots" 2 (Video_model.Video.count_at video 2));
+    test_case "end to end: analyze then query" `Quick (fun () ->
+        let frames, _ = Signal.scripted ~seed:9 ~shot_lengths:[ 4; 4 ] () in
+        let box x = Metadata.Bbox.make ~x0:x ~y0:0. ~x1:(x +. 1.) ~y1:1. in
+        let detections =
+          Array.init 8 (fun i ->
+              if i < 4 then [ { Tracker.otype = "man"; bbox = box 0.1 } ]
+              else [ { Tracker.otype = "train"; bbox = box 0.2 } ])
+        in
+        let video = Annotate.build_video ~title:"clip" ~frames ~detections () in
+        let store = Video_model.Store.of_video video in
+        let ctx = Engine.Context.of_store store ~level:2 in
+        let r =
+          Engine.Query.run_string ctx
+            "(exists x . (present(x) and type(x) = \"man\")) until (exists \
+             y . (present(y) and type(y) = \"train\"))"
+        in
+        (* man in shot 1 leads to the train in shot 2 *)
+        check (float 1e-9) "shot 1" 2. (Simlist.Sim_list.value_at r 1);
+        check (float 1e-9) "shot 2" 2. (Simlist.Sim_list.value_at r 2));
+  ]
+
+
+let transition_tests =
+  let open Alcotest in
+  [
+    test_case "abrupt cuts are reported as cuts" `Quick (fun () ->
+        let frames, truth =
+          Signal.scripted ~seed:13 ~noise:0.002 ~shot_lengths:[ 6; 6; 6 ] ()
+        in
+        let ts = Transition.detect frames in
+        check (list int) "boundaries" truth (Transition.boundaries ts);
+        check bool "all cuts" true
+          (List.for_all (function Transition.Cut _ -> true | _ -> false) ts));
+    test_case "dissolves are reported as gradual transitions" `Quick
+      (fun () ->
+        let frames, truth =
+          Signal.scripted_with_dissolves ~seed:17 ~noise:0.002 ~dissolve:4
+            ~shot_lengths:[ 10; 10; 10 ] ()
+        in
+        let ts = Transition.detect frames in
+        check int "two transitions" 2 (List.length ts);
+        List.iter
+          (fun t ->
+            match t with
+            | Transition.Gradual _ -> ()
+            | Transition.Cut i -> failf "unexpected cut at %d" i)
+          ts;
+        (* boundaries land at (or next to) the scripted shot starts *)
+        List.iter2
+          (fun b t -> check bool "close" true (abs (b - t) <= 1))
+          (Transition.boundaries ts) truth);
+    test_case "plain cut detection misses dissolves" `Quick (fun () ->
+        (* motivation for the twin-comparison extension *)
+        let frames, _ =
+          Signal.scripted_with_dissolves ~seed:17 ~noise:0.002 ~dissolve:4
+            ~shot_lengths:[ 10; 10; 10 ] ()
+        in
+        check (list int) "nothing found" [] (Cut_detection.detect frames));
+    test_case "quiet signal has no transitions" `Quick (fun () ->
+        let frames, _ =
+          Signal.scripted ~seed:2 ~noise:0.002 ~shot_lengths:[ 30 ] ()
+        in
+        check int "none" 0 (List.length (Transition.detect frames)));
+  ]
+
+let trajectory_tests =
+  let open Alcotest in
+  let box x = Metadata.Bbox.make ~x0:x ~y0:0. ~x1:(x +. 1.) ~y1:1. in
+  let entity ~id ~otype x = Metadata.Entity.make ~id ~otype ~bbox:(box x) () in
+  [
+    test_case "trajectories follow tracked objects" `Quick (fun () ->
+        let frames =
+          [|
+            [ entity ~id:1 ~otype:"train" 0. ];
+            [ entity ~id:1 ~otype:"train" 1. ];
+            [ entity ~id:1 ~otype:"train" 2. ];
+          |]
+        in
+        match Trajectory.of_entities frames with
+        | [ t ] ->
+            check int "object" 1 t.Trajectory.object_id;
+            check int "points" 3 (List.length t.Trajectory.points);
+            check (float 1e-9) "displacement" 2. (Trajectory.displacement t);
+            check (float 1e-9) "path" 2. (Trajectory.path_length t)
+        | ts -> failf "expected one trajectory, got %d" (List.length ts));
+    test_case "objects without boxes produce no trajectory" `Quick (fun () ->
+        let frames = [| [ Metadata.Entity.make ~id:5 ~otype:"man" () ] |] in
+        check int "none" 0 (List.length (Trajectory.of_entities frames)));
+    test_case "is_moving thresholds displacement" `Quick (fun () ->
+        let still =
+          [| [ entity ~id:1 ~otype:"man" 0. ]; [ entity ~id:1 ~otype:"man" 0.1 ] |]
+        in
+        let fast =
+          [| [ entity ~id:2 ~otype:"train" 0. ]; [ entity ~id:2 ~otype:"train" 3. ] |]
+        in
+        check bool "still" false
+          (Trajectory.is_moving (List.hd (Trajectory.of_entities still)));
+        check bool "fast" true
+          (Trajectory.is_moving (List.hd (Trajectory.of_entities fast))));
+    test_case "annotate_motion enables the moving(z) predicate" `Quick
+      (fun () ->
+        (* a moving train and a parked car, end to end to the HTL engine *)
+        let frames =
+          [|
+            [ entity ~id:1 ~otype:"train" 0.; entity ~id:2 ~otype:"car" 5. ];
+            [ entity ~id:1 ~otype:"train" 2.; entity ~id:2 ~otype:"car" 5.05 ];
+          |]
+        in
+        let annotated = Trajectory.annotate_motion frames in
+        let shots =
+          Array.to_list
+            (Array.map
+               (fun objects -> Metadata.Seg_meta.make ~objects ())
+               annotated)
+        in
+        let store =
+          Video_model.Store.of_video
+            (Video_model.Video.two_level ~title:"clip" ~leaf_name:"frame" shots)
+        in
+        let ctx = Engine.Context.of_store store in
+        let r =
+          Engine.Query.run_string ctx
+            "exists z . (present(z) and moving(z) = true)"
+        in
+        check (float 1e-9) "frame 1 has a mover" 2.
+          (Simlist.Sim_list.value_at r 1);
+        let r2 =
+          Engine.Query.run_string ctx
+            "exists z . (present(z) and type(z) = \"car\" and moving(z) = true)"
+        in
+        (* the car never moves: partial credit only *)
+        check bool "car not moving" true
+          (Simlist.Sim_list.value_at r2 1 < 3.));
+  ]
+
+let suites =
+  [
+    ("analyzer", analyzer_tests);
+    ("analyzer.transition", transition_tests);
+    ("analyzer.trajectory", trajectory_tests);
+  ]

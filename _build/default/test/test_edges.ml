@@ -1,0 +1,199 @@
+(* Edge cases across the stack: singleton sequences, extreme thresholds,
+   formatting goldens, expression precedence, multi-video ranking. *)
+
+open Simlist
+module Ctx = Engine.Context
+
+let iv = Interval.make
+let sl ~max entries = Sim_list.of_entries ~max entries
+let sim_list = Alcotest.testable Sim_list.pp Sim_list.equal
+
+let singleton_tests =
+  let open Alcotest in
+  let e1 = Extent.single 1 in
+  [
+    test_case "next on a one-segment video is empty" `Quick (fun () ->
+        let l = sl ~max:2. [ (iv 1 1, 2.) ] in
+        check bool "empty" true
+          (Sim_list.is_empty (Sim_list.next_shift ~extents:e1 l)));
+    test_case "eventually on a one-segment video is the value itself" `Quick
+      (fun () ->
+        let l = sl ~max:2. [ (iv 1 1, 2.) ] in
+        check sim_list "same" l (Sim_list.eventually ~extents:e1 l));
+    test_case "until on a one-segment video needs h at the segment" `Quick
+      (fun () ->
+        let g = sl ~max:2. [ (iv 1 1, 2.) ] in
+        let h = Sim_list.empty ~max:3. in
+        check bool "empty" true
+          (Sim_list.is_empty (Sim_list.until_merge ~extents:e1 g h));
+        let h2 = sl ~max:3. [ (iv 1 1, 1.) ] in
+        check (float 0.) "h at self" 1.
+          (Sim_list.value_at (Sim_list.until_merge ~extents:e1 g h2) 1));
+    test_case "a store of one-shot videos" `Quick (fun () ->
+        let mk title =
+          Video_model.Video.two_level ~title
+            [ Metadata.Seg_meta.make ~objects:[ Fixtures.john () ] () ]
+        in
+        let store = Video_model.Store.create [ mk "a"; mk "b"; mk "c" ] in
+        let ctx = Ctx.of_store store in
+        let r =
+          Engine.Query.run_string ctx "eventually (exists x . present(x))"
+        in
+        check (float 0.) "all three" 3. (float_of_int (Sim_list.covered r)));
+  ]
+
+let threshold_tests =
+  let open Alcotest in
+  [
+    test_case "threshold 1.0 only admits exact g" `Quick (fun () ->
+        let extents = Extent.single 4 in
+        let g = sl ~max:2. [ (iv 1 1, 2.); (iv 2 2, 1.9) ] in
+        let h = sl ~max:5. [ (iv 3 3, 5.) ] in
+        let r = Sim_list.until_merge ~threshold:1.0 ~extents g h in
+        (* only id 1 has fraction 1; its corridor stops at 2 (1.9/2 < 1)
+           so h at 3 is unreachable from 1; only h-at-self remains *)
+        check (float 0.) "id 1" 0. (Sim_list.value_at r 1);
+        check (float 0.) "id 3 self" 5. (Sim_list.value_at r 3));
+    test_case "threshold 0 keeps every non-zero g" `Quick (fun () ->
+        let extents = Extent.single 4 in
+        let g = sl ~max:2. [ (iv 1 2, 0.1) ] in
+        let h = sl ~max:5. [ (iv 3 3, 5.) ] in
+        let r = Sim_list.until_merge ~threshold:0. ~extents g h in
+        check (float 0.) "id 1 reaches 3" 5. (Sim_list.value_at r 1));
+    test_case "query-level threshold is honoured" `Quick (fun () ->
+        let tables =
+          [
+            ("p1", Sim_table.of_sim_list (sl ~max:2. [ (iv 1 2, 1.) ]));
+            ("p2", Sim_table.of_sim_list (sl ~max:5. [ (iv 3 3, 5.) ]));
+          ]
+        in
+        let strict = Ctx.of_tables ~threshold:0.9 ~n:4 tables in
+        let lax = Ctx.of_tables ~threshold:0.3 ~n:4 tables in
+        check (float 0.) "strict blocks" 0.
+          (Sim_list.value_at (Engine.Query.run_string strict "p1 until p2") 1);
+        check (float 0.) "lax passes" 5.
+          (Sim_list.value_at (Engine.Query.run_string lax "p1 until p2") 1));
+  ]
+
+let format_tests =
+  let open Alcotest in
+  [
+    test_case "formula printing goldens" `Quick (fun () ->
+        List.iter
+          (fun (src, expected) ->
+            check string src expected
+              (Htl.Pretty.to_string (Htl.Parser.formula_of_string src)))
+          [
+            ("present(x)", "present(x)");
+            ("p1 and p2", "(p1 and p2)");
+            ("next p1", "next (p1)");
+            ("seg.kind = 'a'", "seg.kind = \"a\"");
+            ("at level 2 (true)", "at level 2 (true)");
+            ("exists x . present(x)", "(exists x . present(x))");
+            ( "[v <- speed(x)] v > 3",
+              "([v <- speed(x)] v > 3)" );
+          ]);
+    test_case "ranked table rendering" `Quick (fun () ->
+        let l = sl ~max:9. [ (iv 1 2, 9.); (iv 5 5, 3.) ] in
+        let text = Format.asprintf "%a" (Engine.Topk.pp_table ?header:None) l in
+        check bool "has header" true
+          (String.length text > 0
+          && String.sub text 0 5 = "Start");
+        check bool "largest first" true
+          (let nine = ref 0 and three = ref 0 in
+           String.iteri
+             (fun i c ->
+               if c = '9' && i > 10 && !nine = 0 then nine := i
+               else if c = '3' && !three = 0 then three := i)
+             text;
+           !nine < !three || !three = 0));
+  ]
+
+let relational_edges =
+  let open Alcotest in
+  [
+    test_case "arithmetic precedence in SQL expressions" `Quick (fun () ->
+        let db = Relational.Catalog.create () in
+        ignore (Relational.Catalog.exec_sql db "CREATE TABLE t (x); INSERT INTO t VALUES (1)");
+        let r =
+          Relational.Catalog.query db "SELECT 2 + 3 * 4 AS a, (2 + 3) * 4 AS b FROM t"
+        in
+        (match Relational.Table.rows r with
+        | [ [| a; b |] ] ->
+            check bool "a" true (Relational.Value.equal a (Relational.Value.Int 14));
+            check bool "b" true (Relational.Value.equal b (Relational.Value.Int 20))
+        | _ -> fail "unexpected shape"));
+    test_case "multi-key sort with mixed direction" `Quick (fun () ->
+        let db = Relational.Catalog.create () in
+        ignore
+          (Relational.Catalog.exec_sql db
+             "CREATE TABLE t (a, b); INSERT INTO t VALUES (1, 1), (1, 2), \
+              (2, 1)");
+        let r =
+          Relational.Catalog.query db "SELECT a, b FROM t ORDER BY a DESC, b"
+        in
+        let ints =
+          List.map
+            (fun row ->
+              Array.to_list
+                (Array.map
+                   (function Relational.Value.Int n -> n | _ -> -1)
+                   row))
+            (Relational.Table.rows r)
+        in
+        check (list (list int)) "order" [ [ 2; 1 ]; [ 1; 1 ]; [ 1; 2 ] ] ints);
+    test_case "between in WHERE" `Quick (fun () ->
+        let db = Relational.Catalog.create () in
+        ignore
+          (Relational.Catalog.exec_sql db
+             "CREATE TABLE t (x); INSERT INTO t VALUES (1), (5), (9)");
+        let r = Relational.Catalog.query db "SELECT x FROM t WHERE x BETWEEN 2 AND 8" in
+        check int "one row" 1 (Relational.Table.cardinality r));
+  ]
+
+let multi_video_tests =
+  let open Alcotest in
+  [
+    test_case "top-k across videos with locate" `Quick (fun () ->
+        let store = Fixtures.two_movie_store () in
+        let ctx = Ctx.of_store store in
+        let r =
+          Engine.Query.run_string ctx
+            "exists x . (present(x) and type(x) = \"horse\")"
+        in
+        let top = Engine.Topk.top_k r ~k:2 in
+        (* the horse appears in the chase movie only (global ids 8, 9) *)
+        let located =
+          List.map
+            (fun (id, _) -> Video_model.Store.locate store ~level:2 ~id)
+            top
+        in
+        List.iter
+          (fun (_, title, _) -> check string "chase" "chase" title)
+          located);
+    test_case "eventually stops at the video boundary (engine level)" `Quick
+      (fun () ->
+        let store = Fixtures.two_movie_store () in
+        let ctx = Ctx.of_store store in
+        let r =
+          Engine.Query.run_string ctx
+            "eventually (exists x . (present(x) and type(x) = \"horse\"))"
+        in
+        (* western shots (1-6) must not see the chase movie's horse *)
+        for id = 1 to 6 do
+          check bool
+            (Printf.sprintf "shot %d" id)
+            true
+            (Sim_list.value_at r id < 2.)
+        done;
+        check (float 0.) "chase shot 7" 2. (Sim_list.value_at r 7));
+  ]
+
+let suites =
+  [
+    ("edges.singletons", singleton_tests);
+    ("edges.thresholds", threshold_tests);
+    ("edges.format", format_tests);
+    ("edges.relational", relational_edges);
+    ("edges.multi_video", multi_video_tests);
+  ]

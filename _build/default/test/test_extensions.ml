@@ -1,0 +1,183 @@
+(* Tests for the §5 future-work extensions: alternative similarity
+   functions, the exact-semantics fallback for general formulas, and the
+   join-reordering optimisation. *)
+
+open Engine
+module Sim_list = Simlist.Sim_list
+module Interval = Simlist.Interval
+
+let iv = Interval.make
+let parse = Htl.Parser.formula_of_string
+let sim_list = Alcotest.testable Sim_list.pp Sim_list.equal
+
+let ctx_of ?conj_mode lists =
+  Context.of_tables ?conj_mode ~n:20
+    (List.map
+       (fun (name, l) -> (name, Simlist.Sim_table.of_sim_list l))
+       lists)
+
+let two_lists =
+  [
+    ("p1", Sim_list.of_entries ~max:4. [ (iv 1 5, 2.) ]);
+    ("p2", Sim_list.of_entries ~max:8. [ (iv 4 8, 8.) ]);
+  ]
+
+let conj_mode_tests =
+  let open Alcotest in
+  [
+    test_case "weighted sum is the default" `Quick (fun () ->
+        let r = Query.run_string (ctx_of two_lists) "p1 and p2" in
+        check (float 1e-9) "overlap" 10. (Sim_list.value_at r 4);
+        check (float 1e-9) "p1 only" 2. (Sim_list.value_at r 2));
+    test_case "min fraction" `Quick (fun () ->
+        let ctx = ctx_of ~conj_mode:Sim_list.Min_fraction two_lists in
+        let r = Query.run_string ctx "p1 and p2" in
+        (* fractions: p1 = 0.5, p2 = 1.0 -> min 0.5 of max 12 *)
+        check (float 1e-9) "overlap" 6. (Sim_list.value_at r 4);
+        (* one side absent -> 0 under min *)
+        check (float 1e-9) "p1 only" 0. (Sim_list.value_at r 2);
+        check (float 0.) "max" 12. (Sim_list.max_sim r));
+    test_case "product fraction" `Quick (fun () ->
+        let ctx = ctx_of ~conj_mode:Sim_list.Product_fraction two_lists in
+        let r = Query.run_string ctx "p1 and p2" in
+        check (float 1e-9) "overlap" 6. (Sim_list.value_at r 4);
+        check (float 1e-9) "p1 only" 0. (Sim_list.value_at r 2));
+    test_case "modes agree on exact matches" `Quick (fun () ->
+        let exact =
+          [
+            ("p1", Sim_list.of_entries ~max:4. [ (iv 2 3, 4.) ]);
+            ("p2", Sim_list.of_entries ~max:8. [ (iv 2 3, 8.) ]);
+          ]
+        in
+        List.iter
+          (fun mode ->
+            let r =
+              Query.run_string (ctx_of ~conj_mode:mode exact) "p1 and p2"
+            in
+            check (float 1e-9) "full" 12. (Sim_list.value_at r 2))
+          [ Sim_list.Weighted_sum; Sim_list.Min_fraction; Sim_list.Product_fraction ]);
+    Helpers.qtest ~count:50 "min-fraction conjunction matches the oracle"
+      (fun seed ->
+        let rng = Workload.Rng.make seed in
+        let n = 10 + Workload.Rng.int rng 30 in
+        let base =
+          Workload.Synthetic.context_with_atoms ~seed:(seed + 3) ~n
+            ~selectivity:0.4 [ "p1"; "p2"; "p3" ]
+        in
+        let ctx = { base with Context.conj_mode = Sim_list.Min_fraction } in
+        let f = parse "p1 and p2 and eventually p3" in
+        let oracle = Reference.similarity_over_level ctx f in
+        let engine = Sim_list.to_dense ~n (Query.run ctx f) in
+        Array.for_all2
+          (fun s v -> Float.abs (Simlist.Sim.actual s -. v) < 1e-9)
+          oracle engine)
+      (QCheck.make ~print:(Printf.sprintf "seed %d") QCheck.Gen.int);
+  ]
+
+let reorder_tests =
+  let open Alcotest in
+  [
+    test_case "reordered joins give the same answer" `Quick (fun () ->
+        let store = Fixtures.western_store () in
+        let plain = Context.of_store store in
+        let reordered = Context.of_store ~reorder_joins:true store in
+        List.iter
+          (fun q ->
+            check sim_list q (Query.run_string plain q)
+              (Query.run_string reordered q))
+          [
+            "exists x, y . (present(x) and name(x) = \"John Wayne\") until \
+             fires_at(x, y)";
+            "(exists x . type(x) = \"train\") and (exists x . type(x) = \
+             \"man\") and eventually (exists x . type(x) = \"woman\")";
+          ]);
+    Helpers.qtest ~count:30 "reordering never changes type2 results"
+      (fun seed ->
+        let rng = Workload.Rng.make seed in
+        let store =
+          Workload.Movies.random_store rng ~videos:1 ~branching:4
+            ~object_pool:4 ()
+        in
+        let f = Workload.Movies.random_type2_formula rng ~depth:2 in
+        let plain = Context.of_store store in
+        let reordered = Context.of_store ~reorder_joins:true store in
+        Sim_list.equal (Query.run plain f) (Query.run reordered f))
+      (QCheck.make ~print:(Printf.sprintf "seed %d") QCheck.Gen.int);
+  ]
+
+let fallback_tests =
+  let open Alcotest in
+  [
+    test_case "supported formulas use the similarity engine" `Quick (fun () ->
+        let store = Fixtures.western_store () in
+        let ctx = Context.of_store store in
+        let f = parse "exists x . (present(x) and type(x) = \"woman\")" in
+        check sim_list "same as run" (Query.run ctx f)
+          (Query.run_with_fallback ctx f));
+    test_case "negation falls back to boolean similarity" `Quick (fun () ->
+        let store = Fixtures.western_store () in
+        let ctx = Context.of_store store in
+        let f = parse "not (exists x . type(x) = \"man\" or type(x) = \"woman\")" in
+        let r = Query.run_with_fallback ctx f in
+        check (float 0.) "max is 1" 1. (Sim_list.max_sim r);
+        (* shots 3 and 6 have no people *)
+        check (float 0.) "shot 3" 1. (Sim_list.value_at r 3);
+        check (float 0.) "shot 6" 1. (Sim_list.value_at r 6);
+        check (float 0.) "shot 1" 0. (Sim_list.value_at r 1));
+    test_case "fallback without a store is an error" `Quick (fun () ->
+        let ctx = ctx_of two_lists in
+        try
+          ignore (Query.run_with_fallback ctx (parse "not p1"));
+          fail "expected Query.Error"
+        with Query.Error _ -> ());
+    test_case "open formulas are rejected" `Quick (fun () ->
+        let store = Fixtures.western_store () in
+        let ctx = Context.of_store store in
+        try
+          ignore (Query.run_with_fallback ctx (parse "not present(x)"));
+          fail "expected Query.Error"
+        with Query.Error _ -> ());
+  ]
+
+let browse_tests =
+  let open Alcotest in
+  [
+    test_case "browsing ranks whole videos" `Quick (fun () ->
+        let store = Fixtures.two_movie_store () in
+        let ranked =
+          Browse.rank_videos store
+            "at shot level (eventually (exists x . (present(x) and type(x) \
+             = \"horse\")))"
+        in
+        (* only the chase movie has a horse; the western's animals are
+           people/trains (partial credit) *)
+        match ranked with
+        | (idx, title, sim) :: _ ->
+            check int "chase first" 1 idx;
+            check string "title" "chase" title;
+            check (float 1e-9) "exact" 1. (Simlist.Sim.fraction sim)
+        | [] -> fail "no results");
+    test_case "title browsing" `Quick (fun () ->
+        let store = Fixtures.two_movie_store () in
+        match Browse.rank_videos store "seg.title = \"western\"" with
+        | [ (0, "western", _) ] -> ()
+        | other -> failf "unexpected ranking (%d entries)" (List.length other));
+    test_case "zero-similarity videos are omitted" `Quick (fun () ->
+        let store = Fixtures.two_movie_store () in
+        check int "none" 0
+          (List.length (Browse.rank_videos store "seg.title = \"nothing\"")));
+    test_case "syntax errors raise Browse.Error" `Quick (fun () ->
+        let store = Fixtures.two_movie_store () in
+        try
+          ignore (Browse.rank_videos store "not (");
+          fail "expected Browse.Error"
+        with Browse.Error _ -> ());
+  ]
+
+let suites =
+  [
+    ("extensions.conj_mode", conj_mode_tests);
+    ("extensions.browse", browse_tests);
+    ("extensions.reorder", reorder_tests);
+    ("extensions.fallback", fallback_tests);
+  ]

@@ -1,0 +1,258 @@
+(* Tests for the HTL syntax: lexer, parser, pretty-printer round trips,
+   and the formula classifier. *)
+
+open Htl
+open Ast
+
+let parse = Parser.formula_of_string
+let formula = Alcotest.testable (fun ppf f -> Pretty.pp ppf f) Ast.equal
+
+(* the paper's example formulas in our concrete syntax *)
+let paper_a = "m1(x) = 1 until m2(x) = 1"
+
+let paper_a' = "at shot level (m1 and next (m2 until m3))"
+
+let paper_b =
+  "exists x, y . p1(x, y) and eventually (p2(x, y) and eventually p3(y))"
+
+let paper_c =
+  "exists z . (present(z) and type(z) = \"airplane\") and [h <- height(z)] \
+   eventually (present(z) and height(z) > h)"
+
+let parser_tests =
+  let open Alcotest in
+  [
+    test_case "atoms" `Quick (fun () ->
+        check formula "present" (Atom (Present "x")) (parse "present(x)");
+        check formula "relation"
+          (Atom (Rel ("fires_at", [ "x"; "y" ])))
+          (parse "fires_at(x, y)");
+        check formula "attr comparison"
+          (Atom
+             (Cmp (Gt, Obj_attr ("height", "z"), Const (Metadata.Value.Int 5))))
+          (parse "height(z) > 5");
+        check formula "segment attr"
+          (Atom
+             (Cmp (Eq, Seg_attr "type", Const (Metadata.Value.Str "western"))))
+          (parse "seg.type = \"western\"");
+        check formula "true/false" (And (Atom True, Atom False))
+          (parse "true and false"));
+    test_case "single-quoted strings" `Quick (fun () ->
+        check formula "quotes"
+          (Atom (Cmp (Eq, Seg_attr "type", Const (Metadata.Value.Str "western"))))
+          (parse "seg.type = 'western'"));
+    test_case "unary operators bind tighter than and" `Quick (fun () ->
+        check formula "eventually and"
+          (And (Eventually (Atom (Rel ("p", [ "x" ]))), Atom (Rel ("q", [ "x" ]))))
+          (parse "eventually p(x) and q(x)"));
+    test_case "until binds looser than and" `Quick (fun () ->
+        check formula "a and b until c"
+          (Until
+             ( And (Atom (Rel ("a", [ "x" ])), Atom (Rel ("b", [ "x" ]))),
+               Atom (Rel ("c", [ "x" ])) ))
+          (parse "a(x) and b(x) until c(x)"));
+    test_case "until is right associative" `Quick (fun () ->
+        check formula "a until b until c"
+          (Until
+             ( Atom (Rel ("a", [ "x" ])),
+               Until (Atom (Rel ("b", [ "x" ])), Atom (Rel ("c", [ "x" ]))) ))
+          (parse "a(x) until b(x) until c(x)"));
+    test_case "exists with several variables nests" `Quick (fun () ->
+        check formula "exists x, y"
+          (Exists ("x", Exists ("y", Atom (Rel ("p", [ "x"; "y" ])))))
+          (parse "exists x, y . p(x, y)"));
+    test_case "freeze after and" `Quick (fun () ->
+        check formula "a and [v <- q(x)] b"
+          (And
+             ( Atom (Present "x"),
+               Freeze
+                 {
+                   var = "v";
+                   attr = "speed";
+                   obj = Some "x";
+                   body = Atom (Present "x");
+                 } ))
+          (parse "present(x) and [v <- speed(x)] present(x)"));
+    test_case "level operators" `Quick (fun () ->
+        check formula "at next level"
+          (At_level (Next_level, Atom True))
+          (parse "at next level (true)");
+        check formula "at level 3"
+          (At_level (Level_index 3, Atom True))
+          (parse "at level 3 (true)");
+        check formula "at shot level"
+          (At_level (Level_name "shot", Atom True))
+          (parse "at shot level (true)"));
+    test_case "paper formulas parse" `Quick (fun () ->
+        List.iter
+          (fun s -> ignore (parse s))
+          [ paper_a; paper_a'; paper_b; paper_c ]);
+    test_case "paper formula (B) has the right shape" `Quick (fun () ->
+        match parse paper_b with
+        | Exists ("x", Exists ("y", And (_, Eventually (And (_, Eventually _)))))
+          ->
+            ()
+        | f -> failf "unexpected shape: %a" Pretty.pp f);
+    test_case "syntax errors carry a message" `Quick (fun () ->
+        let expect_error s =
+          match Parser.formula_of_string_opt s with
+          | Error _ -> ()
+          | Ok f -> failf "parsed %S into %a" s Pretty.pp f
+        in
+        expect_error "present(";
+        expect_error "exists . p(x)";
+        expect_error "p(x) and";
+        expect_error "height(z) >";
+        expect_error "[h < - q(x)] present(x)";
+        expect_error "at level 0 (true)";
+        expect_error "present(x) trailing");
+    test_case "lexer reports bad characters" `Quick (fun () ->
+        match Parser.formula_of_string_opt "present(x) # oops" with
+        | Error msg -> check bool "non-empty message" true (String.length msg > 0)
+        | Ok _ -> fail "expected a lexical error");
+  ]
+
+(* round trips: print then reparse *)
+
+let gen_formula =
+  let open QCheck.Gen in
+  let var = oneofl [ "x"; "y"; "z" ] in
+  let attr_var = oneofl [ "h"; "v" ] in
+  let name = oneofl [ "p"; "q"; "fires_at"; "holds" ] in
+  let attr = oneofl [ "height"; "speed"; "name" ] in
+  let value =
+    oneof
+      [
+        map (fun n -> Metadata.Value.Int n) (int_range (-20) 20);
+        map (fun f -> Metadata.Value.Float f) (float_range (-4.) 4.);
+        map (fun s -> Metadata.Value.Str s) (oneofl [ "a"; "b c"; "d\"e" ]);
+        map (fun b -> Metadata.Value.Bool b) bool;
+      ]
+  in
+  let term =
+    oneof
+      [
+        map (fun v -> Const v) value;
+        map (fun y -> Attr_var y) attr_var;
+        map (fun (q, x) -> Obj_attr (q, x)) (pair attr var);
+        map (fun q -> Seg_attr q) attr;
+      ]
+  in
+  let cmp = oneofl [ Eq; Ne; Lt; Le; Gt; Ge ] in
+  let atom =
+    oneof
+      [
+        return True;
+        return False;
+        map (fun x -> Present x) var;
+        map (fun (c, t1, t2) -> Cmp (c, t1, t2)) (triple cmp term term);
+        map (fun (r, args) -> Rel (r, args)) (pair name (list_size (int_range 1 3) var));
+      ]
+  in
+  let level_sel =
+    oneof
+      [
+        return Next_level;
+        map (fun i -> Level_index i) (int_range 1 5);
+        map (fun n -> Level_name n) (oneofl [ "shot"; "scene"; "frame" ]);
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then map (fun a -> Atom a) atom
+      else
+        let sub = self (depth - 1) in
+        oneof
+          [
+            map (fun a -> Atom a) atom;
+            map (fun (f, g) -> And (f, g)) (pair sub sub);
+            map (fun (f, g) -> Or (f, g)) (pair sub sub);
+            map (fun f -> Not f) sub;
+            map (fun f -> Next f) sub;
+            map (fun (f, g) -> Until (f, g)) (pair sub sub);
+            map (fun f -> Eventually f) sub;
+            map (fun (x, f) -> Exists (x, f)) (pair var sub);
+            map
+              (fun (y, (q, xo), f) ->
+                Freeze { var = y; attr = q; obj = xo; body = f })
+              (triple attr_var (pair attr (option var)) sub);
+            map (fun (sel, f) -> At_level (sel, f)) (pair level_sel sub);
+          ])
+    4
+
+let round_trip_tests =
+  [
+    Helpers.qtest ~count:500 "pretty-print then parse is the identity"
+      (fun f ->
+        match Parser.formula_of_string_opt (Pretty.to_string f) with
+        | Ok f' -> Ast.equal f f'
+        | Error msg ->
+            QCheck.Test.fail_reportf "did not reparse %s: %s"
+              (Pretty.to_string f) msg)
+      (QCheck.make ~print:Pretty.to_string gen_formula);
+    Helpers.qtest ~count:500 "free variables are closed under exists"
+      (fun f ->
+        let fv = Ast.free_obj_vars f in
+        List.for_all
+          (fun x -> not (List.mem x (Ast.free_obj_vars (Exists (x, f)))))
+          fv)
+      (QCheck.make ~print:Pretty.to_string gen_formula);
+  ]
+
+(* --- classifier --------------------------------------------------------- *)
+
+let classify_tests =
+  let open Alcotest in
+  let cls = testable Classify.pp_cls ( = ) in
+  let check_cls what expected src =
+    check cls what expected (Classify.classify (parse src))
+  in
+  [
+    test_case "paper (A)-style formulas are type (1)" `Quick (fun () ->
+        check_cls "until of closed atoms" Classify.Type1
+          "(exists x . m1(x)) until (exists x . m2(x))";
+        check_cls "and with eventually" Classify.Type1
+          "(exists x . m1(x)) and eventually (exists x . m2(x))");
+    test_case "paper (B) is type (2)" `Quick (fun () ->
+        check_cls "prefix exists over temporal" Classify.Type2 paper_b);
+    test_case "paper (C) is conjunctive" `Quick (fun () ->
+        check_cls "freeze" Classify.Conjunctive paper_c);
+    test_case "level operators give extended conjunctive" `Quick (fun () ->
+        check_cls "at shot level" Classify.Extended_conjunctive
+          "at shot level ((exists x . m1(x)) until (exists x . m2(x)))");
+    test_case "negation is general" `Quick (fun () ->
+        check_cls "not" Classify.General "not (exists x . m1(x))");
+    test_case "disjunction is general" `Quick (fun () ->
+        check_cls "or" Classify.General "(exists x . m1(x)) or (exists x . m2(x))");
+    test_case "open formulas are general" `Quick (fun () ->
+        check_cls "free object variable" Classify.General "present(x)";
+        check_cls "free attribute variable" Classify.General "height(x) > h");
+    test_case "inner exists over temporal is general" `Quick (fun () ->
+        check_cls "exists inside until scope" Classify.General
+          "true until (exists x . eventually present(x))");
+    test_case "attribute != is general" `Quick (fun () ->
+        check_cls "not-equal on attr var" Classify.General
+          "exists x . [h <- height(x)] eventually (height(x) != h)");
+    test_case "attr var vs attr var is general" `Quick (fun () ->
+        check_cls "two attr vars" Classify.General
+          "exists x . [h <- height(x)] [v <- speed(x)] eventually (h < v)");
+    test_case "subclass ordering" `Quick (fun () ->
+        check bool "t1 <= t2" true (Classify.subclass Classify.Type1 Classify.Type2);
+        check bool "t2 <= conj" true
+          (Classify.subclass Classify.Type2 Classify.Conjunctive);
+        check bool "conj <= ext" true
+          (Classify.subclass Classify.Conjunctive Classify.Extended_conjunctive);
+        check bool "general not below" false
+          (Classify.subclass Classify.General Classify.Type1));
+    test_case "check explains general" `Quick (fun () ->
+        match Classify.check (parse "not true") with
+        | Error msg -> check bool "non-empty" true (String.length msg > 0)
+        | Ok c -> failf "expected an error, got %a" Classify.pp_cls c);
+  ]
+
+let suites =
+  [
+    ("htl.parser", parser_tests);
+    ("htl.round_trip", round_trip_tests);
+    ("htl.classify", classify_tests);
+  ]

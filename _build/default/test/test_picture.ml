@@ -1,0 +1,272 @@
+(* Tests for the picture retrieval substrate: taxonomy, spatial relations,
+   weights, and the similarity-table construction for atomic formulas. *)
+
+open Picture
+module Sim_list = Simlist.Sim_list
+module Sim_table = Simlist.Sim_table
+module Range = Simlist.Range
+
+let parse = Htl.Parser.formula_of_string
+
+let taxonomy_tests =
+  let open Alcotest in
+  let t = Taxonomy.default in
+  [
+    test_case "exact type matches fully" `Quick (fun () ->
+        check (float 0.) "man/man" 1. (Taxonomy.similarity t ~asked:"man" ~found:"man"));
+    test_case "subtype of the asked type matches fully" `Quick (fun () ->
+        check (float 0.) "person asked, man found" 1.
+          (Taxonomy.similarity t ~asked:"person" ~found:"man"));
+    test_case "supertype gives partial credit" `Quick (fun () ->
+        check (float 1e-9) "man asked, person found" 0.5
+          (Taxonomy.similarity t ~asked:"man" ~found:"person"));
+    test_case "siblings give partial credit" `Quick (fun () ->
+        check (float 1e-9) "woman/man" 0.25
+          (Taxonomy.similarity t ~asked:"woman" ~found:"man");
+        check (float 1e-9) "train/car" 0.25
+          (Taxonomy.similarity t ~asked:"train" ~found:"car"));
+    test_case "distant relatives decay further" `Quick (fun () ->
+        check (float 1e-9) "man/train" 0.0625
+          (Taxonomy.similarity t ~asked:"man" ~found:"train"));
+    test_case "unknown types only match themselves" `Quick (fun () ->
+        check (float 0.) "alien/alien" 1.
+          (Taxonomy.similarity t ~asked:"alien" ~found:"alien");
+        check (float 0.) "alien/man" 0.
+          (Taxonomy.similarity t ~asked:"alien" ~found:"man"));
+    test_case "is_subtype is reflexive-transitive" `Quick (fun () ->
+        check bool "man <= person" true (Taxonomy.is_subtype t ~sub:"man" ~super:"person");
+        check bool "man <= thing" true (Taxonomy.is_subtype t ~sub:"man" ~super:"thing");
+        check bool "man <= man" true (Taxonomy.is_subtype t ~sub:"man" ~super:"man");
+        check bool "person <= man" false (Taxonomy.is_subtype t ~sub:"person" ~super:"man"));
+    test_case "add rejects duplicates and unknown parents" `Quick (fun () ->
+        (try
+           ignore (Taxonomy.add t "man");
+           fail "expected Invalid_argument"
+         with Invalid_argument _ -> ());
+        (try
+           ignore (Taxonomy.add t ~parent:"ghost" "spirit");
+           fail "expected Invalid_argument"
+         with Invalid_argument _ -> ()));
+  ]
+
+let spatial_tests =
+  let open Alcotest in
+  let box x0 x1 = Metadata.Bbox.make ~x0 ~y0:0. ~x1 ~y1:1. in
+  let meta =
+    Metadata.Seg_meta.make
+      ~objects:
+        [
+          Metadata.Entity.make ~id:1 ~otype:"man" ~bbox:(box 0. 1.) ();
+          Metadata.Entity.make ~id:2 ~otype:"train" ~bbox:(box 2. 3.) ();
+          Metadata.Entity.make ~id:3 ~otype:"gun" ();
+        ]
+      ~relationships:[ Metadata.Relationship.make "holds" [ 1; 3 ] ]
+      ()
+  in
+  [
+    test_case "explicit relationships" `Quick (fun () ->
+        check bool "holds" true (Spatial.holds meta "holds" [ 1; 3 ]);
+        check bool "wrong order" false (Spatial.holds meta "holds" [ 3; 1 ]));
+    test_case "derived from bounding boxes" `Quick (fun () ->
+        check bool "left_of" true (Spatial.holds meta "left_of" [ 1; 2 ]);
+        check bool "right_of" true (Spatial.holds meta "right_of" [ 2; 1 ]);
+        check bool "not left" false (Spatial.holds meta "left_of" [ 2; 1 ]));
+    test_case "missing boxes derive nothing" `Quick (fun () ->
+        check bool "no box" false (Spatial.holds meta "left_of" [ 1; 3 ]));
+    test_case "unknown relation" `Quick (fun () ->
+        check bool "nope" false (Spatial.holds meta "chases" [ 1; 2 ]));
+  ]
+
+let weights_tests =
+  let open Alcotest in
+  [
+    test_case "default weight is 1 per atom" `Quick (fun () ->
+        check (float 0.) "three atoms" 3.
+          (Weights.total Weights.default
+             (parse "present(x) and type(x) = \"man\" and holds(x, y)")));
+    test_case "per-key overrides" `Quick (fun () ->
+        let w = Weights.create [ ("present", 2.); ("rel:holds", 5.) ] in
+        check (float 0.) "weighted" 8.
+          (Weights.total w
+             (parse "present(x) and type(x) = \"man\" and holds(x, y)")));
+    test_case "quantifiers are transparent" `Quick (fun () ->
+        check (float 0.) "exists" 2.
+          (Weights.total Weights.default
+             (parse "exists x . present(x) and type(x) = \"man\"")));
+    test_case "total rejects temporal formulas" `Quick (fun () ->
+        try
+          ignore (Weights.total Weights.default (parse "eventually present(x)"));
+          fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+  ]
+
+(* --- retrieval ------------------------------------------------------------ *)
+
+let store = Fixtures.western_store ()
+
+let retrieval_tests =
+  let open Alcotest in
+  [
+    test_case "closed formula gives a one-column table" `Quick (fun () ->
+        let t =
+          Retrieval.eval store ~level:2
+            (parse "exists x . (present(x) and type(x) = \"train\")")
+        in
+        check (list string) "no cols" [] (Sim_table.obj_cols t);
+        let l = Sim_table.project_exists t in
+        (* full match (2.0) at shots 3 and 5 where the train appears;
+           partial type credit elsewhere: person vs train = 2^-4 *)
+        check (float 1e-9) "shot 3" 2. (Sim_list.value_at l 3);
+        check (float 1e-9) "shot 5" 2. (Sim_list.value_at l 5);
+        check (float 1e-9) "shot 1 partial" 1.0625 (Sim_list.value_at l 1);
+        check (float 1e-9) "shot 6 empty" 0. (Sim_list.value_at l 6));
+    test_case "free variable tables have one row per relevant object" `Quick
+      (fun () ->
+        let t =
+          Retrieval.eval store ~level:2
+            (parse "present(x) and type(x) = \"man\"")
+        in
+        check (list string) "col" [ "x" ] (Sim_table.obj_cols t);
+        (* objects 1 (john) and 5 (bob) are men; 2 (mary) gets partial
+           type credit; 3/4 score 1 for presence only *)
+        let value oid seg =
+          let row =
+            List.find_opt
+              (fun (r : Sim_table.row) -> r.objs = [ ("x", oid) ])
+              (Sim_table.rows t)
+          in
+          match row with
+          | Some r -> Sim_list.value_at r.list seg
+          | None -> 0.
+        in
+        check (float 1e-9) "john at 1" 2. (value 1 1);
+        check (float 1e-9) "john at 3" 0. (value 1 3);
+        check (float 1e-9) "mary at 1" 1.25 (value 2 1);
+        check (float 1e-9) "train at 3" 1.0625 (value 4 3);
+        check (float 1e-9) "bob at 4" 2. (value 5 4));
+    test_case "max similarity is the total weight" `Quick (fun () ->
+        let f = parse "present(x) and type(x) = \"man\" and holds(x, y)" in
+        let t = Retrieval.eval store ~level:2 f in
+        check (float 0.) "max" 3. (Sim_table.max_sim t);
+        check (float 0.) "max_similarity agrees" 3. (Retrieval.max_similarity f));
+    test_case "score_at matches table rows everywhere" `Quick (fun () ->
+        (* the strong table-correctness property: for every binding
+           (including objects absent from the data) and every segment, the
+           best matching row reproduces the direct score *)
+        let f = parse "present(x) and (type(x) = \"man\" or false)" in
+        (* or false is rejected; use a plain conjunction *)
+        ignore f;
+        let f = parse "present(x) and type(x) = \"man\" and holds(x, y)" in
+        let t = Retrieval.eval store ~level:2 f in
+        let row_value env seg =
+          (* most specific matching row wins; fall back over padding *)
+          List.fold_left
+            (fun acc (r : Sim_table.row) ->
+              let matches =
+                List.for_all
+                  (fun (v, o) ->
+                    match List.assoc_opt v r.objs with
+                    | Some o' -> o = o'
+                    | None -> true)
+                  env
+                && List.for_all
+                     (fun (v, o) -> List.mem (v, o) env)
+                     r.objs
+              in
+              if matches then Float.max acc (Sim_list.value_at r.list seg)
+              else acc)
+            0. (Sim_table.rows t)
+        in
+        let oids = [ 1; 2; 3; 4; 5; 999 ] in
+        List.iter
+          (fun ox ->
+            List.iter
+              (fun oy ->
+                for seg = 1 to 6 do
+                  let env = [ ("x", ox); ("y", oy) ] in
+                  let direct = Retrieval.score_at store ~level:2 ~id:seg ~env f in
+                  let table = row_value env seg in
+                  check (float 1e-9)
+                    (Printf.sprintf "x=%d y=%d seg=%d" ox oy seg)
+                    direct table
+                done)
+              oids)
+          oids);
+    test_case "inner exists takes the best local witness" `Quick (fun () ->
+        let t =
+          Retrieval.eval store ~level:2
+            (parse "exists z . (present(z) and type(z) = \"woman\")")
+        in
+        let l = Sim_table.project_exists t in
+        check (float 1e-9) "mary at shot 1" 2. (Sim_list.value_at l 1);
+        (* shot 2: john is a man: presence 1 + woman~man 0.25 *)
+        check (float 1e-9) "best man at shot 2" 1.25 (Sim_list.value_at l 2);
+        check (float 1e-9) "empty shot" 0. (Sim_list.value_at l 6));
+    test_case "attribute variables produce ranges" `Quick (fun () ->
+        (* speed(x) > v: the train has speed 50 at shot 3 and 80 at shot 5 *)
+        let t =
+          Retrieval.eval store ~level:2 (parse "present(x) and speed(x) > v")
+        in
+        check (list string) "attr col" [ "v" ] (Sim_table.attr_cols t);
+        let train_rows =
+          List.filter
+            (fun (r : Sim_table.row) -> r.objs = [ ("x", 4) ])
+            (Sim_table.rows t)
+        in
+        check bool "several ranges" true (List.length train_rows >= 3);
+        (* for v <= 49 both shots satisfy the comparison *)
+        let value_for v seg =
+          List.fold_left
+            (fun acc (r : Sim_table.row) ->
+              if Range.mem (Range.Vint v) (List.assoc "v" r.attrs) then
+                Float.max acc (Sim_list.value_at r.list seg)
+              else acc)
+            0. train_rows
+        in
+        check (float 1e-9) "v=40 shot 3" 2. (value_for 40 3);
+        check (float 1e-9) "v=40 shot 5" 2. (value_for 40 5);
+        check (float 1e-9) "v=60 shot 3" 1. (value_for 60 3);
+        check (float 1e-9) "v=60 shot 5" 2. (value_for 60 5);
+        check (float 1e-9) "v=90 shot 5" 1. (value_for 90 5));
+    test_case "freeze inside an atomic formula" `Quick (fun () ->
+        (* [v <- speed(x)] v > 60 is non-temporal: compares within one
+           segment *)
+        let t =
+          Retrieval.eval store ~level:2
+            (parse "exists x . (present(x) and [v <- speed(x)] v > 60)")
+        in
+        let l = Sim_table.project_exists t in
+        check (float 1e-9) "shot 5 fast train" 2. (Sim_list.value_at l 5);
+        check (float 1e-9) "shot 3 slow train" 1. (Sim_list.value_at l 3));
+    test_case "temporal operators are rejected" `Quick (fun () ->
+        (try
+           ignore (Retrieval.eval store ~level:2 (parse "eventually true"));
+           fail "expected Unsupported"
+         with Retrieval.Unsupported _ -> ());
+        (try
+           ignore (Retrieval.eval store ~level:2 (parse "not true"));
+           fail "expected Unsupported"
+         with Retrieval.Unsupported _ -> ()));
+    test_case "weights scale the similarity values" `Quick (fun () ->
+        let config =
+          {
+            Retrieval.default_config with
+            weights = Weights.create [ ("attr:type", 3.) ];
+          }
+        in
+        let t =
+          Retrieval.eval ~config store ~level:2
+            (parse "exists x . (present(x) and type(x) = \"train\")")
+        in
+        let l = Sim_table.project_exists t in
+        check (float 0.) "max" 4. (Sim_list.max_sim l);
+        check (float 1e-9) "shot 3" 4. (Sim_list.value_at l 3));
+  ]
+
+let suites =
+  [
+    ("picture.taxonomy", taxonomy_tests);
+    ("picture.spatial", spatial_tests);
+    ("picture.weights", weights_tests);
+    ("picture.retrieval", retrieval_tests);
+  ]

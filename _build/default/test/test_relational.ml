@@ -1,0 +1,250 @@
+(* Tests for the relational engine: values, tables, expressions, plans,
+   the SQL dialect and the catalog. *)
+
+open Relational
+
+let exec_all db sql = ignore (Catalog.exec_sql db sql)
+
+let fresh_db () =
+  let db = Catalog.create () in
+  exec_all db
+    "CREATE TABLE emp (id, name, dept, salary);\n\
+     INSERT INTO emp VALUES (1, 'ann', 'eng', 100), (2, 'bob', 'eng', 80),\n\
+     (3, 'cat', 'ops', 90), (4, 'dan', 'ops', NULL);";
+  db
+
+let rows_as_ints table =
+  List.map
+    (fun r ->
+      Array.to_list
+        (Array.map
+           (function Value.Int n -> n | v -> Stdlib.failwith (Value.to_string v))
+           r))
+    (Table.rows table)
+
+let value_tests =
+  let open Alcotest in
+  [
+    test_case "NULL never equals anything" `Quick (fun () ->
+        check bool "null = null" false (Value.equal Value.Null Value.Null);
+        check bool "null = 1" false (Value.equal Value.Null (Value.Int 1)));
+    test_case "numeric equality crosses int/float" `Quick (fun () ->
+        check bool "3 = 3.0" true (Value.equal (Value.Int 3) (Value.Float 3.)));
+    test_case "sql comparison" `Quick (fun () ->
+        check (option int) "1 < 2" (Some (-1))
+          (Value.compare_sql (Value.Int 1) (Value.Int 2));
+        check (option int) "null" None
+          (Value.compare_sql Value.Null (Value.Int 2));
+        check (option int) "type clash" None
+          (Value.compare_sql (Value.Str "a") (Value.Int 2)));
+    test_case "arithmetic propagates NULL" `Quick (fun () ->
+        check bool "null + 1" true
+          (Value.is_null (Value.add Value.Null (Value.Int 1))));
+  ]
+
+let table_tests =
+  let open Alcotest in
+  [
+    test_case "create validates arity and duplicates" `Quick (fun () ->
+        (try
+           ignore (Table.create ~cols:[ "a"; "a" ] []);
+           fail "expected Invalid_argument"
+         with Invalid_argument _ -> ());
+        (try
+           ignore (Table.create ~cols:[ "a"; "b" ] [ [| Value.Int 1 |] ]);
+           fail "expected Invalid_argument"
+         with Invalid_argument _ -> ()));
+    test_case "qualified column resolution" `Quick (fun () ->
+        let t = Table.empty ~cols:[ "a.x"; "a.y"; "b.z" ] in
+        check int "suffix" 2 (Table.col_index t "z");
+        check int "exact" 0 (Table.col_index t "a.x");
+        let amb = Table.empty ~cols:[ "a.x"; "b.x" ] in
+        (try
+           ignore (Table.col_index amb "x");
+           fail "expected ambiguity error"
+         with Invalid_argument _ -> ()));
+    test_case "prefix_cols re-aliases" `Quick (fun () ->
+        let t = Table.empty ~cols:[ "a.x"; "y" ] in
+        check (list string) "prefixed" [ "c.x"; "c.y" ]
+          (Table.cols (Table.prefix_cols t "c")));
+  ]
+
+let sql_tests =
+  let open Alcotest in
+  [
+    test_case "select with where and projection" `Quick (fun () ->
+        let db = fresh_db () in
+        let t =
+          Catalog.query db
+            "SELECT id, salary + 10 AS bumped FROM emp WHERE dept = 'eng' \
+             ORDER BY id"
+        in
+        check (list (list int)) "rows" [ [ 1; 110 ]; [ 2; 90 ] ] (rows_as_ints t));
+    test_case "comparison with NULL filters the row out" `Quick (fun () ->
+        let db = fresh_db () in
+        let t = Catalog.query db "SELECT id FROM emp WHERE salary > 0" in
+        check int "three rows" 3 (Table.cardinality t));
+    test_case "coalesce" `Quick (fun () ->
+        let db = fresh_db () in
+        let t =
+          Catalog.query db
+            "SELECT id, COALESCE(salary, 0) AS s FROM emp ORDER BY id"
+        in
+        check (list (list int)) "rows"
+          [ [ 1; 100 ]; [ 2; 80 ]; [ 3; 90 ]; [ 4; 0 ] ]
+          (rows_as_ints t));
+    test_case "group by with aggregates" `Quick (fun () ->
+        let db = fresh_db () in
+        let t =
+          Catalog.query db
+            "SELECT dept, COUNT(*) AS n, SUM(salary) AS total, MAX(salary) \
+             AS top FROM emp GROUP BY dept ORDER BY dept"
+        in
+        check int "two groups" 2 (Table.cardinality t);
+        let first = List.hd (Table.rows t) in
+        check string "eng" "eng"
+          (match first.(0) with Value.Str s -> s | _ -> "?");
+        check bool "count 2" true (Value.equal first.(1) (Value.Int 2));
+        check bool "sum 180" true (Value.equal first.(2) (Value.Int 180)));
+    test_case "global aggregate over empty input yields one row" `Quick
+      (fun () ->
+        let db = fresh_db () in
+        let t = Catalog.query db "SELECT COUNT(*) AS n FROM emp WHERE id > 99" in
+        check (list (list int)) "zero" [ [ 0 ] ] (rows_as_ints t));
+    test_case "hash join" `Quick (fun () ->
+        let db = fresh_db () in
+        exec_all db
+          "CREATE TABLE dept (dname, floor);\n\
+           INSERT INTO dept VALUES ('eng', 3), ('ops', 1);";
+        let t =
+          Catalog.query db
+            "SELECT e.id, d.floor FROM emp e JOIN dept d ON e.dept = d.dname \
+             ORDER BY e.id"
+        in
+        check (list (list int)) "rows"
+          [ [ 1; 3 ]; [ 2; 3 ]; [ 3; 1 ]; [ 4; 1 ] ]
+          (rows_as_ints t));
+    test_case "band join expands intervals to ids" `Quick (fun () ->
+        let db = Catalog.create () in
+        exec_all db
+          "CREATE TABLE seq (id);\n\
+           INSERT INTO seq VALUES (1), (2), (3), (4), (5), (6);\n\
+           CREATE TABLE iv (beg, fin, v);\n\
+           INSERT INTO iv VALUES (2, 3, 10), (5, 6, 20);";
+        let t =
+          Catalog.query db
+            "SELECT s.id, i.v FROM seq s JOIN iv i ON s.id BETWEEN i.beg AND \
+             i.fin ORDER BY s.id"
+        in
+        check (list (list int)) "expanded"
+          [ [ 2; 10 ]; [ 3; 10 ]; [ 5; 20 ]; [ 6; 20 ] ]
+          (rows_as_ints t));
+    test_case "rownum after order by" `Quick (fun () ->
+        let db = fresh_db () in
+        let t =
+          Catalog.query db
+            "SELECT id, ROWNUM() AS rn FROM emp WHERE dept = 'ops' ORDER BY \
+             id DESC"
+        in
+        check (list (list int)) "numbered" [ [ 4; 1 ]; [ 3; 2 ] ] (rows_as_ints t));
+    test_case "rownum requires order by" `Quick (fun () ->
+        let db = fresh_db () in
+        try
+          ignore (Catalog.query db "SELECT id, ROWNUM() AS rn FROM emp");
+          fail "expected Sql.Error"
+        with Sql.Error _ -> ());
+    test_case "distinct" `Quick (fun () ->
+        let db = fresh_db () in
+        let t = Catalog.query db "SELECT DISTINCT dept FROM emp" in
+        check int "two" 2 (Table.cardinality t));
+    test_case "limit" `Quick (fun () ->
+        let db = fresh_db () in
+        let t = Catalog.query db "SELECT id FROM emp ORDER BY id LIMIT 2" in
+        check (list (list int)) "first two" [ [ 1 ]; [ 2 ] ] (rows_as_ints t));
+    test_case "create table as select" `Quick (fun () ->
+        let db = fresh_db () in
+        exec_all db "CREATE TABLE rich AS SELECT id FROM emp WHERE salary >= 90";
+        let t = Catalog.query db "SELECT id FROM rich ORDER BY id" in
+        check (list (list int)) "stored" [ [ 1 ]; [ 3 ] ] (rows_as_ints t));
+    test_case "insert after create" `Quick (fun () ->
+        let db = Catalog.create () in
+        exec_all db "CREATE TABLE t (a, b); INSERT INTO t VALUES (1, -2)";
+        let t = Catalog.query db "SELECT a, b FROM t" in
+        check (list (list int)) "negative literal" [ [ 1; -2 ] ] (rows_as_ints t));
+    test_case "drop table" `Quick (fun () ->
+        let db = fresh_db () in
+        exec_all db "DROP TABLE emp";
+        check bool "gone" false (Catalog.mem db "emp");
+        exec_all db "DROP TABLE IF EXISTS emp";
+        try
+          exec_all db "DROP TABLE emp";
+          fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    test_case "syntax errors raise Sql.Error" `Quick (fun () ->
+        List.iter
+          (fun src ->
+            try
+              ignore (Sql.parse src);
+              fail ("parsed: " ^ src)
+            with Sql.Error _ -> ())
+          [
+            "SELECT";
+            "SELECT FROM t";
+            "CREATE TABLE";
+            "INSERT INTO t VALUES 1";
+            "SELECT * FROM t WHERE";
+            "SELECT a FROM t GROUP";
+          ]);
+    test_case "group by rejects non-grouped items" `Quick (fun () ->
+        let db = fresh_db () in
+        try
+          ignore
+            (Catalog.query db "SELECT name, COUNT(*) AS n FROM emp GROUP BY dept");
+          fail "expected Sql.Error"
+        with Sql.Error _ -> ());
+    test_case "string escaping with doubled quotes" `Quick (fun () ->
+        let db = Catalog.create () in
+        exec_all db "CREATE TABLE s (x); INSERT INTO s VALUES ('it''s')";
+        let t = Catalog.query db "SELECT x FROM s" in
+        match Table.rows t with
+        | [ [| Value.Str s |] ] -> check string "unescaped" "it's" s
+        | _ -> fail "unexpected shape");
+    test_case "comments are skipped" `Quick (fun () ->
+        let db = fresh_db () in
+        let t =
+          Catalog.query db "SELECT id FROM emp -- trailing comment\nWHERE id = 1"
+        in
+        check int "one row" 1 (Table.cardinality t));
+  ]
+
+let plan_tests =
+  let open Alcotest in
+  [
+    test_case "union all at the plan level" `Quick (fun () ->
+        let mk rows = Plan.Values ([ "x" ], rows) in
+        let t =
+          Plan.run
+            ~lookup:(fun _ -> Stdlib.failwith "no tables")
+            (Plan.Union_all
+               (mk [ [| Value.Int 1 |] ], mk [ [| Value.Int 2 |] ]))
+        in
+        check int "two rows" 2 (Table.cardinality t));
+    test_case "nested join falls back to theta join" `Quick (fun () ->
+        let db = fresh_db () in
+        let t =
+          Catalog.query db
+            "SELECT a.id AS x, b.id AS y FROM emp a JOIN emp b ON a.salary < \
+             b.salary ORDER BY a.id, b.id"
+        in
+        (* salaries 100, 80, 90, NULL: pairs with a.salary < b.salary *)
+        check (list (list int)) "pairs" [ [ 2; 1 ]; [ 2; 3 ]; [ 3; 1 ] ]
+          (rows_as_ints t));
+  ]
+
+let suites =
+  [
+    ("relational.value", value_tests);
+    ("relational.table", table_tests);
+    ("relational.sql", sql_tests);
+    ("relational.plan", plan_tests);
+  ]

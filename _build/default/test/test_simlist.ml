@@ -1,0 +1,643 @@
+(* Tests for the Simlist library: intervals, extents, similarity values,
+   similarity lists (including the paper's Figure 2 worked example),
+   similarity tables, ranges and value tables. *)
+
+open Simlist
+open Helpers
+
+let iv = Interval.make
+
+let sl ~max entries =
+  Sim_list.of_entries ~max (List.map (fun (a, b, v) -> (iv a b, v)) entries)
+
+(* --- Interval -------------------------------------------------------- *)
+
+let interval_tests =
+  let open Alcotest in
+  [
+    test_case "make validates ordering" `Quick (fun () ->
+        check_raises "lo > hi" (Invalid_argument "Interval.make: lo (3) > hi (2)")
+          (fun () -> ignore (iv 3 2)));
+    test_case "point and length" `Quick (fun () ->
+        check int "len [4,4]" 1 (Interval.length (Interval.point 4));
+        check int "len [2,5]" 4 (Interval.length (iv 2 5)));
+    test_case "contains" `Quick (fun () ->
+        check bool "inside" true (Interval.contains (iv 2 5) 3);
+        check bool "left edge" true (Interval.contains (iv 2 5) 2);
+        check bool "right edge" true (Interval.contains (iv 2 5) 5);
+        check bool "outside" false (Interval.contains (iv 2 5) 6));
+    test_case "intersect" `Quick (fun () ->
+        check (option interval_testable) "overlap" (Some (iv 3 5))
+          (Interval.intersect (iv 1 5) (iv 3 8));
+        check (option interval_testable) "disjoint" None
+          (Interval.intersect (iv 1 2) (iv 4 8));
+        check (option interval_testable) "touching" (Some (iv 4 4))
+          (Interval.intersect (iv 1 4) (iv 4 8)));
+    test_case "adjacent" `Quick (fun () ->
+        check bool "yes" true (Interval.adjacent (iv 1 3) (iv 4 6));
+        check bool "gap" false (Interval.adjacent (iv 1 3) (iv 5 6));
+        check bool "overlap" false (Interval.adjacent (iv 1 4) (iv 4 6)));
+    test_case "shift and clip" `Quick (fun () ->
+        check interval_testable "shift" (iv 0 2) (Interval.shift (-1) (iv 1 3));
+        check (option interval_testable) "clip" (Some (iv 2 3))
+          (Interval.clip (iv 0 3) ~within:(iv 2 9)));
+    test_case "compare orders by lo then hi" `Quick (fun () ->
+        check bool "lo first" true (Interval.compare (iv 1 9) (iv 2 3) < 0);
+        check bool "hi second" true (Interval.compare (iv 1 3) (iv 1 9) < 0);
+        check int "equal" 0 (Interval.compare (iv 1 3) (iv 1 3)));
+  ]
+
+(* --- Sim -------------------------------------------------------------- *)
+
+let sim_tests =
+  let open Alcotest in
+  [
+    test_case "make validates bounds" `Quick (fun () ->
+        (try
+           ignore (Sim.make ~actual:2. ~max:1.);
+           fail "expected Invalid_argument"
+         with Invalid_argument _ -> ());
+        (try
+           ignore (Sim.make ~actual:(-1.) ~max:1.);
+           fail "expected Invalid_argument"
+         with Invalid_argument _ -> ()));
+    test_case "fraction" `Quick (fun () ->
+        check (float 1e-9) "half" 0.5
+          (Sim.fraction (Sim.make ~actual:1. ~max:2.));
+        check (float 1e-9) "zero max" 0. (Sim.fraction (Sim.zero ~max:0.)));
+    test_case "conj sums both components" `Quick (fun () ->
+        let c = Sim.conj (Sim.make ~actual:1. ~max:2.) (Sim.make ~actual:3. ~max:4.) in
+        check (float 1e-9) "actual" 4. (Sim.actual c);
+        check (float 1e-9) "max" 6. (Sim.max_sim c));
+    test_case "conj with a zero side keeps the other (partial match)" `Quick
+      (fun () ->
+        let c = Sim.conj (Sim.zero ~max:2.) (Sim.make ~actual:3. ~max:4.) in
+        check (float 1e-9) "actual" 3. (Sim.actual c);
+        check (float 1e-9) "max" 6. (Sim.max_sim c));
+    test_case "best picks larger actual" `Quick (fun () ->
+        let a = Sim.make ~actual:1. ~max:4. and b = Sim.make ~actual:3. ~max:4. in
+        check bool "b wins" true (Sim.equal b (Sim.best a b)));
+  ]
+
+(* --- Extent ----------------------------------------------------------- *)
+
+let extent_tests =
+  let open Alcotest in
+  [
+    test_case "single" `Quick (fun () ->
+        let e = Extent.single 10 in
+        check int "total" 10 (Extent.total e);
+        check int "count" 1 (Extent.count e);
+        check interval_testable "span" (iv 1 10) (Extent.containing e 5));
+    test_case "of_lengths" `Quick (fun () ->
+        let e = Extent.of_lengths [ 3; 4; 2 ] in
+        check int "total" 9 (Extent.total e);
+        check (list interval_testable) "spans"
+          [ iv 1 3; iv 4 7; iv 8 9 ]
+          (Extent.spans e));
+    test_case "containing via binary search" `Quick (fun () ->
+        let e = Extent.of_lengths [ 3; 4; 2 ] in
+        check interval_testable "id 1" (iv 1 3) (Extent.containing e 1);
+        check interval_testable "id 3" (iv 1 3) (Extent.containing e 3);
+        check interval_testable "id 4" (iv 4 7) (Extent.containing e 4);
+        check interval_testable "id 9" (iv 8 9) (Extent.containing e 9);
+        check int "last_of 5" 7 (Extent.last_of e 5));
+    test_case "containing rejects out-of-range" `Quick (fun () ->
+        let e = Extent.of_lengths [ 2; 2 ] in
+        (try
+           ignore (Extent.containing e 0);
+           fail "expected Invalid_argument"
+         with Invalid_argument _ -> ());
+        (try
+           ignore (Extent.containing e 5);
+           fail "expected Invalid_argument"
+         with Invalid_argument _ -> ()));
+    test_case "of_spans round-trips spans" `Quick (fun () ->
+        let e = Extent.of_lengths [ 5; 1; 4 ] in
+        check bool "round trip" true (Extent.equal e (Extent.of_spans (Extent.spans e))));
+    test_case "of_spans rejects gaps" `Quick (fun () ->
+        try
+          ignore (Extent.of_spans [ iv 1 3; iv 5 6 ]);
+          fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    test_case "split_entries cuts at boundaries" `Quick (fun () ->
+        let e = Extent.of_lengths [ 3; 3; 3 ] in
+        check
+          (list (pair interval_testable (float 0.)))
+          "split"
+          [ (iv 2 3, 1.); (iv 4 6, 1.); (iv 7 8, 1.) ]
+          (Extent.split_entries e [ (iv 2 8, 1.) ]));
+  ]
+
+(* --- Sim_list: construction and canonical form ------------------------ *)
+
+let construction_tests =
+  let open Alcotest in
+  [
+    test_case "of_entries sorts" `Quick (fun () ->
+        let l = sl ~max:10. [ (5, 6, 2.); (1, 2, 1.) ] in
+        check (list (pair interval_testable (float 0.))) "sorted"
+          [ (iv 1 2, 1.); (iv 5 6, 2.) ]
+          (Sim_list.entries l));
+    test_case "of_entries drops non-positive values" `Quick (fun () ->
+        let l = sl ~max:10. [ (1, 2, 0.); (4, 5, -1.); (7, 8, 3.) ] in
+        check int "one entry" 1 (Sim_list.length l));
+    test_case "of_entries coalesces adjacent equal values" `Quick (fun () ->
+        let l = sl ~max:10. [ (1, 2, 3.); (3, 5, 3.); (6, 6, 4.) ] in
+        check (list (pair interval_testable (float 0.))) "coalesced"
+          [ (iv 1 5, 3.); (iv 6 6, 4.) ]
+          (Sim_list.entries l));
+    test_case "of_entries keeps adjacent different values separate" `Quick
+      (fun () ->
+        let l = sl ~max:10. [ (1, 2, 3.); (3, 5, 4.) ] in
+        check int "two entries" 2 (Sim_list.length l));
+    test_case "of_entries rejects overlap" `Quick (fun () ->
+        try
+          ignore (sl ~max:10. [ (1, 4, 1.); (4, 5, 2.) ]);
+          fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    test_case "of_entries rejects actual above max" `Quick (fun () ->
+        try
+          ignore (sl ~max:1. [ (1, 2, 2.) ]);
+          fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    test_case "value_at and fraction_at" `Quick (fun () ->
+        let l = sl ~max:8. [ (2, 4, 2.); (7, 7, 6.) ] in
+        check (float 0.) "absent" 0. (Sim_list.value_at l 1);
+        check (float 0.) "inside" 2. (Sim_list.value_at l 3);
+        check (float 0.) "point" 6. (Sim_list.value_at l 7);
+        check (float 1e-9) "fraction" 0.75 (Sim_list.fraction_at l 7));
+    test_case "covered counts ids" `Quick (fun () ->
+        let l = sl ~max:8. [ (2, 4, 2.); (7, 7, 6.) ] in
+        check int "covered" 4 (Sim_list.covered l));
+    test_case "dense round trip" `Quick (fun () ->
+        let l = sl ~max:8. [ (2, 4, 2.); (7, 7, 6.) ] in
+        check sim_list_testable "round trip" l
+          (Sim_list.of_dense ~max:8. (Sim_list.to_dense ~n:10 l)));
+  ]
+
+(* --- Sim_list: conjunction -------------------------------------------- *)
+
+let conjunction_tests =
+  let open Alcotest in
+  [
+    test_case "disjoint inputs pass through" `Quick (fun () ->
+        let a = sl ~max:4. [ (1, 2, 1.) ] and b = sl ~max:6. [ (5, 6, 2.) ] in
+        let c = Sim_list.conjunction a b in
+        check (float 0.) "max" 10. (Sim_list.max_sim c);
+        check (list (pair interval_testable (float 0.))) "entries"
+          [ (iv 1 2, 1.); (iv 5 6, 2.) ]
+          (Sim_list.entries c));
+    test_case "overlap sums and splits" `Quick (fun () ->
+        let a = sl ~max:4. [ (1, 5, 1.) ] and b = sl ~max:6. [ (3, 8, 2.) ] in
+        let c = Sim_list.conjunction a b in
+        check (list (pair interval_testable (float 0.))) "entries"
+          [ (iv 1 2, 1.); (iv 3 5, 3.); (iv 6 8, 2.) ]
+          (Sim_list.entries c));
+    test_case "identical intervals merge into one entry" `Quick (fun () ->
+        let a = sl ~max:4. [ (2, 4, 1.) ] and b = sl ~max:4. [ (2, 4, 2.) ] in
+        check (list (pair interval_testable (float 0.))) "entries"
+          [ (iv 2 4, 3.) ]
+          (Sim_list.entries (Sim_list.conjunction a b)));
+    test_case "empty is neutral except for max" `Quick (fun () ->
+        let a = sl ~max:4. [ (2, 4, 1.) ] in
+        let c = Sim_list.conjunction a (Sim_list.empty ~max:6.) in
+        check (float 0.) "max grows" 10. (Sim_list.max_sim c);
+        check (list (pair interval_testable (float 0.))) "entries keep a"
+          (Sim_list.entries a) (Sim_list.entries c));
+    test_case "conjunction_many sums three lists" `Quick (fun () ->
+        let mk v = sl ~max:2. [ (1, 1, v) ] in
+        let c = Sim_list.conjunction_many [ mk 1.; mk 2.; mk 0.5 ] in
+        check (float 1e-9) "value" 3.5 (Sim_list.value_at c 1);
+        check (float 0.) "max" 6. (Sim_list.max_sim c));
+    qtest "conjunction matches dense reference"
+      (fun (n, _extents, a, b) ->
+        let la = Sim_list.of_dense ~max:8. a
+        and lb = Sim_list.of_dense ~max:8. b in
+        let c = Sim_list.conjunction la lb in
+        Sim_list.to_dense ~n c = dense_conj a b)
+      (arb_two_dense_with_extents ());
+    qtest "conjunction is commutative"
+      (fun (_n, _extents, a, b) ->
+        let la = Sim_list.of_dense ~max:8. a
+        and lb = Sim_list.of_dense ~max:8. b in
+        Sim_list.equal (Sim_list.conjunction la lb) (Sim_list.conjunction lb la))
+      (arb_two_dense_with_extents ());
+    qtest "conjunction output is canonical (round-trips through entries)"
+      (fun (_n, _extents, a, b) ->
+        let c =
+          Sim_list.conjunction
+            (Sim_list.of_dense ~max:8. a)
+            (Sim_list.of_dense ~max:8. b)
+        in
+        Sim_list.equal c
+          (Sim_list.of_entries ~max:(Sim_list.max_sim c) (Sim_list.entries c)))
+      (arb_two_dense_with_extents ());
+  ]
+
+(* --- Sim_list: next ---------------------------------------------------- *)
+
+let next_tests =
+  let open Alcotest in
+  [
+    test_case "shifts left by one" `Quick (fun () ->
+        let l = sl ~max:4. [ (3, 5, 2.) ] in
+        let r = Sim_list.next_shift ~extents:(Extent.single 10) l in
+        check (list (pair interval_testable (float 0.))) "entries"
+          [ (iv 2 4, 2.) ]
+          (Sim_list.entries r));
+    test_case "last id of video gets zero" `Quick (fun () ->
+        let l = sl ~max:4. [ (10, 10, 2.) ] in
+        let r = Sim_list.next_shift ~extents:(Extent.single 10) l in
+        check (float 0.) "at 9" 2. (Sim_list.value_at r 9);
+        check (float 0.) "at 10" 0. (Sim_list.value_at r 10));
+    test_case "does not cross extent boundaries" `Quick (fun () ->
+        (* ids 1-3 and 4-6 are different videos; g at 4 must not leak to 3 *)
+        let l = sl ~max:4. [ (4, 4, 2.) ] in
+        let r = Sim_list.next_shift ~extents:(Extent.of_lengths [ 3; 3 ]) l in
+        check (float 0.) "at 3" 0. (Sim_list.value_at r 3);
+        check bool "empty" true (Sim_list.is_empty r));
+    test_case "entry at extent start contributes inside only" `Quick (fun () ->
+        let l = sl ~max:4. [ (4, 6, 2.) ] in
+        let r = Sim_list.next_shift ~extents:(Extent.of_lengths [ 3; 3 ]) l in
+        check (list (pair interval_testable (float 0.))) "entries"
+          [ (iv 4 5, 2.) ]
+          (Sim_list.entries r));
+    qtest "next matches dense reference"
+      (fun (n, extents, a, _b) ->
+        let l = Sim_list.of_dense ~max:8. a in
+        Sim_list.to_dense ~n (Sim_list.next_shift ~extents l)
+        = dense_next ~extents a)
+      (arb_two_dense_with_extents ());
+    qtest "next twice equals shifting dense twice"
+      (fun (n, extents, a, _b) ->
+        let l = Sim_list.of_dense ~max:8. a in
+        let twice =
+          Sim_list.next_shift ~extents (Sim_list.next_shift ~extents l)
+        in
+        Sim_list.to_dense ~n twice = dense_next ~extents (dense_next ~extents a))
+      (arb_two_dense_with_extents ());
+  ]
+
+(* --- Sim_list: until and eventually ------------------------------------ *)
+
+let until_tests =
+  let open Alcotest in
+  [
+    test_case "paper figure 2 example" `Quick (fun () ->
+        (* L1 (g): [25,100] and [200,250], values above threshold.
+           L2 (h): ([10,50],10) ([55,60],15) ([90,110],12) ([125,175],10),
+           max 20.  Expected output (§3.1):
+           ([10,24],10) ([25,60],15) ([61,110],12) ([125,175],10). *)
+        let g = sl ~max:20. [ (25, 100, 20.); (200, 250, 20.) ] in
+        let h =
+          sl ~max:20.
+            [ (10, 50, 10.); (55, 60, 15.); (90, 110, 12.); (125, 175, 10.) ]
+        in
+        let r = Sim_list.until_merge ~extents:(Extent.single 300) g h in
+        check (list (pair interval_testable (float 0.))) "output"
+          [ (iv 10 24, 10.); (iv 25 60, 15.); (iv 61 110, 12.); (iv 125 175, 10.) ]
+          (Sim_list.entries r);
+        check (float 0.) "max" 20. (Sim_list.max_sim r));
+    test_case "h reachable one past the corridor end" `Quick (fun () ->
+        (* g holds on [1,3]; h only at 4.  until holds at 1..3 (g carries us
+           to 4) and at 4 itself. *)
+        let g = sl ~max:1. [ (1, 3, 1.) ] in
+        let h = sl ~max:5. [ (4, 4, 5.) ] in
+        let r = Sim_list.until_merge ~extents:(Extent.single 6) g h in
+        check (list (pair interval_testable (float 0.))) "output"
+          [ (iv 1 4, 5.) ]
+          (Sim_list.entries r));
+    test_case "g below threshold breaks the corridor" `Quick (fun () ->
+        let g = sl ~max:10. [ (1, 2, 9.); (3, 3, 2.); (4, 5, 9.) ] in
+        let h = sl ~max:5. [ (6, 6, 5.) ] in
+        let r = Sim_list.until_merge ~extents:(Extent.single 6) g h in
+        (* from 1-2 the corridor stops at 3 (frac 0.2 < 0.5), so h at 6 is
+           unreachable; from 4-5 it is reachable. *)
+        check (list (pair interval_testable (float 0.))) "output"
+          [ (iv 4 6, 5.) ]
+          (Sim_list.entries r));
+    test_case "h at the segment itself needs no g" `Quick (fun () ->
+        let g = Sim_list.empty ~max:1. in
+        let h = sl ~max:5. [ (3, 4, 2.) ] in
+        let r = Sim_list.until_merge ~extents:(Extent.single 6) g h in
+        check (list (pair interval_testable (float 0.))) "output"
+          [ (iv 3 4, 2.) ]
+          (Sim_list.entries r));
+    test_case "later larger h wins inside corridor (suffix max)" `Quick
+      (fun () ->
+        let g = sl ~max:1. [ (1, 10, 1.) ] in
+        let h = sl ~max:9. [ (2, 2, 3.); (8, 8, 9.) ] in
+        let r = Sim_list.until_merge ~extents:(Extent.single 10) g h in
+        check (list (pair interval_testable (float 0.))) "output"
+          [ (iv 1 8, 9.) ]
+          (Sim_list.entries r));
+    test_case "until does not cross extents" `Quick (fun () ->
+        let g = sl ~max:1. [ (1, 6, 1.) ] in
+        let h = sl ~max:5. [ (5, 5, 5.) ] in
+        let r =
+          Sim_list.until_merge ~extents:(Extent.of_lengths [ 3; 3 ]) g h
+        in
+        (* ids 1-3 are another video; h at 5 must not be visible there *)
+        check (float 0.) "at 2" 0. (Sim_list.value_at r 2);
+        check (float 0.) "at 4" 5. (Sim_list.value_at r 4);
+        check (float 0.) "at 5" 5. (Sim_list.value_at r 5));
+    test_case "threshold is inclusive" `Quick (fun () ->
+        let g = sl ~max:10. [ (1, 2, 5.) ] in
+        let h = sl ~max:5. [ (3, 3, 5.) ] in
+        let r =
+          Sim_list.until_merge ~threshold:0.5 ~extents:(Extent.single 3) g h
+        in
+        check (float 0.) "at 1" 5. (Sim_list.value_at r 1));
+    qtest "until matches dense reference"
+      (fun (n, extents, a, b) ->
+        let g = Sim_list.of_dense ~max:8. a
+        and h = Sim_list.of_dense ~max:8. b in
+        Sim_list.to_dense ~n (Sim_list.until_merge ~extents g h)
+        = dense_until ~extents ~gmax:8. a b)
+      (arb_two_dense_with_extents ());
+    qtest "until with various thresholds matches dense reference"
+      (fun ((n, extents, a, b), threshold) ->
+        let g = Sim_list.of_dense ~max:8. a
+        and h = Sim_list.of_dense ~max:8. b in
+        Sim_list.to_dense ~n (Sim_list.until_merge ~threshold ~extents g h)
+        = dense_until ~threshold ~extents ~gmax:8. a b)
+      (QCheck.pair
+         (arb_two_dense_with_extents ())
+         (QCheck.float_range 0.01 1.));
+    qtest "eventually matches dense reference"
+      (fun (n, extents, a, _b) ->
+        let h = Sim_list.of_dense ~max:8. a in
+        Sim_list.to_dense ~n (Sim_list.eventually ~extents h)
+        = dense_eventually ~extents a)
+      (arb_two_dense_with_extents ());
+    qtest "eventually equals until with an always-true g"
+      (fun (n, extents, a, _b) ->
+        let h = Sim_list.of_dense ~max:8. a in
+        let top =
+          Sim_list.of_dense ~max:1. (Array.make n 1.)
+        in
+        Sim_list.equal
+          (Sim_list.eventually ~extents h)
+          (Sim_list.until_merge ~extents top h))
+      (arb_two_dense_with_extents ());
+    qtest "eventually is idempotent"
+      (fun (_n, extents, a, _b) ->
+        let h = Sim_list.of_dense ~max:8. a in
+        let e = Sim_list.eventually ~extents h in
+        Sim_list.equal e (Sim_list.eventually ~extents e))
+      (arb_two_dense_with_extents ());
+  ]
+
+(* --- Sim_list: merge_max and restrict ---------------------------------- *)
+
+let merge_tests =
+  let open Alcotest in
+  [
+    test_case "merge_max takes pointwise maximum" `Quick (fun () ->
+        let a = sl ~max:8. [ (1, 4, 2.) ]
+        and b = sl ~max:8. [ (3, 6, 5.) ]
+        and c = sl ~max:8. [ (4, 4, 8.) ] in
+        let m = Sim_list.merge_max [ a; b; c ] in
+        check (list (pair interval_testable (float 0.))) "entries"
+          [ (iv 1 2, 2.); (iv 3 3, 5.); (iv 4 4, 8.); (iv 5 6, 5.) ]
+          (Sim_list.entries m));
+    test_case "merge_max rejects differing maxima" `Quick (fun () ->
+        try
+          ignore (Sim_list.merge_max [ sl ~max:2. []; sl ~max:3. [] ]);
+          fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    test_case "merge_max of single list is identity" `Quick (fun () ->
+        let a = sl ~max:8. [ (1, 4, 2.) ] in
+        check sim_list_testable "id" a (Sim_list.merge_max [ a ]));
+    qtest "divide-and-conquer equals pairwise merge" ~count:200
+      (fun (n, _extents, a, b) ->
+        let mk arr = Sim_list.of_dense ~max:8. arr in
+        let quarter k =
+          Array.init n (fun i -> if (i + k) mod 4 = 0 then a.(i) else b.(i))
+        in
+        let lists = [ mk a; mk b; mk (quarter 1); mk (quarter 2); mk (quarter 3) ] in
+        Sim_list.equal (Sim_list.merge_max lists)
+          (Sim_list.merge_max_pairwise lists))
+      (arb_two_dense_with_extents ());
+    qtest "merge_max matches dense reference" ~count:200
+      (fun (n, _extents, a, b) ->
+        let m =
+          Sim_list.merge_max
+            [ Sim_list.of_dense ~max:8. a; Sim_list.of_dense ~max:8. b ]
+        in
+        Sim_list.to_dense ~n m = dense_max a b)
+      (arb_two_dense_with_extents ());
+    test_case "restrict keeps only given spans" `Quick (fun () ->
+        let l = sl ~max:8. [ (1, 10, 3.) ] in
+        let r = Sim_list.restrict l [ iv 2 3; iv 7 8 ] in
+        check (list (pair interval_testable (float 0.))) "entries"
+          [ (iv 2 3, 3.); (iv 7 8, 3.) ]
+          (Sim_list.entries r));
+    test_case "restrict to nothing is empty" `Quick (fun () ->
+        let l = sl ~max:8. [ (1, 10, 3.) ] in
+        check bool "empty" true (Sim_list.is_empty (Sim_list.restrict l [])));
+    test_case "scale_max rejects shrinking below values" `Quick (fun () ->
+        let l = sl ~max:8. [ (1, 2, 5.) ] in
+        try
+          ignore (Sim_list.scale_max l ~max:4.);
+          fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+  ]
+
+(* --- Range ------------------------------------------------------------- *)
+
+let range_tests =
+  let open Alcotest in
+  let range = testable Range.pp Range.equal in
+  [
+    test_case "constructors and mem" `Quick (fun () ->
+        check bool "eq mem" true (Range.mem (Range.Vint 3) (Range.int_eq 3));
+        check bool "eq not-mem" false (Range.mem (Range.Vint 4) (Range.int_eq 3));
+        check bool "lt" true (Range.mem (Range.Vint 2) (Range.int_lt 3));
+        check bool "lt edge" false (Range.mem (Range.Vint 3) (Range.int_lt 3));
+        check bool "gt" true (Range.mem (Range.Vint 4) (Range.int_gt 3));
+        check bool "ge edge" true (Range.mem (Range.Vint 3) (Range.int_ge 3));
+        check bool "le edge" true (Range.mem (Range.Vint 3) (Range.int_le 3));
+        check bool "full" true (Range.mem (Range.Vint 1000000) Range.full_int);
+        check bool "str eq" true (Range.mem (Range.Vstr "a") (Range.str_eq "a"));
+        check bool "str any" true (Range.mem (Range.Vstr "zz") Range.full_str);
+        check bool "kind mismatch" false (Range.mem (Range.Vint 1) Range.full_str));
+    test_case "intersect int ranges" `Quick (fun () ->
+        check (option range) "overlap"
+          (Some (Range.int_between 3 5))
+          (Range.intersect (Range.int_ge 3) (Range.int_le 5));
+        check (option range) "empty" None
+          (Range.intersect (Range.int_gt 5) (Range.int_lt 5));
+        check (option range) "point"
+          (Some (Range.int_eq 5))
+          (Range.intersect (Range.int_ge 5) (Range.int_le 5)));
+    test_case "intersect strings" `Quick (fun () ->
+        check (option range) "any+eq"
+          (Some (Range.str_eq "x"))
+          (Range.intersect Range.full_str (Range.str_eq "x"));
+        check (option range) "eq clash" None
+          (Range.intersect (Range.str_eq "x") (Range.str_eq "y")));
+    test_case "intersect rejects mixed kinds" `Quick (fun () ->
+        try
+          ignore (Range.intersect Range.full_int Range.full_str);
+          fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+  ]
+
+(* --- Sim_table ---------------------------------------------------------- *)
+
+let table_tests =
+  let open Alcotest in
+  let list2 ~max entries = sl ~max entries in
+  let conj = Sim_list.conjunction in
+  [
+    test_case "of_sim_list is a one-row closed table" `Quick (fun () ->
+        let t = Sim_table.of_sim_list (list2 ~max:4. [ (1, 2, 3.) ]) in
+        check int "rows" 1 (Sim_table.row_count t);
+        check (list string) "no obj cols" [] (Sim_table.obj_cols t));
+    test_case "join on shared object variable" `Quick (fun () ->
+        let a =
+          Sim_table.create ~obj_cols:[ "x" ] ~attr_cols:[] ~max:2.
+            [
+              { objs = [ ("x", 1) ]; attrs = []; list = list2 ~max:2. [ (1, 3, 2.) ] };
+              { objs = [ ("x", 2) ]; attrs = []; list = list2 ~max:2. [ (5, 6, 1.) ] };
+            ]
+        and b =
+          Sim_table.create ~obj_cols:[ "x"; "y" ] ~attr_cols:[] ~max:3.
+            [
+              {
+                objs = [ ("x", 1); ("y", 7) ];
+                attrs = [];
+                list = list2 ~max:3. [ (2, 4, 3.) ];
+              };
+            ]
+        in
+        let j = Sim_table.join ~combine:conj a b in
+        check (list string) "cols" [ "x"; "y" ] (Sim_table.obj_cols j);
+        check (float 0.) "max" 5. (Sim_table.max_sim j);
+        (* x=1 matches: conj; x=2 unmatched: padded, list survives *)
+        check int "rows" 2 (Sim_table.row_count j);
+        let by_x =
+          List.sort compare
+            (List.map
+               (fun (r : Sim_table.row) -> (List.assoc "x" r.objs, Sim_list.value_at r.list 2, Sim_list.value_at r.list 5))
+               (Sim_table.rows j))
+        in
+        check
+          (list (triple int (float 0.) (float 0.)))
+          "row values"
+          [ (1, 5., 0.); (2, 0., 1.) ]
+          by_x);
+    test_case "join intersects attribute ranges" `Quick (fun () ->
+        let a =
+          Sim_table.create ~obj_cols:[] ~attr_cols:[ "h" ] ~max:1.
+            [
+              {
+                objs = [];
+                attrs = [ ("h", Range.int_ge 5) ];
+                list = list2 ~max:1. [ (1, 1, 1.) ];
+              };
+            ]
+        and b =
+          Sim_table.create ~obj_cols:[] ~attr_cols:[ "h" ] ~max:1.
+            [
+              {
+                objs = [];
+                attrs = [ ("h", Range.int_le 3) ];
+                list = list2 ~max:1. [ (1, 1, 1.) ];
+              };
+            ]
+        in
+        let j = Sim_table.join ~combine:conj a b in
+        (* ranges are disjoint: the rows do not join but both get padded *)
+        check int "rows" 2 (Sim_table.row_count j);
+        List.iter
+          (fun (r : Sim_table.row) ->
+            check (float 0.) "padded value" 1. (Sim_list.value_at r.list 1))
+          (Sim_table.rows j));
+    test_case "project_exists takes the best evaluation per id" `Quick
+      (fun () ->
+        let t =
+          Sim_table.create ~obj_cols:[ "x" ] ~attr_cols:[] ~max:4.
+            [
+              { objs = [ ("x", 1) ]; attrs = []; list = list2 ~max:4. [ (1, 4, 2.) ] };
+              { objs = [ ("x", 2) ]; attrs = []; list = list2 ~max:4. [ (3, 6, 4.) ] };
+            ]
+        in
+        let l = Sim_table.project_exists t in
+        check (float 0.) "at 2" 2. (Sim_list.value_at l 2);
+        check (float 0.) "at 3" 4. (Sim_list.value_at l 3);
+        check (float 0.) "at 6" 4. (Sim_list.value_at l 6));
+    test_case "project_exists of empty table is empty list" `Quick (fun () ->
+        let t = Sim_table.create ~obj_cols:[ "x" ] ~attr_cols:[] ~max:4. [] in
+        let l = Sim_table.project_exists t in
+        check bool "empty" true (Sim_list.is_empty l);
+        check (float 0.) "max kept" 4. (Sim_list.max_sim l));
+    test_case "freeze_join restricts to value spans" `Quick (fun () ->
+        (* T1: formula with attr var h in range >= 5, true on [1,10];
+           q's value table: value 7 on [2,3], value 4 on [6,8].
+           After [h <- q]: only ids where q >= 5 survive: [2,3]. *)
+        let t1 =
+          Sim_table.create ~obj_cols:[] ~attr_cols:[ "h" ] ~max:1.
+            [
+              {
+                objs = [];
+                attrs = [ ("h", Range.int_ge 5) ];
+                list = list2 ~max:1. [ (1, 10, 1.) ];
+              };
+            ]
+        in
+        let vt =
+          Value_table.create ~obj_cols:[]
+            [
+              { objs = []; value = Range.Vint 7; spans = [ iv 2 3 ] };
+              { objs = []; value = Range.Vint 4; spans = [ iv 6 8 ] };
+            ]
+        in
+        let t = Sim_table.freeze_join t1 ~var:"h" vt in
+        check (list string) "h gone" [] (Sim_table.attr_cols t);
+        check int "rows" 1 (Sim_table.row_count t);
+        let r = List.hd (Sim_table.rows t) in
+        check (list (pair interval_testable (float 0.))) "entries"
+          [ (iv 2 3, 1.) ]
+          (Sim_list.entries r.list));
+    test_case "freeze_join joins on object variables" `Quick (fun () ->
+        let t1 =
+          Sim_table.create ~obj_cols:[ "x" ] ~attr_cols:[ "h" ] ~max:1.
+            [
+              {
+                objs = [ ("x", 1) ];
+                attrs = [ ("h", Range.full_int) ];
+                list = list2 ~max:1. [ (1, 5, 1.) ];
+              };
+            ]
+        in
+        let vt =
+          Value_table.create ~obj_cols:[ "x" ]
+            [
+              { objs = [ ("x", 1) ]; value = Range.Vint 3; spans = [ iv 1 2 ] };
+              { objs = [ ("x", 9) ]; value = Range.Vint 3; spans = [ iv 4 5 ] };
+            ]
+        in
+        let t = Sim_table.freeze_join t1 ~var:"h" vt in
+        check int "rows (x=9 does not join)" 1 (Sim_table.row_count t);
+        let r = List.hd (Sim_table.rows t) in
+        check (list (pair interval_testable (float 0.))) "entries"
+          [ (iv 1 2, 1.) ]
+          (Sim_list.entries r.list));
+  ]
+
+let suites =
+  [
+    ("interval", interval_tests);
+    ("sim", sim_tests);
+    ("extent", extent_tests);
+    ("sim_list.construction", construction_tests);
+    ("sim_list.conjunction", conjunction_tests);
+    ("sim_list.next", next_tests);
+    ("sim_list.until", until_tests);
+    ("sim_list.merge", merge_tests);
+    ("range", range_tests);
+    ("sim_table", table_tests);
+  ]

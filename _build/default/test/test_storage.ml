@@ -1,0 +1,199 @@
+(* Tests for the storage layer: S-expressions, codecs, file round trips. *)
+
+open Storage
+
+let sexp_tests =
+  let open Alcotest in
+  [
+    test_case "print/parse round trip" `Quick (fun () ->
+        let s =
+          Sexp.List
+            [
+              Sexp.Atom "hello";
+              Sexp.List [ Sexp.Atom "a b"; Sexp.Atom "" ];
+              Sexp.Atom "with\"quote";
+              Sexp.Atom "line\nbreak";
+            ]
+        in
+        check bool "round trip" true (Sexp.of_string (Sexp.to_string s) = s));
+    test_case "comments and whitespace are skipped" `Quick (fun () ->
+        let s = Sexp.of_string "; a comment\n  (a ; inline\n b)" in
+        check bool "parsed" true
+          (s = Sexp.List [ Sexp.Atom "a"; Sexp.Atom "b" ]));
+    test_case "many_of_string" `Quick (fun () ->
+        check int "three" 3 (List.length (Sexp.many_of_string "a (b) c")));
+    test_case "parse errors carry an offset" `Quick (fun () ->
+        List.iter
+          (fun src ->
+            try
+              ignore (Sexp.of_string src);
+              fail ("parsed " ^ src)
+            with Sexp.Parse_error (_, _) -> ())
+          [ "(a"; ")"; "\"unterminated"; "a b"; "" ]);
+    test_case "helpers" `Quick (fun () ->
+        check int "as_int" 42 (Sexp.as_int (Sexp.int 42));
+        check (float 0.) "as_float" 1.5 (Sexp.as_float (Sexp.float 1.5));
+        (try
+           ignore (Sexp.as_int (Sexp.Atom "x"));
+           fail "expected Conv_error"
+         with Sexp.Conv_error _ -> ());
+        check bool "assoc" true
+          (Sexp.assoc "k" [ Sexp.field "k" [ Sexp.Atom "v" ] ]
+          = [ Sexp.Atom "v" ]));
+  ]
+
+let codec_tests =
+  let open Alcotest in
+  [
+    test_case "value round trips" `Quick (fun () ->
+        List.iter
+          (fun v ->
+            check bool
+              (Format.asprintf "%a" Metadata.Value.pp v)
+              true
+              (Codec.value_of_sexp (Codec.value_to_sexp v) = v))
+          [
+            Metadata.Value.Int 42;
+            Metadata.Value.Int (-1);
+            Metadata.Value.Float 3.25;
+            Metadata.Value.Str "hello world";
+            Metadata.Value.Str "";
+            Metadata.Value.Bool true;
+            Metadata.Value.Bool false;
+          ]);
+    test_case "entity with bbox round trips" `Quick (fun () ->
+        let o =
+          Metadata.Entity.make ~id:7 ~otype:"man"
+            ~attrs:[ ("name", Metadata.Value.Str "John Wayne") ]
+            ~bbox:(Metadata.Bbox.make ~x0:0.5 ~y0:1. ~x1:2. ~y1:3.)
+            ()
+        in
+        check bool "round trip" true
+          (Codec.entity_of_sexp (Codec.entity_to_sexp o) = o));
+    test_case "stores round trip through text" `Quick (fun () ->
+        List.iter
+          (fun store ->
+            let text = Sexp.to_string (Codec.store_to_sexp store) in
+            let store' = Codec.store_of_sexp (Sexp.of_string text) in
+            (* compare observable structure *)
+            check int "levels" (Video_model.Store.levels store)
+              (Video_model.Store.levels store');
+            for level = 1 to Video_model.Store.levels store do
+              check int
+                (Printf.sprintf "count at %d" level)
+                (Video_model.Store.count_at store ~level)
+                (Video_model.Store.count_at store' ~level)
+            done;
+            check (list int) "objects"
+              (Video_model.Store.all_object_ids store)
+              (Video_model.Store.all_object_ids store'))
+          [
+            Fixtures.western_store ();
+            Fixtures.two_movie_store ();
+            Fixtures.layered_store ();
+            Workload.Casablanca.store ();
+            Workload.Gulf_war.store ();
+          ]);
+    test_case "sim list round trips" `Quick (fun () ->
+        let l = Workload.Casablanca.man_woman in
+        check Helpers.sim_list_testable "round trip" l
+          (Codec.sim_list_of_sexp (Codec.sim_list_to_sexp l)));
+    test_case "sim table with ranges round trips" `Quick (fun () ->
+        let t =
+          Simlist.Sim_table.create ~obj_cols:[ "x" ] ~attr_cols:[ "h" ]
+            ~max:2.
+            [
+              {
+                objs = [ ("x", 4) ];
+                attrs = [ ("h", Simlist.Range.int_le 49) ];
+                list =
+                  Simlist.Sim_list.of_entries ~max:2.
+                    [ (Simlist.Interval.make 3 5, 2.) ];
+              };
+              {
+                objs = [];
+                attrs = [ ("h", Simlist.Range.Str (Some "x")) ];
+                list =
+                  Simlist.Sim_list.of_entries ~max:2.
+                    [ (Simlist.Interval.make 1 1, 1.) ];
+              };
+            ]
+        in
+        let t' = Codec.sim_table_of_sexp (Codec.sim_table_to_sexp t) in
+        check int "rows" 2 (Simlist.Sim_table.row_count t');
+        check bool "same rows" true
+          (List.for_all2
+             (fun (a : Simlist.Sim_table.row) (b : Simlist.Sim_table.row) ->
+               a.objs = b.objs
+               && List.for_all2
+                    (fun (k1, r1) (k2, r2) ->
+                      k1 = k2 && Simlist.Range.equal r1 r2)
+                    a.attrs b.attrs
+               && Simlist.Sim_list.equal a.list b.list)
+             (Simlist.Sim_table.rows t)
+             (Simlist.Sim_table.rows t')));
+    test_case "malformed codecs raise Conv_error" `Quick (fun () ->
+        List.iter
+          (fun src ->
+            try
+              ignore (Codec.store_of_sexp (Sexp.of_string src));
+              fail ("decoded " ^ src)
+            with Sexp.Conv_error _ -> ())
+          [ "(banana)"; "(store (video))"; "(store 42)" ]);
+    Helpers.qtest ~count:100 "random similarity lists round trip"
+      (fun (n, _, dense) ->
+        let l = Simlist.Sim_list.of_dense ~max:8. dense in
+        ignore n;
+        Simlist.Sim_list.equal l
+          (Codec.sim_list_of_sexp (Codec.sim_list_to_sexp l)))
+      (Helpers.arb_dense_with_extents ());
+  ]
+
+let io_tests =
+  let open Alcotest in
+  [
+    test_case "store file round trip" `Quick (fun () ->
+        let path = Filename.temp_file "htl_store" ".sexp" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let store = Workload.Gulf_war.store () in
+            Io.save_store path store;
+            let store' = Io.load_store path in
+            check int "shots"
+              (Video_model.Store.count_at store ~level:4)
+              (Video_model.Store.count_at store' ~level:4);
+            (* queries behave identically on the reloaded store *)
+            let ctx = Engine.Context.of_store ~level:1 store
+            and ctx' = Engine.Context.of_store ~level:1 store' in
+            List.iter
+              (fun (_, q) ->
+                check Helpers.sim_list_testable q
+                  (Engine.Query.run_string ctx q)
+                  (Engine.Query.run_string ctx' q))
+              Workload.Gulf_war.queries));
+    test_case "tables file round trip" `Quick (fun () ->
+        let path = Filename.temp_file "htl_tables" ".sexp" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Io.save_tables path Workload.Casablanca.tables;
+            let tables = Io.load_tables path in
+            let ctx =
+              Engine.Context.of_tables ~n:Workload.Casablanca.shot_count tables
+            in
+            let r = Engine.Query.run_string ctx Workload.Casablanca.query1 in
+            check bool "Table 4 still reproduced" true
+              (List.for_all2
+                 (fun (iv, v) (iv', v') ->
+                   Simlist.Interval.equal iv iv' && Float.abs (v -. v') < 1e-9)
+                 (Engine.Topk.ranked_intervals r)
+                 Workload.Casablanca.expected_table4)));
+  ]
+
+let suites =
+  [
+    ("storage.sexp", sexp_tests);
+    ("storage.codec", codec_tests);
+    ("storage.io", io_tests);
+  ]

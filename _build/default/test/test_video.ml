@@ -1,0 +1,249 @@
+(* Tests for the metadata and video-model libraries, and for the exact
+   (boolean) HTL semantics evaluated over stores. *)
+
+open Video_model
+module Interval = Simlist.Interval
+
+let iv = Interval.make
+let interval = Alcotest.testable Interval.pp Interval.equal
+
+(* --- metadata ---------------------------------------------------------- *)
+
+let metadata_tests =
+  let open Alcotest in
+  let open Metadata in
+  [
+    test_case "value equality across numeric kinds" `Quick (fun () ->
+        check bool "int/float" true (Value.equal (Value.Int 3) (Value.Float 3.));
+        check bool "int/int" true (Value.equal (Value.Int 3) (Value.Int 3));
+        check bool "str/int" false (Value.equal (Value.Str "3") (Value.Int 3)));
+    test_case "value numeric comparison" `Quick (fun () ->
+        check (option int) "3 < 4" (Some (-1))
+          (Value.compare_num (Value.Int 3) (Value.Float 4.));
+        check (option int) "strings do not order" None
+          (Value.compare_num (Value.Str "a") (Value.Str "b")));
+    test_case "entity attr resolves type and id" `Quick (fun () ->
+        let o = Fixtures.john () in
+        check bool "type" true
+          (Entity.attr o "type" = Some (Value.Str "man"));
+        check bool "id" true (Entity.attr o "id" = Some (Value.Int 1));
+        check bool "name" true
+          (Entity.attr o "name" = Some (Value.Str "John Wayne"));
+        check bool "missing" true (Entity.attr o "height" = None));
+    test_case "bbox predicates" `Quick (fun () ->
+        let a = Bbox.make ~x0:0. ~y0:0. ~x1:1. ~y1:1.
+        and b = Bbox.make ~x0:2. ~y0:2. ~x1:3. ~y1:3.
+        and inner = Bbox.make ~x0:0.2 ~y0:0.2 ~x1:0.8 ~y1:0.8 in
+        check bool "left_of" true (Bbox.left_of a b);
+        check bool "not right" false (Bbox.left_of b a);
+        check bool "above" true (Bbox.above b a);
+        check bool "overlaps self" true (Bbox.overlaps a a);
+        check bool "disjoint" false (Bbox.overlaps a b);
+        check bool "inside" true (Bbox.inside inner a);
+        check bool "not inside" false (Bbox.inside a inner));
+    test_case "seg_meta lookups" `Quick (fun () ->
+        let m = List.nth Fixtures.western_shots 1 in
+        check bool "john present" true (Seg_meta.present m 1);
+        check bool "mary absent" false (Seg_meta.present m 2);
+        check int "men" 1 (List.length (Seg_meta.objects_of_type m "man"));
+        check bool "holds" true (Seg_meta.has_relationship m "holds" [ 1; 3 ]);
+        check bool "holds reversed" false
+          (Seg_meta.has_relationship m "holds" [ 3; 1 ]));
+  ]
+
+(* --- segment / video --------------------------------------------------- *)
+
+let video_tests =
+  let open Alcotest in
+  [
+    test_case "segment depth and uniformity" `Quick (fun () ->
+        let leaf = Segment.leaf Metadata.Seg_meta.empty in
+        let tree = Segment.make [ Segment.make [ leaf; leaf ]; Segment.make [ leaf ] ] in
+        check int "depth" 3 (Segment.depth tree);
+        check (option int) "uniform" (Some 3) (Segment.uniform_depth tree);
+        let ragged = Segment.make [ leaf; Segment.make [ leaf ] ] in
+        check (option int) "ragged" None (Segment.uniform_depth ragged));
+    test_case "segment count_at" `Quick (fun () ->
+        let leaf = Segment.leaf Metadata.Seg_meta.empty in
+        let tree = Segment.make [ Segment.make [ leaf; leaf ]; Segment.make [ leaf ] ] in
+        check int "level 1" 1 (Segment.count_at tree 1);
+        check int "level 2" 2 (Segment.count_at tree 2);
+        check int "level 3" 3 (Segment.count_at tree 3));
+    test_case "video create validates depth" `Quick (fun () ->
+        let leaf = Segment.leaf Metadata.Seg_meta.empty in
+        (try
+           ignore
+             (Video.create ~title:"bad" ~level_names:[ "video"; "shot" ]
+                (Segment.make [ Segment.make [ leaf ] ]));
+           fail "expected Invalid_argument"
+         with Invalid_argument _ -> ()));
+    test_case "two_level and level lookups" `Quick (fun () ->
+        let v = Fixtures.western () in
+        check int "levels" 2 (Video.levels v);
+        check string "level 2 name" "shot" (Video.level_name v 2);
+        check (option int) "index of shot" (Some 2) (Video.level_index v "shot");
+        check (option int) "unknown" None (Video.level_index v "frame");
+        check int "shots" 6 (Video.count_at v 2));
+  ]
+
+(* --- store -------------------------------------------------------------- *)
+
+let store_tests =
+  let open Alcotest in
+  [
+    test_case "single video numbering" `Quick (fun () ->
+        let s = Fixtures.western_store () in
+        check int "levels" 2 (Store.levels s);
+        check int "roots" 1 (Store.count_at s ~level:1);
+        check int "shots" 6 (Store.count_at s ~level:2);
+        let root = Store.node s ~level:1 ~id:1 in
+        check (option interval) "children" (Some (iv 1 6)) root.Store.children_span;
+        let shot3 = Store.node s ~level:2 ~id:3 in
+        check (option int) "parent" (Some 1) shot3.Store.parent);
+    test_case "two videos get consecutive id spans" `Quick (fun () ->
+        let s = Fixtures.two_movie_store () in
+        check int "shots total" 9 (Store.count_at s ~level:2);
+        check interval "western span" (iv 1 6) (Store.video_span s ~video:0 ~level:2);
+        check interval "chase span" (iv 7 9) (Store.video_span s ~video:1 ~level:2);
+        let e = Store.extents_at s ~level:2 in
+        check (list interval) "extents" [ iv 1 6; iv 7 9 ] (Simlist.Extent.spans e));
+    test_case "descendants_span over three levels" `Quick (fun () ->
+        let s = Fixtures.layered_store () in
+        check int "scenes" 2 (Store.count_at s ~level:2);
+        check int "shots" 5 (Store.count_at s ~level:3);
+        check (option interval) "root to shots" (Some (iv 1 5))
+          (Store.descendants_span s ~level:1 ~id:1 ~target:3);
+        check (option interval) "scene 2 to shots" (Some (iv 3 5))
+          (Store.descendants_span s ~level:2 ~id:2 ~target:3);
+        check (option interval) "same level" None
+          (Store.descendants_span s ~level:2 ~id:2 ~target:2));
+    test_case "store rejects mismatched level names" `Quick (fun () ->
+        try
+          ignore (Store.create [ Fixtures.western (); Fixtures.layered () ]);
+          fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    test_case "all_object_ids" `Quick (fun () ->
+        let s = Fixtures.two_movie_store () in
+        check (list int) "ids" [ 1; 2; 3; 4; 5; 6; 7 ] (Store.all_object_ids s));
+    test_case "locate maps global ids to (video, position)" `Quick (fun () ->
+        let s = Fixtures.two_movie_store () in
+        check (triple int string int) "western shot 3" (0, "western", 3)
+          (Store.locate s ~level:2 ~id:3);
+        check (triple int string int) "chase first shot" (1, "chase", 1)
+          (Store.locate s ~level:2 ~id:7);
+        check (triple int string int) "chase last shot" (1, "chase", 3)
+          (Store.locate s ~level:2 ~id:9));
+    test_case "meta round trips" `Quick (fun () ->
+        let s = Fixtures.western_store () in
+        let m = Store.meta s ~level:2 ~id:3 in
+        check bool "train at shot 3" true (Metadata.Seg_meta.present m 4));
+  ]
+
+(* --- exact semantics ----------------------------------------------------- *)
+
+let parse = Htl.Parser.formula_of_string
+
+let exact_tests =
+  let open Alcotest in
+  let s = Fixtures.western_store () in
+  let over f = Htl.Exact.eval_over_level s ~level:2 (parse f) in
+  [
+    test_case "atoms over shots" `Quick (fun () ->
+        check (array bool) "train present somewhere"
+          [| false; false; true; false; true; false |]
+          (over "exists x . (present(x) and type(x) = \"train\")"));
+    test_case "segment attributes at the root" `Quick (fun () ->
+        check bool "title" true
+          (Htl.Exact.satisfied_by_video s ~video:0
+             (parse "seg.title = \"western\"")));
+    test_case "next" `Quick (fun () ->
+        (* shot i satisfies next(train) iff shot i+1 has the train *)
+        check (array bool) "next train"
+          [| false; true; false; true; false; false |]
+          (over "next (exists x . type(x) = \"train\")"));
+    test_case "until" `Quick (fun () ->
+        (* john appears until the train appears: shots 1..2 lead to 3;
+           shot 3 has the train itself; 4 leads to 5; 5 has it *)
+        check (array bool) "john until train"
+          [| true; true; true; true; true; false |]
+          (over
+             "(exists x . name(x) = \"John Wayne\") until (exists y . type(y) \
+              = \"train\")"));
+    test_case "eventually" `Quick (fun () ->
+        check (array bool) "eventually woman"
+          [| true; false; false; false; false; false |]
+          (over "eventually (exists x . type(x) = \"woman\")"));
+    test_case "not and or" `Quick (fun () ->
+        check (array bool) "no person at all"
+          [| false; false; true; false; false; true |]
+          (over "not (exists x . type(x) = \"man\" or type(x) = \"woman\")"));
+    test_case "relationships" `Quick (fun () ->
+        check (array bool) "fires_at"
+          [| false; false; false; true; false; false |]
+          (over "exists x, y . fires_at(x, y)"));
+    test_case "freeze compares attribute values across time" `Quick (fun () ->
+        (* the train is seen again later with a strictly higher speed *)
+        check (array bool) "speed increases"
+          [| false; false; true; false; false; false |]
+          (over
+             "exists x . (type(x) = \"train\" and [v <- speed(x)] next \
+              (eventually (speed(x) > v)))"));
+    test_case "freeze on an undefined attribute is false" `Quick (fun () ->
+        check (array bool) "no such attribute"
+          [| false; false; false; false; false; false |]
+          (over "exists x . (present(x) and [v <- altitude(x)] present(x))"));
+    test_case "level operators descend the hierarchy" `Quick (fun () ->
+        let s = Fixtures.layered_store () in
+        (* at-next-level at the root looks at the FIRST scene *)
+        check bool "at next level sees scene meta" true
+          (Htl.Exact.satisfied_by_video s ~video:0
+             (parse "at next level (seg.name = \"intro\")"));
+        check bool "at next level starts at the first scene" false
+          (Htl.Exact.satisfied_by_video s ~video:0
+             (parse "at next level (seg.name = \"trains\")"));
+        check bool "at next level plus eventually" true
+          (Htl.Exact.satisfied_by_video s ~video:0
+             (parse "at next level (eventually (seg.name = \"trains\"))"));
+        (* at shot level: the sequence of ALL shots under the root starts
+           at shot 1; train only appears from shot 3 *)
+        check bool "at shot level eventually train" true
+          (Htl.Exact.satisfied_by_video s ~video:0
+             (parse
+                "at shot level (eventually (exists x . type(x) = \"train\"))"));
+        check bool "at shot level immediately train" false
+          (Htl.Exact.satisfied_by_video s ~video:0
+             (parse "at shot level (exists x . type(x) = \"train\")")));
+    test_case "level operator scoped to one parent's children" `Quick
+      (fun () ->
+        let s = Fixtures.layered_store () in
+        (* scene 2's shots are ids 3..5; "next next mary" holds at its
+           first shot *)
+        check bool "scene 2 sequence" true
+          (Htl.Exact.holds_at s ~level:2 ~span:(iv 1 2) ~pos:2
+             (parse
+                "at next level (next (next (exists x . type(x) = \
+                 \"woman\")))"));
+        (* but scene 1 has only 2 shots, so the same formula fails there *)
+        check bool "scene 1 too short" false
+          (Htl.Exact.holds_at s ~level:2 ~span:(iv 1 2) ~pos:1
+             (parse
+                "at next level (next (next (exists x . type(x) = \
+                 \"woman\")))")));
+    test_case "until does not cross videos" `Quick (fun () ->
+        let s = Fixtures.two_movie_store () in
+        let f = parse "eventually (exists x . type(x) = \"horse\")" in
+        let r = Htl.Exact.eval_over_level s ~level:2 f in
+        (* horses only in the chase movie (ids 7..9); western shots never
+           reach them *)
+        check (array bool) "per shot"
+          [| false; false; false; false; false; false; true; true; true |]
+          r);
+  ]
+
+let suites =
+  [
+    ("metadata", metadata_tests);
+    ("video", video_tests);
+    ("store", store_tests);
+    ("exact_semantics", exact_tests);
+  ]

@@ -1,0 +1,198 @@
+(* Tests for the workload generators: determinism, statistical shape, and
+   the shipped datasets' invariants. *)
+
+module Sim_list = Simlist.Sim_list
+
+let rng_tests =
+  let open Alcotest in
+  [
+    test_case "same seed, same stream" `Quick (fun () ->
+        let a = Workload.Rng.make 7 and b = Workload.Rng.make 7 in
+        for _ = 1 to 50 do
+          check int "ints agree" (Workload.Rng.int a 1000) (Workload.Rng.int b 1000)
+        done);
+    test_case "different seeds diverge" `Quick (fun () ->
+        let a = Workload.Rng.make 7 and b = Workload.Rng.make 8 in
+        let seq r = List.init 20 (fun _ -> Workload.Rng.int r 1_000_000) in
+        check bool "diverge" false (seq a = seq b));
+    test_case "geometric mean is roughly right" `Quick (fun () ->
+        let rng = Workload.Rng.make 11 in
+        let k = 20_000 in
+        let total = ref 0 in
+        for _ = 1 to k do
+          total := !total + Workload.Rng.geometric rng ~mean:5.
+        done;
+        let mean = float_of_int !total /. float_of_int k in
+        check bool "close to 5" true (mean > 4.5 && mean < 5.5));
+    test_case "geometric is at least one" `Quick (fun () ->
+        let rng = Workload.Rng.make 3 in
+        for _ = 1 to 100 do
+          check bool "ge 1" true (Workload.Rng.geometric rng ~mean:1. >= 1)
+        done);
+    test_case "pick rejects empty" `Quick (fun () ->
+        let rng = Workload.Rng.make 1 in
+        try
+          ignore (Workload.Rng.pick rng ([] : int list));
+          fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+  ]
+
+let synthetic_tests =
+  let open Alcotest in
+  [
+    test_case "selectivity is approximately honoured" `Quick (fun () ->
+        let rng = Workload.Rng.make 21 in
+        let n = 200_000 in
+        let l =
+          Workload.Synthetic.similarity_list rng ~n ~selectivity:0.1 ()
+        in
+        let covered = float_of_int (Sim_list.covered l) /. float_of_int n in
+        check bool
+          (Printf.sprintf "covered %.3f in [0.05, 0.2]" covered)
+          true
+          (covered > 0.05 && covered < 0.2));
+    test_case "entries stay within bounds and below max" `Quick (fun () ->
+        let rng = Workload.Rng.make 22 in
+        let n = 5_000 in
+        let l =
+          Workload.Synthetic.similarity_list rng ~n ~selectivity:0.3 ~max:7. ()
+        in
+        List.iter
+          (fun (iv, v) ->
+            check bool "lo >= 1" true (Simlist.Interval.lo iv >= 1);
+            check bool "hi <= n" true (Simlist.Interval.hi iv <= n);
+            check bool "0 < v <= max" true (v > 0. && v <= 7.))
+          (Sim_list.entries l));
+    test_case "deterministic given the seed" `Quick (fun () ->
+        let mk () =
+          Workload.Synthetic.similarity_list (Workload.Rng.make 5) ~n:1_000 ()
+        in
+        check bool "equal" true (Sim_list.equal (mk ()) (mk ())));
+    test_case "context_with_atoms builds all names" `Quick (fun () ->
+        let ctx =
+          Workload.Synthetic.context_with_atoms ~seed:1 ~n:100
+            [ "a"; "b"; "c" ]
+        in
+        check int "three tables" 3 (List.length ctx.Engine.Context.tables);
+        check int "n" 100 (Engine.Context.segment_count ctx));
+  ]
+
+let casablanca_tests =
+  let open Alcotest in
+  [
+    test_case "shipped tables satisfy the similarity-list invariants" `Quick
+      (fun () ->
+        List.iter
+          (fun l ->
+            check bool "canonical" true
+              (Sim_list.equal l
+                 (Sim_list.of_entries ~max:(Sim_list.max_sim l)
+                    (Sim_list.entries l))))
+          [ Workload.Casablanca.moving_train; Workload.Casablanca.man_woman ]);
+    test_case "the reconstruction has 50 shots" `Quick (fun () ->
+        let store = Workload.Casablanca.store () in
+        check int "shots" 50 (Video_model.Store.count_at store ~level:2));
+    test_case "reconstruction supports the published predicates" `Quick
+      (fun () ->
+        let store = Workload.Casablanca.store () in
+        (* the man-woman shots of Table 2 must contain a man and a woman *)
+        List.iter
+          (fun id ->
+            let m = Video_model.Store.meta store ~level:2 ~id in
+            check bool
+              (Printf.sprintf "man at %d" id)
+              true
+              (Metadata.Seg_meta.objects_of_type m "man" <> []);
+            check bool
+              (Printf.sprintf "woman at %d" id)
+              true
+              (Metadata.Seg_meta.objects_of_type m "woman" <> []))
+          [ 1; 2; 3; 4; 47; 48; 49 ];
+        (* the train appears exactly at shot 9 *)
+        for id = 1 to 50 do
+          let m = Video_model.Store.meta store ~level:2 ~id in
+          check bool
+            (Printf.sprintf "train at %d" id)
+            (id = 9)
+            (Metadata.Seg_meta.objects_of_type m "train" <> [])
+        done);
+  ]
+
+let gulf_tests =
+  let open Alcotest in
+  [
+    test_case "gulf war video has four uniform levels" `Quick (fun () ->
+        let v = Workload.Gulf_war.video () in
+        check int "levels" 4 (Video_model.Video.levels v);
+        check (option int) "scene index" (Some 3)
+          (Video_model.Video.level_index v "scene"));
+    test_case "all showcase queries evaluate" `Quick (fun () ->
+        let ctx = Engine.Context.of_store ~level:1 (Workload.Gulf_war.store ()) in
+        List.iter
+          (fun (name, q) ->
+            match Engine.Query.run_string ctx q with
+            | _ -> ()
+            | exception Engine.Query.Error msg ->
+                failf "%s failed: %s" name msg)
+          Workload.Gulf_war.queries);
+    test_case "showcase queries match the exact semantics" `Quick (fun () ->
+        let store = Workload.Gulf_war.store () in
+        let ctx = Engine.Context.of_store ~level:1 store in
+        List.iter
+          (fun (name, q) ->
+            let f = Htl.Parser.formula_of_string q in
+            let list = Engine.Query.run ctx f in
+            let exact = Htl.Exact.eval_over_level store ~level:1 f in
+            (* full similarity iff exactly satisfied is only guaranteed in
+               one direction (partial credit); check exact -> full *)
+            Array.iteri
+              (fun i sat ->
+                if sat then
+                  check (float 1e-9)
+                    (Printf.sprintf "%s at %d" name (i + 1))
+                    (Sim_list.max_sim list)
+                    (Sim_list.value_at list (i + 1)))
+              exact)
+          Workload.Gulf_war.queries);
+  ]
+
+let movies_tests =
+  let open Alcotest in
+  [
+    test_case "random stores are valid at every level" `Quick (fun () ->
+        for seed = 1 to 10 do
+          let rng = Workload.Rng.make seed in
+          let levels = 2 + Workload.Rng.int rng 3 in
+          let store =
+            Workload.Movies.random_store rng ~videos:2 ~levels ()
+          in
+          check int "levels" levels (Video_model.Store.levels store);
+          for level = 1 to levels do
+            check bool "non-empty" true
+              (Video_model.Store.count_at store ~level > 0)
+          done
+        done);
+    test_case "random formulas classify within their class" `Quick (fun () ->
+        let rng = Workload.Rng.make 33 in
+        for _ = 1 to 50 do
+          let f1 = Workload.Movies.random_type1_formula rng ~depth:2 in
+          check bool
+            (Htl.Pretty.to_string f1)
+            true
+            (Htl.Classify.subclass (Htl.Classify.classify f1) Htl.Classify.Type1);
+          let f2 = Workload.Movies.random_type2_formula rng ~depth:2 in
+          check bool
+            (Htl.Pretty.to_string f2)
+            true
+            (Htl.Classify.subclass (Htl.Classify.classify f2) Htl.Classify.Type2)
+        done);
+  ]
+
+let suites =
+  [
+    ("workload.rng", rng_tests);
+    ("workload.synthetic", synthetic_tests);
+    ("workload.casablanca", casablanca_tests);
+    ("workload.gulf", gulf_tests);
+    ("workload.movies", movies_tests);
+  ]
