@@ -23,7 +23,7 @@ let make_context dataset seed level threshold =
   match dataset with
   | Casablanca ->
       let ctx = Workload.Casablanca.context () in
-      { ctx with Engine.Context.threshold }
+      Engine.Context.with_fresh_cache { ctx with Engine.Context.threshold }
   | Casablanca_store ->
       Engine.Context.of_store ~threshold ?level
         (Workload.Casablanca.store ())
@@ -32,7 +32,7 @@ let make_context dataset seed level threshold =
       let ctx =
         Workload.Synthetic.context_with_atoms ~seed ~n [ "p1"; "p2"; "p3" ]
       in
-      { ctx with Engine.Context.threshold }
+      Engine.Context.with_fresh_cache { ctx with Engine.Context.threshold }
   | Store_file path ->
       Engine.Context.of_store ~threshold ?level (Storage.Io.load_store path)
   | Tables_file path ->

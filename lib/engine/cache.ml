@@ -1,0 +1,120 @@
+type key = {
+  formula : int;
+  level : int;
+  version : int;
+  extents : int list;  (* extent lengths: the proper-sequence partition *)
+}
+
+let key ~formula ~level ~version ~extents =
+  let lengths =
+    List.map
+      (fun iv -> Simlist.Interval.hi iv - Simlist.Interval.lo iv + 1)
+      (Simlist.Extent.spans extents)
+  in
+  { formula; level; version; extents = lengths }
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+(* doubly-linked recency list; head = most recent, tail = next to evict *)
+type entry = {
+  ekey : key;
+  mutable value : Simlist.Sim_table.t;
+  mutable prev : entry option;
+  mutable next : entry option;
+}
+
+type t = {
+  cap : int;
+  table : (key, entry) Hashtbl.t;
+  mutable head : entry option;
+  mutable tail : entry option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    cap = capacity;
+    table = Hashtbl.create (min capacity 64);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      unlink t e;
+      push_front t e;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some e ->
+      unlink t e;
+      Hashtbl.remove t.table e.ekey;
+      t.evictions <- t.evictions + 1
+
+let add t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some e ->
+      e.value <- v;
+      unlink t e;
+      push_front t e
+  | None ->
+      if Hashtbl.length t.table >= t.cap then evict_lru t;
+      let e = { ekey = k; value = v; prev = None; next = None } in
+      Hashtbl.add t.table k e;
+      push_front t e
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    entries = Hashtbl.length t.table;
+    capacity = t.cap;
+  }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  reset_stats t
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf "hits %d  misses %d  evictions %d  entries %d/%d" s.hits
+    s.misses s.evictions s.entries s.capacity

@@ -1,0 +1,66 @@
+(** Memoization of subformula similarity tables.
+
+    An LRU cache mapping (interned formula id, level, store version,
+    extent partition) to the {!Simlist.Sim_table.t} the direct algorithms
+    computed for that subformula.  Interactive workloads re-issue formulas
+    sharing large subtrees (query refinement, browsing); with a cache
+    attached to the evaluation context, every shared subtree is computed
+    once per store version.
+
+    The key deliberately carries more than the ISSUE's minimal
+    (formula, level, version) triple: two evaluations of the same
+    subformula at the same level can still range over different proper-
+    sequence partitions when it sits under nested level operators entered
+    from different heights, and temporal operators read the partition, so
+    the extent fingerprint is part of the key (see DESIGN.md, "Caching &
+    invalidation").
+
+    A cache belongs to one evaluation context configuration: everything
+    else that determines a result (threshold, conjunction mode, named
+    tables, picture weights) is fixed per {!Context.t} and deliberately
+    not in the key.  Do not share one cache between contexts that differ
+    in those settings; {!Context.of_store} and {!Context.of_tables} create
+    a private cache by default.
+
+    Mutating the store bumps {!Video_model.Store.version}, so stale
+    entries can never be returned; they age out of the LRU order. *)
+
+type key
+
+val key :
+  formula:int -> level:int -> version:int -> extents:Simlist.Extent.t -> key
+(** [formula] is {!Htl.Hcons.intern_id} of the subformula. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;  (** current occupancy *)
+  capacity : int;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 256 entries.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : t -> int
+
+val find : t -> key -> Simlist.Sim_table.t option
+(** Counts a hit (and refreshes the entry's recency) or a miss. *)
+
+val add : t -> key -> Simlist.Sim_table.t -> unit
+(** Insert at most-recent position, evicting the least recently used
+    entry when full.  Replaces an existing binding for the same key. *)
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Zero the counters; entries stay. *)
+
+val clear : t -> unit
+(** Drop all entries and zero the counters. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** e.g. [hits 12  misses 4  evictions 0  entries 4/256]. *)

@@ -7,11 +7,12 @@ type t = {
   reorder_joins : bool;
   level : int;
   extents : Simlist.Extent.t;
+  cache : Cache.t option;
 }
 
 let of_store ?(config = Picture.Retrieval.default_config) ?(threshold = 0.5)
     ?(conj_mode = Simlist.Sim_list.Weighted_sum) ?(reorder_joins = false)
-    ?(tables = []) ?level store =
+    ?(tables = []) ?level ?cache store =
   let level =
     match level with Some l -> l | None -> Video_model.Store.levels store
   in
@@ -24,11 +25,12 @@ let of_store ?(config = Picture.Retrieval.default_config) ?(threshold = 0.5)
     reorder_joins;
     level;
     extents = Video_model.Store.extents_at store ~level;
+    cache = Some (match cache with Some c -> c | None -> Cache.create ());
   }
 
 let of_tables ?(threshold = 0.5)
     ?(conj_mode = Simlist.Sim_list.Weighted_sum) ?(reorder_joins = false) ~n
-    ?extents tables =
+    ?extents ?cache tables =
   let extents =
     match extents with Some e -> e | None -> Simlist.Extent.single n
   in
@@ -41,7 +43,32 @@ let of_tables ?(threshold = 0.5)
     reorder_joins;
     level = 1;
     extents;
+    cache = Some (match cache with Some c -> c | None -> Cache.create ());
   }
 
 let with_level t ~level ~extents = { t with level; extents }
 let segment_count t = Simlist.Extent.total t.extents
+
+let cache t = t.cache
+let with_cache t cache = { t with cache = Some cache }
+let with_fresh_cache t = { t with cache = Some (Cache.create ()) }
+let without_cache t = { t with cache = None }
+
+let store_version t =
+  match t.store with Some s -> Video_model.Store.version s | None -> 0
+
+let cache_key t f =
+  Cache.key ~formula:(Htl.Hcons.intern_id f) ~level:t.level
+    ~version:(store_version t) ~extents:t.extents
+
+let cache_find t f =
+  match t.cache with
+  | None -> None
+  | Some c -> Cache.find c (cache_key t f)
+
+let cache_add t f table =
+  match t.cache with
+  | None -> ()
+  | Some c -> Cache.add c (cache_key t f) table
+
+let cache_stats t = Option.map Cache.stats t.cache

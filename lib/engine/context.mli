@@ -22,6 +22,12 @@ type t = {
           relational engine in its SQL variant) *)
   level : int;  (** level the formula is asserted on *)
   extents : Simlist.Extent.t;  (** proper sequences of that level *)
+  cache : Cache.t option;
+      (** subformula result cache; [None] disables memoization.  A cache
+          is private to one configuration: derive contexts that change
+          [threshold]/[conj_mode]/[tables]/[picture_config] through
+          {!with_fresh_cache} (or {!without_cache}), never by sharing the
+          original's cache. *)
 }
 
 val of_store :
@@ -31,9 +37,11 @@ val of_store :
   ?reorder_joins:bool ->
   ?tables:(string * Simlist.Sim_table.t) list ->
   ?level:int ->
+  ?cache:Cache.t ->
   Video_model.Store.t ->
   t
-(** [level] defaults to the leaf level; extents are the per-video spans. *)
+(** [level] defaults to the leaf level; extents are the per-video spans.
+    [cache] defaults to a fresh private {!Cache.t} (capacity 256). *)
 
 val of_tables :
   ?threshold:float ->
@@ -41,12 +49,33 @@ val of_tables :
   ?reorder_joins:bool ->
   n:int ->
   ?extents:Simlist.Extent.t ->
+  ?cache:Cache.t ->
   (string * Simlist.Sim_table.t) list ->
   t
 (** Store-less context over segment ids [1..n] — the §4 experimental
     setting where atomic similarity tables are the input.  [extents]
-    defaults to a single sequence. *)
+    defaults to a single sequence; [cache] to a fresh private cache. *)
 
 val with_level : t -> level:int -> extents:Simlist.Extent.t -> t
 
 val segment_count : t -> int
+
+(** {1 Result caching} *)
+
+val cache : t -> Cache.t option
+val with_cache : t -> Cache.t -> t
+val with_fresh_cache : t -> t
+val without_cache : t -> t
+
+val store_version : t -> int
+(** {!Video_model.Store.version} of the context's store; 0 when
+    store-less (precomputed tables are immutable). *)
+
+val cache_find : t -> Htl.Ast.t -> Simlist.Sim_table.t option
+(** Look up the subformula's table for the current level, extents and
+    store version.  [None] (a recorded miss) when absent or caching is
+    off. *)
+
+val cache_add : t -> Htl.Ast.t -> Simlist.Sim_table.t -> unit
+
+val cache_stats : t -> Cache.stats option

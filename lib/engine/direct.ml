@@ -140,7 +140,20 @@ let resolve_level (ctx : Context.t) = function
       | Some i -> i
       | None -> unsupported "unknown level %S" name)
 
+(* Every eval goes through the context's subformula cache: the key is the
+   hash-consed formula id plus level, extent partition and store version,
+   so overlapping queries reuse each other's intermediate tables and any
+   store mutation invalidates (see Engine.Cache).  [eval_raw] recurses
+   back through [eval], memoizing every level of the tree. *)
 let rec eval (ctx : Context.t) f =
+  match Context.cache_find ctx f with
+  | Some table -> table
+  | None ->
+      let table = eval_raw ctx f in
+      Context.cache_add ctx f table;
+      table
+
+and eval_raw (ctx : Context.t) f =
   if is_non_temporal f then Atomic.resolve ctx f
   else
     match f with

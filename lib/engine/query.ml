@@ -62,3 +62,7 @@ let run_string ?backend ctx src =
   | Ok f -> run ?backend ctx f
 
 let top_k ?backend ctx ~k src = Topk.top_k (run_string ?backend ctx src) ~k
+
+let cache_stats = Context.cache_stats
+let reset_cache_stats (ctx : Context.t) =
+  Option.iter Cache.reset_stats ctx.cache

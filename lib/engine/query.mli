@@ -42,3 +42,17 @@ val top_k :
   (int * Simlist.Sim.t) list
 (** The end-to-end user operation: parse, evaluate, return the k best
     segments. *)
+
+(** {1 Observability}
+
+    The direct backend memoizes subformula tables in the context's
+    {!Cache} (see DESIGN.md, "Caching & invalidation").  The counters
+    tell how a workload is behaving: repeated or overlapping queries
+    should show hits climbing; evictions signal an undersized cache. *)
+
+val cache_stats : Context.t -> Cache.stats option
+(** Hit/miss/eviction counters and occupancy of the context's cache;
+    [None] when caching is disabled ({!Context.without_cache}). *)
+
+val reset_cache_stats : Context.t -> unit
+(** Zero the counters (entries stay) — for per-phase measurements. *)

@@ -6,7 +6,19 @@ exception Unsupported of string
 
 let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
 
+(* Memoized like Direct.eval: a type (1) result is a similarity list,
+   cached as its closed one-row table so the cache is shared with the
+   table algorithms (a type (1) subformula of a type (2) query hits the
+   same entry). *)
 let rec eval (ctx : Context.t) f =
+  match Context.cache_find ctx f with
+  | Some table -> Sim_table.project_exists table
+  | None ->
+      let list = eval_raw ctx f in
+      Context.cache_add ctx f (Sim_table.of_sim_list list);
+      list
+
+and eval_raw (ctx : Context.t) f =
   if is_non_temporal f then begin
     if free_obj_vars f <> [] || free_attr_vars f <> [] then
       unsupported "type (1) requires closed atomic units: %s"

@@ -1,0 +1,57 @@
+type t = { node : Ast.t; id : int; hkey : int }
+
+(* A node's identity is its constructor plus the ids of its (already
+   interned) children, so the table never compares whole subtrees: one
+   shallow structural comparison per node. *)
+type shape =
+  | S_atom of Ast.atom
+  | S_and of int * int
+  | S_or of int * int
+  | S_not of int
+  | S_next of int
+  | S_until of int * int
+  | S_eventually of int
+  | S_exists of string * int
+  | S_freeze of string * string * string option * int
+  | S_at_level of Ast.level_sel * int
+
+let table : (shape, t) Hashtbl.t = Hashtbl.create 512
+let next_id = ref 0
+
+let clear () =
+  Hashtbl.reset table;
+  next_id := 0
+
+let interned_count () = Hashtbl.length table
+
+let make node shape =
+  match Hashtbl.find_opt table shape with
+  | Some h -> h
+  | None ->
+      let h = { node; id = !next_id; hkey = Hashtbl.hash shape } in
+      incr next_id;
+      Hashtbl.add table shape h;
+      h
+
+let rec intern (f : Ast.t) =
+  match f with
+  | Atom a -> make f (S_atom a)
+  | And (g, h) -> make f (S_and ((intern g).id, (intern h).id))
+  | Or (g, h) -> make f (S_or ((intern g).id, (intern h).id))
+  | Not g -> make f (S_not (intern g).id)
+  | Next g -> make f (S_next (intern g).id)
+  | Until (g, h) -> make f (S_until ((intern g).id, (intern h).id))
+  | Eventually g -> make f (S_eventually (intern g).id)
+  | Exists (x, g) -> make f (S_exists (x, (intern g).id))
+  | Freeze { var; attr; obj; body } ->
+      make f (S_freeze (var, attr, obj, (intern body).id))
+  | At_level (sel, g) -> make f (S_at_level (sel, (intern g).id))
+
+let id h = h.id
+let node h = h.node
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash h = h.hkey
+let intern_id f = (intern f).id
+let equal_ast f g = (intern f).id = (intern g).id
+let hash_ast f = (intern f).hkey

@@ -1,0 +1,47 @@
+(** Hash-consing of HTL formulas.
+
+    [intern] maps a formula to its unique representative: two structurally
+    equal formulas (and all their structurally equal subformulas) intern
+    to handles with the same id.  Once interned, equality, hashing and
+    ordering of handles are O(1); the id is stable for the lifetime of the
+    process (until {!clear}) and is what {!Engine.Cache} keys subformula
+    results on.
+
+    Interning a formula of [p] nodes costs O(p) table lookups and interns
+    every subformula along the way, so a later [intern] of any shared
+    subtree is a pure lookup. *)
+
+type t = private { node : Ast.t; id : int; hkey : int }
+(** An interned formula: the AST, its unique id, and a cached hash. *)
+
+val intern : Ast.t -> t
+
+val id : t -> int
+val node : t -> Ast.t
+
+val equal : t -> t -> bool
+(** O(1): id comparison.  Agrees with {!Ast.equal} on the underlying
+    formulas. *)
+
+val compare : t -> t -> int
+(** Total order by id (interning order, not structural). *)
+
+val hash : t -> int
+(** O(1): the cached structural hash. *)
+
+val intern_id : Ast.t -> int
+(** [intern_id f = id (intern f)]. *)
+
+val equal_ast : Ast.t -> Ast.t -> bool
+(** Structural equality through the intern table: one traversal of each
+    argument, O(1) on already-interned subtrees. *)
+
+val hash_ast : Ast.t -> int
+
+val interned_count : unit -> int
+(** Number of distinct formulas (subformulas included) currently
+    interned. *)
+
+val clear : unit -> unit
+(** Drop the intern table.  Ids restart from 0; handles obtained before
+    [clear] must not be mixed with handles obtained after. *)

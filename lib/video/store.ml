@@ -7,7 +7,11 @@ type node = {
   meta : Metadata.Seg_meta.t;
 }
 
-type t = { videos : Video.t list; by_level : node array array }
+type t = {
+  videos : Video.t list;
+  by_level : node array array;
+  mutable version : int;
+}
 (* by_level.(l-1).(id-1) is the node with global id [id] at level [l]. *)
 
 let create videos =
@@ -53,9 +57,10 @@ let create videos =
     (fun nodes ->
       Array.iteri (fun i n -> assert (n.id = i + 1)) nodes)
     by_level;
-  { videos; by_level }
+  { videos; by_level; version = 0 }
 
 let of_video v = create [ v ]
+let version t = t.version
 let videos t = t.videos
 let levels t = Array.length t.by_level
 let level_name t i = Video.level_name (List.hd t.videos) i
@@ -122,6 +127,50 @@ let locate t ~level ~id =
   let span = video_span t ~video:n.video ~level in
   let title = (List.nth t.videos n.video).Video.title in
   (n.video, title, id - Simlist.Interval.lo span + 1)
+
+let update_meta t ~level ~id ~f =
+  let n = node t ~level ~id in
+  t.by_level.(level - 1).(id - 1) <- { n with meta = f n.meta };
+  t.version <- t.version + 1
+
+let add_object t ~level ~id obj =
+  update_meta t ~level ~id ~f:(fun m ->
+      let others =
+        List.filter
+          (fun (o : Metadata.Entity.t) -> o.id <> obj.Metadata.Entity.id)
+          m.Metadata.Seg_meta.objects
+      in
+      { m with Metadata.Seg_meta.objects = obj :: others })
+
+let remove_object t ~level ~id ~obj =
+  update_meta t ~level ~id ~f:(fun m ->
+      {
+        m with
+        Metadata.Seg_meta.objects =
+          List.filter
+            (fun (o : Metadata.Entity.t) -> o.id <> obj)
+            m.Metadata.Seg_meta.objects;
+        relationships =
+          List.filter
+            (fun r -> not (List.mem obj r.Metadata.Relationship.args))
+            m.Metadata.Seg_meta.relationships;
+      })
+
+let set_attr t ~level ~id ~name value =
+  update_meta t ~level ~id ~f:(fun m ->
+      {
+        m with
+        Metadata.Seg_meta.attrs =
+          (name, value) :: List.remove_assoc name m.Metadata.Seg_meta.attrs;
+      })
+
+let remove_attr t ~level ~id ~name =
+  update_meta t ~level ~id ~f:(fun m ->
+      {
+        m with
+        Metadata.Seg_meta.attrs =
+          List.remove_assoc name m.Metadata.Seg_meta.attrs;
+      })
 
 let all_object_ids t =
   let ids = Hashtbl.create 64 in

@@ -60,3 +60,33 @@ val locate : t -> level:int -> id:int -> int * string * int
 val all_object_ids : t -> int list
 (** Every universal object id mentioned anywhere in the store (the domain
     of existential quantification), sorted. *)
+
+(** {1 Annotation updates and the version stamp}
+
+    A store's segment meta-data may be edited in place (annotation
+    tooling, incremental analysis).  Every mutation bumps a monotonically
+    increasing {!version} stamp; result caches ({!Engine.Cache}) key on it,
+    so any mutation invalidates every cached table computed against the
+    earlier state.  The level structure itself is immutable. *)
+
+val version : t -> int
+(** Starts at 0 for a fresh store; bumped by every mutation below. *)
+
+val update_meta :
+  t -> level:int -> id:int -> f:(Metadata.Seg_meta.t -> Metadata.Seg_meta.t) -> unit
+(** Replace one segment's meta-data.  Bumps {!version} even when [f] is
+    the identity.
+    @raise Invalid_argument when out of range. *)
+
+val add_object : t -> level:int -> id:int -> Metadata.Entity.t -> unit
+(** Annotate a segment with an object; replaces any existing object with
+    the same universal id. *)
+
+val remove_object : t -> level:int -> id:int -> obj:int -> unit
+(** Remove the object with universal id [obj] from a segment, along with
+    every relationship mentioning it. *)
+
+val set_attr : t -> level:int -> id:int -> name:string -> Metadata.Value.t -> unit
+(** Set a segment-level attribute (add or overwrite). *)
+
+val remove_attr : t -> level:int -> id:int -> name:string -> unit

@@ -118,3 +118,212 @@ let check_dense_equal ~what expected actual_list =
 
 let qtest ?(count = 300) name prop arb =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* --- random closed HTL formulas (stratified, with shrinking) --------- *)
+
+module Ast = Htl.Ast
+
+(* vocabulary matching Workload.Movies random stores, so formulas have a
+   real chance of matching something *)
+let obj_types = [ "man"; "woman"; "train"; "car"; "gun"; "horse"; "dog" ]
+let rel_names = [ "holds"; "fires_at"; "near" ]
+let moods = [ "calm"; "tense" ]
+
+let gen_closed_atom =
+  let open QCheck.Gen in
+  let open Ast in
+  frequency
+    [
+      ( 3,
+        map
+          (fun t ->
+            Exists
+              ( "u",
+                And
+                  ( Atom (Present "u"),
+                    Atom
+                      (Cmp
+                         ( Eq,
+                           Obj_attr ("type", "u"),
+                           Const (Metadata.Value.Str t) )) ) ))
+          (oneofl obj_types) );
+      ( 2,
+        map
+          (fun r ->
+            Exists ("u", Exists ("v", Atom (Rel (r, [ "u"; "v" ])))))
+          (oneofl rel_names) );
+      ( 2,
+        map
+          (fun m ->
+            Atom (Cmp (Eq, Seg_attr "mood", Const (Metadata.Value.Str m))))
+          (oneofl moods) );
+      ( 2,
+        map2
+          (fun cmp k ->
+            Exists
+              ( "u",
+                And
+                  ( Atom (Present "u"),
+                    Atom
+                      (Cmp
+                         ( cmp,
+                           Obj_attr ("speed", "u"),
+                           Const (Metadata.Value.Int (10 * k)) )) ) ))
+          (oneofl [ Gt; Le ]) (int_range 1 9) );
+      (1, return (Atom True));
+    ]
+
+let gen_open_atom var =
+  let open QCheck.Gen in
+  let open Ast in
+  frequency
+    [
+      ( 2,
+        map
+          (fun t ->
+            And
+              ( Atom (Present var),
+                Atom
+                  (Cmp
+                     (Eq, Obj_attr ("type", var), Const (Metadata.Value.Str t)))
+              ))
+          (oneofl obj_types) );
+      (1, return (Atom (Present var)));
+      ( 2,
+        map2
+          (fun cmp k ->
+            And
+              ( Atom (Present var),
+                Atom
+                  (Cmp
+                     ( cmp,
+                       Obj_attr ("speed", var),
+                       Const (Metadata.Value.Int (10 * k)) )) ))
+          (oneofl [ Gt; Le ]) (int_range 1 9) );
+    ]
+
+(* temporal skeleton over a leaf generator *)
+let rec gen_temporal leaf depth =
+  let open QCheck.Gen in
+  let open Ast in
+  if depth <= 0 then leaf
+  else
+    let sub = gen_temporal leaf (depth - 1) in
+    frequency
+      [
+        (2, map2 (fun g h -> And (g, h)) sub sub);
+        (2, map2 (fun g h -> Until (g, h)) sub sub);
+        (1, map (fun g -> Next g) sub);
+        (1, map (fun g -> Eventually g) sub);
+        (2, leaf);
+      ]
+
+(* the three strata the differential harness exercises over stores *)
+let gen_type1_formula ~depth = gen_temporal gen_closed_atom depth
+
+let gen_type2_formula ~depth =
+  QCheck.Gen.map
+    (fun body -> Ast.Exists ("x", body))
+    (gen_temporal (gen_open_atom "x") depth)
+
+let gen_conjunctive_formula ~depth =
+  let open QCheck.Gen in
+  let open Ast in
+  let freeze_atom =
+    map2
+      (fun cmp flip ->
+        if flip then Atom (Cmp (cmp, Obj_attr ("speed", "x"), Attr_var "v"))
+        else Atom (Cmp (cmp, Attr_var "v", Obj_attr ("speed", "x"))))
+      (oneofl [ Gt; Ge; Lt; Le; Eq ])
+      bool
+  in
+  let leaf = oneof [ gen_open_atom "x"; freeze_atom ] in
+  map
+    (fun body ->
+      Exists
+        ( "x",
+          And
+            ( Atom (Present "x"),
+              Freeze { var = "v"; attr = "speed"; obj = Some "x"; body } ) ))
+    (gen_temporal leaf depth)
+
+(* nullary named predicates over precomputed tables (the §4.2 setting) *)
+let gen_table_formula ~names ~depth =
+  let open QCheck.Gen in
+  gen_temporal (map (fun p -> Ast.Atom (Ast.Rel (p, []))) (oneofl names)) depth
+
+let gen_closed_formula ~depth =
+  let open QCheck.Gen in
+  frequency
+    [
+      (2, gen_type1_formula ~depth);
+      (2, gen_type2_formula ~depth);
+      (1, gen_conjunctive_formula ~depth);
+    ]
+
+(* Shrinker: replace a node by a (closed) subformula or [Atom True], or
+   shrink a child in place.  Candidates leaving the conjunctive fragment
+   (e.g. an open subformula pulled out of its binder) are filtered
+   against Htl.Classify.check, so reported counterexamples stay
+   evaluable by every backend. *)
+let shrink_formula f =
+  let open QCheck.Iter in
+  let open Ast in
+  let rec shr f =
+    match f with
+    | Atom True -> empty
+    | Atom _ -> return (Atom True)
+    | And (g, h) ->
+        of_list [ g; h; Atom True ]
+        <+> map (fun g' -> And (g', h)) (shr g)
+        <+> map (fun h' -> And (g, h')) (shr h)
+    | Until (g, h) ->
+        of_list [ g; h; Atom True ]
+        <+> map (fun g' -> Until (g', h)) (shr g)
+        <+> map (fun h' -> Until (g, h')) (shr h)
+    | Next g ->
+        of_list [ g; Atom True ] <+> map (fun g' -> Next g') (shr g)
+    | Eventually g ->
+        of_list [ g; Atom True ] <+> map (fun g' -> Eventually g') (shr g)
+    | Exists (x, g) ->
+        of_list [ g; Atom True ] <+> map (fun g' -> Exists (x, g')) (shr g)
+    | Freeze fr ->
+        of_list [ fr.body; Atom True ]
+        <+> map (fun b -> Freeze { fr with body = b }) (shr fr.body)
+    | At_level (sel, g) ->
+        of_list [ g; Atom True ] <+> map (fun g' -> At_level (sel, g')) (shr g)
+    | Or (g, h) -> of_list [ g; h; Atom True ]
+    | Not g -> of_list [ g; Atom True ]
+  in
+  filter (fun c -> Result.is_ok (Htl.Classify.check c)) (shr f)
+
+(* arbitrary for (store seed, closed formula): the seed regenerates the
+   random store, the formula shrinks structurally *)
+let arb_store_formula ?(depth = 2) gen =
+  let gen =
+    let open QCheck.Gen in
+    map2 (fun seed f -> (seed, f)) (int_bound 1_000_000) (gen ~depth)
+  in
+  let print (seed, f) =
+    Printf.sprintf "store seed %d, formula %s" seed (Htl.Pretty.to_string f)
+  in
+  let shrink (seed, f) =
+    QCheck.Iter.map (fun f' -> (seed, f')) (shrink_formula f)
+  in
+  QCheck.make ~print ~shrink gen
+
+let arb_table_formula ?(depth = 3) ~names () =
+  let gen =
+    let open QCheck.Gen in
+    map2
+      (fun seed f -> (seed, f))
+      (int_bound 1_000_000)
+      (gen_table_formula ~names ~depth)
+  in
+  let print (seed, f) =
+    Printf.sprintf "table seed %d, formula %s" seed (Htl.Pretty.to_string f)
+  in
+  let shrink (seed, f) =
+    QCheck.Iter.map (fun f' -> (seed, f')) (shrink_formula f)
+  in
+  QCheck.make ~print ~shrink gen

@@ -64,7 +64,10 @@ let conj_mode_tests =
           Workload.Synthetic.context_with_atoms ~seed:(seed + 3) ~n
             ~selectivity:0.4 [ "p1"; "p2"; "p3" ]
         in
-        let ctx = { base with Context.conj_mode = Sim_list.Min_fraction } in
+        let ctx =
+          Context.with_fresh_cache
+            { base with Context.conj_mode = Sim_list.Min_fraction }
+        in
         let f = parse "p1 and p2 and eventually p3" in
         let oracle = Reference.similarity_over_level ctx f in
         let engine = Sim_list.to_dense ~n (Query.run ctx f) in
