@@ -12,8 +12,11 @@ let rec resolve (ctx : Context.t) f =
   | None -> (
       match ctx.store with
       | Some store -> (
+          (* chunk the per-segment scoring scan across the pool when the
+             level is large enough (point (a) of DESIGN.md §2.13) *)
+          let pool = Context.pool_for ctx ~n:(Context.segment_count ctx) in
           try
-            Picture.Retrieval.eval ~config:ctx.picture_config store
+            Picture.Retrieval.eval ~config:ctx.picture_config ?pool store
               ~level:ctx.level f
           with Picture.Retrieval.Unsupported msg -> raise (Unsupported msg))
       | None -> (

@@ -29,8 +29,14 @@ type entry = {
   mutable next : entry option;
 }
 
+(* One mutex serializes every operation, counters included (the
+   alternative — per-domain shards merged on completion — would lose the
+   global LRU order and make [stats] incoherent mid-run).  Contention is
+   negligible: a hit or miss is a few pointer swaps amortized against an
+   entire subformula evaluation.  See DESIGN.md §2.13. *)
 type t = {
   cap : int;
+  mutex : Mutex.t;
   table : (key, entry) Hashtbl.t;
   mutable head : entry option;
   mutable tail : entry option;
@@ -43,6 +49,7 @@ let create ?(capacity = 256) () =
   if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
   {
     cap = capacity;
+    mutex = Mutex.create ();
     table = Hashtbl.create (min capacity 64);
     head = None;
     tail = None;
@@ -65,15 +72,16 @@ let push_front t e =
   t.head <- Some e
 
 let find t k =
-  match Hashtbl.find_opt t.table k with
-  | Some e ->
-      t.hits <- t.hits + 1;
-      unlink t e;
-      push_front t e;
-      Some e.value
-  | None ->
-      t.misses <- t.misses + 1;
-      None
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some e ->
+          t.hits <- t.hits + 1;
+          unlink t e;
+          push_front t e;
+          Some e.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
 
 let evict_lru t =
   match t.tail with
@@ -84,36 +92,42 @@ let evict_lru t =
       t.evictions <- t.evictions + 1
 
 let add t k v =
-  match Hashtbl.find_opt t.table k with
-  | Some e ->
-      e.value <- v;
-      unlink t e;
-      push_front t e
-  | None ->
-      if Hashtbl.length t.table >= t.cap then evict_lru t;
-      let e = { ekey = k; value = v; prev = None; next = None } in
-      Hashtbl.add t.table k e;
-      push_front t e
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some e ->
+          e.value <- v;
+          unlink t e;
+          push_front t e
+      | None ->
+          if Hashtbl.length t.table >= t.cap then evict_lru t;
+          let e = { ekey = k; value = v; prev = None; next = None } in
+          Hashtbl.add t.table k e;
+          push_front t e)
 
 let stats t =
-  {
-    hits = t.hits;
-    misses = t.misses;
-    evictions = t.evictions;
-    entries = Hashtbl.length t.table;
-    capacity = t.cap;
-  }
+  Mutex.protect t.mutex (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.table;
+        capacity = t.cap;
+      })
 
 let reset_stats t =
-  t.hits <- 0;
-  t.misses <- 0;
-  t.evictions <- 0
+  Mutex.protect t.mutex (fun () ->
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)
 
 let clear t =
-  Hashtbl.reset t.table;
-  t.head <- None;
-  t.tail <- None;
-  reset_stats t
+  Mutex.protect t.mutex (fun () ->
+      Hashtbl.reset t.table;
+      t.head <- None;
+      t.tail <- None;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf "hits %d  misses %d  evictions %d  entries %d/%d" s.hits

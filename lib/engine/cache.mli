@@ -23,7 +23,14 @@
     a private cache by default.
 
     Mutating the store bumps {!Video_model.Store.version}, so stale
-    entries can never be returned; they age out of the LRU order. *)
+    entries can never be returned; they age out of the LRU order.
+
+    The cache is thread-safe: one internal mutex serializes every
+    operation, counters included, so a cache shared by worker domains
+    during parallel evaluation ({!Parallel.Pool}, DESIGN.md §2.13) keeps
+    a coherent LRU order and coherent {!stats}.  Two domains may race to
+    compute the same missing entry; both then {!add} the same value,
+    which is wasted work but never wrong. *)
 
 type key
 

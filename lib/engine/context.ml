@@ -8,11 +8,16 @@ type t = {
   level : int;
   extents : Simlist.Extent.t;
   cache : Cache.t option;
+  pool : Parallel.Pool.t option;
+  par_cutoff : int;
 }
+
+let default_par_cutoff = 4096
 
 let of_store ?(config = Picture.Retrieval.default_config) ?(threshold = 0.5)
     ?(conj_mode = Simlist.Sim_list.Weighted_sum) ?(reorder_joins = false)
-    ?(tables = []) ?level ?cache store =
+    ?(tables = []) ?level ?cache ?pool ?(par_cutoff = default_par_cutoff)
+    store =
   let level =
     match level with Some l -> l | None -> Video_model.Store.levels store
   in
@@ -26,11 +31,13 @@ let of_store ?(config = Picture.Retrieval.default_config) ?(threshold = 0.5)
     level;
     extents = Video_model.Store.extents_at store ~level;
     cache = Some (match cache with Some c -> c | None -> Cache.create ());
+    pool;
+    par_cutoff;
   }
 
 let of_tables ?(threshold = 0.5)
     ?(conj_mode = Simlist.Sim_list.Weighted_sum) ?(reorder_joins = false) ~n
-    ?extents ?cache tables =
+    ?extents ?cache ?pool ?(par_cutoff = default_par_cutoff) tables =
   let extents =
     match extents with Some e -> e | None -> Simlist.Extent.single n
   in
@@ -44,10 +51,27 @@ let of_tables ?(threshold = 0.5)
     level = 1;
     extents;
     cache = Some (match cache with Some c -> c | None -> Cache.create ());
+    pool;
+    par_cutoff;
   }
 
 let with_level t ~level ~extents = { t with level; extents }
 let segment_count t = Simlist.Extent.total t.extents
+
+let with_pool ?(par_cutoff = default_par_cutoff) t pool =
+  { t with pool = Some pool; par_cutoff }
+
+let without_pool t = { t with pool = None }
+let with_par_cutoff t par_cutoff = { t with par_cutoff }
+
+(* The sequential-cutoff gate every fan-out site goes through: the pool,
+   but only when the work spans at least [par_cutoff] units and the pool
+   actually has more than one domain. *)
+let pool_for t ~n =
+  match t.pool with
+  | Some p when n >= t.par_cutoff && Parallel.Pool.domain_count p > 1 ->
+      Some p
+  | Some _ | None -> None
 
 let cache t = t.cache
 let with_cache t cache = { t with cache = Some cache }

@@ -28,6 +28,16 @@ type t = {
           [threshold]/[conj_mode]/[tables]/[picture_config] through
           {!with_fresh_cache} (or {!without_cache}), never by sharing the
           original's cache. *)
+  pool : Parallel.Pool.t option;
+      (** domain pool for parallel evaluation; [None] (the default) keeps
+          everything on the calling domain.  The pool is a shared
+          resource — many contexts (and {!Query.run_batch}) may use one
+          pool concurrently. *)
+  par_cutoff : int;
+      (** sequential cutoff: fan-out sites stay sequential when the work
+          spans fewer than this many units (segments, parents, conjunct
+          extents).  Default 4096; set 0 to force the parallel paths
+          (tests do). *)
 }
 
 val of_store :
@@ -38,10 +48,13 @@ val of_store :
   ?tables:(string * Simlist.Sim_table.t) list ->
   ?level:int ->
   ?cache:Cache.t ->
+  ?pool:Parallel.Pool.t ->
+  ?par_cutoff:int ->
   Video_model.Store.t ->
   t
 (** [level] defaults to the leaf level; extents are the per-video spans.
-    [cache] defaults to a fresh private {!Cache.t} (capacity 256). *)
+    [cache] defaults to a fresh private {!Cache.t} (capacity 256);
+    [pool] to none (sequential evaluation). *)
 
 val of_tables :
   ?threshold:float ->
@@ -50,6 +63,8 @@ val of_tables :
   n:int ->
   ?extents:Simlist.Extent.t ->
   ?cache:Cache.t ->
+  ?pool:Parallel.Pool.t ->
+  ?par_cutoff:int ->
   (string * Simlist.Sim_table.t) list ->
   t
 (** Store-less context over segment ids [1..n] — the §4 experimental
@@ -59,6 +74,19 @@ val of_tables :
 val with_level : t -> level:int -> extents:Simlist.Extent.t -> t
 
 val segment_count : t -> int
+
+(** {1 Parallel evaluation} *)
+
+val with_pool : ?par_cutoff:int -> t -> Parallel.Pool.t -> t
+(** Attach a domain pool (and optionally override the cutoff). *)
+
+val without_pool : t -> t
+val with_par_cutoff : t -> int -> t
+
+val pool_for : t -> n:int -> Parallel.Pool.t option
+(** The gate every fan-out site goes through: the context's pool when
+    the work spans at least [par_cutoff] units of size [n] {e and} the
+    pool has more than one domain; [None] otherwise. *)
 
 (** {1 Result caching} *)
 

@@ -28,7 +28,10 @@ let map_lists f table =
        (Sim_table.rows table))
 
 (* value table of attribute function [attr] (of an object variable or of
-   the segment itself) over the context's level *)
+   the segment itself) over the context's level.  The per-object span
+   extraction (the freeze-quantifier candidates) fans out across the
+   context's pool; each object's scan only reads the store and the
+   posting index. *)
 let value_table (ctx : Context.t) ~attr ~obj =
   let store = require_store ctx "the freeze quantifier" in
   let n = Store.count_at store ~level:ctx.level in
@@ -77,45 +80,51 @@ let value_table (ctx : Context.t) ~attr ~obj =
            (spans_of !values))
   | Some x ->
       let idx = Picture.Index.build store ~level:ctx.level in
-      let rows = ref [] in
-      List.iter
-        (fun oid ->
-          let values = ref [] in
-          List.iter
-            (fun id ->
-              match
-                Metadata.Seg_meta.object_attr
-                  (Store.meta store ~level:ctx.level ~id)
-                  oid attr
-              with
-              | Some v -> (
-                  match to_range_value id v with
-                  | Some rv -> values := (id, rv) :: !values
-                  | None -> ())
-              | None -> ())
-            (List.rev (Picture.Index.segments_of_object idx oid));
-          List.iter
-            (fun (v, spans) ->
-              rows :=
-                { Simlist.Value_table.objs = [ (x, oid) ]; value = v; spans }
-                :: !rows)
-            (spans_of !values))
-        (Picture.Index.objects_at_level idx);
-      Simlist.Value_table.create ~obj_cols:[ x ] (List.rev !rows)
+      let rows_of oid =
+        let values = ref [] in
+        List.iter
+          (fun id ->
+            match
+              Metadata.Seg_meta.object_attr
+                (Store.meta store ~level:ctx.level ~id)
+                oid attr
+            with
+            | Some v -> (
+                match to_range_value id v with
+                | Some rv -> values := (id, rv) :: !values
+                | None -> ())
+            | None -> ())
+          (List.rev (Picture.Index.segments_of_object idx oid));
+        List.map
+          (fun (v, spans) ->
+            { Simlist.Value_table.objs = [ (x, oid) ]; value = v; spans })
+          (spans_of !values)
+      in
+      let oids = Picture.Index.objects_at_level idx in
+      let rows =
+        match Context.pool_for ctx ~n:(Store.count_at store ~level:ctx.level) with
+        | Some pool ->
+            List.concat (Parallel.Pool.parallel_map pool rows_of oids)
+        | None -> List.concat_map rows_of oids
+      in
+      Simlist.Value_table.create ~obj_cols:[ x ] rows
 
-(* at-level evaluation: per-parent descendant sequences *)
+(* at-level evaluation: per-parent descendant sequences.  The per-parent
+   span walk chunks across the pool — each walk reads the store only. *)
 let at_level_extents (ctx : Context.t) ~target =
   let store = require_store ctx "a level operator" in
   let parents = Store.count_at store ~level:ctx.level in
+  let span_of i =
+    match Store.descendants_span store ~level:ctx.level ~id:(i + 1) ~target with
+    | Some span -> span
+    | None ->
+        unsupported "segment %d has no descendants at level %d" (i + 1) target
+  in
   let spans =
-    List.init parents (fun i ->
-        match
-          Store.descendants_span store ~level:ctx.level ~id:(i + 1) ~target
-        with
-        | Some span -> span
-        | None ->
-            unsupported "segment %d has no descendants at level %d" (i + 1)
-              target)
+    match Context.pool_for ctx ~n:parents with
+    | Some pool ->
+        Array.to_list (Parallel.Pool.parallel_init pool parents span_of)
+    | None -> List.init parents span_of
   in
   (spans, Extent.of_spans spans)
 
@@ -153,6 +162,16 @@ let rec eval (ctx : Context.t) f =
       Context.cache_add ctx f table;
       table
 
+(* Independent children of a binary node evaluate concurrently when the
+   extent is past the cutoff.  Siblings sharing a subformula may both
+   compute it before either caches it — duplicated work, never a wrong
+   result (the cache keeps whichever lands last; both are equal). *)
+and eval_pair (ctx : Context.t) g h =
+  match Context.pool_for ctx ~n:(Context.segment_count ctx) with
+  | Some pool ->
+      Parallel.Pool.both pool (fun () -> eval ctx g) (fun () -> eval ctx h)
+  | None -> (eval ctx g, eval ctx h)
+
 and eval_raw (ctx : Context.t) f =
   if is_non_temporal f then Atomic.resolve ctx f
   else
@@ -165,7 +184,12 @@ and eval_raw (ctx : Context.t) f =
           | And (a, b) -> flatten a @ flatten b
           | g -> [ g ]
         in
-        let tables = List.map (eval ctx) (flatten f) in
+        let subs = flatten f in
+        let tables =
+          match Context.pool_for ctx ~n:(Context.segment_count ctx) with
+          | Some pool -> Parallel.Pool.parallel_map pool (eval ctx) subs
+          | None -> List.map (eval ctx) subs
+        in
         let sorted =
           List.sort
             (fun a b ->
@@ -178,15 +202,17 @@ and eval_raw (ctx : Context.t) f =
         | first :: rest ->
             List.fold_left (fun acc t -> Sim_table.join ~combine acc t) first rest)
     | And (g, h) ->
+        let tg, th = eval_pair ctx g h in
         Sim_table.join
           ~combine:(Sim_list.conjunction_mode ctx.conj_mode)
-          (eval ctx g) (eval ctx h)
+          tg th
     | Until (g, h) ->
+        let tg, th = eval_pair ctx g h in
         Sim_table.join
           ~combine:(fun lg lh ->
             Sim_list.until_merge ~threshold:ctx.threshold ~extents:ctx.extents
               lg lh)
-          (eval ctx g) (eval ctx h)
+          tg th
     | Next g -> map_lists (Sim_list.next_shift ~extents:ctx.extents) (eval ctx g)
     | Eventually g ->
         map_lists (Sim_list.eventually ~extents:ctx.extents) (eval ctx g)

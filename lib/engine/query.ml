@@ -41,6 +41,30 @@ let run ?(backend = Direct_backend) ctx f =
                   fail "%s" msg)
           | Htl.Classify.General -> assert false))
 
+(* Batched evaluation: the queries of a batch are independent, so they
+   fan out across the pool (explicit [?pool] wins over the context's);
+   per-query failures become [Error] results instead of aborting the
+   batch.  The same pool also serves each query's internal parallelism —
+   nested submission is safe (see Parallel.Pool, caller-helps design). *)
+let run_batch ?backend ?pool (ctx : Context.t) fs =
+  let pool =
+    match pool with Some _ as p -> p | None -> ctx.pool
+  in
+  let ctx =
+    match pool with
+    | Some p -> Context.with_pool ~par_cutoff:ctx.par_cutoff ctx p
+    | None -> ctx
+  in
+  let one f =
+    match run ?backend ctx f with
+    | list -> Result.Ok list
+    | exception Error msg -> Result.Error msg
+  in
+  match pool with
+  | Some p when Parallel.Pool.domain_count p > 1 && List.length fs > 1 ->
+      Parallel.Pool.parallel_map p one fs
+  | Some _ | None -> List.map one fs
+
 let run_with_fallback (ctx : Context.t) f =
   match Htl.Classify.check f with
   | Ok _ -> run ctx f

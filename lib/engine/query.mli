@@ -23,6 +23,22 @@ val run_string :
   ?backend:backend -> Context.t -> string -> Simlist.Sim_list.t
 (** Parse then {!run}. *)
 
+val run_batch :
+  ?backend:backend ->
+  ?pool:Parallel.Pool.t ->
+  Context.t ->
+  Htl.Ast.t list ->
+  (Simlist.Sim_list.t, string) result list
+(** Evaluate a batch of independent closed formulas, one result per
+    formula in order.  A query that would raise {!Error} yields [Error
+    msg] instead — one bad query never aborts the batch.
+
+    With a pool ([?pool] if given, else the context's), the queries fan
+    out across the domains, and the same pool serves each query's
+    internal parallel scans; the shared subformula cache lets concurrent
+    queries reuse each other's intermediate tables (see DESIGN.md
+    §2.13).  Without a pool the batch runs sequentially. *)
+
 val run_with_fallback : Context.t -> Htl.Ast.t -> Simlist.Sim_list.t
 (** Like {!run} with the direct backend, but formulas outside the
     extended-conjunctive fragment (negation, disjunction, free temporal

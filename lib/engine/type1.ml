@@ -18,6 +18,14 @@ let rec eval (ctx : Context.t) f =
       Context.cache_add ctx f (Sim_table.of_sim_list list);
       list
 
+(* Children of a binary node are independent — evaluate both sides
+   concurrently past the cutoff (same policy as Direct.eval_pair). *)
+and eval_pair (ctx : Context.t) g h =
+  match Context.pool_for ctx ~n:(Context.segment_count ctx) with
+  | Some pool ->
+      Parallel.Pool.both pool (fun () -> eval ctx g) (fun () -> eval ctx h)
+  | None -> (eval ctx g, eval ctx h)
+
 and eval_raw (ctx : Context.t) f =
   if is_non_temporal f then begin
     if free_obj_vars f <> [] || free_attr_vars f <> [] then
@@ -28,10 +36,11 @@ and eval_raw (ctx : Context.t) f =
   else
     match f with
     | And (g, h) ->
-        Sim_list.conjunction_mode ctx.conj_mode (eval ctx g) (eval ctx h)
+        let lg, lh = eval_pair ctx g h in
+        Sim_list.conjunction_mode ctx.conj_mode lg lh
     | Until (g, h) ->
-        Sim_list.until_merge ~threshold:ctx.threshold ~extents:ctx.extents
-          (eval ctx g) (eval ctx h)
+        let lg, lh = eval_pair ctx g h in
+        Sim_list.until_merge ~threshold:ctx.threshold ~extents:ctx.extents lg lh
     | Next g -> Sim_list.next_shift ~extents:ctx.extents (eval ctx g)
     | Eventually g -> Sim_list.eventually ~extents:ctx.extents (eval ctx g)
     | Or _ | Not _ | Exists _ | Freeze _ | At_level _ ->

@@ -18,20 +18,27 @@ type shape =
 let table : (shape, t) Hashtbl.t = Hashtbl.create 512
 let next_id = ref 0
 
-let clear () =
-  Hashtbl.reset table;
-  next_id := 0
+(* The intern table is process-global and parallel evaluation interns
+   cache keys from worker domains, so every access is serialized.  The
+   critical section is one shallow Hashtbl operation per AST node. *)
+let lock = Mutex.create ()
 
-let interned_count () = Hashtbl.length table
+let clear () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.reset table;
+      next_id := 0)
+
+let interned_count () = Mutex.protect lock (fun () -> Hashtbl.length table)
 
 let make node shape =
-  match Hashtbl.find_opt table shape with
-  | Some h -> h
-  | None ->
-      let h = { node; id = !next_id; hkey = Hashtbl.hash shape } in
-      incr next_id;
-      Hashtbl.add table shape h;
-      h
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt table shape with
+      | Some h -> h
+      | None ->
+          let h = { node; id = !next_id; hkey = Hashtbl.hash shape } in
+          incr next_id;
+          Hashtbl.add table shape h;
+          h)
 
 let rec intern (f : Ast.t) =
   match f with

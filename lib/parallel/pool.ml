@@ -1,0 +1,218 @@
+(* A fixed-size domain pool over the OCaml 5 stdlib primitives only
+   (Domain / Mutex / Condition — no domainslib).
+
+   Scheduling is caller-helps: submitting a batch pushes its tasks onto
+   the shared queue and then the *submitting* domain drains the queue
+   alongside the workers until its own batch completes.  This makes the
+   pool reentrant — a task running on a worker may itself submit a batch
+   and help drain it — without any risk of the "all workers blocked
+   waiting on sub-batches nobody can run" deadlock: a domain blocked on
+   a batch only sleeps when the queue is empty, i.e. when every
+   outstanding task of its batch is already being executed by some other
+   domain.  Termination follows by induction on nesting depth.
+
+   A pool of [domains] = d runs work on d domains total: d - 1 spawned
+   workers plus the caller.  [create ~domains:1] spawns nothing and every
+   operation degenerates to the sequential loop, so a 1-domain pool is a
+   zero-overhead baseline. *)
+
+type task = unit -> unit
+
+type t = {
+  mutex : Mutex.t;
+  work : Condition.t;  (* signalled when tasks arrive or on shutdown *)
+  queue : task Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+  total : int;  (* worker domains + the calling domain *)
+}
+
+(* A batch of tasks submitted together; [finished] shares the pool
+   mutex.  The first exception (with its backtrace) is kept and re-raised
+   in the submitting domain once every task has run. *)
+type batch = {
+  mutable pending : int;
+  mutable error : (exn * Printexc.raw_backtrace) option;
+  finished : Condition.t;
+}
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec next () =
+      if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+      else if t.stop then None
+      else begin
+        Condition.wait t.work t.mutex;
+        next ()
+      end
+    in
+    match next () with
+    | None -> Mutex.unlock t.mutex
+    | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        loop ()
+  in
+  loop ()
+
+let create ?domains () =
+  let total =
+    match domains with
+    | Some d ->
+        if d < 1 then invalid_arg "Pool.create: domains must be >= 1";
+        d
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  let t =
+    {
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [||];
+      total;
+    }
+  in
+  t.workers <- Array.init (total - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let domain_count t = t.total
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stop then Mutex.unlock t.mutex
+  else begin
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let check_alive t =
+  if t.stop then invalid_arg "Parallel.Pool: pool has been shut down"
+
+(* Run [f 0 .. f (n-1)], fanning out across the pool.  Every task runs
+   even if some fail; the first recorded exception is re-raised here
+   afterwards. *)
+let run_indexed t n f =
+  check_alive t;
+  if n <= 0 then ()
+  else if Array.length t.workers = 0 || n = 1 then begin
+    (* degenerate sequential run keeps the batch semantics: every task
+       runs, the first exception is re-raised afterwards *)
+    let error = ref None in
+    for i = 0 to n - 1 do
+      try f i
+      with e ->
+        if !error = None then error := Some (e, Printexc.get_raw_backtrace ())
+    done;
+    match !error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+  else begin
+    let b = { pending = n; error = None; finished = Condition.create () } in
+    let task i () =
+      (try f i
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock t.mutex;
+         if b.error = None then b.error <- Some (e, bt);
+         Mutex.unlock t.mutex);
+      Mutex.lock t.mutex;
+      b.pending <- b.pending - 1;
+      if b.pending = 0 then Condition.broadcast b.finished;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.push (task i) t.queue
+    done;
+    Condition.broadcast t.work;
+    (* help: run queued tasks (of any batch) while ours is unfinished *)
+    while b.pending > 0 do
+      if Queue.is_empty t.queue then Condition.wait b.finished t.mutex
+      else begin
+        let task = Queue.pop t.queue in
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex
+      end
+    done;
+    Mutex.unlock t.mutex;
+    match b.error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let parallel_map t f xs =
+  match xs with
+  | [] ->
+      check_alive t;
+      []
+  | [ x ] ->
+      check_alive t;
+      [ f x ]
+  | xs ->
+      let arr = Array.of_list xs in
+      let out = Array.make (Array.length arr) None in
+      run_indexed t (Array.length arr) (fun i -> out.(i) <- Some (f arr.(i)));
+      List.map Option.get (Array.to_list out)
+
+let both t fa fb =
+  let ra = ref None and rb = ref None in
+  run_indexed t 2 (fun i ->
+      if i = 0 then ra := Some (fa ()) else rb := Some (fb ()));
+  (Option.get !ra, Option.get !rb)
+
+(* Striped chunking: ~4 chunks per domain balances load without
+   per-element task overhead; an explicit [chunk] overrides. *)
+let chunk_size t ?chunk n =
+  match chunk with
+  | Some c ->
+      if c < 1 then invalid_arg "Pool: chunk must be >= 1";
+      c
+  | None -> max 1 ((n + (4 * t.total) - 1) / (4 * t.total))
+
+let map_range t ?chunk ~lo ~hi f =
+  if hi < lo then begin
+    check_alive t;
+    []
+  end
+  else begin
+    let n = hi - lo + 1 in
+    let size = chunk_size t ?chunk n in
+    let nchunks = (n + size - 1) / size in
+    let parts = Array.make nchunks None in
+    run_indexed t nchunks (fun k ->
+        let clo = lo + (k * size) in
+        let chi = min hi (clo + size - 1) in
+        parts.(k) <- Some (f ~lo:clo ~hi:chi));
+    List.map Option.get (Array.to_list parts)
+  end
+
+let parallel_init t ?chunk n f =
+  if n <= 0 then begin
+    check_alive t;
+    [||]
+  end
+  else
+    Array.concat
+      (map_range t ?chunk ~lo:0 ~hi:(n - 1) (fun ~lo ~hi ->
+           Array.init (hi - lo + 1) (fun i -> f (lo + i))))
+
+(* Disjoint-slot updates into a caller-owned array: each task writes
+   only the cells its chunk covers, so there is no data race; the batch
+   completion protocol (mutex release/acquire) publishes the writes to
+   the caller. *)
+let iter_chunks t ?chunk n f =
+  if n > 0 then
+    ignore
+      (map_range t ?chunk ~lo:0 ~hi:(n - 1) (fun ~lo ~hi -> f ~lo ~hi))
+  else check_alive t

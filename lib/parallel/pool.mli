@@ -1,0 +1,68 @@
+(** A fixed-size domain pool on the OCaml 5 stdlib ([Domain], [Mutex],
+    [Condition] — deliberately no domainslib).
+
+    Scheduling is {e caller-helps}: a domain submitting a batch pushes
+    the tasks onto the shared queue and then drains the queue alongside
+    the worker domains until its own batch completes.  Consequences:
+
+    - a pool of [domains] = d runs work on d domains total — d-1 spawned
+      workers plus the submitting domain;
+    - the pool is reentrant: a task may itself call {!parallel_map} /
+      {!map_range} on the same pool (nested batches drain without
+      deadlock, since a domain blocked on a batch sleeps only when every
+      outstanding task of that batch is already running elsewhere);
+    - [create ~domains:1] spawns nothing and every operation runs as the
+      plain sequential loop, making a 1-domain pool a zero-overhead
+      baseline for scaling measurements.
+
+    Exceptions raised by tasks do not abort their siblings: every task
+    of the batch still runs, then the first recorded exception is
+    re-raised (with its backtrace) in the submitting domain.  The pool
+    remains usable afterwards.
+
+    All operations raise [Invalid_argument] on a pool that has been
+    {!shutdown}. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** Spawn a pool running on [domains] domains in total (default
+    {!Domain.recommended_domain_count}).
+    @raise Invalid_argument when [domains < 1]. *)
+
+val domain_count : t -> int
+(** Total domains the pool computes on, the caller included. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains after the queue drains.  Idempotent.
+    Must not be called while a batch is in flight. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exception). *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving map with one task per element.  Use for coarse
+    units (conjuncts, queries, objects); for per-segment work use
+    {!map_range} or {!parallel_init}, which chunk. *)
+
+val both : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** Evaluate two independent computations concurrently. *)
+
+val map_range :
+  t -> ?chunk:int -> lo:int -> hi:int -> (lo:int -> hi:int -> 'a) -> 'a list
+(** Split [[lo, hi]] into contiguous chunks (default size targets ~4
+    chunks per domain; [chunk] overrides), run [f ~lo ~hi] per chunk
+    across the pool, and return the chunk results in range order.
+    Empty list when [hi < lo]. *)
+
+val parallel_init :
+  t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** [parallel_init t n f] is [Array.init n f] with the index range
+    chunked across the pool. *)
+
+val iter_chunks :
+  t -> ?chunk:int -> int -> (lo:int -> hi:int -> unit) -> unit
+(** Run [f ~lo ~hi] over the chunks of [[0, n-1]] for side effects.
+    Safe for writing disjoint slots of a caller-owned array: chunks
+    never overlap, and batch completion publishes the writes to the
+    caller. *)

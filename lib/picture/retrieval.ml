@@ -248,7 +248,7 @@ let merge_sorted_unique xs ys =
   in
   go xs ys
 
-let eval ?(config = default_config) store ~level f =
+let eval ?(config = default_config) ?pool store ~level f =
   validate f;
   let max_total = Weights.total config.weights f in
   let obj_vars = free_obj_vars f in
@@ -274,16 +274,28 @@ let eval ?(config = default_config) store ~level f =
   let base_cache : (Metadata.Value.t option list, float array) Hashtbl.t =
     Hashtbl.create 8
   in
+  (* Scoring reads the store, taxonomy and weights only, so a segment
+     scan chunks across the pool freely; candidate rescans write disjoint
+     slots of a private copy. *)
   let score_all ~env_objs ~attrs ~only =
     let env = { objs = env_objs; attrs } in
     match only with
-    | None ->
-        Array.init n (fun i -> score config store ~level ~env ~id:(i + 1) f)
+    | None -> (
+        let cell i = score config store ~level ~env ~id:(i + 1) f in
+        match pool with
+        | Some p -> Parallel.Pool.parallel_init p n cell
+        | None -> Array.init n cell)
     | Some (base, candidates) ->
         let arr = Array.copy base in
-        List.iter
-          (fun id -> arr.(id - 1) <- score config store ~level ~env ~id f)
-          candidates;
+        let rescore id = arr.(id - 1) <- score config store ~level ~env ~id f in
+        (match pool with
+        | Some p ->
+            let cand = Array.of_list candidates in
+            Parallel.Pool.iter_chunks p (Array.length cand) (fun ~lo ~hi ->
+                for k = lo to hi do
+                  rescore cand.(k)
+                done)
+        | None -> List.iter rescore candidates);
         arr
   in
   let rows = ref [] and row_count = ref 0 in

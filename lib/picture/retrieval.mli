@@ -31,11 +31,17 @@ val default_config : config
 
 val eval :
   ?config:config ->
+  ?pool:Parallel.Pool.t ->
   Video_model.Store.t ->
   level:int ->
   Htl.Ast.t ->
   Simlist.Sim_table.t
 (** Evaluate a non-temporal formula over all segments of [level].
+    With [pool], the per-segment scoring scans (the dominant cost on
+    large levels) chunk the segment range across the pool's domains;
+    scoring only reads the store, so results are identical.  Callers
+    decide the sequential cutoff — pass [pool] only when the level is
+    big enough to be worth it (see {!Engine.Context.pool_for}).
     @raise Unsupported as described above. *)
 
 val score_at :

@@ -55,6 +55,9 @@ let of_entries ~max entries =
 let empty ~max = of_entries ~max []
 let entries t = t.entries
 let max_sim t = t.max
+(* O(n), but only reached from tests and bench reporting — every
+   hot-path cardinality question goes through Sim_table.row_count,
+   which is O(1). *)
 let length t = List.length t.entries
 let is_empty t = t.entries = []
 

@@ -9,6 +9,7 @@ type t = {
   attr_cols : string list;
   max : float;
   rows : row list;
+  count : int;  (* = List.length rows, kept so row_count is O(1) *)
 }
 
 let sorted_strings l = List.sort_uniq String.compare l
@@ -37,7 +38,7 @@ let create ~obj_cols ~attr_cols ~max rows =
       if Sim_list.max_sim r.list <> max then
         invalid_arg "Sim_table.create: row list max differs from table max")
     rows;
-  { obj_cols; attr_cols; max; rows }
+  { obj_cols; attr_cols; max; rows; count = List.length rows }
 
 let of_sim_list list =
   {
@@ -45,13 +46,14 @@ let of_sim_list list =
     attr_cols = [];
     max = Sim_list.max_sim list;
     rows = [ { objs = []; attrs = []; list } ];
+    count = 1;
   }
 
 let obj_cols t = t.obj_cols
 let attr_cols t = t.attr_cols
 let max_sim t = t.max
 let rows t = t.rows
-let row_count t = List.length t.rows
+let row_count t = t.count
 
 (* Merge two sorted association lists; [combine] decides what happens when
    both bind a key ([None] aborts the whole unification). *)
@@ -233,7 +235,9 @@ let freeze_join t ~var vt =
     ~attr_cols:(List.filter (fun c -> c <> var) t.attr_cols)
     ~max:t.max (List.rev !out)
 
-let filter_rows f t = { t with rows = List.filter f t.rows }
+let filter_rows f t =
+  let rows = List.filter f t.rows in
+  { t with rows; count = List.length rows }
 
 let pp ppf t =
   let pp_row ppf r =

@@ -96,6 +96,76 @@ let table_prop (seed, f) =
   | ok -> ok
   | exception Query.Error _ -> true
 
+(* --- parallel vs sequential ---------------------------------------------- *)
+
+(* One pool per size, shared by all the property runs (spawning domains
+   per QCheck iteration would dominate the suite's runtime).  The pools
+   are pure schedulers, so sharing them cannot couple the test cases. *)
+let pools =
+  lazy (List.map (fun d -> Parallel.Pool.create ~domains:d ()) [ 1; 2; 4 ])
+
+let () =
+  at_exit (fun () ->
+      if Lazy.is_val pools then
+        List.iter Parallel.Pool.shutdown (Lazy.force pools))
+
+(* The parallel evaluator must be observationally identical to the
+   sequential one: same similarity list, or the same refusal.  Exercised
+   with the cutoff forced to 0 so every parallel code path triggers even
+   on the tiny generated stores, across pool sizes 1/2/4, cache on and
+   off. *)
+let parallel_differential ctx f =
+  let outcome ctx =
+    match Query.run ctx f with
+    | list -> Ok list
+    | exception Query.Error msg -> Error msg
+  in
+  let seq = outcome (Context.without_cache ctx) in
+  List.iter
+    (fun pool ->
+      let pctx = Context.with_pool ~par_cutoff:0 ctx pool in
+      List.iter
+        (fun (label, pctx) ->
+          match (seq, outcome pctx) with
+          | Ok a, Ok b ->
+              if not (Sim_list.equal a b) then
+                QCheck.Test.fail_reportf
+                  "parallel (%s, %d domains) differs from sequential on %s"
+                  label
+                  (Parallel.Pool.domain_count pool)
+                  (Htl.Pretty.to_string f)
+          | Error _, Error _ -> ()
+          | Ok _, Error msg ->
+              QCheck.Test.fail_reportf
+                "parallel (%s, %d domains) refused %s that sequential \
+                 accepted: %s"
+                label
+                (Parallel.Pool.domain_count pool)
+                (Htl.Pretty.to_string f) msg
+          | Error msg, Ok _ ->
+              QCheck.Test.fail_reportf
+                "parallel (%s, %d domains) accepted %s that sequential \
+                 refused: %s"
+                label
+                (Parallel.Pool.domain_count pool)
+                (Htl.Pretty.to_string f) msg)
+        [ ("no cache", Context.without_cache pctx); ("cache", pctx) ])
+    (Lazy.force pools);
+  true
+
+let par_store_prop ?videos (seed, f) =
+  let ctx = Context.of_store (store_of_seed ?videos seed) in
+  parallel_differential ctx f
+
+let par_table_prop (seed, f) =
+  let rng = Workload.Rng.make seed in
+  let n = 10 + Workload.Rng.int rng 40 in
+  let ctx =
+    Workload.Synthetic.context_with_atoms ~seed:(seed + 1) ~n ~selectivity:0.4
+      table_names
+  in
+  parallel_differential ctx f
+
 let suites =
   [
     ( "differential",
@@ -114,6 +184,18 @@ let suites =
           (Helpers.arb_store_formula Helpers.gen_conjunctive_formula);
         Helpers.qtest ~count:60 "reference = direct = cached = sql (mixed)"
           store_prop
+          (Helpers.arb_store_formula Helpers.gen_closed_formula);
+        Helpers.qtest ~count:60 "parallel = sequential (tables)" par_table_prop
+          (Helpers.arb_table_formula ~names:table_names ());
+        Helpers.qtest ~count:40 "parallel = sequential (type 1)"
+          (par_store_prop ~videos:2)
+          (Helpers.arb_store_formula Helpers.gen_type1_formula);
+        Helpers.qtest ~count:40 "parallel = sequential (type 2)" par_store_prop
+          (Helpers.arb_store_formula Helpers.gen_type2_formula);
+        Helpers.qtest ~count:40 "parallel = sequential (conjunctive)"
+          par_store_prop
+          (Helpers.arb_store_formula Helpers.gen_conjunctive_formula);
+        Helpers.qtest ~count:40 "parallel = sequential (mixed)" par_store_prop
           (Helpers.arb_store_formula Helpers.gen_closed_formula);
       ] );
   ]

@@ -1,0 +1,310 @@
+(* Unit tests for the domain pool (Parallel.Pool) and the batched query
+   API built on it: lifecycle, equivalence with the sequential
+   operations, chunking variants, exception propagation, reentrancy, and
+   the cache under concurrent evaluation. *)
+
+module Pool = Parallel.Pool
+open Engine
+
+let check = Alcotest.check
+
+(* most tests run against pools of several sizes: 1 (pure sequential
+   baseline), 2 and 4 (oversubscribed on small machines, which is
+   exactly the scheduling stress we want) *)
+let sizes = [ 1; 2; 4 ]
+
+let with_sizes f = List.iter (fun d -> Pool.with_pool ~domains:d f) sizes
+
+let test_create_invalid () =
+  Alcotest.check_raises "domains=0" (Invalid_argument
+    "Pool.create: domains must be >= 1") (fun () ->
+      ignore (Pool.create ~domains:0 ()));
+  Alcotest.check_raises "domains=-3" (Invalid_argument
+    "Pool.create: domains must be >= 1") (fun () ->
+      ignore (Pool.create ~domains:(-3) ()))
+
+let test_domain_count () =
+  List.iter
+    (fun d ->
+      Pool.with_pool ~domains:d (fun p ->
+          check Alcotest.int (Printf.sprintf "domains=%d" d) d
+            (Pool.domain_count p)))
+    sizes
+
+let test_shutdown () =
+  let p = Pool.create ~domains:3 () in
+  check Alcotest.(list int) "alive" [ 2; 4; 6 ]
+    (Pool.parallel_map p (fun x -> 2 * x) [ 1; 2; 3 ]);
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  let dead = Invalid_argument "Parallel.Pool: pool has been shut down" in
+  Alcotest.check_raises "map after shutdown" dead (fun () ->
+      ignore (Pool.parallel_map p Fun.id [ 1; 2; 3 ]));
+  Alcotest.check_raises "empty map after shutdown" dead (fun () ->
+      ignore (Pool.parallel_map p Fun.id []));
+  Alcotest.check_raises "init after shutdown" dead (fun () ->
+      ignore (Pool.parallel_init p 10 Fun.id))
+
+let test_parallel_map () =
+  with_sizes (fun p ->
+      check Alcotest.(list int) "empty" [] (Pool.parallel_map p Fun.id []);
+      check Alcotest.(list int) "singleton" [ 7 ]
+        (Pool.parallel_map p (fun x -> x + 3) [ 4 ]);
+      let xs = List.init 100 Fun.id in
+      check Alcotest.(list int) "order preserved"
+        (List.map (fun x -> x * x) xs)
+        (Pool.parallel_map p (fun x -> x * x) xs))
+
+let test_parallel_init () =
+  with_sizes (fun p ->
+      check Alcotest.(array int) "n=0" [||] (Pool.parallel_init p 0 Fun.id);
+      List.iter
+        (fun n ->
+          check Alcotest.(array int)
+            (Printf.sprintf "n=%d" n)
+            (Array.init n (fun i -> (3 * i) + 1))
+            (Pool.parallel_init p n (fun i -> (3 * i) + 1)))
+        [ 1; 2; 17; 100 ];
+      (* explicit chunk sizes, including degenerate ones *)
+      List.iter
+        (fun chunk ->
+          check Alcotest.(array int)
+            (Printf.sprintf "chunk=%d" chunk)
+            (Array.init 23 (fun i -> i - 5))
+            (Pool.parallel_init p ~chunk 23 (fun i -> i - 5)))
+        [ 1; 7; 100 ])
+
+let test_map_range () =
+  with_sizes (fun p ->
+      check Alcotest.(list (pair int int)) "empty range" []
+        (Pool.map_range p ~lo:5 ~hi:4 (fun ~lo ~hi -> (lo, hi)));
+      (* chunks are contiguous, ordered, and cover [lo, hi] exactly *)
+      let chunks = Pool.map_range p ~chunk:4 ~lo:3 ~hi:20 (fun ~lo ~hi -> (lo, hi)) in
+      let rec covers expect = function
+        | [] -> check Alcotest.int "covered to hi+1" 21 expect
+        | (lo, hi) :: tl ->
+            check Alcotest.int "contiguous" expect lo;
+            Alcotest.(check bool) "ordered" true (hi >= lo);
+            covers (hi + 1) tl
+      in
+      covers 3 chunks;
+      (* summing per chunk equals the full sum *)
+      let total =
+        List.fold_left ( + ) 0
+          (Pool.map_range p ~lo:1 ~hi:1000 (fun ~lo ~hi ->
+               let s = ref 0 in
+               for i = lo to hi do s := !s + i done;
+               !s))
+      in
+      check Alcotest.int "sum 1..1000" 500500 total)
+
+let test_iter_chunks () =
+  with_sizes (fun p ->
+      let n = 137 in
+      let out = Array.make n (-1) in
+      Pool.iter_chunks p n (fun ~lo ~hi ->
+          for i = lo to hi do out.(i) <- 2 * i done);
+      check Alcotest.(array int) "disjoint writes"
+        (Array.init n (fun i -> 2 * i))
+        out;
+      Pool.iter_chunks p 0 (fun ~lo:_ ~hi:_ -> Alcotest.fail "n=0 ran a chunk"))
+
+let test_both () =
+  with_sizes (fun p ->
+      let a, b = Pool.both p (fun () -> 6 * 7) (fun () -> "ok") in
+      check Alcotest.int "left" 42 a;
+      check Alcotest.string "right" "ok" b)
+
+let test_exception_propagation () =
+  with_sizes (fun p ->
+      let ran = Stdlib.Atomic.make 0 in
+      (match
+         Pool.parallel_map p
+           (fun i ->
+             Stdlib.Atomic.incr ran;
+             if i = 3 then failwith "boom";
+             i)
+           [ 0; 1; 2; 3; 4; 5 ]
+       with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure msg -> check Alcotest.string "message" "boom" msg);
+      (* siblings of the failing task still ran *)
+      check Alcotest.int "all tasks ran" 6 (Stdlib.Atomic.get ran);
+      (* and the pool survives *)
+      check Alcotest.(list int) "usable after failure" [ 0; 2; 4 ]
+        (Pool.parallel_map p (fun i -> 2 * i) [ 0; 1; 2 ]))
+
+let test_nested () =
+  with_sizes (fun p ->
+      (* tasks submit sub-batches on the same pool: caller-helps
+         scheduling must drain these without deadlock *)
+      let expected =
+        List.init 5 (fun i ->
+            List.fold_left ( + ) 0 (List.init 4 (fun j -> (i * 10) + j)))
+      in
+      let got =
+        Pool.parallel_map p
+          (fun i ->
+            List.fold_left ( + ) 0
+              (Pool.parallel_map p (fun j -> (i * 10) + j) [ 0; 1; 2; 3 ]))
+          [ 0; 1; 2; 3; 4 ]
+      in
+      check Alcotest.(list int) "nested sums" expected got;
+      (* three levels deep for good measure *)
+      let deep =
+        Pool.parallel_map p
+          (fun i ->
+            let a, b =
+              Pool.both p
+                (fun () ->
+                  Array.fold_left ( + ) 0 (Pool.parallel_init p 10 Fun.id))
+                (fun () -> i)
+            in
+            a + b)
+          [ 1; 2; 3 ]
+      in
+      check Alcotest.(list int) "three levels" [ 46; 47; 48 ] deep)
+
+let test_with_pool_shuts_down () =
+  let escaped = ref None in
+  let result = Pool.with_pool ~domains:2 (fun p -> escaped := Some p; 99) in
+  check Alcotest.int "returns body value" 99 result;
+  (match !escaped with
+  | None -> Alcotest.fail "body did not run"
+  | Some p ->
+      Alcotest.check_raises "shut down on exit"
+        (Invalid_argument "Parallel.Pool: pool has been shut down")
+        (fun () -> ignore (Pool.parallel_map p Fun.id [ 1 ])));
+  (* shutdown also happens when the body raises *)
+  let escaped = ref None in
+  (try
+     Pool.with_pool ~domains:2 (fun p ->
+         escaped := Some p;
+         failwith "escape")
+   with Failure _ -> ());
+  match !escaped with
+  | None -> Alcotest.fail "body did not run"
+  | Some p ->
+      Alcotest.check_raises "shut down on exception"
+        (Invalid_argument "Parallel.Pool: pool has been shut down")
+        (fun () -> ignore (Pool.parallel_map p Fun.id [ 1 ]))
+
+(* --- the engine on top of the pool ---------------------------------- *)
+
+let sim_list = Alcotest.testable Simlist.Sim_list.pp Simlist.Sim_list.equal
+
+let store () =
+  let rng = Workload.Rng.make 1234 in
+  Workload.Movies.random_store rng ~videos:2 ~branching:4 ~object_pool:4 ()
+
+let present_formula ty =
+  let open Htl.Ast in
+  Exists
+    ( "u",
+      And
+        ( Atom (Present "u"),
+          Atom (Cmp (Eq, Obj_attr ("type", "u"), Const (Metadata.Value.Str ty)))
+        ) )
+
+let batch_formulas =
+  let open Htl.Ast in
+  [
+    present_formula "man";
+    Until (present_formula "woman", present_formula "train");
+    Eventually (present_formula "gun");
+    And (Atom True, present_formula "car");
+  ]
+
+let test_run_batch () =
+  let store = store () in
+  let seq_ctx = Context.of_store store in
+  let expected = List.map (Query.run seq_ctx) batch_formulas in
+  List.iter
+    (fun d ->
+      Pool.with_pool ~domains:d (fun p ->
+          (* pool via the context, forced past the cutoff *)
+          let ctx = Context.with_pool ~par_cutoff:0 (Context.of_store store) p in
+          let got = Query.run_batch ctx batch_formulas in
+          List.iter2
+            (fun e g ->
+              match g with
+              | Ok l -> check sim_list (Printf.sprintf "ctx pool d=%d" d) e l
+              | Error m -> Alcotest.fail ("unexpected batch error: " ^ m))
+            expected got;
+          (* pool as the explicit argument, pool-less context *)
+          let got = Query.run_batch ~pool:p (Context.of_store store) batch_formulas in
+          List.iter2
+            (fun e g ->
+              match g with
+              | Ok l -> check sim_list (Printf.sprintf "arg pool d=%d" d) e l
+              | Error m -> Alcotest.fail ("unexpected batch error: " ^ m))
+            expected got))
+    sizes
+
+let test_run_batch_error_isolation () =
+  let store = store () in
+  let bad = Htl.Ast.Or (Htl.Ast.Atom Htl.Ast.True, Htl.Ast.Atom Htl.Ast.True) in
+  Pool.with_pool ~domains:4 (fun p ->
+      let ctx = Context.with_pool ~par_cutoff:0 (Context.of_store store) p in
+      let good = present_formula "man" in
+      match Query.run_batch ctx [ good; bad; good ] with
+      | [ Ok a; Error _; Ok b ] ->
+          check sim_list "good results intact" a b;
+          check sim_list "matches direct run" (Query.run ctx good) a
+      | results ->
+          Alcotest.fail
+            (Printf.sprintf "expected [Ok; Error; Ok], got %d results with %d errors"
+               (List.length results)
+               (List.length
+                  (List.filter (function Error _ -> true | Ok _ -> false) results))))
+
+let test_cache_concurrency () =
+  (* many concurrent queries sharing one cache: counters must stay
+     coherent and results identical to sequential evaluation *)
+  let store = store () in
+  let expected = List.map (Query.run (Context.of_store store)) batch_formulas in
+  Pool.with_pool ~domains:4 (fun p ->
+      let ctx = Context.with_pool ~par_cutoff:0 (Context.of_store store) p in
+      for _round = 1 to 5 do
+        let got =
+          Pool.parallel_map p (fun f -> Query.run ctx f)
+            (batch_formulas @ batch_formulas @ batch_formulas)
+        in
+        List.iteri
+          (fun i l ->
+            check sim_list
+              (Printf.sprintf "query %d" i)
+              (List.nth expected (i mod List.length expected))
+              l)
+          got
+      done;
+      match Query.cache_stats ctx with
+      | None -> Alcotest.fail "cache unexpectedly disabled"
+      | Some s ->
+          Alcotest.(check bool) "hits accumulated" true (s.Cache.hits > 0);
+          Alcotest.(check bool) "occupancy sane" true
+            (s.Cache.entries >= 0 && s.Cache.misses >= s.Cache.entries))
+
+let suites =
+  [
+    ( "parallel",
+      [
+        Alcotest.test_case "create rejects domains < 1" `Quick test_create_invalid;
+        Alcotest.test_case "domain_count" `Quick test_domain_count;
+        Alcotest.test_case "shutdown is idempotent and final" `Quick test_shutdown;
+        Alcotest.test_case "parallel_map = List.map" `Quick test_parallel_map;
+        Alcotest.test_case "parallel_init = Array.init" `Quick test_parallel_init;
+        Alcotest.test_case "map_range chunks cover the range" `Quick test_map_range;
+        Alcotest.test_case "iter_chunks writes disjoint slots" `Quick test_iter_chunks;
+        Alcotest.test_case "both" `Quick test_both;
+        Alcotest.test_case "exceptions propagate, pool survives" `Quick
+          test_exception_propagation;
+        Alcotest.test_case "nested batches on one pool" `Quick test_nested;
+        Alcotest.test_case "with_pool shuts down" `Quick test_with_pool_shuts_down;
+        Alcotest.test_case "run_batch matches sequential runs" `Quick test_run_batch;
+        Alcotest.test_case "run_batch isolates per-query errors" `Quick
+          test_run_batch_error_isolation;
+        Alcotest.test_case "shared cache under concurrency" `Quick
+          test_cache_concurrency;
+      ] );
+  ]
