@@ -7,9 +7,18 @@
        --query 'at scene level (seg.name = "takeoff")'
      dune exec bin/htlq.exe -- --synthetic 1000 --seed 42 --backend sql \
        --query 'p1 until p2'
-*)
+     dune exec bin/htlq.exe -- --explain --trace \
+       --query 'man_woman and moving_train'
+
+   Results go to stdout; diagnostics (errors, --trace spans, --metrics
+   tables) go to stderr.  Exit codes: 0 success, 1 query/evaluation
+   error, 2 usage error. *)
 
 open Cmdliner
+
+let exit_ok = 0
+let exit_query_error = 1
+let exit_usage = 2
 
 type dataset =
   | Casablanca
@@ -52,36 +61,85 @@ let make_context dataset seed level threshold =
       in
       Engine.Context.of_tables ~threshold ~n tables
 
-let run dataset seed level threshold backend query top classify_only =
+(* Diagnostics requested with --trace / --metrics, flushed to stderr
+   after the query so stdout carries results only. *)
+let emit_diagnostics tracer metrics =
+  Option.iter
+    (fun tr -> Format.eprintf "@[<v>trace:@,%a@]@." Obs.Trace.pp_tree tr)
+    tracer;
+  Option.iter
+    (fun m -> Format.eprintf "@[<v>metrics:@,%a@]@." Obs.Metrics.pp m)
+    metrics
+
+let run dataset seed level threshold backend query top classify_only explain
+    trace metrics =
   match Htl.Parser.formula_of_string_opt query with
   | Error msg ->
       Format.eprintf "syntax error: %s@." msg;
-      exit 1
+      exit_query_error
   | Ok f -> (
       let cls = Htl.Classify.classify f in
-      Format.printf "formula class: %s@." (Htl.Classify.cls_to_string cls);
-      if classify_only then exit 0;
-      let ctx = make_context dataset seed level threshold in
-      let backend =
-        match backend with
-        | "direct" -> Engine.Query.Direct_backend
-        | "sql" -> Engine.Query.Sql_backend_choice
-        | other ->
-            Format.eprintf "unknown backend %S (use direct or sql)@." other;
-            exit 1
-      in
-      match Engine.Query.run ~backend ctx f with
-      | result ->
-          Format.printf "@.%a@." (Engine.Topk.pp_table ?header:None) result;
-          Format.printf "@.top %d segments:@." top;
-          List.iter
-            (fun (id, sim) ->
-              Format.printf "  segment %d: %.4f (fraction %.3f)@." id
-                (Simlist.Sim.actual sim) (Simlist.Sim.fraction sim))
-            (Engine.Topk.top_k result ~k:top)
-      | exception Engine.Query.Error msg ->
-          Format.eprintf "error: %s@." msg;
-          exit 1)
+      if classify_only then begin
+        Format.printf "formula class: %s@." (Htl.Classify.cls_to_string cls);
+        exit_ok
+      end
+      else
+        match
+          match backend with
+          | "direct" -> Some Engine.Query.Direct_backend
+          | "sql" -> Some Engine.Query.Sql_backend_choice
+          | _ -> None
+        with
+        | None ->
+            Format.eprintf "unknown backend %S (use direct or sql)@." backend;
+            exit_usage
+        | Some backend -> (
+            let ctx = make_context dataset seed level threshold in
+            let tracer = if trace then Some (Obs.Trace.create ()) else None in
+            let registry =
+              if metrics then Some (Obs.Metrics.create ()) else None
+            in
+            let ctx =
+              Option.fold ~none:ctx
+                ~some:(Engine.Context.with_tracer ctx)
+                tracer
+            in
+            let ctx =
+              Option.fold ~none:ctx
+                ~some:(Engine.Context.with_metrics ctx)
+                registry
+            in
+            if explain then
+              (* --trace upgrades the explain to an analyzed run: the
+                 query executes and the tree carries per-node timings *)
+              match Engine.Query.explain ~backend ~analyze:trace ctx f with
+              | report ->
+                  Format.printf "%a@." Engine.Explain.pp report;
+                  emit_diagnostics None registry;
+                  exit_ok
+              | exception Engine.Query.Error msg ->
+                  Format.eprintf "error: %s@." msg;
+                  exit_query_error
+            else
+              match Engine.Query.run ~backend ctx f with
+              | result ->
+                  Format.printf "formula class: %s@."
+                    (Htl.Classify.cls_to_string cls);
+                  Format.printf "@.%a@."
+                    (Engine.Topk.pp_table ?header:None)
+                    result;
+                  Format.printf "@.top %d segments:@." top;
+                  List.iter
+                    (fun (id, sim) ->
+                      Format.printf "  segment %d: %.4f (fraction %.3f)@." id
+                        (Simlist.Sim.actual sim) (Simlist.Sim.fraction sim))
+                    (Engine.Topk.top_k result ~k:top);
+                  emit_diagnostics tracer registry;
+                  exit_ok
+              | exception Engine.Query.Error msg ->
+                  Format.eprintf "error: %s@." msg;
+                  emit_diagnostics tracer registry;
+                  exit_query_error))
 
 let dataset_arg =
   let parse s =
@@ -156,6 +214,29 @@ let cmd =
       value & flag
       & info [ "classify" ] ~doc:"Only print the formula's class and exit.")
   in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print the evaluation plan instead of results.  With \
+             $(b,--trace) the query actually runs and the tree carries \
+             per-node timings (EXPLAIN ANALYZE).")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Record evaluation spans and print the span tree to stderr \
+             after the query (with $(b,--explain): analyze the plan).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the metrics registry to stderr after the query.")
+  in
   let load_store =
     Arg.(
       value
@@ -171,7 +252,7 @@ let cmd =
           ~doc:"Load a bundle of atomic similarity tables.")
   in
   let combine dataset synthetic load_store load_tables seed level threshold
-      backend query top classify_only =
+      backend query top classify_only explain trace metrics =
     let dataset =
       match (synthetic, load_store, load_tables) with
       | Some n, _, _ -> Synthetic n
@@ -179,12 +260,21 @@ let cmd =
       | None, None, Some path -> Tables_file path
       | None, None, None -> dataset
     in
-    run dataset seed level threshold backend query top classify_only
+    run dataset seed level threshold backend query top classify_only explain
+      trace metrics
   in
   Cmd.v
-    (Cmd.info "htlq" ~doc:"Similarity-based retrieval of videos with HTL")
+    (Cmd.info "htlq" ~doc:"Similarity-based retrieval of videos with HTL"
+       ~exits:
+         [
+           Cmd.Exit.info exit_ok ~doc:"on success.";
+           Cmd.Exit.info exit_query_error
+             ~doc:"on query errors (syntax, unsupported formula, backend).";
+           Cmd.Exit.info exit_usage ~doc:"on command-line usage errors.";
+         ])
     Term.(
       const combine $ dataset $ synthetic $ load_store $ load_tables $ seed
-      $ level $ threshold $ backend $ query $ top $ classify_only)
+      $ level $ threshold $ backend $ query $ top $ classify_only $ explain
+      $ trace $ metrics)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' ~term_err:exit_usage cmd)

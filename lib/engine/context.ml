@@ -10,6 +10,8 @@ type t = {
   cache : Cache.t option;
   pool : Parallel.Pool.t option;
   par_cutoff : int;
+  tracer : Obs.Trace.t option;
+  metrics : Obs.Metrics.t option;
 }
 
 let default_par_cutoff = 4096
@@ -17,7 +19,7 @@ let default_par_cutoff = 4096
 let of_store ?(config = Picture.Retrieval.default_config) ?(threshold = 0.5)
     ?(conj_mode = Simlist.Sim_list.Weighted_sum) ?(reorder_joins = false)
     ?(tables = []) ?level ?cache ?pool ?(par_cutoff = default_par_cutoff)
-    store =
+    ?tracer ?metrics store =
   let level =
     match level with Some l -> l | None -> Video_model.Store.levels store
   in
@@ -33,11 +35,14 @@ let of_store ?(config = Picture.Retrieval.default_config) ?(threshold = 0.5)
     cache = Some (match cache with Some c -> c | None -> Cache.create ());
     pool;
     par_cutoff;
+    tracer;
+    metrics;
   }
 
 let of_tables ?(threshold = 0.5)
     ?(conj_mode = Simlist.Sim_list.Weighted_sum) ?(reorder_joins = false) ~n
-    ?extents ?cache ?pool ?(par_cutoff = default_par_cutoff) tables =
+    ?extents ?cache ?pool ?(par_cutoff = default_par_cutoff) ?tracer ?metrics
+    tables =
   let extents =
     match extents with Some e -> e | None -> Simlist.Extent.single n
   in
@@ -53,6 +58,8 @@ let of_tables ?(threshold = 0.5)
     cache = Some (match cache with Some c -> c | None -> Cache.create ());
     pool;
     par_cutoff;
+    tracer;
+    metrics;
   }
 
 let with_level t ~level ~extents = { t with level; extents }
@@ -85,10 +92,47 @@ let cache_key t f =
   Cache.key ~formula:(Htl.Hcons.intern_id f) ~level:t.level
     ~version:(store_version t) ~extents:t.extents
 
+(* --- observability ------------------------------------------------------ *)
+
+let with_tracer t tracer = { t with tracer = Some tracer }
+let without_tracer t = { t with tracer = None }
+let with_metrics t metrics = { t with metrics = Some metrics }
+let without_metrics t = { t with metrics = None }
+
+(* The nil-tracer zero-cost path: without a tracer every instrumentation
+   site is this single match falling straight through to the work, and
+   [attrs] (a thunk) is never forced.  Same shape for metrics. *)
+let with_span t ?attrs name f =
+  match t.tracer with
+  | None -> f ()
+  | Some tr ->
+      let attrs = match attrs with None -> [] | Some mk -> mk () in
+      Obs.Trace.with_span tr ~attrs name f
+
+let add_attr t key value =
+  match t.tracer with
+  | None -> ()
+  | Some tr -> Obs.Trace.add_attr tr key (value ())
+
+let metric_incr t ?by name =
+  match t.metrics with None -> () | Some m -> Obs.Metrics.incr m ?by name
+
+let metric_observe t name v =
+  match t.metrics with None -> () | Some m -> Obs.Metrics.observe m name v
+
+(* --- result caching ------------------------------------------------------ *)
+
 let cache_find t f =
   match t.cache with
   | None -> None
-  | Some c -> Cache.find c (cache_key t f)
+  | Some c ->
+      let r = Cache.find c (cache_key t f) in
+      (match t.metrics with
+      | None -> ()
+      | Some m ->
+          Obs.Metrics.incr m
+            (match r with Some _ -> "cache.hits" | None -> "cache.misses"));
+      r
 
 let cache_add t f table =
   match t.cache with

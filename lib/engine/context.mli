@@ -38,6 +38,12 @@ type t = {
           spans fewer than this many units (segments, parents, conjunct
           extents).  Default 4096; set 0 to force the parallel paths
           (tests do). *)
+  tracer : Obs.Trace.t option;
+      (** span recorder the evaluators emit into; [None] (the default)
+          is the zero-cost no-op path (see {!with_span}). *)
+  metrics : Obs.Metrics.t option;
+      (** metrics registry (query latency, cache hit/miss, scan sizes);
+          [None] disables recording. *)
 }
 
 val of_store :
@@ -50,6 +56,8 @@ val of_store :
   ?cache:Cache.t ->
   ?pool:Parallel.Pool.t ->
   ?par_cutoff:int ->
+  ?tracer:Obs.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
   Video_model.Store.t ->
   t
 (** [level] defaults to the leaf level; extents are the per-video spans.
@@ -65,6 +73,8 @@ val of_tables :
   ?cache:Cache.t ->
   ?pool:Parallel.Pool.t ->
   ?par_cutoff:int ->
+  ?tracer:Obs.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
   (string * Simlist.Sim_table.t) list ->
   t
 (** Store-less context over segment ids [1..n] — the §4 experimental
@@ -87,6 +97,31 @@ val pool_for : t -> n:int -> Parallel.Pool.t option
 (** The gate every fan-out site goes through: the context's pool when
     the work spans at least [par_cutoff] units of size [n] {e and} the
     pool has more than one domain; [None] otherwise. *)
+
+(** {1 Observability}
+
+    Every instrumentation site in the evaluators goes through these
+    helpers.  With no tracer/metrics attached (the default) each one is
+    a single [option] match that falls straight through to the work —
+    the attribute thunk is never forced, no clock is read, nothing
+    allocates beyond the call itself.  See DESIGN.md §2.14. *)
+
+val with_tracer : t -> Obs.Trace.t -> t
+val without_tracer : t -> t
+val with_metrics : t -> Obs.Metrics.t -> t
+val without_metrics : t -> t
+
+val with_span :
+  t -> ?attrs:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span of the context's tracer, or run it
+    directly when there is none.  [attrs] is forced only when tracing. *)
+
+val add_attr : t -> string -> (unit -> string) -> unit
+(** Attach an attribute to the innermost open span; no-op without a
+    tracer (the value thunk is never forced). *)
+
+val metric_incr : t -> ?by:int -> string -> unit
+val metric_observe : t -> string -> float -> unit
 
 (** {1 Result caching} *)
 

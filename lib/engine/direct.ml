@@ -104,7 +104,10 @@ let value_table (ctx : Context.t) ~attr ~obj =
       let rows =
         match Context.pool_for ctx ~n:(Store.count_at store ~level:ctx.level) with
         | Some pool ->
-            List.concat (Parallel.Pool.parallel_map pool rows_of oids)
+            Context.with_span ctx "pool.objects"
+              ~attrs:(fun () -> [ ("n", string_of_int (List.length oids)) ])
+              (fun () ->
+                List.concat (Parallel.Pool.parallel_map pool rows_of oids))
         | None -> List.concat_map rows_of oids
       in
       Simlist.Value_table.create ~obj_cols:[ x ] rows
@@ -123,7 +126,10 @@ let at_level_extents (ctx : Context.t) ~target =
   let spans =
     match Context.pool_for ctx ~n:parents with
     | Some pool ->
-        Array.to_list (Parallel.Pool.parallel_init pool parents span_of)
+        Context.with_span ctx "pool.parents"
+          ~attrs:(fun () -> [ ("n", string_of_int parents) ])
+          (fun () ->
+            Array.to_list (Parallel.Pool.parallel_init pool parents span_of))
     | None -> List.init parents span_of
   in
   (spans, Extent.of_spans spans)
@@ -149,16 +155,49 @@ let resolve_level (ctx : Context.t) = function
       | Some i -> i
       | None -> unsupported "unknown level %S" name)
 
+(* Span labels name the node kind; the ["formula"] attribute carries the
+   hash-consed id so EXPLAIN can match spans back to subformulas. *)
+let node_label (ctx : Context.t) f =
+  if is_non_temporal f then "direct.atom"
+  else
+    match f with
+    | And _ when ctx.reorder_joins -> "direct.and_reorder"
+    | And _ -> "direct.and"
+    | Until _ -> "direct.until"
+    | Next _ -> "direct.next"
+    | Eventually _ -> "direct.eventually"
+    | Exists _ -> "direct.exists"
+    | Freeze _ -> "direct.freeze"
+    | At_level _ -> "direct.at_level"
+    | Or _ -> "direct.or"
+    | Not _ -> "direct.not"
+    | Atom _ -> "direct.atom"
+
+let span_attrs (ctx : Context.t) f () =
+  [
+    ("formula", string_of_int (Htl.Hcons.intern_id f));
+    ("level", string_of_int ctx.level);
+  ]
+
 (* Every eval goes through the context's subformula cache: the key is the
    hash-consed formula id plus level, extent partition and store version,
    so overlapping queries reuse each other's intermediate tables and any
    store mutation invalidates (see Engine.Cache).  [eval_raw] recurses
-   back through [eval], memoizing every level of the tree. *)
+   back through [eval], memoizing every level of the tree.  A computed
+   (non-cached) node records a span; cache hits record none — EXPLAIN
+   shows them as "cached". *)
 let rec eval (ctx : Context.t) f =
   match Context.cache_find ctx f with
   | Some table -> table
   | None ->
-      let table = eval_raw ctx f in
+      let table =
+        Context.with_span ctx (node_label ctx f) ~attrs:(span_attrs ctx f)
+          (fun () ->
+            let table = eval_raw ctx f in
+            Context.add_attr ctx "rows" (fun () ->
+                string_of_int (Sim_table.row_count table));
+            table)
+      in
       Context.cache_add ctx f table;
       table
 
@@ -169,7 +208,8 @@ let rec eval (ctx : Context.t) f =
 and eval_pair (ctx : Context.t) g h =
   match Context.pool_for ctx ~n:(Context.segment_count ctx) with
   | Some pool ->
-      Parallel.Pool.both pool (fun () -> eval ctx g) (fun () -> eval ctx h)
+      Context.with_span ctx "pool.both" (fun () ->
+          Parallel.Pool.both pool (fun () -> eval ctx g) (fun () -> eval ctx h))
   | None -> (eval ctx g, eval ctx h)
 
 and eval_raw (ctx : Context.t) f =
@@ -187,20 +227,35 @@ and eval_raw (ctx : Context.t) f =
         let subs = flatten f in
         let tables =
           match Context.pool_for ctx ~n:(Context.segment_count ctx) with
-          | Some pool -> Parallel.Pool.parallel_map pool (eval ctx) subs
+          | Some pool ->
+              Context.with_span ctx "pool.conjuncts"
+                ~attrs:(fun () -> [ ("n", string_of_int (List.length subs)) ])
+                (fun () -> Parallel.Pool.parallel_map pool (eval ctx) subs)
           | None -> List.map (eval ctx) subs
         in
+        (* sort (position, table) pairs so the chosen order is available
+           to the tracer; ties keep syntactic order *)
         let sorted =
           List.sort
-            (fun a b ->
-              compare (Sim_table.row_count a) (Sim_table.row_count b))
-            tables
+            (fun (i, a) (j, b) ->
+              compare (Sim_table.row_count a, i) (Sim_table.row_count b, j))
+            (List.mapi (fun i t -> (i, t)) tables)
         in
+        Context.add_attr ctx "join_order" (fun () ->
+            String.concat ","
+              (List.map (fun (i, _) -> string_of_int i) sorted));
+        Context.add_attr ctx "join_rows" (fun () ->
+            String.concat ","
+              (List.map
+                 (fun (_, t) -> string_of_int (Sim_table.row_count t))
+                 sorted));
         let combine = Sim_list.conjunction_mode ctx.conj_mode in
         (match sorted with
         | [] -> assert false
-        | first :: rest ->
-            List.fold_left (fun acc t -> Sim_table.join ~combine acc t) first rest)
+        | (_, first) :: rest ->
+            List.fold_left
+              (fun acc (_, t) -> Sim_table.join ~combine acc t)
+              first rest)
     | And (g, h) ->
         let tg, th = eval_pair ctx g h in
         Sim_table.join

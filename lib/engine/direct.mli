@@ -37,3 +37,7 @@ val lift_to_parents :
   Simlist.Interval.t list -> Simlist.Sim_list.t -> Simlist.Sim_list.t
 (** Map a target-level similarity list back to the parent level: the
     parent's value is the list's value at its first descendant. *)
+
+val node_label : Context.t -> Htl.Ast.t -> string
+(** The span name {!eval} records for this node (see DESIGN.md §2.14);
+    exposed so {!Explain} builds its tree with the same labels. *)

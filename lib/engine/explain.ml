@@ -1,0 +1,232 @@
+open Htl.Ast
+
+type timing = Untimed | Cached | Timed of float
+
+type node = {
+  label : string;
+  attrs : (string * string) list;
+  timing : timing;
+  children : node list;
+}
+
+type report = {
+  backend : string;
+  cls : Htl.Classify.cls;
+  formula : string;
+  analyzed : bool;
+  tree : node;
+  sql_script : node list;
+  total_s : float option;
+}
+
+let node ?(attrs = []) ?(timing = Untimed) label children =
+  { label; attrs; timing; children }
+
+(* --- span matching -------------------------------------------------------
+
+   Every evaluator span carries a ["formula"] attribute: the hash-consed
+   id of the subformula it computed (see Direct.span_attrs).  The tree
+   walk below consumes spans per formula id in start order, so a
+   subformula that appears twice in the tree gets its computed span on
+   the first occurrence and shows as [Cached] on the second — mirroring
+   what the cache actually did. *)
+
+let span_lookup spans =
+  let tbl : (string, Obs.Trace.span list ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Obs.Trace.span) ->
+      match Obs.Trace.attr s "formula" with
+      | Some id -> (
+          match Hashtbl.find_opt tbl id with
+          | Some r -> r := !r @ [ s ]
+          | None -> Hashtbl.add tbl id (ref [ s ]))
+      | None -> ())
+    spans;
+  fun f ->
+    let id = string_of_int (Htl.Hcons.intern_id f) in
+    match Hashtbl.find_opt tbl id with
+    | Some ({ contents = s :: rest } as r) ->
+        r := rest;
+        Some s
+    | _ -> None
+
+(* Timing + recorded attributes for a node.  [take = None] is the static
+   (no-analyze) walk: everything is [Untimed].  With spans, a node with
+   no span of its own was served from the subformula cache. *)
+let observed take f =
+  match take with
+  | None -> (Untimed, [])
+  | Some take -> (
+      match take f with
+      | None -> (Cached, [])
+      | Some span ->
+          let timing =
+            match Obs.Trace.duration_s span with
+            | Some d -> Timed d
+            | None -> Untimed
+          in
+          let attrs =
+            List.filter (fun (k, _) -> k <> "formula") (List.rev span.attrs)
+          in
+          (timing, attrs))
+
+(* --- direct-evaluation trees --------------------------------------------- *)
+
+let rec direct_tree (ctx : Context.t) ?take f =
+  let timing, span_attrs = observed take f in
+  let structural, children =
+    if is_non_temporal f then
+      ([ ("formula", Htl.Pretty.to_string f) ], [])
+    else
+      match f with
+      | And _ when ctx.reorder_joins ->
+          let rec flatten = function
+            | And (a, b) -> flatten a @ flatten b
+            | g -> [ g ]
+          in
+          let subs = flatten f in
+          let attrs =
+            if Option.is_none take then
+              [ ("reorder", "joins smallest table first at runtime") ]
+            else []
+          in
+          (attrs, List.map (direct_tree ctx ?take) subs)
+      | And (g, h) | Until (g, h) ->
+          ([], [ direct_tree ctx ?take g; direct_tree ctx ?take h ])
+      | Next g | Eventually g -> ([], [ direct_tree ctx ?take g ])
+      | Exists (x, g) -> ([ ("var", x) ], [ direct_tree ctx ?take g ])
+      | Freeze { var; attr; obj; body } ->
+          let attrs =
+            [ ("var", var); ("attr", attr) ]
+            @ match obj with Some x -> [ ("obj", x) ] | None -> []
+          in
+          (attrs, [ direct_tree ctx ?take body ])
+      | At_level (sel, g) ->
+          let attrs =
+            match Direct.resolve_level ctx sel with
+            | target -> [ ("target_level", string_of_int target) ]
+            | exception Direct.Unsupported _ -> []
+          in
+          (attrs, [ direct_tree ctx ?take g ])
+      | Or (g, h) -> ([], [ direct_tree ctx ?take g; direct_tree ctx ?take h ])
+      | Not g -> ([], [ direct_tree ctx ?take g ])
+      | Atom _ -> ([], [])
+  in
+  node (Direct.node_label ctx f) ~timing ~attrs:(structural @ span_attrs)
+    children
+
+let rec type1_tree ?take f =
+  let timing, span_attrs = observed take f in
+  let structural, children =
+    if is_non_temporal f then ([ ("formula", Htl.Pretty.to_string f) ], [])
+    else
+      match f with
+      | And (g, h) | Until (g, h) ->
+          ([], [ type1_tree ?take g; type1_tree ?take h ])
+      | Next g | Eventually g -> ([], [ type1_tree ?take g ])
+      | _ -> ([], [])
+  in
+  node (Type1.node_label f) ~timing ~attrs:(structural @ span_attrs) children
+
+let rec sql_tree (ctx : Context.t) ?take f =
+  let timing, span_attrs = observed take f in
+  let structural, children =
+    if is_non_temporal f then ([ ("formula", Htl.Pretty.to_string f) ], [])
+    else
+      match f with
+      | And (g, h) | Until (g, h) ->
+          ([], [ sql_tree ctx ?take g; sql_tree ctx ?take h ])
+      | Next g | Eventually g -> ([], [ sql_tree ctx ?take g ])
+      | Exists (x, g) -> ([ ("var", x) ], [ sql_tree ctx ?take g ])
+      | Freeze { var; attr; obj; body } ->
+          let attrs =
+            [ ("var", var); ("attr", attr) ]
+            @ match obj with Some x -> [ ("obj", x) ] | None -> []
+          in
+          (attrs, [ sql_tree ctx ?take body ])
+      | At_level (_, g) -> ([], [ sql_tree ctx ?take g ])
+      | Or (g, h) -> ([], [ sql_tree ctx ?take g; sql_tree ctx ?take h ])
+      | Not g -> ([], [ sql_tree ctx ?take g ])
+      | Atom _ -> ([], [])
+  in
+  node (Sql_backend.node_label f) ~timing ~attrs:(structural @ span_attrs)
+    children
+
+(* --- SQL script plan trees ----------------------------------------------- *)
+
+let rec plan_node p =
+  node (Relational.Plan.label p)
+    (List.map plan_node (Relational.Plan.children p))
+
+let stmt_node (stmt : Relational.Sql.stmt) =
+  match stmt with
+  | Relational.Sql.Create_table (name, cols) ->
+      node
+        (Printf.sprintf "CREATE TABLE %s (%s)" name (String.concat ", " cols))
+        []
+  | Relational.Sql.Create_table_as (name, q) ->
+      node
+        (Printf.sprintf "CREATE TABLE %s AS" name)
+        [ plan_node (Relational.Sql.plan_query q) ]
+  | Relational.Sql.Insert (name, rows) ->
+      node (Printf.sprintf "INSERT INTO %s (%d rows)" name (List.length rows)) []
+  | Relational.Sql.Drop_table { name; if_exists } ->
+      node
+        (Printf.sprintf "DROP TABLE %s%s"
+           (if if_exists then "IF EXISTS " else "")
+           name)
+        []
+  | Relational.Sql.Select_stmt q ->
+      node "SELECT" [ plan_node (Relational.Sql.plan_query q) ]
+
+let script_nodes statements =
+  List.concat_map
+    (fun src ->
+      match Relational.Sql.parse src with
+      | stmts -> List.map stmt_node stmts
+      | exception Relational.Sql.Error msg ->
+          [ node (Printf.sprintf "<unparsed: %s>" msg) [] ])
+    statements
+
+(* --- rendering ------------------------------------------------------------ *)
+
+let pp_timing ppf = function
+  | Untimed -> ()
+  | Cached -> Format.fprintf ppf " [cached]"
+  | Timed d -> Format.fprintf ppf " (%.3f ms)" (d *. 1e3)
+
+let pp_node ppf root =
+  let rec go depth n =
+    Format.fprintf ppf "%s%s%a" (String.make (2 * depth) ' ') n.label pp_timing
+      n.timing;
+    (match n.attrs with
+    | [] -> ()
+    | attrs ->
+        Format.fprintf ppf " {%s}"
+          (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs)));
+    Format.fprintf ppf "@,";
+    List.iter (go (depth + 1)) n.children
+  in
+  Format.fprintf ppf "@[<v>";
+  go 0 root;
+  Format.fprintf ppf "@]"
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>query:   %s@,class:   %s@,backend: %s@,@,%a"
+    r.formula
+    (Htl.Classify.cls_to_string r.cls)
+    r.backend pp_node r.tree;
+  (match r.sql_script with
+  | [] -> ()
+  | stmts ->
+      Format.fprintf ppf "@,script:@,";
+      List.iteri
+        (fun i n ->
+          Format.fprintf ppf "@[<v>-- statement %d@,%a@]@," (i + 1) pp_node n)
+        stmts);
+  (match r.total_s with
+  | Some t -> Format.fprintf ppf "@,total: %.3f ms" (t *. 1e3)
+  | None -> ());
+  Format.fprintf ppf "@]"
+
+let to_string r = Format.asprintf "%a" pp r

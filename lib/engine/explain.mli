@@ -1,0 +1,73 @@
+(** EXPLAIN: the shape of a query's evaluation, as a tree.
+
+    A report shows the chosen backend and formula class, the evaluation
+    tree the backend would walk (one node per subformula, labelled with
+    the span names of DESIGN.md §2.14), and — when built from an
+    analyzed run ({!Query.explain} with [~analyze:true]) — per-node wall
+    times and recorded attributes (row counts, the And-reorder
+    ["join_order"], SQL statement counts).  A node the subformula cache
+    served shows as [Cached]: no span was recorded because nothing ran.
+
+    With the SQL backend and [~analyze:true], the report also carries
+    the executed script re-parsed into {!Relational.Plan} operator
+    trees, one per statement.
+
+    Use {!Query.explain} — the builders here are its plumbing, exposed
+    for tests. *)
+
+type timing =
+  | Untimed  (** static explain: nothing ran *)
+  | Cached  (** analyzed run, no span: the cache served this node *)
+  | Timed of float  (** seconds *)
+
+type node = {
+  label : string;  (** the evaluator's span name, or a plan operator *)
+  attrs : (string * string) list;
+  timing : timing;
+  children : node list;
+}
+
+type report = {
+  backend : string;  (** ["direct"] or ["sql"] *)
+  cls : Htl.Classify.cls;
+  formula : string;  (** pretty-printed *)
+  analyzed : bool;
+  tree : node;
+  sql_script : node list;
+      (** one node per executed SQL statement (analyzed SQL runs only);
+          [Create_table_as]/[Select] statements carry their
+          {!Relational.Plan} tree as children *)
+  total_s : float option;  (** whole-query wall time (analyzed only) *)
+}
+
+(** {1 Tree builders} *)
+
+val direct_tree :
+  Context.t -> ?take:(Htl.Ast.t -> Obs.Trace.span option) -> Htl.Ast.t -> node
+(** Mirror of {!Direct.eval}'s dispatch (including And-chain flattening
+    under [reorder_joins]).  [take], when given, yields each
+    subformula's recorded span — use {!span_lookup}. *)
+
+val type1_tree : ?take:(Htl.Ast.t -> Obs.Trace.span option) -> Htl.Ast.t -> node
+(** Mirror of {!Type1.eval}'s dispatch. *)
+
+val sql_tree :
+  Context.t -> ?take:(Htl.Ast.t -> Obs.Trace.span option) -> Htl.Ast.t -> node
+(** Mirror of the SQL translation's dispatch. *)
+
+val span_lookup : Obs.Trace.span list -> Htl.Ast.t -> Obs.Trace.span option
+(** [span_lookup spans] consumes spans by their ["formula"] attribute
+    (the hash-consed subformula id) in recorded order: each call with a
+    formula pops its next unconsumed span, so a subformula occurring
+    twice in a tree gets its computed span once and reads as cached the
+    second time. *)
+
+val script_nodes : string list -> node list
+(** Parse executed SQL statements ({!Sql_backend.last_script}) and
+    compile each to its {!Relational.Plan} tree. *)
+
+(** {1 Rendering} *)
+
+val pp_node : Format.formatter -> node -> unit
+val pp : Format.formatter -> report -> unit
+val to_string : report -> string

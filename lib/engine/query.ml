@@ -6,40 +6,169 @@ let classify = Htl.Classify.classify
 
 let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
+(* [Classify.check] rejects general formulas with a reason, so the class
+   arms below only ever see the four supported classes — but a [General]
+   arm must still answer in kind, not [assert false]: [classify] and
+   [check] are separate functions, and a drift between them (or a caller
+   reaching an arm through a future refactor) should surface as a
+   catchable [Error] naming the formula, not a crash. *)
+let general_error f =
+  fail
+    "general formulas have no similarity-retrieval algorithm (§3 covers \
+     up to extended conjunctive): %s"
+    (Htl.Pretty.to_string f)
+
+let backend_name = function
+  | Direct_backend -> "direct"
+  | Sql_backend_choice -> "sql"
+
+let dispatch ~backend ctx cls f =
+  match backend with
+  | Sql_backend_choice -> (
+      match cls with
+      | Htl.Classify.Type1 -> (
+          try Sql_backend.run (Sql_backend.create ctx) ctx f with
+          | Sql_backend.Unsupported msg | Atomic.Unsupported msg ->
+              fail "%s" msg)
+      | Htl.Classify.Type2 | Htl.Classify.Conjunctive
+      | Htl.Classify.Extended_conjunctive -> (
+          try Sql_backend.run_conjunctive (Sql_backend.create ctx) ctx f with
+          | Sql_backend.Unsupported msg
+          | Atomic.Unsupported msg
+          | Direct.Unsupported msg ->
+              fail "%s" msg)
+      | Htl.Classify.General -> general_error f)
+  | Direct_backend -> (
+      match cls with
+      | Htl.Classify.Type1 -> (
+          try Type1.eval ctx f with
+          | Type1.Unsupported msg | Atomic.Unsupported msg -> fail "%s" msg)
+      | Htl.Classify.Type2 | Htl.Classify.Conjunctive
+      | Htl.Classify.Extended_conjunctive -> (
+          try Direct.eval_closed ctx f with
+          | Direct.Unsupported msg
+          | Atomic.Unsupported msg
+          | Reference.Unsupported msg ->
+              fail "%s" msg)
+      | Htl.Classify.General -> general_error f)
+
 let run ?(backend = Direct_backend) ctx f =
+  let work () =
+    match Htl.Classify.check f with
+    | Error reason -> fail "unsupported formula: %s" reason
+    | Ok cls ->
+        Context.with_span ctx "query.run"
+          ~attrs:(fun () ->
+            [
+              ("backend", backend_name backend);
+              ("class", Htl.Classify.cls_to_string cls);
+              ("formula", string_of_int (Htl.Hcons.intern_id f));
+            ])
+          (fun () -> dispatch ~backend ctx cls f)
+  in
+  match ctx.metrics with
+  | None -> work ()
+  | Some m -> (
+      let t0 = Obs.Clock.now () in
+      Obs.Metrics.incr m "query.count";
+      let finish () =
+        Obs.Metrics.observe m "query.latency_s" (Obs.Clock.now () -. t0)
+      in
+      match work () with
+      | list ->
+          finish ();
+          list
+      | exception e ->
+          Obs.Metrics.incr m "query.errors";
+          finish ();
+          raise e)
+
+(* EXPLAIN (DESIGN.md §2.14).  The static form walks the same dispatch
+   [run] would take and renders the evaluation tree; [~analyze:true]
+   actually runs the query under a private tracer and folds the spans'
+   timings and attributes back onto the tree.  The context's own tracer
+   is replaced, not nested, so an explain never pollutes a caller's
+   trace; its cache and metrics are used as-is — a warm cache legitimately
+   shows nodes as cached. *)
+let explain ?(backend = Direct_backend) ?(analyze = false) ctx f =
   match Htl.Classify.check f with
   | Error reason -> fail "unsupported formula: %s" reason
-  | Ok cls -> (
-      match backend with
-      | Sql_backend_choice -> (
-          match cls with
-          | Htl.Classify.Type1 -> (
-              try Sql_backend.run (Sql_backend.create ctx) ctx f with
-              | Sql_backend.Unsupported msg | Atomic.Unsupported msg ->
-                  fail "%s" msg)
-          | Htl.Classify.Type2 | Htl.Classify.Conjunctive
-          | Htl.Classify.Extended_conjunctive -> (
-              try Sql_backend.run_conjunctive (Sql_backend.create ctx) ctx f
-              with
-              | Sql_backend.Unsupported msg
-              | Atomic.Unsupported msg
-              | Direct.Unsupported msg ->
-                  fail "%s" msg)
-          | Htl.Classify.General -> assert false)
-      | Direct_backend -> (
-          match cls with
-          | Htl.Classify.Type1 -> (
-              try Type1.eval ctx f with
-              | Type1.Unsupported msg | Atomic.Unsupported msg ->
-                  fail "%s" msg)
-          | Htl.Classify.Type2 | Htl.Classify.Conjunctive
-          | Htl.Classify.Extended_conjunctive -> (
-              try Direct.eval_closed ctx f with
-              | Direct.Unsupported msg
-              | Atomic.Unsupported msg
-              | Reference.Unsupported msg ->
-                  fail "%s" msg)
-          | Htl.Classify.General -> assert false))
+  | Ok cls ->
+      (* the table-algorithm entry points (Direct.eval_closed and
+         Sql_backend.run_conjunctive) strip the leading existential
+         prefix before evaluating — the tree mirrors that, carrying the
+         stripped binders as a root attribute so they stay visible *)
+      let rec strip_prefix vars = function
+        | Htl.Ast.Exists (x, g) -> strip_prefix (x :: vars) g
+        | g -> (List.rev vars, g)
+      in
+      let with_prefix vars (tree : Explain.node) =
+        match vars with
+        | [] -> tree
+        | vars ->
+            {
+              tree with
+              Explain.attrs =
+                ("exists_prefix", String.concat ", " vars) :: tree.Explain.attrs;
+            }
+      in
+      let tree_of ?take ctx =
+        match (backend, cls) with
+        | Direct_backend, Htl.Classify.Type1 -> Explain.type1_tree ?take f
+        | Sql_backend_choice, Htl.Classify.Type1 -> Explain.sql_tree ctx ?take f
+        | Direct_backend, _ ->
+            let vars, body = strip_prefix [] f in
+            with_prefix vars (Explain.direct_tree ctx ?take body)
+        | Sql_backend_choice, _ ->
+            let vars, body = strip_prefix [] f in
+            with_prefix vars (Explain.sql_tree ctx ?take body)
+      in
+      let tree, sql_script, total_s =
+        if not analyze then (tree_of (Context.without_tracer ctx), [], None)
+        else begin
+          let tracer = Obs.Trace.create () in
+          let ctx = Context.with_tracer ctx tracer in
+          let t0 = Obs.Clock.now () in
+          let script =
+            match backend with
+            | Direct_backend ->
+                ignore (dispatch ~backend ctx cls f);
+                []
+            | Sql_backend_choice ->
+                let t = Sql_backend.create ctx in
+                (try
+                   match cls with
+                   | Htl.Classify.Type1 -> ignore (Sql_backend.run t ctx f)
+                   | Htl.Classify.Type2 | Htl.Classify.Conjunctive
+                   | Htl.Classify.Extended_conjunctive ->
+                       ignore (Sql_backend.run_conjunctive t ctx f)
+                   | Htl.Classify.General -> general_error f
+                 with
+                | Sql_backend.Unsupported msg
+                | Atomic.Unsupported msg
+                | Direct.Unsupported msg ->
+                    fail "%s" msg);
+                Explain.script_nodes (Sql_backend.last_script t)
+          in
+          let total = Obs.Clock.now () -. t0 in
+          let take = Explain.span_lookup (Obs.Trace.spans tracer) in
+          (tree_of ~take ctx, script, Some total)
+        end
+      in
+      {
+        Explain.backend = backend_name backend;
+        cls;
+        formula = Htl.Pretty.to_string f;
+        analyzed = analyze;
+        tree;
+        sql_script;
+        total_s;
+      }
+
+let explain_string ?backend ?analyze ctx src =
+  match Htl.Parser.formula_of_string_opt src with
+  | Error msg -> fail "syntax error: %s" msg
+  | Ok f -> explain ?backend ?analyze ctx f
 
 (* Batched evaluation: the queries of a batch are independent, so they
    fan out across the pool (explicit [?pool] wins over the context's);

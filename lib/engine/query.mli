@@ -61,10 +61,30 @@ val top_k :
 
 (** {1 Observability}
 
+    {!run} records a ["query.run"] span when the context carries a
+    tracer, and — when it carries metrics — the ["query.count"] /
+    ["query.errors"] counters and the ["query.latency_s"] histogram.
+
     The direct backend memoizes subformula tables in the context's
     {!Cache} (see DESIGN.md, "Caching & invalidation").  The counters
     tell how a workload is behaving: repeated or overlapping queries
     should show hits climbing; evictions signal an undersized cache. *)
+
+val explain :
+  ?backend:backend -> ?analyze:bool -> Context.t -> Htl.Ast.t -> Explain.report
+(** The evaluation tree {!run} would walk: chosen backend, formula
+    class, one node per subformula.  With [~analyze:true] the query
+    actually runs under a private tracer (the context's own tracer is
+    untouched) and the report carries per-node wall times, recorded
+    attributes (row counts, the And-reorder conjunct order), the
+    whole-query total — and, on the SQL backend, the executed script as
+    {!Relational.Plan} operator trees.  Nodes served by a warm
+    subformula cache show as cached.
+    @raise Error as {!run} does. *)
+
+val explain_string :
+  ?backend:backend -> ?analyze:bool -> Context.t -> string -> Explain.report
+(** Parse then {!explain}. *)
 
 val cache_stats : Context.t -> Cache.stats option
 (** Hit/miss/eviction counters and occupancy of the context's cache;

@@ -194,9 +194,38 @@ let read_back t name ~max =
   in
   Sim_list.of_entries ~max entries
 
+let sql_label f =
+  if is_non_temporal f then "sql.atom"
+  else
+    match f with
+    | And _ -> "sql.and"
+    | Until _ -> "sql.until"
+    | Next _ -> "sql.next"
+    | Eventually _ -> "sql.eventually"
+    | Exists _ -> "sql.exists"
+    | Freeze _ -> "sql.freeze"
+    | At_level _ -> "sql.at_level"
+    | Or _ | Not _ | Atom _ -> "sql.other"
+
+let span_attrs (ctx : Context.t) f () =
+  [
+    ("formula", string_of_int (Htl.Hcons.intern_id f));
+    ("level", string_of_int ctx.level);
+  ]
+
 (* translate a type (1) formula; returns the name of a per-id table
-   (id, act) holding the non-zero actual similarities *)
+   (id, act) holding the non-zero actual similarities.  Each node records
+   a span whose ["statements"] attribute counts the SQL statements it
+   (and its children) emitted. *)
 let rec translate t (ctx : Context.t) f =
+  Context.with_span ctx (sql_label f) ~attrs:(span_attrs ctx f) (fun () ->
+      let before = List.length t.script in
+      let out = translate_raw t ctx f in
+      Context.add_attr ctx "statements" (fun () ->
+          string_of_int (List.length t.script - before));
+      out)
+
+and translate_raw t (ctx : Context.t) f =
   if is_non_temporal f then begin
     if free_obj_vars f <> [] || free_attr_vars f <> [] then
       unsupported "the SQL backend handles closed atomic units only";
@@ -222,7 +251,11 @@ let cleanup t =
 let run t ctx f =
   t.script <- [];
   let final = translate t ctx f in
-  let list = read_back t final ~max:(Reference.max_similarity ctx f) in
+  let list =
+    Context.with_span ctx "sql.read_back" (fun () ->
+        read_back t final ~max:(Reference.max_similarity ctx f))
+  in
+  Context.metric_incr ctx ~by:(List.length t.script) "sql.statements";
   cleanup t;
   list
 
@@ -266,6 +299,10 @@ let map_rows f table =
 let rec create_for ctx = create ctx
 
 and eval_conjunctive t (ctx : Context.t) f =
+  Context.with_span ctx (sql_label f) ~attrs:(span_attrs ctx f) (fun () ->
+      eval_conjunctive_raw t ctx f)
+
+and eval_conjunctive_raw t (ctx : Context.t) f =
   if is_non_temporal f then Atomic.resolve ctx f
   else
     match f with
@@ -320,5 +357,8 @@ let run_conjunctive t (ctx : Context.t) f =
   t.script <- [];
   let rec strip = function Exists (_, g) -> strip g | g -> g in
   let result = Sim_table.project_exists (eval_conjunctive t ctx (strip f)) in
+  Context.metric_incr ctx ~by:(List.length t.script) "sql.statements";
   cleanup t;
   result
+
+let node_label = sql_label

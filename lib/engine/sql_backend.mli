@@ -40,3 +40,7 @@ val last_script : t -> string list
     inspection, tests and documentation). *)
 
 val db : t -> Relational.Catalog.t
+
+val node_label : Htl.Ast.t -> string
+(** The span name the translation records for this node — shared with
+    {!Explain}. *)

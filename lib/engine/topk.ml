@@ -10,31 +10,25 @@ let ranked_intervals list =
       | c -> c)
     (Sim_list.entries list)
 
+(* Expand intervals to segment ids lazily: the entries of a list are
+   disjoint, so once ranked by (value desc, start asc) the ids of equal
+   value come out ascending by walking intervals in order — the same
+   (value desc, id asc) ranking as materialising every id, in
+   O(m log m + k) instead of O(total frames).  A whole-movie list with a
+   million-frame interval costs k conses, not a million. *)
 let top_k list ~k =
+  if k < 0 then
+    invalid_arg (Printf.sprintf "Topk.top_k: negative k (%d)" k);
   let max = Sim_list.max_sim list in
-  let rec expand acc = function
-    | [] -> acc
-    | (iv, v) :: tl ->
-        let ids =
-          List.init (Interval.length iv) (fun i -> Interval.lo iv + i)
-        in
-        expand
-          (List.rev_append (List.map (fun id -> (id, v)) ids) acc)
-          tl
-  in
-  let all = expand [] (Sim_list.entries list) in
-  let sorted =
-    List.sort
-      (fun (id1, v1) (id2, v2) ->
-        match Float.compare v2 v1 with 0 -> compare id1 id2 | c -> c)
-      all
-  in
   let rec take n = function
     | [] -> []
     | _ when n = 0 -> []
-    | (id, v) :: tl -> (id, Sim.make ~actual:v ~max) :: take (n - 1) tl
+    | (iv, v) :: tl ->
+        let m = min n (Interval.length iv) in
+        List.init m (fun i -> (Interval.lo iv + i, Sim.make ~actual:v ~max))
+        @ take (n - m) tl
   in
-  take k sorted
+  take k (ranked_intervals list)
 
 let pp_table ?(header = ("Start", "End", "Sim")) ppf list =
   let s, e, v = header in

@@ -8,7 +8,12 @@ val ranked_intervals :
     start — the layout of the paper's Table 4. *)
 
 val top_k : Simlist.Sim_list.t -> k:int -> (int * Simlist.Sim.t) list
-(** The k segment ids with the highest similarity (ties broken by id). *)
+(** The k segment ids with the highest similarity (ties broken by id).
+    Interval entries are expanded lazily — cost is O(entries log entries
+    + k), never O(total segments) — so asking for the top 10 of a
+    whole-movie list is cheap.  [k = 0] yields [[]]; a [k] beyond the
+    population yields every positive-similarity segment.
+    @raise Invalid_argument when [k] is negative. *)
 
 val pp_table :
   ?header:string * string * string ->

@@ -6,15 +6,38 @@ exception Unsupported of string
 
 let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
 
+let node_label f =
+  if Htl.Ast.is_non_temporal f then "type1.atom"
+  else
+    match f with
+    | And _ -> "type1.and"
+    | Until _ -> "type1.until"
+    | Next _ -> "type1.next"
+    | Eventually _ -> "type1.eventually"
+    | _ -> "type1.other"
+
+let span_attrs (ctx : Context.t) f () =
+  [
+    ("formula", string_of_int (Htl.Hcons.intern_id f));
+    ("level", string_of_int ctx.level);
+  ]
+
 (* Memoized like Direct.eval: a type (1) result is a similarity list,
    cached as its closed one-row table so the cache is shared with the
    table algorithms (a type (1) subformula of a type (2) query hits the
-   same entry). *)
+   same entry).  Computed nodes record spans the same way Direct does. *)
 let rec eval (ctx : Context.t) f =
   match Context.cache_find ctx f with
   | Some table -> Sim_table.project_exists table
   | None ->
-      let list = eval_raw ctx f in
+      let list =
+        Context.with_span ctx (node_label f) ~attrs:(span_attrs ctx f)
+          (fun () ->
+            let list = eval_raw ctx f in
+            Context.add_attr ctx "entries" (fun () ->
+                string_of_int (Sim_list.length list));
+            list)
+      in
       Context.cache_add ctx f (Sim_table.of_sim_list list);
       list
 
@@ -23,7 +46,8 @@ let rec eval (ctx : Context.t) f =
 and eval_pair (ctx : Context.t) g h =
   match Context.pool_for ctx ~n:(Context.segment_count ctx) with
   | Some pool ->
-      Parallel.Pool.both pool (fun () -> eval ctx g) (fun () -> eval ctx h)
+      Context.with_span ctx "pool.both" (fun () ->
+          Parallel.Pool.both pool (fun () -> eval ctx g) (fun () -> eval ctx h))
   | None -> (eval ctx g, eval ctx h)
 
 and eval_raw (ctx : Context.t) f =

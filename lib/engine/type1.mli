@@ -8,3 +8,6 @@ exception Unsupported of string
 val eval : Context.t -> Htl.Ast.t -> Simlist.Sim_list.t
 (** @raise Unsupported when the formula is not type (1) (open atomic
     units, freeze, level operators, negation, disjunction). *)
+
+val node_label : Htl.Ast.t -> string
+(** The span name {!eval} records for this node — shared with {!Explain}. *)

@@ -1,0 +1,9 @@
+(* The observability clock.  OCaml's stdlib exposes no monotonic clock
+   without C stubs, so we take the best portable source available:
+   [Unix.gettimeofday], which on every platform we run on is driven by
+   the same timer the monotonic clock is and is good to the microsecond.
+   Spans measure elapsed wall time; a clock step during a query (NTP
+   slew) can skew a single span, which is acceptable for diagnostics and
+   avoids a C dependency. *)
+
+let now = Unix.gettimeofday

@@ -1,0 +1,5 @@
+(** Time source for spans and queue-wait measurements. *)
+
+val now : unit -> float
+(** Seconds since the epoch, microsecond resolution.  See clock.ml for
+    why this stands in for a monotonic clock. *)

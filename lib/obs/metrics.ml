@@ -1,0 +1,90 @@
+type hist = {
+  mutable hcount : int;
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
+type cell = C of int ref | G of float ref | H of hist
+
+(* One mutex, same rationale as Trace: every update is a handful of
+   writes against work that dwarfs it (a query, a pool batch, a cache
+   probe). *)
+type t = { mutex : Mutex.t; cells : (string, cell) Hashtbl.t }
+
+let create () = { mutex = Mutex.create (); cells = Hashtbl.create 32 }
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Obs.Metrics: %S already registered with another kind" name)
+
+let incr t ?(by = 1) name =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.cells name with
+      | Some (C r) -> r := !r + by
+      | Some _ -> kind_error name
+      | None -> Hashtbl.add t.cells name (C (ref by)))
+
+let set_gauge t name v =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.cells name with
+      | Some (G r) -> r := v
+      | Some _ -> kind_error name
+      | None -> Hashtbl.add t.cells name (G (ref v)))
+
+let observe t name v =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.cells name with
+      | Some (H h) ->
+          h.hcount <- h.hcount + 1;
+          h.hsum <- h.hsum +. v;
+          if v < h.hmin then h.hmin <- v;
+          if v > h.hmax then h.hmax <- v
+      | Some _ -> kind_error name
+      | None ->
+          Hashtbl.add t.cells name
+            (H { hcount = 1; hsum = v; hmin = v; hmax = v }))
+
+type histogram = { count : int; sum : float; min : float; max : float }
+type value = Counter of int | Gauge of float | Histogram of histogram
+
+let snapshot t =
+  let items =
+    Mutex.protect t.mutex (fun () ->
+        Hashtbl.fold
+          (fun name cell acc ->
+            let v =
+              match cell with
+              | C r -> Counter !r
+              | G r -> Gauge !r
+              | H h ->
+                  Histogram
+                    { count = h.hcount; sum = h.hsum; min = h.hmin; max = h.hmax }
+            in
+            (name, v) :: acc)
+          t.cells [])
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) items
+
+let find t name = List.assoc_opt name (snapshot t)
+
+let counter_value t name =
+  match find t name with Some (Counter n) -> n | _ -> 0
+
+let clear t = Mutex.protect t.mutex (fun () -> Hashtbl.reset t.cells)
+
+let pp_value ppf = function
+  | Counter n -> Format.fprintf ppf "%d" n
+  | Gauge v -> Format.fprintf ppf "%g" v
+  | Histogram { count; sum; min; max } ->
+      Format.fprintf ppf "count %d  sum %.6f  min %.6f  mean %.6f  max %.6f"
+        count sum min
+        (if count = 0 then 0. else sum /. float_of_int count)
+        max
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%-32s %s@," "Metric" "Value";
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-32s %a@," name pp_value v)
+    (snapshot t);
+  Format.fprintf ppf "@]"

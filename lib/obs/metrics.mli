@@ -1,0 +1,37 @@
+(** Metrics registry: named counters, gauges and histograms.
+
+    Instruments register lazily — the first [incr]/[set_gauge]/[observe]
+    under a name creates it; a name keeps its kind for the registry's
+    lifetime ([Invalid_argument] on a mismatched reuse).  Thread-safe
+    (one internal mutex).  Like the tracer, evaluation code holds a
+    [Metrics.t option] and [None] is the zero-cost no-op path. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> ?by:int -> string -> unit
+(** Bump a counter (created at 0). *)
+
+val set_gauge : t -> string -> float -> unit
+
+val observe : t -> string -> float -> unit
+(** Record a histogram sample. *)
+
+type histogram = { count : int; sum : float; min : float; max : float }
+type value = Counter of int | Gauge of float | Histogram of histogram
+
+val snapshot : t -> (string * value) list
+(** A coherent copy of every instrument, sorted by name. *)
+
+val find : t -> string -> value option
+
+val counter_value : t -> string -> int
+(** The counter's value; 0 when absent or not a counter. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Render the snapshot as a two-column table. *)
+
+val pp_value : Format.formatter -> value -> unit

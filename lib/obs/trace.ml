@@ -1,0 +1,144 @@
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  start_s : float;
+  mutable stop_s : float; (* nan while the span is open *)
+  mutable attrs : (string * string) list;
+}
+
+(* One mutex serializes span creation, completion and attribute writes.
+   Every operation is a few pointer writes amortized against the work the
+   span measures (a subformula evaluation, a SQL statement), so the lock
+   is never contended in any meaningful way — the same argument as
+   Engine.Cache (DESIGN.md §2.13).
+
+   Nesting is per domain: each domain keeps its own stack of open spans,
+   so a span started on a worker domain nests under whatever that worker
+   is currently running, and a span started on the submitting domain
+   nests under the query.  Spans do not flow across a pool fan-out — a
+   task's spans root at the worker's stack bottom — which keeps the
+   recorder allocation-free on the hot path; the fan-out sites record
+   their own "pool.*" spans on the submitting domain instead. *)
+type t = {
+  mutex : Mutex.t;
+  mutable next_id : int;
+  mutable spans : span list; (* reverse start order *)
+  stacks : (int, span list) Hashtbl.t; (* domain id -> open spans *)
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    next_id = 0;
+    spans = [];
+    stacks = Hashtbl.create 8;
+  }
+
+let domain_key () = (Domain.self () :> int)
+
+let start t ?(attrs = []) name =
+  let now = Clock.now () in
+  Mutex.protect t.mutex (fun () ->
+      let key = domain_key () in
+      let stack = Option.value ~default:[] (Hashtbl.find_opt t.stacks key) in
+      let parent = match stack with [] -> 0 | top :: _ -> top.id in
+      t.next_id <- t.next_id + 1;
+      let s =
+        { id = t.next_id; parent; name; start_s = now; stop_s = Float.nan; attrs }
+      in
+      t.spans <- s :: t.spans;
+      Hashtbl.replace t.stacks key (s :: stack);
+      s)
+
+let stop t span =
+  let now = Clock.now () in
+  Mutex.protect t.mutex (fun () ->
+      if Float.is_nan span.stop_s then span.stop_s <- now;
+      let key = domain_key () in
+      match Hashtbl.find_opt t.stacks key with
+      | Some (top :: rest) when top.id = span.id ->
+          Hashtbl.replace t.stacks key rest
+      | Some stack ->
+          (* unbalanced stop (an exception unwound through several open
+             spans): drop the span wherever it sits *)
+          Hashtbl.replace t.stacks key
+            (List.filter (fun s -> s.id <> span.id) stack)
+      | None -> ())
+
+let add_attr t key value =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.stacks (domain_key ()) with
+      | Some (top :: _) -> top.attrs <- (key, value) :: top.attrs
+      | Some [] | None -> ())
+
+let with_span t ?attrs name f =
+  let s = start t ?attrs name in
+  Fun.protect ~finally:(fun () -> stop t s) f
+
+let spans t = Mutex.protect t.mutex (fun () -> List.rev t.spans)
+
+let clear t =
+  Mutex.protect t.mutex (fun () ->
+      t.spans <- [];
+      t.next_id <- 0;
+      Hashtbl.reset t.stacks)
+
+let duration_s s = if Float.is_nan s.stop_s then None else Some (s.stop_s -. s.start_s)
+
+let attr s key = List.assoc_opt key s.attrs
+
+(* --- summaries ---------------------------------------------------------- *)
+
+type summary_row = { sname : string; count : int; total_s : float }
+
+let summarize t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let d = Option.value ~default:0. (duration_s s) in
+      match Hashtbl.find_opt tbl s.name with
+      | Some (c, total) -> Hashtbl.replace tbl s.name (c + 1, total +. d)
+      | None -> Hashtbl.add tbl s.name (1, d))
+    (spans t);
+  List.sort
+    (fun a b -> compare (b.total_s, a.sname) (a.total_s, b.sname))
+    (Hashtbl.fold
+       (fun sname (count, total_s) acc -> { sname; count; total_s } :: acc)
+       tbl [])
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let pp_attrs ppf = function
+  | [] -> ()
+  | attrs ->
+      Format.fprintf ppf "  {%s}"
+        (String.concat ", "
+           (List.map (fun (k, v) -> k ^ "=" ^ v) (List.rev attrs)))
+
+let pp_span ppf s =
+  (match duration_s s with
+  | Some d -> Format.fprintf ppf "%s (%.3f ms)" s.name (d *. 1e3)
+  | None -> Format.fprintf ppf "%s (open)" s.name);
+  pp_attrs ppf s.attrs
+
+let pp_tree ppf t =
+  let all = spans t in
+  let children parent =
+    List.filter (fun s -> s.parent = parent) all
+  in
+  let rec pp_at depth s =
+    Format.fprintf ppf "%s%a@," (String.make (2 * depth) ' ') pp_span s;
+    List.iter (pp_at (depth + 1)) (children s.id)
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter (pp_at 0) (children 0);
+  Format.fprintf ppf "@]"
+
+let pp_summary ppf t =
+  Format.fprintf ppf "@[<v>%-28s %8s %14s@," "Span" "Count" "Total (ms)";
+  List.iter
+    (fun { sname; count; total_s } ->
+      Format.fprintf ppf "%-28s %8d %14.3f@," sname count (total_s *. 1e3))
+    (summarize t);
+  Format.fprintf ppf "@]"

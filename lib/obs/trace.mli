@@ -1,0 +1,65 @@
+(** Trace spans: where a query's time goes.
+
+    A tracer records {e spans} — named, timed segments of work with
+    parent/child nesting and string attributes.  Evaluation code holds a
+    [Trace.t option]; [None] (the {e nil tracer}) is the zero-cost path:
+    every instrumentation site is a single [match] that falls straight
+    through to the work (see {!Engine.Context.with_span}).
+
+    The recorder is thread-safe (one internal mutex, the Engine.Cache
+    argument: a span records a subformula evaluation, so the lock is
+    uncontended in practice).  Nesting is tracked per domain: spans
+    started on a pool worker nest under that worker's open spans and root
+    at its stack bottom; they do not inherit the submitting domain's
+    span as parent.  Fan-out sites record their own ["pool.*"] spans on
+    the submitting side, so the tree still shows where fan-outs happen. *)
+
+type span = private {
+  id : int;  (** 1-based, in start order *)
+  parent : int;  (** 0 for roots *)
+  name : string;
+  start_s : float;
+  mutable stop_s : float;  (** [nan] while open *)
+  mutable attrs : (string * string) list;  (** reverse insertion order *)
+}
+
+type t
+
+val create : unit -> t
+
+val start : t -> ?attrs:(string * string) list -> string -> span
+(** Open a span as a child of the calling domain's innermost open span
+    (a root if there is none). *)
+
+val stop : t -> span -> unit
+(** Close the span.  Idempotent on the timestamp; tolerates unbalanced
+    stops (exception unwinds). *)
+
+val with_span : t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [start], run, [stop] (also on exception). *)
+
+val add_attr : t -> string -> string -> unit
+(** Attach an attribute to the calling domain's innermost open span;
+    no-op when none is open. *)
+
+val spans : t -> span list
+(** All recorded spans in start order. *)
+
+val clear : t -> unit
+
+val duration_s : span -> float option
+(** [None] while the span is open. *)
+
+val attr : span -> string -> string option
+
+type summary_row = { sname : string; count : int; total_s : float }
+
+val summarize : t -> summary_row list
+(** Per-name count and total duration, largest total first.  Open spans
+    count with duration 0. *)
+
+val pp_tree : Format.formatter -> t -> unit
+(** Indented parent/child tree with durations and attributes. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** The {!summarize} table. *)

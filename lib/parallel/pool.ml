@@ -25,6 +25,9 @@ type t = {
   mutable stop : bool;
   mutable workers : unit Domain.t array;
   total : int;  (* worker domains + the calling domain *)
+  metrics : Obs.Metrics.t option;
+      (* optional instrumentation: task/batch counters and a queue-wait
+         histogram.  None (the default) keeps submission allocation-free. *)
 }
 
 (* A batch of tasks submitted together; [finished] shares the pool
@@ -56,7 +59,7 @@ let worker t () =
   in
   loop ()
 
-let create ?domains () =
+let create ?domains ?metrics () =
   let total =
     match domains with
     | Some d ->
@@ -72,12 +75,14 @@ let create ?domains () =
       stop = false;
       workers = [||];
       total;
+      metrics;
     }
   in
   t.workers <- Array.init (total - 1) (fun _ -> Domain.spawn (worker t));
   t
 
 let domain_count t = t.total
+let metrics t = t.metrics
 
 let shutdown t =
   Mutex.lock t.mutex;
@@ -90,8 +95,8 @@ let shutdown t =
     t.workers <- [||]
   end
 
-let with_pool ?domains f =
-  let t = create ?domains () in
+let with_pool ?domains ?metrics f =
+  let t = create ?domains ?metrics () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let check_alive t =
@@ -106,6 +111,9 @@ let run_indexed t n f =
   else if Array.length t.workers = 0 || n = 1 then begin
     (* degenerate sequential run keeps the batch semantics: every task
        runs, the first exception is re-raised afterwards *)
+    (match t.metrics with
+    | Some m -> Obs.Metrics.incr m ~by:n "pool.tasks_sequential"
+    | None -> ());
     let error = ref None in
     for i = 0 to n - 1 do
       try f i
@@ -118,7 +126,23 @@ let run_indexed t n f =
   end
   else begin
     let b = { pending = n; error = None; finished = Condition.create () } in
+    (* per-batch instrumentation: counters on submit, and — only when a
+       metrics registry is attached — a submit timestamp per batch whose
+       delay to each task's start is the queue wait *)
+    (match t.metrics with
+    | Some m ->
+        Obs.Metrics.incr m "pool.batches";
+        Obs.Metrics.incr m ~by:n "pool.tasks"
+    | None -> ());
+    let submitted =
+      match t.metrics with Some _ -> Obs.Clock.now () | None -> 0.
+    in
     let task i () =
+      (match t.metrics with
+      | Some m ->
+          Obs.Metrics.observe m "pool.queue_wait_s"
+            (Obs.Clock.now () -. submitted)
+      | None -> ());
       (try f i
        with e ->
          let bt = Printexc.get_raw_backtrace () in

@@ -25,19 +25,25 @@
 
 type t
 
-val create : ?domains:int -> unit -> t
+val create : ?domains:int -> ?metrics:Obs.Metrics.t -> unit -> t
 (** Spawn a pool running on [domains] domains in total (default
-    {!Domain.recommended_domain_count}).
+    {!Domain.recommended_domain_count}).  With [metrics], the pool
+    counts batches and tasks ([pool.batches], [pool.tasks],
+    [pool.tasks_sequential]) and records per-task queue wait — time from
+    batch submission to task start — as the [pool.queue_wait_s]
+    histogram; without it, submission stays allocation-free.
     @raise Invalid_argument when [domains < 1]. *)
 
 val domain_count : t -> int
 (** Total domains the pool computes on, the caller included. *)
 
+val metrics : t -> Obs.Metrics.t option
+
 val shutdown : t -> unit
 (** Stop and join the worker domains after the queue drains.  Idempotent.
     Must not be called while a batch is in flight. *)
 
-val with_pool : ?domains:int -> (t -> 'a) -> 'a
+val with_pool : ?domains:int -> ?metrics:Obs.Metrics.t -> (t -> 'a) -> 'a
 (** [create], run, then [shutdown] (also on exception). *)
 
 val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list

@@ -248,7 +248,7 @@ let merge_sorted_unique xs ys =
   in
   go xs ys
 
-let eval ?(config = default_config) ?pool store ~level f =
+let eval ?(config = default_config) ?pool ?tracer ?metrics store ~level f =
   validate f;
   let max_total = Weights.total config.weights f in
   let obj_vars = free_obj_vars f in
@@ -256,6 +256,15 @@ let eval ?(config = default_config) ?pool store ~level f =
   let idx = Index.build store ~level in
   let n = Index.segment_count idx in
   let support = Index.objects_at_level idx in
+  (* segments scanned, per level: one count per segment scored (full
+     scans and candidate rescans both) *)
+  let scanned k =
+    match metrics with
+    | Some m ->
+        Obs.Metrics.incr m ~by:k
+          (Printf.sprintf "picture.segments_scanned.l%d" level)
+    | None -> ()
+  in
   let combo_count =
     Float.pow (float_of_int (1 + List.length support))
       (float_of_int (List.length obj_vars))
@@ -281,11 +290,13 @@ let eval ?(config = default_config) ?pool store ~level f =
     let env = { objs = env_objs; attrs } in
     match only with
     | None -> (
+        scanned n;
         let cell i = score config store ~level ~env ~id:(i + 1) f in
         match pool with
         | Some p -> Parallel.Pool.parallel_init p n cell
         | None -> Array.init n cell)
     | Some (base, candidates) ->
+        scanned (List.length candidates);
         let arr = Array.copy base in
         let rescore id = arr.(id - 1) <- score config store ~level ~env ~id f in
         (match pool with
@@ -298,6 +309,20 @@ let eval ?(config = default_config) ?pool store ~level f =
         | None -> List.iter rescore candidates);
         arr
   in
+  let span_of f =
+    match tracer with
+    | None -> f ()
+    | Some tr ->
+        Obs.Trace.with_span tr "picture.eval"
+          ~attrs:
+            [
+              ("level", string_of_int level);
+              ("segments", string_of_int n);
+              ("combos", string_of_int (List.length combos));
+            ]
+          f
+  in
+  span_of @@ fun () ->
   let rows = ref [] and row_count = ref 0 in
   List.iter
     (fun combo ->

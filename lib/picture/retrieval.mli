@@ -32,6 +32,8 @@ val default_config : config
 val eval :
   ?config:config ->
   ?pool:Parallel.Pool.t ->
+  ?tracer:Obs.Trace.t ->
+  ?metrics:Obs.Metrics.t ->
   Video_model.Store.t ->
   level:int ->
   Htl.Ast.t ->
@@ -42,6 +44,10 @@ val eval :
     scoring only reads the store, so results are identical.  Callers
     decide the sequential cutoff — pass [pool] only when the level is
     big enough to be worth it (see {!Engine.Context.pool_for}).
+    With [tracer], the scan records a ["picture.eval"] span (level,
+    segment and combination counts); with [metrics], every scored
+    segment counts toward the [picture.segments_scanned.l<level>]
+    counter — full scans and candidate rescans both.
     @raise Unsupported as described above. *)
 
 val score_at :

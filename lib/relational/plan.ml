@@ -265,3 +265,75 @@ let rec run ~lookup plan =
         | r :: tl -> r :: take (n - 1) tl
       in
       Table.create ~cols:(Table.cols t) (take n (Table.rows t))
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let label = function
+  | Scan name -> Printf.sprintf "Scan %s" name
+  | Values (cols, rows) ->
+      Printf.sprintf "Values (%s) x %d" (String.concat ", " cols)
+        (List.length rows)
+  | Alias (prefix, _) -> Printf.sprintf "Alias %s" prefix
+  | Select (cond, _) -> Format.asprintf "Select %a" Expr.pp cond
+  | Project (items, _) ->
+      Format.asprintf "Project %s"
+        (String.concat ", "
+           (List.map
+              (fun (e, name) -> Format.asprintf "%a AS %s" Expr.pp e name)
+              items))
+  | Hash_join { left_keys; right_keys; _ } ->
+      Format.asprintf "Hash_join on %s = %s"
+        (String.concat ", " (List.map (Format.asprintf "%a" Expr.pp) left_keys))
+        (String.concat ", " (List.map (Format.asprintf "%a" Expr.pp) right_keys))
+  | Nested_join { cond; _ } -> Format.asprintf "Nested_join on %a" Expr.pp cond
+  | Band_join { point; lo; hi; _ } ->
+      Format.asprintf "Band_join %a BETWEEN %a AND %a" Expr.pp point Expr.pp lo
+        Expr.pp hi
+  | Sort (keys, _) ->
+      Format.asprintf "Sort %s"
+        (String.concat ", "
+           (List.map
+              (fun (e, o) ->
+                Format.asprintf "%a %s" Expr.pp e
+                  (match o with Asc -> "ASC" | Desc -> "DESC"))
+              keys))
+  | Row_num (name, _) -> Printf.sprintf "Row_num %s" name
+  | Group_by { keys; aggs; _ } ->
+      let agg_str (a, name) =
+        let s =
+          match a with
+          | Min e -> Format.asprintf "MIN(%a)" Expr.pp e
+          | Max e -> Format.asprintf "MAX(%a)" Expr.pp e
+          | Sum e -> Format.asprintf "SUM(%a)" Expr.pp e
+          | Count e -> Format.asprintf "COUNT(%a)" Expr.pp e
+          | Count_star -> "COUNT(*)"
+        in
+        s ^ " AS " ^ name
+      in
+      Format.asprintf "Group_by %s: %s"
+        (String.concat ", "
+           (List.map (fun (e, n) -> Format.asprintf "%a AS %s" Expr.pp e n) keys))
+        (String.concat ", " (List.map agg_str aggs))
+  | Distinct _ -> "Distinct"
+  | Union_all _ -> "Union_all"
+  | Limit (n, _) -> Printf.sprintf "Limit %d" n
+
+let children = function
+  | Scan _ | Values _ -> []
+  | Alias (_, p) | Select (_, p) | Project (_, p) | Sort (_, p)
+  | Row_num (_, p) | Distinct p | Limit (_, p) ->
+      [ p ]
+  | Group_by { input; _ } -> [ input ]
+  | Hash_join { left; right; _ } -> [ left; right ]
+  | Nested_join { left; right; _ } -> [ left; right ]
+  | Band_join { points; intervals; _ } -> [ points; intervals ]
+  | Union_all (a, b) -> [ a; b ]
+
+let pp ppf plan =
+  let rec go depth p =
+    Format.fprintf ppf "%s%s@," (String.make (2 * depth) ' ') (label p);
+    List.iter (go (depth + 1)) (children p)
+  in
+  Format.fprintf ppf "@[<v>";
+  go 0 plan;
+  Format.fprintf ppf "@]"

@@ -47,3 +47,13 @@ val run : lookup:(string -> Table.t) -> t -> Table.t
 (** Execute a plan; [lookup] resolves base-table names.
     @raise Invalid_argument on schema errors (unknown table/column,
     duplicate output columns, ...). *)
+
+val label : t -> string
+(** One-line description of the root operator (its expressions, not its
+    inputs) — the node text EXPLAIN renders. *)
+
+val children : t -> t list
+(** The operator's inputs, left to right. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented operator tree. *)

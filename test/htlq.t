@@ -1,0 +1,68 @@
+The htlq CLI: results on stdout, diagnostics on stderr, exit code 0 on
+success, 1 on query errors, 2 on usage errors.
+
+A query over the paper's Casablanca tables:
+
+  $ ../bin/htlq.exe --query 'man_woman and eventually moving_train' --top 3
+  formula class: type (1)
+  
+  Start    End      Sim
+  1        4        12.382000
+  6        6        11.047000
+  8        8        11.047000
+  5        5        9.787000
+  7        7        9.787000
+  9        9        9.787000
+  47       49       6.260000
+  10       44       1.260000
+  
+  
+  top 3 segments:
+    segment 1: 12.3820 (fraction 0.772)
+    segment 2: 12.3820 (fraction 0.772)
+    segment 3: 12.3820 (fraction 0.772)
+
+
+
+
+--classify only reports the formula's class:
+
+  $ ../bin/htlq.exe --classify --query 'not man_woman'
+  formula class: general
+
+--explain prints the static evaluation plan (no timings — add --trace
+for an analyzed run, which is not cram-stable):
+
+  $ ../bin/htlq.exe --explain --query 'man_woman until moving_train'
+  query:   (man_woman until moving_train)
+  class:   type (1)
+  backend: direct
+  
+  type1.until
+    type1.atom {formula=man_woman}
+    type1.atom {formula=moving_train}
+  
+
+
+A general formula is a query error (stderr, exit 1), not a crash:
+
+  $ ../bin/htlq.exe --query 'not man_woman'
+  error: unsupported formula: negation or disjunction is outside every conjunctive class
+  [1]
+
+So is a syntax error:
+
+  $ ../bin/htlq.exe --query 'man_woman and ('
+  syntax error: expected an atomic formula but found end of input
+  [1]
+
+An unknown backend is a usage error (exit 2):
+
+  $ ../bin/htlq.exe --backend nope --query 'man_woman'
+  unknown backend "nope" (use direct or sql)
+  [2]
+
+As is an unknown flag:
+
+  $ ../bin/htlq.exe --no-such-flag > /dev/null 2> /dev/null
+  [2]

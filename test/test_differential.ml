@@ -166,6 +166,65 @@ let par_table_prop (seed, f) =
   in
   parallel_differential ctx f
 
+(* --- traced vs untraced ---------------------------------------------------
+
+   Attaching a tracer and a metrics registry must be observationally
+   invisible: same similarity list (exactly — the instrumented code path
+   runs the same algorithms), or the same refusal, on both backends.
+   Every recorded span must also come back closed, or the recorder
+   leaked an open span past Query.run. *)
+let traced_differential ctx f =
+  let outcome ctx backend =
+    match Query.run ~backend ctx f with
+    | list -> Ok list
+    | exception Query.Error msg -> Error msg
+  in
+  List.iter
+    (fun (bname, backend) ->
+      let plain = outcome ctx backend in
+      let tracer = Obs.Trace.create () in
+      let tctx =
+        Context.with_metrics
+          (Context.with_tracer (Context.with_fresh_cache ctx) tracer)
+          (Obs.Metrics.create ())
+      in
+      (match (plain, outcome tctx backend) with
+      | Ok a, Ok b ->
+          if not (Sim_list.equal a b) then
+            QCheck.Test.fail_reportf "tracing changes %s's result on %s" bname
+              (Htl.Pretty.to_string f)
+      | Error _, Error _ -> ()
+      | Ok _, Error msg ->
+          QCheck.Test.fail_reportf
+            "traced %s refused %s that untraced accepted: %s" bname
+            (Htl.Pretty.to_string f) msg
+      | Error msg, Ok _ ->
+          QCheck.Test.fail_reportf
+            "traced %s accepted %s that untraced refused: %s" bname
+            (Htl.Pretty.to_string f) msg);
+      List.iter
+        (fun (s : Obs.Trace.span) ->
+          if Float.is_nan s.Obs.Trace.stop_s then
+            QCheck.Test.fail_reportf "span %s left open after %s on %s"
+              s.Obs.Trace.name bname
+              (Htl.Pretty.to_string f))
+        (Obs.Trace.spans tracer))
+    [ ("direct", Query.Direct_backend); ("sql", Query.Sql_backend_choice) ];
+  true
+
+let traced_store_prop ?videos (seed, f) =
+  let ctx = Context.of_store (store_of_seed ?videos seed) in
+  traced_differential ctx f
+
+let traced_table_prop (seed, f) =
+  let rng = Workload.Rng.make seed in
+  let n = 10 + Workload.Rng.int rng 40 in
+  let ctx =
+    Workload.Synthetic.context_with_atoms ~seed:(seed + 1) ~n ~selectivity:0.4
+      table_names
+  in
+  traced_differential ctx f
+
 let suites =
   [
     ( "differential",
@@ -197,5 +256,15 @@ let suites =
           (Helpers.arb_store_formula Helpers.gen_conjunctive_formula);
         Helpers.qtest ~count:40 "parallel = sequential (mixed)" par_store_prop
           (Helpers.arb_store_formula Helpers.gen_closed_formula);
+        Helpers.qtest ~count:40 "traced = untraced (tables)" traced_table_prop
+          (Helpers.arb_table_formula ~names:table_names ());
+        Helpers.qtest ~count:30 "traced = untraced (type 1)"
+          (traced_store_prop ~videos:2)
+          (Helpers.arb_store_formula Helpers.gen_type1_formula);
+        Helpers.qtest ~count:30 "traced = untraced (type 2)" traced_store_prop
+          (Helpers.arb_store_formula Helpers.gen_type2_formula);
+        Helpers.qtest ~count:30 "traced = untraced (conjunctive)"
+          traced_store_prop
+          (Helpers.arb_store_formula Helpers.gen_conjunctive_formula);
       ] );
   ]

@@ -1,0 +1,372 @@
+(* Tests for the observability layer (lib/obs + EXPLAIN) and the Topk
+   edge behaviour: span nesting and attributes, the metrics registry's
+   kinds and snapshots, top_k's lazy expansion against a naive oracle
+   and its k-edge cases, and EXPLAIN's static/analyzed trees on both
+   backends. *)
+
+open Engine
+module Sim_list = Simlist.Sim_list
+module Interval = Simlist.Interval
+module Sim = Simlist.Sim
+module C = Workload.Casablanca
+
+let parse = Htl.Parser.formula_of_string
+
+(* --- Trace ---------------------------------------------------------------- *)
+
+let trace_tests =
+  let open Alcotest in
+  [
+    test_case "spans nest and close" `Quick (fun () ->
+        let tr = Obs.Trace.create () in
+        let r =
+          Obs.Trace.with_span tr "outer" (fun () ->
+              Obs.Trace.with_span tr "inner" (fun () -> 41) + 1)
+        in
+        check int "result threads through" 42 r;
+        match Obs.Trace.spans tr with
+        | [ outer; inner ] ->
+            check string "outer first (start order)" "outer"
+              outer.Obs.Trace.name;
+            check int "outer is a root" 0 outer.Obs.Trace.parent;
+            check int "inner nests under outer" outer.Obs.Trace.id
+              inner.Obs.Trace.parent;
+            check bool "outer closed" false
+              (Float.is_nan outer.Obs.Trace.stop_s);
+            check bool "inner closed" false
+              (Float.is_nan inner.Obs.Trace.stop_s);
+            check bool "durations are non-negative" true
+              (Obs.Trace.duration_s inner >= Some 0.
+              && Obs.Trace.duration_s outer >= Some 0.)
+        | spans -> failf "expected 2 spans, got %d" (List.length spans));
+    test_case "spans close on exceptions" `Quick (fun () ->
+        let tr = Obs.Trace.create () in
+        (try Obs.Trace.with_span tr "boom" (fun () -> failwith "boom")
+         with Failure _ -> ());
+        match Obs.Trace.spans tr with
+        | [ s ] ->
+            check bool "closed despite the raise" false
+              (Float.is_nan s.Obs.Trace.stop_s)
+        | spans -> failf "expected 1 span, got %d" (List.length spans));
+    test_case "add_attr targets the innermost open span" `Quick (fun () ->
+        let tr = Obs.Trace.create () in
+        Obs.Trace.with_span tr "outer" (fun () ->
+            Obs.Trace.with_span tr "inner" (fun () ->
+                Obs.Trace.add_attr tr "k" "inner-value");
+            Obs.Trace.add_attr tr "k" "outer-value");
+        (match Obs.Trace.spans tr with
+        | [ outer; inner ] ->
+            check (option string) "inner attr" (Some "inner-value")
+              (Obs.Trace.attr inner "k");
+            check (option string) "outer attr" (Some "outer-value")
+              (Obs.Trace.attr outer "k")
+        | _ -> fail "expected 2 spans");
+        (* attrs on a tracer with nothing open are dropped, not an error *)
+        Obs.Trace.add_attr tr "orphan" "x");
+    test_case "summarize groups by name, largest total first" `Quick
+      (fun () ->
+        let tr = Obs.Trace.create () in
+        Obs.Trace.with_span tr "a" (fun () ->
+            Obs.Trace.with_span tr "b" (fun () -> ()));
+        Obs.Trace.with_span tr "b" (fun () -> ());
+        let rows = Obs.Trace.summarize tr in
+        check int "two names" 2 (List.length rows);
+        let b = List.find (fun r -> r.Obs.Trace.sname = "b") rows in
+        check int "b counted twice" 2 b.Obs.Trace.count;
+        (* totals of sub-microsecond spans are noise, so assert the
+           ordering contract against the totals it actually computed *)
+        (match rows with
+        | first :: second :: _ ->
+            check bool "sorted by total, largest first" true
+              (first.Obs.Trace.total_s >= second.Obs.Trace.total_s)
+        | _ -> fail "expected 2 rows");
+        Obs.Trace.clear tr;
+        check int "clear empties the recorder" 0
+          (List.length (Obs.Trace.spans tr)));
+  ]
+
+(* --- Metrics --------------------------------------------------------------- *)
+
+let metrics_tests =
+  let open Alcotest in
+  [
+    test_case "counters, gauges and histograms" `Quick (fun () ->
+        let m = Obs.Metrics.create () in
+        Obs.Metrics.incr m "c";
+        Obs.Metrics.incr m ~by:4 "c";
+        Obs.Metrics.set_gauge m "g" 2.5;
+        Obs.Metrics.observe m "h" 1.0;
+        Obs.Metrics.observe m "h" 3.0;
+        check int "counter" 5 (Obs.Metrics.counter_value m "c");
+        (match Obs.Metrics.find m "g" with
+        | Some (Obs.Metrics.Gauge v) -> check (float 0.) "gauge" 2.5 v
+        | _ -> fail "gauge missing");
+        (match Obs.Metrics.find m "h" with
+        | Some (Obs.Metrics.Histogram h) ->
+            check int "histogram count" 2 h.Obs.Metrics.count;
+            check (float 1e-9) "histogram sum" 4.0 h.Obs.Metrics.sum;
+            check (float 0.) "histogram min" 1.0 h.Obs.Metrics.min;
+            check (float 0.) "histogram max" 3.0 h.Obs.Metrics.max
+        | _ -> fail "histogram missing");
+        check (list string) "snapshot sorted by name" [ "c"; "g"; "h" ]
+          (List.map fst (Obs.Metrics.snapshot m));
+        Obs.Metrics.clear m;
+        check int "clear" 0 (List.length (Obs.Metrics.snapshot m)));
+    test_case "a name keeps its kind" `Quick (fun () ->
+        let m = Obs.Metrics.create () in
+        Obs.Metrics.incr m "x";
+        check_raises "gauge reuse of a counter name"
+          (Invalid_argument
+             "Obs.Metrics: \"x\" already registered with another kind")
+          (fun () -> Obs.Metrics.set_gauge m "x" 1.);
+        check int "counter untouched" 1 (Obs.Metrics.counter_value m "x"));
+    test_case "missing names read as absent" `Quick (fun () ->
+        let m = Obs.Metrics.create () in
+        check (option reject) "find" None (Obs.Metrics.find m "nope");
+        check int "counter_value" 0 (Obs.Metrics.counter_value m "nope"));
+  ]
+
+(* --- Topk ------------------------------------------------------------------ *)
+
+(* the naive semantics top_k replaced: materialise every id, sort by
+   (value desc, id asc), take k *)
+let naive_top_k list ~k =
+  let max = Sim_list.max_sim list in
+  let all =
+    List.concat_map
+      (fun (iv, v) ->
+        List.init (Interval.length iv) (fun i -> (Interval.lo iv + i, v)))
+      (Sim_list.entries list)
+  in
+  let sorted =
+    List.sort
+      (fun (id1, v1) (id2, v2) ->
+        match Float.compare v2 v1 with 0 -> compare id1 id2 | c -> c)
+      all
+  in
+  List.filteri (fun i _ -> i < k) sorted
+  |> List.map (fun (id, v) -> (id, Sim.make ~actual:v ~max))
+
+let sample_list =
+  (* ties across intervals (1.0 twice) and a long interval to expand *)
+  Sim_list.of_entries ~max:2.
+    [
+      (Interval.make 1 3, 1.0);
+      (Interval.make 5 20, 2.0);
+      (Interval.make 30 31, 1.0);
+      (Interval.make 40 40, 0.5);
+    ]
+
+let ids ranked = List.map fst ranked
+
+(* random disjoint entries (gap/len/value triples laid out left to
+   right; values from a small set so ties actually occur) + a small k *)
+let arb_entries_and_k =
+  let open QCheck in
+  let gen =
+    Gen.(
+      pair
+        (list_size (int_bound 8)
+           (triple (int_bound 3) (int_range 1 4) (int_range 1 4)))
+        (int_bound 30)
+      >|= fun (pieces, k) ->
+      let _, entries =
+        List.fold_left
+          (fun (pos, acc) (gap, len, v) ->
+            let lo = pos + gap + 1 in
+            let hi = lo + len - 1 in
+            (hi, (Interval.make lo hi, float_of_int v /. 2.) :: acc))
+          (0, []) pieces
+      in
+      (List.rev entries, k))
+  in
+  let print (entries, k) =
+    Printf.sprintf "k=%d %s" k
+      (String.concat ";"
+         (List.map
+            (fun (iv, v) ->
+              Printf.sprintf "[%d-%d]=%.1f" (Interval.lo iv) (Interval.hi iv)
+                v)
+            entries))
+  in
+  make ~print gen
+
+let topk_tests =
+  let open Alcotest in
+  [
+    test_case "k = 0 is empty, negative k raises" `Quick (fun () ->
+        check (list int) "k=0" [] (ids (Topk.top_k sample_list ~k:0));
+        check_raises "negative" (Invalid_argument "Topk.top_k: negative k (-1)")
+          (fun () -> ignore (Topk.top_k sample_list ~k:(-1))));
+    test_case "k beyond the population returns every segment" `Quick
+      (fun () ->
+        let all = Topk.top_k sample_list ~k:1000 in
+        check int "population" (3 + 16 + 2 + 1) (List.length all);
+        check (list int) "ranked ids"
+          (List.init 16 (fun i -> 5 + i) @ [ 1; 2; 3; 30; 31; 40 ])
+          (ids all));
+    test_case "ties break by id across intervals" `Quick (fun () ->
+        (* after the sixteen 2.0-ids come the 1.0-ids: 1,2,3 before 30,31 *)
+        check (list int) "top 19"
+          (List.init 16 (fun i -> 5 + i) @ [ 1; 2; 3 ])
+          (ids (Topk.top_k sample_list ~k:19)));
+    test_case "values carry the list's max" `Quick (fun () ->
+        match Topk.top_k sample_list ~k:1 with
+        | [ (5, s) ] ->
+            check (float 0.) "actual" 2.0 (Sim.actual s);
+            check (float 0.) "fraction" 1.0 (Sim.fraction s)
+        | _ -> fail "expected the first 2.0 segment");
+    Helpers.qtest ~count:300 "top_k = naive top_k"
+      (fun (entries, k) ->
+        let list = Sim_list.of_entries ~max:2. entries in
+        let fast = Topk.top_k list ~k and slow = naive_top_k list ~k in
+        if List.length fast <> List.length slow then false
+        else
+          List.for_all2
+            (fun (id1, s1) (id2, s2) ->
+              id1 = id2 && Float.abs (Sim.actual s1 -. Sim.actual s2) < 1e-12)
+            fast slow)
+      arb_entries_and_k;
+    Helpers.qtest ~count:300 "top_k k is a prefix of top_k (k+1)"
+      (fun (entries, k) ->
+        let list = Sim_list.of_entries ~max:2. entries in
+        let smaller = Topk.top_k list ~k in
+        let larger = Topk.top_k list ~k:(k + 1) in
+        List.length larger >= List.length smaller
+        && List.for_all2
+             (fun (id1, s1) (id2, s2) ->
+               id1 = id2 && Sim.actual s1 = Sim.actual s2)
+             smaller
+             (List.filteri (fun i _ -> i < List.length smaller) larger))
+      arb_entries_and_k;
+  ]
+
+(* --- EXPLAIN ---------------------------------------------------------------- *)
+
+let rec find_node p (n : Explain.node) =
+  if p n then Some n else List.find_map (find_node p) n.Explain.children
+
+let explain_tests =
+  let open Alcotest in
+  [
+    test_case "static explain: tree without timings" `Quick (fun () ->
+        let ctx = C.context () in
+        let r = Query.explain ctx (parse C.query1) in
+        check string "backend" "direct" r.Explain.backend;
+        check bool "type (1)" true (r.Explain.cls = Htl.Classify.Type1);
+        check bool "not analyzed" false r.Explain.analyzed;
+        check (option (float 0.)) "no total" None r.Explain.total_s;
+        check string "root" "type1.and" r.Explain.tree.Explain.label;
+        check int "two children" 2
+          (List.length r.Explain.tree.Explain.children);
+        let untimed (n : Explain.node) = n.Explain.timing = Explain.Untimed in
+        check bool "every node untimed" true
+          (Option.is_none
+             (find_node (fun n -> not (untimed n)) r.Explain.tree)));
+    test_case "analyzed explain: per-node timings and total" `Quick (fun () ->
+        let ctx = Context.without_cache (C.context ()) in
+        let r = Query.explain ~analyze:true ctx (parse C.query1) in
+        check bool "analyzed" true r.Explain.analyzed;
+        check bool "has a total" true (Option.is_some r.Explain.total_s);
+        let timed (n : Explain.node) =
+          match n.Explain.timing with Explain.Timed _ -> true | _ -> false
+        in
+        check bool "every node timed" true
+          (Option.is_none (find_node (fun n -> not (timed n)) r.Explain.tree)));
+    test_case "a warm cache reads as cached" `Quick (fun () ->
+        let ctx = Context.with_fresh_cache (C.context ()) in
+        ignore (Query.run ctx (parse C.query1));
+        let r = Query.explain ~analyze:true ctx (parse C.query1) in
+        check bool "some node cached" true
+          (Option.is_some
+             (find_node
+                (fun n -> n.Explain.timing = Explain.Cached)
+                r.Explain.tree)));
+    test_case "analyzed sql explain carries the script's plans" `Quick
+      (fun () ->
+        let ctx = C.context () in
+        let r =
+          Query.explain ~backend:Query.Sql_backend_choice ~analyze:true ctx
+            (parse "man_woman until moving_train")
+        in
+        check string "backend" "sql" r.Explain.backend;
+        check string "root" "sql.until" r.Explain.tree.Explain.label;
+        check bool "script captured" true (r.Explain.sql_script <> []);
+        check bool "a CREATE TABLE AS plan appears" true
+          (List.exists
+             (fun n ->
+               Option.is_some
+                 (find_node
+                    (fun c ->
+                      String.length c.Explain.label >= 4
+                      && String.sub c.Explain.label 0 4 = "Scan")
+                    n))
+             r.Explain.sql_script));
+    test_case "static sql explain has no script" `Quick (fun () ->
+        let ctx = C.context () in
+        let r =
+          Query.explain ~backend:Query.Sql_backend_choice ctx
+            (parse "man_woman until moving_train")
+        in
+        check bool "no script" true (r.Explain.sql_script = []));
+    test_case "And-reorder explain records the join order" `Quick (fun () ->
+        let rng = Workload.Rng.make 123 in
+        let store =
+          Workload.Movies.random_store rng ~videos:2 ~branching:6
+            ~object_pool:8 ()
+        in
+        let ctx = Context.of_store ~reorder_joins:true store in
+        (* conjuncts share the free x, so this is type (2): it goes
+           through the table algorithms where And-reordering lives *)
+        let f =
+          parse
+            "exists x . (present(x) and type(x) = \"train\" and eventually \
+             present(x))"
+        in
+        let r = Query.explain ~analyze:true ctx f in
+        match
+          find_node (fun n -> n.Explain.label = "direct.and_reorder") r.Explain.tree
+        with
+        | None -> fail "no direct.and_reorder node"
+        | Some n ->
+            check int "three conjuncts" 3 (List.length n.Explain.children);
+            check bool "join_order recorded" true
+              (List.mem_assoc "join_order" n.Explain.attrs));
+    test_case "explain rejects what run rejects" `Quick (fun () ->
+        let ctx = C.context () in
+        let general = Htl.Ast.Not (parse "man_woman") in
+        (match Query.explain ctx general with
+        | _ -> fail "explain accepted a general formula"
+        | exception Query.Error msg ->
+            check bool "message names the reason" true
+              (String.length msg > 0));
+        match Query.run ctx general with
+        | _ -> fail "run accepted a general formula"
+        | exception Query.Error _ -> ());
+    test_case "query.run span and metrics record" `Quick (fun () ->
+        let tr = Obs.Trace.create () and m = Obs.Metrics.create () in
+        let ctx = Context.with_metrics (Context.with_tracer (C.context ()) tr) m in
+        ignore (Query.run ctx (parse C.query1));
+        check bool "query.run span recorded" true
+          (List.exists
+             (fun s -> s.Obs.Trace.name = "query.run")
+             (Obs.Trace.spans tr));
+        check int "query.count" 1 (Obs.Metrics.counter_value m "query.count");
+        (match Obs.Metrics.find m "query.latency_s" with
+        | Some (Obs.Metrics.Histogram h) ->
+            check int "one latency sample" 1 h.Obs.Metrics.count
+        | _ -> fail "query.latency_s missing");
+        match Query.run ctx (Htl.Ast.Not (parse "man_woman")) with
+        | _ -> fail "general formula accepted"
+        | exception Query.Error _ ->
+            check int "query.errors" 1
+              (Obs.Metrics.counter_value m "query.errors"));
+  ]
+
+let suites =
+  [
+    ("obs.trace", trace_tests);
+    ("obs.metrics", metrics_tests);
+    ("obs.topk", topk_tests);
+    ("obs.explain", explain_tests);
+  ]
