@@ -71,8 +71,21 @@ let emit_diagnostics tracer metrics =
     (fun m -> Format.eprintf "@[<v>metrics:@,%a@]@." Obs.Metrics.pp m)
     metrics
 
+(* Machine-readable exports requested with --prom / --trace-out /
+   --slow-ms, emitted after the query on success and error paths alike
+   (a failed query's telemetry is the interesting kind). *)
+let emit_exports ~prom ~trace_out tracer registry querylog =
+  (match (prom, registry) with
+  | Some path, Some m -> Obs.Export.write_file path (Obs.Export.prometheus m)
+  | _ -> ());
+  (match (trace_out, tracer) with
+  | Some path, Some tr ->
+      Obs.Export.write_file path (Obs.Export.chrome_trace tr)
+  | _ -> ());
+  Option.iter (fun ql -> prerr_string (Obs.Querylog.to_jsonl ql)) querylog
+
 let run dataset seed level threshold backend query top classify_only explain
-    trace metrics =
+    trace metrics prom trace_out slow_ms =
   match Htl.Parser.formula_of_string_opt query with
   | Error msg ->
       Format.eprintf "syntax error: %s@." msg;
@@ -95,9 +108,22 @@ let run dataset seed level threshold backend query top classify_only explain
             exit_usage
         | Some backend -> (
             let ctx = make_context dataset seed level threshold in
-            let tracer = if trace then Some (Obs.Trace.create ()) else None in
+            let tracer =
+              if trace || Option.is_some trace_out then
+                Some (Obs.Trace.create ())
+              else None
+            in
             let registry =
-              if metrics then Some (Obs.Metrics.create ()) else None
+              (* --slow-ms wants metrics too: the slow-query log's
+                 per-level scan deltas come from the registry *)
+              if metrics || Option.is_some prom || Option.is_some slow_ms then
+                Some (Obs.Metrics.create ())
+              else None
+            in
+            let querylog =
+              Option.map
+                (fun ms -> Obs.Querylog.create ~threshold_s:(ms /. 1000.) ())
+                slow_ms
             in
             let ctx =
               Option.fold ~none:ctx
@@ -109,16 +135,30 @@ let run dataset seed level threshold backend query top classify_only explain
                 ~some:(Engine.Context.with_metrics ctx)
                 registry
             in
+            let ctx =
+              Option.fold ~none:ctx
+                ~some:(Engine.Context.with_querylog ctx)
+                querylog
+            in
+            let emit_exports () =
+              emit_exports ~prom ~trace_out tracer registry querylog
+            in
+            (* the stderr tables stay opt-in: a registry or tracer that
+               exists only to feed an export should not print *)
+            let shown_tracer = if trace then tracer else None in
+            let shown_registry = if metrics then registry else None in
             if explain then
               (* --trace upgrades the explain to an analyzed run: the
                  query executes and the tree carries per-node timings *)
               match Engine.Query.explain ~backend ~analyze:trace ctx f with
               | report ->
                   Format.printf "%a@." Engine.Explain.pp report;
-                  emit_diagnostics None registry;
+                  emit_diagnostics None shown_registry;
+                  emit_exports ();
                   exit_ok
               | exception Engine.Query.Error msg ->
                   Format.eprintf "error: %s@." msg;
+                  emit_exports ();
                   exit_query_error
             else
               match Engine.Query.run ~backend ctx f with
@@ -134,11 +174,13 @@ let run dataset seed level threshold backend query top classify_only explain
                       Format.printf "  segment %d: %.4f (fraction %.3f)@." id
                         (Simlist.Sim.actual sim) (Simlist.Sim.fraction sim))
                     (Engine.Topk.top_k result ~k:top);
-                  emit_diagnostics tracer registry;
+                  emit_diagnostics shown_tracer shown_registry;
+                  emit_exports ();
                   exit_ok
               | exception Engine.Query.Error msg ->
                   Format.eprintf "error: %s@." msg;
-                  emit_diagnostics tracer registry;
+                  emit_diagnostics shown_tracer shown_registry;
+                  emit_exports ();
                   exit_query_error))
 
 let dataset_arg =
@@ -237,6 +279,35 @@ let cmd =
       & info [ "metrics" ]
           ~doc:"Print the metrics registry to stderr after the query.")
   in
+  let prom =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "Write the metrics registry as Prometheus text exposition to \
+             $(docv) after the query (implies collecting metrics; use \
+             /dev/stdout to print).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the recorded spans as Chrome trace-event JSON to \
+             $(docv) after the query (implies recording spans; load the \
+             file at ui.perfetto.dev).")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Log queries at least $(docv) milliseconds long to stderr as \
+             JSONL slow-query records (0 logs every query).")
+  in
   let load_store =
     Arg.(
       value
@@ -252,7 +323,8 @@ let cmd =
           ~doc:"Load a bundle of atomic similarity tables.")
   in
   let combine dataset synthetic load_store load_tables seed level threshold
-      backend query top classify_only explain trace metrics =
+      backend query top classify_only explain trace metrics prom trace_out
+      slow_ms =
     let dataset =
       match (synthetic, load_store, load_tables) with
       | Some n, _, _ -> Synthetic n
@@ -261,7 +333,7 @@ let cmd =
       | None, None, None -> dataset
     in
     run dataset seed level threshold backend query top classify_only explain
-      trace metrics
+      trace metrics prom trace_out slow_ms
   in
   Cmd.v
     (Cmd.info "htlq" ~doc:"Similarity-based retrieval of videos with HTL"
@@ -275,6 +347,6 @@ let cmd =
     Term.(
       const combine $ dataset $ synthetic $ load_store $ load_tables $ seed
       $ level $ threshold $ backend $ query $ top $ classify_only $ explain
-      $ trace $ metrics)
+      $ trace $ metrics $ prom $ trace_out $ slow_ms)
 
 let () = exit (Cmd.eval' ~term_err:exit_usage cmd)

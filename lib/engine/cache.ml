@@ -114,6 +114,15 @@ let stats t =
         capacity = t.cap;
       })
 
+let stats_delta ~(before : stats) ~(after : stats) =
+  {
+    hits = after.hits - before.hits;
+    misses = after.misses - before.misses;
+    evictions = after.evictions - before.evictions;
+    entries = after.entries;
+    capacity = after.capacity;
+  }
+
 let reset_stats t =
   Mutex.protect t.mutex (fun () ->
       t.hits <- 0;

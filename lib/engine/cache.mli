@@ -63,6 +63,11 @@ val add : t -> key -> Simlist.Sim_table.t -> unit
 
 val stats : t -> stats
 
+val stats_delta : before:stats -> after:stats -> stats
+(** Counter differences between two snapshots (what happened in
+    between — e.g. one query's probes, for the slow-query log);
+    [entries]/[capacity] are [after]'s. *)
+
 val reset_stats : t -> unit
 (** Zero the counters; entries stay. *)
 

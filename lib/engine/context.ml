@@ -12,14 +12,24 @@ type t = {
   par_cutoff : int;
   tracer : Obs.Trace.t option;
   metrics : Obs.Metrics.t option;
+  querylog : Obs.Querylog.t option;
 }
 
 let default_par_cutoff = 4096
 
+(* A query that never touches the cache records neither series; a scrape
+   that has seen only hits would miss the miss counter entirely.  Both
+   series exist from the moment a registry attaches, so ratios are
+   always computable from one exposition. *)
+let preregister m =
+  Obs.Metrics.incr m ~by:0 "cache.hits";
+  Obs.Metrics.incr m ~by:0 "cache.misses"
+
 let of_store ?(config = Picture.Retrieval.default_config) ?(threshold = 0.5)
     ?(conj_mode = Simlist.Sim_list.Weighted_sum) ?(reorder_joins = false)
     ?(tables = []) ?level ?cache ?pool ?(par_cutoff = default_par_cutoff)
-    ?tracer ?metrics store =
+    ?tracer ?metrics ?querylog store =
+  Option.iter preregister metrics;
   let level =
     match level with Some l -> l | None -> Video_model.Store.levels store
   in
@@ -37,12 +47,14 @@ let of_store ?(config = Picture.Retrieval.default_config) ?(threshold = 0.5)
     par_cutoff;
     tracer;
     metrics;
+    querylog;
   }
 
 let of_tables ?(threshold = 0.5)
     ?(conj_mode = Simlist.Sim_list.Weighted_sum) ?(reorder_joins = false) ~n
     ?extents ?cache ?pool ?(par_cutoff = default_par_cutoff) ?tracer ?metrics
-    tables =
+    ?querylog tables =
+  Option.iter preregister metrics;
   let extents =
     match extents with Some e -> e | None -> Simlist.Extent.single n
   in
@@ -60,6 +72,7 @@ let of_tables ?(threshold = 0.5)
     par_cutoff;
     tracer;
     metrics;
+    querylog;
   }
 
 let with_level t ~level ~extents = { t with level; extents }
@@ -96,8 +109,14 @@ let cache_key t f =
 
 let with_tracer t tracer = { t with tracer = Some tracer }
 let without_tracer t = { t with tracer = None }
-let with_metrics t metrics = { t with metrics = Some metrics }
+
+let with_metrics t metrics =
+  preregister metrics;
+  { t with metrics = Some metrics }
+
 let without_metrics t = { t with metrics = None }
+let with_querylog t querylog = { t with querylog = Some querylog }
+let without_querylog t = { t with querylog = None }
 
 (* The nil-tracer zero-cost path: without a tracer every instrumentation
    site is this single match falling straight through to the work, and

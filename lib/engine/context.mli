@@ -44,6 +44,9 @@ type t = {
   metrics : Obs.Metrics.t option;
       (** metrics registry (query latency, cache hit/miss, scan sizes);
           [None] disables recording. *)
+  querylog : Obs.Querylog.t option;
+      (** slow-query log {!Query.run} appends to when a query's latency
+          reaches its threshold; [None] (the default) disables it. *)
 }
 
 val of_store :
@@ -58,6 +61,7 @@ val of_store :
   ?par_cutoff:int ->
   ?tracer:Obs.Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?querylog:Obs.Querylog.t ->
   Video_model.Store.t ->
   t
 (** [level] defaults to the leaf level; extents are the per-video spans.
@@ -75,6 +79,7 @@ val of_tables :
   ?par_cutoff:int ->
   ?tracer:Obs.Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?querylog:Obs.Querylog.t ->
   (string * Simlist.Sim_table.t) list ->
   t
 (** Store-less context over segment ids [1..n] — the §4 experimental
@@ -108,8 +113,16 @@ val pool_for : t -> n:int -> Parallel.Pool.t option
 
 val with_tracer : t -> Obs.Trace.t -> t
 val without_tracer : t -> t
+
 val with_metrics : t -> Obs.Metrics.t -> t
+(** Also pre-registers the [cache.hits]/[cache.misses] counters (at 0)
+    so both series appear in every exposition, hit-only runs included.
+    {!of_store}/{!of_tables} do the same for a [?metrics] argument. *)
+
 val without_metrics : t -> t
+
+val with_querylog : t -> Obs.Querylog.t -> t
+val without_querylog : t -> t
 
 val with_span :
   t -> ?attrs:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a

@@ -17,6 +17,7 @@ type report = {
   tree : node;
   sql_script : node list;
   total_s : float option;
+  resources : Obs.Resource.delta option;
 }
 
 let node ?(attrs = []) ?(timing = Untimed) label children =
@@ -226,6 +227,9 @@ let pp ppf r =
         stmts);
   (match r.total_s with
   | Some t -> Format.fprintf ppf "@,total: %.3f ms" (t *. 1e3)
+  | None -> ());
+  (match r.resources with
+  | Some d -> Format.fprintf ppf "@,gc:    %a" Obs.Resource.pp d
   | None -> ());
   Format.fprintf ppf "@]"
 

@@ -38,6 +38,9 @@ type report = {
           [Create_table_as]/[Select] statements carry their
           {!Relational.Plan} tree as children *)
   total_s : float option;  (** whole-query wall time (analyzed only) *)
+  resources : Obs.Resource.delta option;
+      (** GC allocation/collection delta of the analyzed run (analyzed
+          only) — {!Obs.Resource.measure} around the whole query *)
 }
 
 (** {1 Tree builders} *)

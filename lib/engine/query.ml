@@ -52,36 +52,139 @@ let dispatch ~backend ctx cls f =
               fail "%s" msg)
       | Htl.Classify.General -> general_error f)
 
-let run ?(backend = Direct_backend) ctx f =
+(* Per-query slow-log bookkeeping reads the cache and scan counters
+   before and after and keeps only the differences, so a record describes
+   this query, not the context's lifetime. *)
+let scan_prefix = "picture.segments_scanned"
+
+let scan_counters m =
+  List.filter_map
+    (function
+      | name, Obs.Metrics.Counter n
+        when String.starts_with ~prefix:scan_prefix name ->
+          Some (name, n)
+      | _ -> None)
+    (Obs.Metrics.snapshot m)
+
+let scan_delta ~before after =
+  List.filter_map
+    (fun (name, n) ->
+      let prior =
+        match List.assoc_opt name before with Some p -> p | None -> 0
+      in
+      if n > prior then Some (name, n - prior) else None)
+    after
+
+(* The observed path: everything [run] does beyond classify + dispatch
+   when the context carries a tracer, metrics or a slow-query log.  GC
+   deltas ride the ["query.run"] span as attributes (when tracing), feed
+   the ["query.allocated_words"] histogram (when metering) and land in
+   the slow-log record. *)
+let run_observed ~backend (ctx : Context.t) f =
+  let t_start = Obs.Clock.now () in
+  Option.iter (fun m -> Obs.Metrics.incr m "query.count") ctx.metrics;
+  let cache_before =
+    match ctx.querylog with
+    | Some _ -> Option.map Cache.stats ctx.cache
+    | None -> None
+  in
+  let scans_before =
+    match (ctx.querylog, ctx.metrics) with
+    | Some _, Some m -> Some (scan_counters m)
+    | _ -> None
+  in
+  let gc_before = Obs.Resource.sample () in
+  let gc = ref Obs.Resource.zero in
+  let cls = ref None in
   let work () =
     match Htl.Classify.check f with
     | Error reason -> fail "unsupported formula: %s" reason
-    | Ok cls ->
+    | Ok c ->
+        cls := Some c;
         Context.with_span ctx "query.run"
           ~attrs:(fun () ->
             [
               ("backend", backend_name backend);
-              ("class", Htl.Classify.cls_to_string cls);
+              ("class", Htl.Classify.cls_to_string c);
               ("formula", string_of_int (Htl.Hcons.intern_id f));
             ])
-          (fun () -> dispatch ~backend ctx cls f)
+          (fun () ->
+            let account () =
+              gc :=
+                Obs.Resource.delta ~before:gc_before
+                  ~after:(Obs.Resource.sample ());
+              List.iter
+                (fun (k, v) -> Context.add_attr ctx k (fun () -> v))
+                (Obs.Resource.to_attrs !gc)
+            in
+            match dispatch ~backend ctx c f with
+            | r ->
+                account ();
+                r
+            | exception e ->
+                account ();
+                raise e)
   in
-  match ctx.metrics with
-  | None -> work ()
-  | Some m -> (
-      let t0 = Obs.Clock.now () in
-      Obs.Metrics.incr m "query.count";
-      let finish () =
-        Obs.Metrics.observe m "query.latency_s" (Obs.Clock.now () -. t0)
-      in
-      match work () with
-      | list ->
-          finish ();
-          list
-      | exception e ->
-          Obs.Metrics.incr m "query.errors";
-          finish ();
-          raise e)
+  let finish ~error =
+    let latency = Obs.Clock.now () -. t_start in
+    Option.iter
+      (fun m ->
+        if Option.is_some error then Obs.Metrics.incr m "query.errors";
+        Obs.Metrics.observe m "query.latency_s" latency;
+        Obs.Metrics.observe m "query.allocated_words"
+          (Obs.Resource.allocated_words !gc))
+      ctx.metrics;
+    match ctx.querylog with
+    | Some ql when Obs.Querylog.should_log ql ~latency_s:latency ->
+        let hits, misses =
+          match (cache_before, Option.map Cache.stats ctx.cache) with
+          | Some before, Some after ->
+              let d = Cache.stats_delta ~before ~after in
+              (d.Cache.hits, d.Cache.misses)
+          | _ -> (0, 0)
+        in
+        let scans =
+          match (scans_before, ctx.metrics) with
+          | Some before, Some m -> scan_delta ~before (scan_counters m)
+          | _ -> []
+        in
+        Obs.Querylog.record ql
+          {
+            Obs.Querylog.time_s = t_start;
+            formula_id = Htl.Hcons.intern_id f;
+            formula = Htl.Pretty.to_string f;
+            backend = backend_name backend;
+            cls =
+              (match !cls with
+              | Some c -> Htl.Classify.cls_to_string c
+              | None -> "unsupported");
+            latency_s = latency;
+            cache_hits = hits;
+            cache_misses = misses;
+            segments_scanned = scans;
+            resources = !gc;
+            error;
+          }
+    | Some _ | None -> ()
+  in
+  match work () with
+  | list ->
+      finish ~error:None;
+      list
+  | exception e ->
+      finish
+        ~error:
+          (Some (match e with Error msg -> msg | e -> Printexc.to_string e));
+      raise e
+
+let run ?(backend = Direct_backend) (ctx : Context.t) f =
+  match (ctx.tracer, ctx.metrics, ctx.querylog) with
+  | None, None, None -> (
+      (* the unobserved fast path: classify + dispatch, nothing else *)
+      match Htl.Classify.check f with
+      | Error reason -> fail "unsupported formula: %s" reason
+      | Ok cls -> dispatch ~backend ctx cls f)
+  | _ -> run_observed ~backend ctx f
 
 (* EXPLAIN (DESIGN.md §2.14).  The static form walks the same dispatch
    [run] would take and renders the evaluation tree; [~analyze:true]
@@ -123,36 +226,37 @@ let explain ?(backend = Direct_backend) ?(analyze = false) ctx f =
             let vars, body = strip_prefix [] f in
             with_prefix vars (Explain.sql_tree ctx ?take body)
       in
-      let tree, sql_script, total_s =
-        if not analyze then (tree_of (Context.without_tracer ctx), [], None)
+      let tree, sql_script, total_s, resources =
+        if not analyze then (tree_of (Context.without_tracer ctx), [], None, None)
         else begin
           let tracer = Obs.Trace.create () in
           let ctx = Context.with_tracer ctx tracer in
           let t0 = Obs.Clock.now () in
-          let script =
-            match backend with
-            | Direct_backend ->
-                ignore (dispatch ~backend ctx cls f);
-                []
-            | Sql_backend_choice ->
-                let t = Sql_backend.create ctx in
-                (try
-                   match cls with
-                   | Htl.Classify.Type1 -> ignore (Sql_backend.run t ctx f)
-                   | Htl.Classify.Type2 | Htl.Classify.Conjunctive
-                   | Htl.Classify.Extended_conjunctive ->
-                       ignore (Sql_backend.run_conjunctive t ctx f)
-                   | Htl.Classify.General -> general_error f
-                 with
-                | Sql_backend.Unsupported msg
-                | Atomic.Unsupported msg
-                | Direct.Unsupported msg ->
-                    fail "%s" msg);
-                Explain.script_nodes (Sql_backend.last_script t)
+          let script, gc =
+            Obs.Resource.measure (fun () ->
+                match backend with
+                | Direct_backend ->
+                    ignore (dispatch ~backend ctx cls f);
+                    []
+                | Sql_backend_choice ->
+                    let t = Sql_backend.create ctx in
+                    (try
+                       match cls with
+                       | Htl.Classify.Type1 -> ignore (Sql_backend.run t ctx f)
+                       | Htl.Classify.Type2 | Htl.Classify.Conjunctive
+                       | Htl.Classify.Extended_conjunctive ->
+                           ignore (Sql_backend.run_conjunctive t ctx f)
+                       | Htl.Classify.General -> general_error f
+                     with
+                    | Sql_backend.Unsupported msg
+                    | Atomic.Unsupported msg
+                    | Direct.Unsupported msg ->
+                        fail "%s" msg);
+                    Explain.script_nodes (Sql_backend.last_script t))
           in
           let total = Obs.Clock.now () -. t0 in
           let take = Explain.span_lookup (Obs.Trace.spans tracer) in
-          (tree_of ~take ctx, script, Some total)
+          (tree_of ~take ctx, script, Some total, Some gc)
         end
       in
       {
@@ -163,6 +267,7 @@ let explain ?(backend = Direct_backend) ?(analyze = false) ctx f =
         tree;
         sql_script;
         total_s;
+        resources;
       }
 
 let explain_string ?backend ?analyze ctx src =

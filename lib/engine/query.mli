@@ -63,7 +63,18 @@ val top_k :
 
     {!run} records a ["query.run"] span when the context carries a
     tracer, and — when it carries metrics — the ["query.count"] /
-    ["query.errors"] counters and the ["query.latency_s"] histogram.
+    ["query.errors"] counters and the ["query.latency_s"] /
+    ["query.allocated_words"] histograms.  Any observed run (tracer,
+    metrics or querylog attached) also takes a {!Obs.Resource} GC delta:
+    it rides the span as [gc.*] attributes and lands in the slow-query
+    log.  When the context carries a {!Obs.Querylog.t}
+    ({!Context.with_querylog}), queries whose latency crosses its
+    threshold append a structured record (formula fingerprint, backend,
+    class, latency, per-query cache hit/miss deltas, per-level
+    [picture.segments_scanned.*] deltas when metrics are also attached,
+    allocation delta, and the error message if the query failed).
+    Without any of the three the fast path runs classify + dispatch
+    only.
 
     The direct backend memoizes subformula tables in the context's
     {!Cache} (see DESIGN.md, "Caching & invalidation").  The counters

@@ -4,6 +4,13 @@
    the same timer the monotonic clock is and is good to the microsecond.
    Spans measure elapsed wall time; a clock step during a query (NTP
    slew) can skew a single span, which is acceptable for diagnostics and
-   avoids a C dependency. *)
+   avoids a C dependency.
 
-let now = Unix.gettimeofday
+   The source lives behind a ref so the export golden tests and the
+   slow-query-log threshold tests can substitute a deterministic clock;
+   production code never touches it and pays one pointer read. *)
+
+let source = ref Unix.gettimeofday
+let now () = !source ()
+let set_source f = source := f
+let use_wall_clock () = source := Unix.gettimeofday

@@ -3,3 +3,11 @@
 val now : unit -> float
 (** Seconds since the epoch, microsecond resolution.  See clock.ml for
     why this stands in for a monotonic clock. *)
+
+val set_source : (unit -> float) -> unit
+(** Substitute the time source — for tests that need deterministic
+    timestamps (export goldens, slow-query-log thresholds).  Not
+    synchronized; swap only while no spans are being recorded. *)
+
+val use_wall_clock : unit -> unit
+(** Restore the default [Unix.gettimeofday] source. *)

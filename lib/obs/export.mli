@@ -1,0 +1,36 @@
+(** Machine-readable telemetry export: Prometheus text exposition for
+    {!Metrics}, JSONL and Chrome trace-event JSON for {!Trace} spans.
+
+    Everything renders from the public snapshots ({!Metrics.snapshot},
+    {!Trace.spans}); no lock is held beyond the snapshot itself. *)
+
+val prometheus : Metrics.t -> string
+(** Prometheus text format v0.0.4: one [# TYPE] comment plus samples
+    per instrument, sorted by name.  Dot-separated metric names map to
+    legal Prometheus names by replacing every byte outside
+    [[a-zA-Z0-9_:]] with ['_'] (e.g. [query.latency_s] →
+    [query_latency_s]).  Histograms expose cumulative [_bucket{le="…"}]
+    series over {!Metrics.bucket_bounds} plus [+Inf], [_sum] and
+    [_count]. *)
+
+val span_json : Trace.span -> Json.t
+(** One span as JSON: [id], [parent], [name], [start_s], [stop_s]
+    ([null] while open) and [attrs] (insertion order, duplicates
+    preserved). *)
+
+val spans_jsonl : Trace.t -> string
+(** Every recorded span as one compact JSON object per line, in start
+    order. *)
+
+val chrome_trace_json : Trace.t -> Json.t
+(** The span tree as Chrome trace-event JSON (a [traceEvents] array of
+    complete ["ph":"X"] events, microsecond timestamps relative to the
+    earliest span) — loadable at {{:https://ui.perfetto.dev}Perfetto}
+    or [chrome://tracing].  A span still open at export time gets its
+    elapsed time so far and an ["open"] arg. *)
+
+val chrome_trace : Trace.t -> string
+(** {!chrome_trace_json}, compactly serialized. *)
+
+val write_file : string -> string -> unit
+(** Write a string to a path (truncating) — the CLI's export helper. *)

@@ -1,0 +1,346 @@
+(* A minimal JSON tree, shared by every telemetry emitter (Prometheus is
+   text, everything else here is JSON): the Chrome-trace and JSONL span
+   exports, the slow-query log, and the bench's BENCH_*.json reports.
+   The parser exists for the consumers inside this repo — the bench
+   regression gate reads committed baselines back, and the tests
+   round-trip exported lines — so it accepts exactly RFC 8259, no
+   extensions. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Array of t list
+  | Obj of (string * t) list
+
+(* --- escaping ----------------------------------------------------------- *)
+
+(* RFC 8259 §7: quotation mark, reverse solidus and the C0 controls MUST
+   be escaped; we use the short forms where they exist and \u00XX for
+   the rest.  Bytes >= 0x20 pass through untouched (the string is
+   assumed UTF-8, which OCaml strings carry as-is). *)
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Shortest readable float that parses back to the same double.  JSON
+   has no inf/nan; they cannot appear in our telemetry (durations and
+   counters are finite), so map them to null rather than emit invalid
+   output. *)
+let float_token f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+(* --- serialization ------------------------------------------------------- *)
+
+let rec write_compact b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string b (float_token f)
+      else Buffer.add_string b "null"
+  | String s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | Array items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string b ", ";
+          write_compact b v)
+        items;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ", ";
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\": ";
+          write_compact b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  write_compact b v;
+  Buffer.contents b
+
+(* Pretty form for the committed BENCH_*.json baselines: containers get
+   one element per line, except that an object of scalars stays on one
+   line — a bench row reads (and diffs) as one record. *)
+let is_scalar = function
+  | Null | Bool _ | Int _ | Float _ | String _ -> true
+  | Array _ | Obj _ -> false
+
+let rec write_pretty b indent v =
+  let pad n = Buffer.add_string b (String.make n ' ') in
+  match v with
+  | Obj fields when not (List.for_all (fun (_, v) -> is_scalar v) fields) ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (indent + 2);
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\": ";
+          write_pretty b (indent + 2) v)
+        fields;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b '}'
+  | Array items when items <> [] && not (List.for_all is_scalar items) ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (indent + 2);
+          write_pretty b (indent + 2) v)
+        items;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b ']'
+  | v -> write_compact b v
+
+let to_string_pretty v =
+  let b = Buffer.create 1024 in
+  write_pretty b 0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let to_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string_pretty v))
+
+(* --- parsing -------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let of_string src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let error fmt =
+    Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "at offset %d: %s" !pos m))) fmt
+  in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match src.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> error "expected %c, found %c" c c'
+    | None -> error "expected %c, found end of input" c
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub src !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else error "invalid literal"
+  in
+  let hex4 () =
+    if !pos + 4 > n then error "truncated \\u escape";
+    let s = String.sub src !pos 4 in
+    pos := !pos + 4;
+    match int_of_string_opt ("0x" ^ s) with
+    | Some c -> c
+    | None -> error "invalid \\u escape %S" s
+  in
+  let add_utf8 b cp =
+    (* encode one scalar value; callers resolve surrogate pairs first *)
+    if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> error "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> advance (); Buffer.add_char b '"'
+          | Some '\\' -> advance (); Buffer.add_char b '\\'
+          | Some '/' -> advance (); Buffer.add_char b '/'
+          | Some 'b' -> advance (); Buffer.add_char b '\b'
+          | Some 'f' -> advance (); Buffer.add_char b '\012'
+          | Some 'n' -> advance (); Buffer.add_char b '\n'
+          | Some 'r' -> advance (); Buffer.add_char b '\r'
+          | Some 't' -> advance (); Buffer.add_char b '\t'
+          | Some 'u' ->
+              advance ();
+              let cp = hex4 () in
+              let cp =
+                if cp >= 0xD800 && cp <= 0xDBFF
+                   && !pos + 1 < n && src.[!pos] = '\\' && src.[!pos + 1] = 'u'
+                then begin
+                  pos := !pos + 2;
+                  let low = hex4 () in
+                  if low >= 0xDC00 && low <= 0xDFFF then
+                    0x10000 + ((cp - 0xD800) lsl 10) + (low - 0xDC00)
+                  else error "invalid low surrogate"
+                end
+                else cp
+              in
+              add_utf8 b cp
+          | Some c -> error "invalid escape \\%c" c
+          | None -> error "unterminated escape");
+          go ()
+      | Some c when Char.code c < 0x20 -> error "unescaped control character"
+      | Some c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char src.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub src start (!pos - start) in
+    let integral =
+      not (String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok)
+    in
+    if integral then
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> error "invalid number %S" tok)
+    else
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> error "invalid number %S" tok
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Array []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          Array (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> error "unexpected character %c" c
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then error "trailing garbage" else v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* --- accessors (for the readers: regression gate, tests) ------------------ *)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_float_opt = function
+  | Int n -> Some (float_of_int n)
+  | Float f -> Some f
+  | _ -> None
+
+let to_list = function Array items -> items | _ -> []

@@ -1,0 +1,49 @@
+(** A minimal JSON tree shared by every JSON-speaking surface: the
+    Chrome-trace and JSONL span exports ({!Export}), the slow-query log
+    ({!Querylog}) and the bench's [BENCH_*.json] reports, plus the
+    parser their in-repo consumers (the bench regression gate, the
+    round-trip tests) read them back with.  RFC 8259, no extensions. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Array of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** RFC 8259 §7 string-content escaping: quote, backslash and every C0
+    control character ([\b \f \n \r \t] short forms, [\u00XX] for the
+    rest).  Returns the escaped content without surrounding quotes. *)
+
+val to_string : t -> string
+(** Compact single-line rendering — the JSONL form.  Non-finite floats
+    render as [null] (JSON has no inf/nan; our telemetry is finite). *)
+
+val to_string_pretty : t -> string
+(** Multi-line rendering with 2-space indentation; an object whose
+    values are all scalars stays on one line, so a bench row reads (and
+    diffs) as one record.  Ends with a newline. *)
+
+val to_file : string -> t -> unit
+(** Write {!to_string_pretty} to a file. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (the whole string; trailing garbage is an
+    error).  Integral number tokens parse to [Int], everything else to
+    [Float]; [\uXXXX] escapes (surrogate pairs included) decode to
+    UTF-8. *)
+
+(** {1 Readers} *)
+
+val member : string -> t -> t option
+(** The named field of an object; [None] on a missing field or a
+    non-object. *)
+
+val to_float_opt : t -> float option
+(** The numeric value of an [Int] or [Float]. *)
+
+val to_list : t -> t list
+(** An [Array]'s items; [[]] for anything else. *)

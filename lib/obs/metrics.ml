@@ -1,8 +1,34 @@
+(* Fixed log-spaced histogram buckets, √10 apart (two per decade) from
+   1µs to ~1h when read as seconds — wide enough that both a cache hit
+   (~100ns, below the first bound) and a giant batched scan land inside
+   the range, coarse enough that a histogram is 21 integers.  The bounds
+   are literals, not computed, so the Prometheus [le] labels are stable
+   strings.  Every histogram shares them: allocation-delta histograms
+   (words) read the same bounds as dimensionless counts, which keeps
+   [observe] allocation-free and the exposition uniform. *)
+let bucket_bounds =
+  [|
+    1e-06; 3.16e-06; 1e-05; 3.16e-05; 1e-04; 3.16e-04; 1e-03; 3.16e-03;
+    1e-02; 3.16e-02; 0.1; 0.316; 1.; 3.16; 10.; 31.6; 100.; 316.; 1000.;
+    3160.;
+  |]
+
+let bucket_count = Array.length bucket_bounds + 1 (* + overflow (+Inf) *)
+
+let bucket_index v =
+  let rec go i =
+    if i = Array.length bucket_bounds then i
+    else if v <= bucket_bounds.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
 type hist = {
   mutable hcount : int;
   mutable hsum : float;
   mutable hmin : float;
   mutable hmax : float;
+  hbuckets : int array; (* per-bucket (non-cumulative) counts *)
 }
 
 type cell = C of int ref | G of float ref | H of hist
@@ -39,13 +65,26 @@ let observe t name v =
           h.hcount <- h.hcount + 1;
           h.hsum <- h.hsum +. v;
           if v < h.hmin then h.hmin <- v;
-          if v > h.hmax then h.hmax <- v
+          if v > h.hmax then h.hmax <- v;
+          let i = bucket_index v in
+          h.hbuckets.(i) <- h.hbuckets.(i) + 1
       | Some _ -> kind_error name
       | None ->
+          let hbuckets = Array.make bucket_count 0 in
+          hbuckets.(bucket_index v) <- 1;
           Hashtbl.add t.cells name
-            (H { hcount = 1; hsum = v; hmin = v; hmax = v }))
+            (H { hcount = 1; hsum = v; hmin = v; hmax = v; hbuckets }))
 
-type histogram = { count : int; sum : float; min : float; max : float }
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * int) array;
+      (* (upper bound, count in that bucket); the last bound is
+         [infinity], the overflow bucket *)
+}
+
 type value = Counter of int | Gauge of float | Histogram of histogram
 
 let snapshot t =
@@ -58,8 +97,21 @@ let snapshot t =
               | C r -> Counter !r
               | G r -> Gauge !r
               | H h ->
+                  let buckets =
+                    Array.init bucket_count (fun i ->
+                        ( (if i < Array.length bucket_bounds then
+                             bucket_bounds.(i)
+                           else infinity),
+                          h.hbuckets.(i) ))
+                  in
                   Histogram
-                    { count = h.hcount; sum = h.hsum; min = h.hmin; max = h.hmax }
+                    {
+                      count = h.hcount;
+                      sum = h.hsum;
+                      min = h.hmin;
+                      max = h.hmax;
+                      buckets;
+                    }
             in
             (name, v) :: acc)
           t.cells [])
@@ -76,7 +128,7 @@ let clear t = Mutex.protect t.mutex (fun () -> Hashtbl.reset t.cells)
 let pp_value ppf = function
   | Counter n -> Format.fprintf ppf "%d" n
   | Gauge v -> Format.fprintf ppf "%g" v
-  | Histogram { count; sum; min; max } ->
+  | Histogram { count; sum; min; max; buckets = _ } ->
       Format.fprintf ppf "count %d  sum %.6f  min %.6f  mean %.6f  max %.6f"
         count sum min
         (if count = 0 then 0. else sum /. float_of_int count)

@@ -16,9 +16,27 @@ val incr : t -> ?by:int -> string -> unit
 val set_gauge : t -> string -> float -> unit
 
 val observe : t -> string -> float -> unit
-(** Record a histogram sample. *)
+(** Record a histogram sample: count/sum/min/max plus one of the fixed
+    {!bucket_bounds} buckets. *)
 
-type histogram = { count : int; sum : float; min : float; max : float }
+val bucket_bounds : float array
+(** The fixed log-spaced bucket upper bounds every histogram shares —
+    √10 apart (two per decade) from [1e-6] to [3160], chosen for
+    latencies in seconds but serviceable for any positive sample; an
+    implicit overflow bucket catches the rest.  Literal values, so
+    Prometheus [le] labels are stable strings. *)
+
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * int) array;
+      (** (upper bound, samples in that bucket) — per-bucket counts, not
+          cumulative; the last bound is [infinity] (overflow).  The
+          Prometheus exposition ({!Export.prometheus}) accumulates. *)
+}
+
 type value = Counter of int | Gauge of float | Histogram of histogram
 
 val snapshot : t -> (string * value) list

@@ -1,0 +1,95 @@
+(* The slow-query log: a fixed-capacity ring of structured records for
+   queries whose latency crossed the threshold.  One mutex, the same
+   argument as Trace/Metrics: an append is a few writes against a query
+   that was — by definition — slow.  The ring never allocates past its
+   capacity, so a misbehaving workload cannot grow the log without
+   bound; new records overwrite the oldest. *)
+
+type record = {
+  time_s : float;  (* wall clock at query start *)
+  formula_id : int;  (* hash-consed fingerprint *)
+  formula : string;
+  backend : string;
+  cls : string;
+  latency_s : float;
+  cache_hits : int;
+  cache_misses : int;
+  segments_scanned : (string * int) list;
+  resources : Resource.delta;
+  error : string option;
+}
+
+type t = {
+  mutex : Mutex.t;
+  threshold_s : float;
+  ring : record option array;
+  mutable next : int; (* ring slot the next record goes into *)
+  mutable logged : int; (* total records accepted (can exceed capacity) *)
+}
+
+let create ?(capacity = 128) ~threshold_s () =
+  if capacity < 1 then
+    invalid_arg
+      (Printf.sprintf "Obs.Querylog.create: capacity %d < 1" capacity);
+  {
+    mutex = Mutex.create ();
+    threshold_s;
+    ring = Array.make capacity None;
+    next = 0;
+    logged = 0;
+  }
+
+let threshold_s t = t.threshold_s
+let capacity t = Array.length t.ring
+let should_log t ~latency_s = latency_s >= t.threshold_s
+
+let record t r =
+  if should_log t ~latency_s:r.latency_s then
+    Mutex.protect t.mutex (fun () ->
+        t.ring.(t.next) <- Some r;
+        t.next <- (t.next + 1) mod Array.length t.ring;
+        t.logged <- t.logged + 1)
+
+let records t =
+  Mutex.protect t.mutex (fun () ->
+      let cap = Array.length t.ring in
+      (* oldest first: slots [next .. next+cap-1] mod cap, skipping empties *)
+      List.filter_map
+        (fun i -> t.ring.((t.next + i) mod cap))
+        (List.init cap Fun.id))
+
+let length t = Mutex.protect t.mutex (fun () -> min t.logged (capacity t))
+let logged t = Mutex.protect t.mutex (fun () -> t.logged)
+
+let clear t =
+  Mutex.protect t.mutex (fun () ->
+      Array.fill t.ring 0 (Array.length t.ring) None;
+      t.next <- 0;
+      t.logged <- 0)
+
+let hit_ratio r =
+  let probes = r.cache_hits + r.cache_misses in
+  if probes = 0 then 0. else float_of_int r.cache_hits /. float_of_int probes
+
+let to_json r =
+  Json.Obj
+    ([
+       ("time_s", Json.Float r.time_s);
+       ("formula_id", Json.Int r.formula_id);
+       ("formula", Json.String r.formula);
+       ("backend", Json.String r.backend);
+       ("class", Json.String r.cls);
+       ("latency_s", Json.Float r.latency_s);
+       ("cache_hits", Json.Int r.cache_hits);
+       ("cache_misses", Json.Int r.cache_misses);
+       ("cache_hit_ratio", Json.Float (hit_ratio r));
+       ( "segments_scanned",
+         Json.Obj
+           (List.map (fun (k, v) -> (k, Json.Int v)) r.segments_scanned) );
+       ("gc", Resource.to_json r.resources);
+     ]
+    @ match r.error with None -> [] | Some e -> [ ("error", Json.String e) ])
+
+let to_jsonl t =
+  String.concat ""
+    (List.map (fun r -> Json.to_string (to_json r) ^ "\n") (records t))

@@ -1,0 +1,82 @@
+(* Per-query resource accounting.  [Gc.quick_stat] reads the mutator's
+   own counters without forcing a heap walk (unlike [Gc.stat]), so a
+   before/after pair costs two struct copies — cheap enough to run on
+   every observed query.  The monotone fields (words allocated,
+   collection counts) difference into a per-query delta; everything is
+   per-domain under OCaml 5, so a delta taken around a query that fanned
+   out across a pool accounts the submitting domain's share only — the
+   workers' allocation is theirs.  That is the honest reading: the
+   numbers answer "what did running this query cost the caller".
+
+   One trap: on OCaml 5 native code [quick_stat]'s [minor_words] is
+   only refreshed at minor-collection boundaries, so two samples with
+   no minor GC in between difference to 0 no matter what ran.
+   [Gc.minor_words] reads the domain's live allocation pointer and is
+   exact; a sample carries both. *)
+
+type sample = { stat : Gc.stat; minor_words : float }
+
+let sample () = { stat = Gc.quick_stat (); minor_words = Gc.minor_words () }
+
+type delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let zero =
+  {
+    minor_words = 0.;
+    major_words = 0.;
+    promoted_words = 0.;
+    minor_collections = 0;
+    major_collections = 0;
+  }
+
+let delta ~(before : sample) ~(after : sample) =
+  {
+    minor_words = after.minor_words -. before.minor_words;
+    major_words = after.stat.Gc.major_words -. before.stat.Gc.major_words;
+    promoted_words =
+      after.stat.Gc.promoted_words -. before.stat.Gc.promoted_words;
+    minor_collections =
+      after.stat.Gc.minor_collections - before.stat.Gc.minor_collections;
+    major_collections =
+      after.stat.Gc.major_collections - before.stat.Gc.major_collections;
+  }
+
+let measure f =
+  let before = sample () in
+  let r = f () in
+  (r, delta ~before ~after:(sample ()))
+
+(* Allocated words = minor + major - promoted: promoted words were
+   already counted when allocated in the minor heap. *)
+let allocated_words d = d.minor_words +. d.major_words -. d.promoted_words
+
+let to_attrs d =
+  [
+    ("gc.minor_words", Printf.sprintf "%.0f" d.minor_words);
+    ("gc.major_words", Printf.sprintf "%.0f" d.major_words);
+    ("gc.promoted_words", Printf.sprintf "%.0f" d.promoted_words);
+    ("gc.minor_collections", string_of_int d.minor_collections);
+    ("gc.major_collections", string_of_int d.major_collections);
+  ]
+
+let to_json d =
+  Json.Obj
+    [
+      ("minor_words", Json.Float d.minor_words);
+      ("major_words", Json.Float d.major_words);
+      ("promoted_words", Json.Float d.promoted_words);
+      ("minor_collections", Json.Int d.minor_collections);
+      ("major_collections", Json.Int d.major_collections);
+    ]
+
+let pp ppf d =
+  Format.fprintf ppf
+    "minor %.0fw  major %.0fw  promoted %.0fw  minor-gcs %d  major-gcs %d"
+    d.minor_words d.major_words d.promoted_words d.minor_collections
+    d.major_collections

@@ -1,0 +1,39 @@
+(** Per-query resource accounting from [Gc.quick_stat] deltas.
+
+    [quick_stat] reads the mutator's own counters (no heap walk), so a
+    before/after pair is cheap enough for every observed query.  Under
+    OCaml 5 the counters are per-domain: a delta taken around a query
+    that fanned out across a pool accounts the submitting domain's share
+    only.  Minor-heap allocation comes from [Gc.minor_words] (the live
+    allocation pointer) because native-code [quick_stat] only refreshes
+    it at collection boundaries. *)
+
+type sample
+
+val sample : unit -> sample
+
+type delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+val zero : delta
+val delta : before:sample -> after:sample -> delta
+
+val measure : (unit -> 'a) -> 'a * delta
+(** Run the thunk between two samples. *)
+
+val allocated_words : delta -> float
+(** Total words allocated: minor + major − promoted (promoted words
+    were already counted at their minor allocation). *)
+
+val to_attrs : delta -> (string * string) list
+(** As span attributes: [gc.minor_words], [gc.major_words],
+    [gc.promoted_words], [gc.minor_collections],
+    [gc.major_collections]. *)
+
+val to_json : delta -> Json.t
+val pp : Format.formatter -> delta -> unit

@@ -90,21 +90,37 @@ let attr s key = List.assoc_opt key s.attrs
 
 (* --- summaries ---------------------------------------------------------- *)
 
-type summary_row = { sname : string; count : int; total_s : float }
+type summary_row = {
+  sname : string;
+  count : int;
+  total_s : float;
+  open_count : int;
+}
 
 let summarize t =
+  (* an open span (a query aborted mid-span, or a summary taken while
+     one runs) counts with its elapsed time so far, not 0 — silently
+     deflating totals would make every export under-report — and the
+     row is marked so consumers can flag the approximation *)
+  let now = Clock.now () in
   let tbl = Hashtbl.create 16 in
   List.iter
     (fun s ->
-      let d = Option.value ~default:0. (duration_s s) in
+      let d, opened =
+        match duration_s s with
+        | Some d -> (d, 0)
+        | None -> (now -. s.start_s, 1)
+      in
       match Hashtbl.find_opt tbl s.name with
-      | Some (c, total) -> Hashtbl.replace tbl s.name (c + 1, total +. d)
-      | None -> Hashtbl.add tbl s.name (1, d))
+      | Some (c, total, o) ->
+          Hashtbl.replace tbl s.name (c + 1, total +. d, o + opened)
+      | None -> Hashtbl.add tbl s.name (1, d, opened))
     (spans t);
   List.sort
     (fun a b -> compare (b.total_s, a.sname) (a.total_s, b.sname))
     (Hashtbl.fold
-       (fun sname (count, total_s) acc -> { sname; count; total_s } :: acc)
+       (fun sname (count, total_s, open_count) acc ->
+         { sname; count; total_s; open_count } :: acc)
        tbl [])
 
 (* --- rendering ---------------------------------------------------------- *)
@@ -138,7 +154,9 @@ let pp_tree ppf t =
 let pp_summary ppf t =
   Format.fprintf ppf "@[<v>%-28s %8s %14s@," "Span" "Count" "Total (ms)";
   List.iter
-    (fun { sname; count; total_s } ->
-      Format.fprintf ppf "%-28s %8d %14.3f@," sname count (total_s *. 1e3))
+    (fun { sname; count; total_s; open_count } ->
+      Format.fprintf ppf "%-28s %8d %14.3f%s@," sname count (total_s *. 1e3)
+        (if open_count = 0 then ""
+         else Printf.sprintf "  (%d open)" open_count))
     (summarize t);
   Format.fprintf ppf "@]"

@@ -52,11 +52,18 @@ val duration_s : span -> float option
 
 val attr : span -> string -> string option
 
-type summary_row = { sname : string; count : int; total_s : float }
+type summary_row = {
+  sname : string;
+  count : int;
+  total_s : float;
+  open_count : int;  (** how many of [count] were still open *)
+}
 
 val summarize : t -> summary_row list
-(** Per-name count and total duration, largest total first.  Open spans
-    count with duration 0. *)
+(** Per-name count and total duration, largest total first.  A span
+    still open when the summary is taken (a query aborted mid-span)
+    contributes its elapsed time so far — [now - start] — and bumps the
+    row's [open_count], so totals never silently deflate. *)
 
 val pp_tree : Format.formatter -> t -> unit
 (** Indented parent/child tree with durations and attributes. *)

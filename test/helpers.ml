@@ -10,6 +10,12 @@ let sim_list_testable =
 
 let interval_testable = Alcotest.testable Interval.pp Interval.equal
 
+(* naive substring test, for asserting on rendered output *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
 (* --- dense references ---------------------------------------------- *)
 
 let dense_conj = Array.map2 ( +. )

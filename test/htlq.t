@@ -66,3 +66,63 @@ As is an unknown flag:
 
   $ ../bin/htlq.exe --no-such-flag > /dev/null 2> /dev/null
   [2]
+
+Telemetry exports.  --prom writes the metrics registry as Prometheus
+text exposition: the latency histogram exposes all 21 cumulative
+buckets, and the cache hit/miss counters are pre-registered so both
+series appear even when the query never probed the cache:
+
+  $ ../bin/htlq.exe --query 'man_woman and eventually moving_train' \
+  >     --prom prom.txt > /dev/null
+  $ grep -c '^query_latency_s_bucket' prom.txt
+  21
+  $ grep '^# TYPE query_latency_s' prom.txt
+  # TYPE query_latency_s histogram
+  $ grep -E -c '^cache_(hits|misses) ' prom.txt
+  2
+
+--prom /dev/stdout prints the exposition after the results:
+
+  $ ../bin/htlq.exe --query 'man_woman' --prom /dev/stdout \
+  >     | grep -c '^query_latency_s_count 1'
+  1
+
+--trace-out writes the span tree as Chrome trace-event JSON, one
+complete event per span:
+
+  $ ../bin/htlq.exe --query 'man_woman and eventually moving_train' \
+  >     --trace-out trace.json > /dev/null
+  $ grep -o '"ph": "X"' trace.json | wc -l
+  5
+  $ grep -o '"name": "query.run"' trace.json | wc -l
+  1
+
+--slow-ms logs queries crossing the threshold as JSONL records on
+stderr: 0 logs every query, an unreachable threshold logs none (and
+grep then finds nothing):
+
+  $ ../bin/htlq.exe --query 'man_woman' --slow-ms 0 2>&1 > /dev/null \
+  >     | grep -c '"formula_id"'
+  1
+  $ ../bin/htlq.exe --query 'man_woman' --slow-ms 100000 2>&1 > /dev/null \
+  >     | grep -c '"formula_id"'
+  0
+  [1]
+
+A failed query still leaves a slow-log record, carrying the error:
+
+  $ ../bin/htlq.exe --query 'not man_woman' --slow-ms 0 2>&1 > /dev/null \
+  >     | grep -c '"error"'
+  1
+
+The bench regression gate compares a fresh run against a committed
+baseline: within tolerance it exits 0, beyond it exits 1.  The [ok]
+rows carry live timings, so only the verdict line is cram-stable:
+
+  $ ../bench/main.exe --check --baseline ../BENCH_cache.json \
+  >     --tolerance 1e9 | tail -1
+  no regressions (tolerance 1e+09)
+
+  $ ../bench/main.exe --check --baseline ../BENCH_cache.json \
+  >     --tolerance -1 > /dev/null
+  [1]

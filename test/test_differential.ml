@@ -216,6 +216,71 @@ let traced_store_prop ?videos (seed, f) =
   let ctx = Context.of_store (store_of_seed ?videos seed) in
   traced_differential ctx f
 
+(* --- accounted vs plain ----------------------------------------------------
+
+   The slow-query log (with a metrics registry feeding its scan deltas)
+   must be as invisible as a tracer: same similarity list or the same
+   refusal on both backends.  With the threshold at 0 every run must
+   also leave exactly one record, carrying the formula's hash-consed
+   fingerprint and an error field that agrees with the outcome. *)
+let accounted_differential ctx f =
+  let outcome ctx backend =
+    match Query.run ~backend ctx f with
+    | list -> Ok list
+    | exception Query.Error msg -> Error msg
+  in
+  List.iter
+    (fun (bname, backend) ->
+      let plain = outcome ctx backend in
+      let ql = Obs.Querylog.create ~threshold_s:0. () in
+      let qctx =
+        Context.with_querylog
+          (Context.with_metrics (Context.with_fresh_cache ctx)
+             (Obs.Metrics.create ()))
+          ql
+      in
+      (match (plain, outcome qctx backend) with
+      | Ok a, Ok b ->
+          if not (Sim_list.equal a b) then
+            QCheck.Test.fail_reportf "accounting changes %s's result on %s"
+              bname
+              (Htl.Pretty.to_string f)
+      | Error _, Error _ -> ()
+      | Ok _, Error msg ->
+          QCheck.Test.fail_reportf
+            "accounted %s refused %s that plain accepted: %s" bname
+            (Htl.Pretty.to_string f) msg
+      | Error msg, Ok _ ->
+          QCheck.Test.fail_reportf
+            "accounted %s accepted %s that plain refused: %s" bname
+            (Htl.Pretty.to_string f) msg);
+      match Obs.Querylog.records ql with
+      | [ r ] ->
+          if r.Obs.Querylog.formula_id <> Htl.Hcons.intern_id f then
+            QCheck.Test.fail_reportf
+              "slow-log fingerprint %d does not match %s (id %d)"
+              r.Obs.Querylog.formula_id
+              (Htl.Pretty.to_string f)
+              (Htl.Hcons.intern_id f);
+          if Option.is_some r.Obs.Querylog.error <> Result.is_error plain then
+            QCheck.Test.fail_reportf
+              "slow-log error field disagrees with %s's outcome on %s" bname
+              (Htl.Pretty.to_string f);
+          if r.Obs.Querylog.latency_s < 0. then
+            QCheck.Test.fail_reportf "negative latency recorded on %s"
+              (Htl.Pretty.to_string f)
+      | rs ->
+          QCheck.Test.fail_reportf
+            "%s left %d slow-log records for one query on %s" bname
+            (List.length rs)
+            (Htl.Pretty.to_string f))
+    [ ("direct", Query.Direct_backend); ("sql", Query.Sql_backend_choice) ];
+  true
+
+let accounted_store_prop ?videos (seed, f) =
+  let ctx = Context.of_store (store_of_seed ?videos seed) in
+  accounted_differential ctx f
+
 let traced_table_prop (seed, f) =
   let rng = Workload.Rng.make seed in
   let n = 10 + Workload.Rng.int rng 40 in
@@ -224,6 +289,15 @@ let traced_table_prop (seed, f) =
       table_names
   in
   traced_differential ctx f
+
+let accounted_table_prop (seed, f) =
+  let rng = Workload.Rng.make seed in
+  let n = 10 + Workload.Rng.int rng 40 in
+  let ctx =
+    Workload.Synthetic.context_with_atoms ~seed:(seed + 1) ~n ~selectivity:0.4
+      table_names
+  in
+  accounted_differential ctx f
 
 let suites =
   [
@@ -266,5 +340,11 @@ let suites =
         Helpers.qtest ~count:30 "traced = untraced (conjunctive)"
           traced_store_prop
           (Helpers.arb_store_formula Helpers.gen_conjunctive_formula);
+        Helpers.qtest ~count:40 "accounted = plain (tables)"
+          accounted_table_prop
+          (Helpers.arb_table_formula ~names:table_names ());
+        Helpers.qtest ~count:30 "accounted = plain (mixed)"
+          (accounted_store_prop ~videos:2)
+          (Helpers.arb_store_formula Helpers.gen_closed_formula);
       ] );
   ]

@@ -363,10 +363,384 @@ let explain_tests =
               (Obs.Metrics.counter_value m "query.errors"));
   ]
 
+(* --- Json ------------------------------------------------------------------ *)
+
+module J = Obs.Json
+
+let json_tests =
+  let open Alcotest in
+  [
+    test_case "escape covers RFC 8259 section 7" `Quick (fun () ->
+        check string "short escape forms" {|a\"b\\c\nd\te\rf\bg\fh|}
+          (J.escape "a\"b\\c\nd\te\rf\bg\x0ch");
+        check string "other C0 controls as \\u00XX" {|\u0001\u001f|}
+          (J.escape "\x01\x1f");
+        (* bytes >= 0x20 pass through: UTF-8 survives unmangled *)
+        check string "plain text untouched" "h\xc3\xa9llo" (J.escape "h\xc3\xa9llo"));
+    test_case "to_string renders one line; non-finite floats are null" `Quick
+      (fun () ->
+        let doc =
+          J.Obj
+            [
+              ("a", J.Array [ J.Int 1; J.Float 2.5; J.Bool false; J.Null ]);
+              ("s", J.String "x\ny");
+            ]
+        in
+        check string "compact form" {|{"a": [1, 2.5, false, null], "s": "x\ny"}|}
+          (J.to_string doc);
+        check string "nan/inf collapse to null" "[null, null]"
+          (J.to_string (J.Array [ J.Float Float.nan; J.Float Float.infinity ])));
+    test_case "of_string parses documents and rejects garbage" `Quick (fun () ->
+        (match J.of_string {| {"k": [1, -2.5e1, "v", true, null]} |} with
+        | Ok
+            (J.Obj
+              [
+                ( "k",
+                  J.Array
+                    [ J.Int 1; J.Float f; J.String "v"; J.Bool true; J.Null ] );
+              ]) ->
+            check (float 1e-12) "float token" (-25.) f
+        | Ok v -> failf "unexpected shape: %s" (J.to_string v)
+        | Error e -> failf "parse error: %s" e);
+        check bool "trailing garbage rejected" true
+          (Result.is_error (J.of_string "{} x"));
+        check bool "bare junk rejected" true (Result.is_error (J.of_string "nope"));
+        check bool "unterminated string rejected" true
+          (Result.is_error (J.of_string {|"abc|}));
+        check bool "unescaped control char rejected" true
+          (Result.is_error (J.of_string "\"a\nb\"")));
+    test_case "\\uXXXX escapes decode to UTF-8" `Quick (fun () ->
+        match J.of_string {|"\u00e9 \u2603 \ud83d\ude00 \/"|} with
+        | Ok (J.String s) ->
+            check string "two-, three- and four-byte code points"
+              "\xc3\xa9 \xe2\x98\x83 \xf0\x9f\x98\x80 /" s
+        | Ok v -> failf "expected a string, got %s" (J.to_string v)
+        | Error e -> failf "parse error: %s" e);
+    Helpers.qtest ~count:500 "strings round-trip through to_string/of_string"
+      (fun s ->
+        match J.of_string (J.to_string (J.String s)) with
+        | Ok (J.String s') -> String.equal s' s
+        | _ -> false)
+      QCheck.string;
+    Helpers.qtest ~count:300 "scalar records round-trip"
+      (fun (i, f, s) ->
+        let doc =
+          J.Obj [ ("i", J.Int i); ("f", J.Float f); ("s", J.String s) ]
+        in
+        match J.of_string (J.to_string doc) with
+        | Ok (J.Obj [ ("i", J.Int i'); ("f", f'); ("s", J.String s') ]) ->
+            i' = i && String.equal s' s
+            && (match f' with
+               | J.Float g -> Float.equal g f
+               | J.Int m -> Float.equal (float_of_int m) f
+               | _ -> false)
+        | _ -> false)
+      QCheck.(triple int float string);
+  ]
+
+(* --- Export ---------------------------------------------------------------- *)
+
+(* A fake clock stepping 1 s per read makes every exported timestamp a
+   round number, so the Chrome-trace and summarize tests are exact
+   goldens instead of tolerance games.  Restore the wall clock in a
+   [Fun.protect]: a leaked fake source would corrupt every later
+   timing. *)
+let with_fake_clock f =
+  let t = ref 0. in
+  Obs.Clock.set_source (fun () ->
+      let v = !t in
+      t := v +. 1.;
+      v);
+  Fun.protect ~finally:Obs.Clock.use_wall_clock f
+
+let export_tests =
+  let open Alcotest in
+  [
+    test_case "prometheus exposition golden" `Quick (fun () ->
+        let m = Obs.Metrics.create () in
+        Obs.Metrics.incr m ~by:3 "cache.hits";
+        Obs.Metrics.set_gauge m "pool.domains" 4.;
+        (* one sample per region: a mid-range bucket, a small bucket,
+           the overflow *)
+        Obs.Metrics.observe m "query.latency_s" 0.5;
+        Obs.Metrics.observe m "query.latency_s" 0.002;
+        Obs.Metrics.observe m "query.latency_s" 5000.;
+        let pf f =
+          if Float.is_integer f then Printf.sprintf "%.0f" f
+          else Printf.sprintf "%.9g" f
+        in
+        let b = Buffer.create 512 in
+        Buffer.add_string b "# TYPE cache_hits counter\ncache_hits 3\n";
+        Buffer.add_string b "# TYPE pool_domains gauge\npool_domains 4\n";
+        Buffer.add_string b "# TYPE query_latency_s histogram\n";
+        Array.iteri
+          (fun i bound ->
+            (* cumulative: 0.002 <= 3.16e-03 (index 7), 0.5 <= 1 (12) *)
+            let cum = if i < 7 then 0 else if i < 12 then 1 else 2 in
+            Printf.bprintf b "query_latency_s_bucket{le=\"%s\"} %d\n" (pf bound)
+              cum)
+          Obs.Metrics.bucket_bounds;
+        Buffer.add_string b "query_latency_s_bucket{le=\"+Inf\"} 3\n";
+        Printf.bprintf b "query_latency_s_sum %s\n" (pf (0.5 +. 0.002 +. 5000.));
+        Buffer.add_string b "query_latency_s_count 3\n";
+        check string "text format v0.0.4" (Buffer.contents b)
+          (Obs.Export.prometheus m));
+    test_case "chrome trace golden under a fake clock" `Quick (fun () ->
+        with_fake_clock (fun () ->
+            let tr = Obs.Trace.create () in
+            Obs.Trace.with_span tr "outer" ~attrs:[ ("k", "v") ] (fun () ->
+                Obs.Trace.with_span tr "inner" (fun () -> ()));
+            check string "complete events, relative microseconds"
+              ({|{"traceEvents": [{"name": "outer", "cat": "htl", "ph": "X", |}
+              ^ {|"ts": 0.0, "dur": 3000000.0, "pid": 1, "tid": 1, "args": |}
+              ^ {|{"k": "v", "span_id": 1, "parent": 0}}, {"name": "inner", |}
+              ^ {|"cat": "htl", "ph": "X", "ts": 1000000.0, "dur": 1000000.0, |}
+              ^ {|"pid": 1, "tid": 1, "args": {"span_id": 2, "parent": 1}}], |}
+              ^ {|"displayTimeUnit": "ms"}|})
+              (Obs.Export.chrome_trace tr)));
+    test_case "an open span exports its elapsed time and an open arg" `Quick
+      (fun () ->
+        with_fake_clock (fun () ->
+            let tr = Obs.Trace.create () in
+            let s = Obs.Trace.start tr "solo" in
+            check string "elapsed so far, flagged open"
+              ({|{"traceEvents": [{"name": "solo", "cat": "htl", "ph": "X", |}
+              ^ {|"ts": 0.0, "dur": 1000000.0, "pid": 1, "tid": 1, "args": |}
+              ^ {|{"span_id": 1, "parent": 0, "open": "true"}}], |}
+              ^ {|"displayTimeUnit": "ms"}|})
+              (Obs.Export.chrome_trace tr);
+            Obs.Trace.stop tr s));
+    test_case "summarize counts open spans at elapsed time" `Quick (fun () ->
+        with_fake_clock (fun () ->
+            let tr = Obs.Trace.create () in
+            let s = Obs.Trace.start tr "work" in
+            (* start read t=0; summarize reads t=1 *)
+            (match Obs.Trace.summarize tr with
+            | [ row ] ->
+                check (float 1e-9) "elapsed so far, not 0" 1. row.Obs.Trace.total_s;
+                check int "marked open" 1 row.Obs.Trace.open_count
+            | rows -> failf "expected 1 row, got %d" (List.length rows));
+            let rendered = Format.asprintf "%a" Obs.Trace.pp_summary tr in
+            check bool "summary table flags the approximation" true
+              (Helpers.contains rendered "(1 open)");
+            Obs.Trace.stop tr s;
+            match Obs.Trace.summarize tr with
+            | [ row ] ->
+                check (float 1e-9) "closed span keeps its real duration" 3.
+                  row.Obs.Trace.total_s;
+                check int "no longer open" 0 row.Obs.Trace.open_count
+            | rows -> failf "expected 1 row, got %d" (List.length rows)));
+    test_case "spans_jsonl lines parse back to the recorded spans" `Quick
+      (fun () ->
+        let tr = Obs.Trace.create () in
+        Obs.Trace.with_span tr "outer" (fun () ->
+            Obs.Trace.with_span tr "inner" ~attrs:[ ("rows", "7") ] (fun () ->
+                ()));
+        let lines =
+          List.filter
+            (fun l -> l <> "")
+            (String.split_on_char '\n' (Obs.Export.spans_jsonl tr))
+        in
+        check int "one line per span" 2 (List.length lines);
+        List.iteri
+          (fun i line ->
+            match J.of_string line with
+            | Ok doc ->
+                check (option int) "id in start order" (Some (i + 1))
+                  (Option.bind (J.member "id" doc) (function
+                    | J.Int n -> Some n
+                    | _ -> None));
+                check bool "stop_s present (closed)" true
+                  (match J.member "stop_s" doc with
+                  | Some (J.Float _) -> true
+                  | _ -> false)
+            | Error e -> failf "line %d is not JSON: %s" i e)
+          lines;
+        check bool "attrs survive" true
+          (Helpers.contains (Obs.Export.spans_jsonl tr) {|"rows": "7"|}));
+  ]
+
+(* --- Querylog --------------------------------------------------------------- *)
+
+let ql_record ?(latency = 1.) ?(hits = 0) ?(misses = 0) ?error name =
+  {
+    Obs.Querylog.time_s = 0.;
+    formula_id = 1;
+    formula = name;
+    backend = "direct";
+    cls = "type1";
+    latency_s = latency;
+    cache_hits = hits;
+    cache_misses = misses;
+    segments_scanned = [];
+    resources = Obs.Resource.zero;
+    error;
+  }
+
+let querylog_tests =
+  let open Alcotest in
+  let names ql =
+    List.map (fun r -> r.Obs.Querylog.formula) (Obs.Querylog.records ql)
+  in
+  [
+    test_case "threshold gates what is recorded" `Quick (fun () ->
+        let ql = Obs.Querylog.create ~threshold_s:0.5 () in
+        check bool "below" false (Obs.Querylog.should_log ql ~latency_s:0.4);
+        check bool "at" true (Obs.Querylog.should_log ql ~latency_s:0.5);
+        Obs.Querylog.record ql (ql_record ~latency:0.1 "fast");
+        Obs.Querylog.record ql (ql_record ~latency:0.9 "slow");
+        check (list string) "only the slow one" [ "slow" ] (names ql);
+        check int "logged counts accepted records" 1 (Obs.Querylog.logged ql));
+    test_case "the ring overwrites the oldest record" `Quick (fun () ->
+        let ql = Obs.Querylog.create ~capacity:2 ~threshold_s:0. () in
+        List.iter
+          (fun n -> Obs.Querylog.record ql (ql_record n))
+          [ "a"; "b"; "c" ];
+        check (list string) "oldest dropped, order kept" [ "b"; "c" ] (names ql);
+        check int "length capped" 2 (Obs.Querylog.length ql);
+        check int "logged keeps counting" 3 (Obs.Querylog.logged ql);
+        Obs.Querylog.clear ql;
+        check int "clear empties" 0 (Obs.Querylog.length ql);
+        check int "clear resets logged" 0 (Obs.Querylog.logged ql));
+    test_case "capacity below 1 is rejected" `Quick (fun () ->
+        check_raises "invalid capacity"
+          (Invalid_argument "Obs.Querylog.create: capacity 0 < 1") (fun () ->
+            ignore (Obs.Querylog.create ~capacity:0 ~threshold_s:0. ())));
+    test_case "hit_ratio" `Quick (fun () ->
+        check (float 1e-9) "no probes" 0.
+          (Obs.Querylog.hit_ratio (ql_record "q"));
+        check (float 1e-9) "3 of 4" 0.75
+          (Obs.Querylog.hit_ratio (ql_record ~hits:3 ~misses:1 "q")));
+    test_case "to_jsonl parses back and carries the error field" `Quick
+      (fun () ->
+        let ql = Obs.Querylog.create ~threshold_s:0. () in
+        Obs.Querylog.record ql (ql_record ~hits:1 ~misses:1 "ok");
+        Obs.Querylog.record ql (ql_record ~error:"boom" "bad");
+        let docs =
+          List.map
+            (fun l ->
+              match J.of_string l with
+              | Ok d -> d
+              | Error e -> failf "not JSON: %s" e)
+            (List.filter
+               (fun l -> l <> "")
+               (String.split_on_char '\n' (Obs.Querylog.to_jsonl ql)))
+        in
+        match docs with
+        | [ ok; bad ] ->
+            check (option string) "class" (Some "type1")
+              (Option.bind (J.member "class" ok) (function
+                | J.String s -> Some s
+                | _ -> None));
+            check (option (float 1e-9)) "hit ratio computed" (Some 0.5)
+              (Option.bind (J.member "cache_hit_ratio" ok) J.to_float_opt);
+            check bool "gc object present" true
+              (Option.is_some
+                 (Option.bind (J.member "gc" ok) (J.member "minor_words")));
+            check bool "no error field on success" true
+              (J.member "error" ok = None);
+            check (option string) "error carried" (Some "boom")
+              (Option.bind (J.member "error" bad) (function
+                | J.String s -> Some s
+                | _ -> None))
+        | docs -> failf "expected 2 lines, got %d" (List.length docs));
+    test_case "Query.run feeds the slow-query log" `Quick (fun () ->
+        let ql = Obs.Querylog.create ~threshold_s:0. () in
+        let ctx =
+          Context.with_querylog
+            (Context.with_metrics (C.context ()) (Obs.Metrics.create ()))
+            ql
+        in
+        let f = parse C.query1 in
+        ignore (Query.run ctx f);
+        match Obs.Querylog.records ql with
+        | [ r ] ->
+            check string "backend" "direct" r.Obs.Querylog.backend;
+            check int "hash-consed fingerprint" (Htl.Hcons.intern_id f)
+              r.Obs.Querylog.formula_id;
+            check bool "classified" true (r.Obs.Querylog.cls <> "unsupported");
+            check bool "latency non-negative" true (r.Obs.Querylog.latency_s >= 0.);
+            check (option string) "no error" None r.Obs.Querylog.error;
+            List.iter
+              (fun (k, v) ->
+                check bool "scan delta keys carry the prefix" true
+                  (String.starts_with ~prefix:"picture.segments_scanned" k);
+                check bool "scan deltas positive" true (v > 0))
+              r.Obs.Querylog.segments_scanned
+        | rs -> failf "expected 1 record, got %d" (List.length rs));
+    test_case "a high threshold logs nothing" `Quick (fun () ->
+        let ql = Obs.Querylog.create ~threshold_s:1e9 () in
+        let ctx = Context.with_querylog (C.context ()) ql in
+        ignore (Query.run ctx (parse C.query1));
+        check int "nothing crossed the bar" 0 (Obs.Querylog.length ql));
+    test_case "failed queries land with their error and class" `Quick (fun () ->
+        let ql = Obs.Querylog.create ~threshold_s:0. () in
+        let ctx = Context.with_querylog (C.context ()) ql in
+        (match Query.run ctx (Htl.Ast.Not (parse "man_woman")) with
+        | _ -> fail "general formula accepted"
+        | exception Query.Error _ -> ());
+        match Obs.Querylog.records ql with
+        | [ r ] ->
+            check string "unclassifiable" "unsupported" r.Obs.Querylog.cls;
+            check bool "error recorded" true (Option.is_some r.Obs.Querylog.error)
+        | rs -> failf "expected 1 record, got %d" (List.length rs));
+  ]
+
+(* --- Resource ---------------------------------------------------------------- *)
+
+let resource_tests =
+  let open Alcotest in
+  [
+    test_case "measure sees the thunk's allocation" `Quick (fun () ->
+        (* 1000 3-word list cells; Gc.minor_words reads the allocation
+           pointer, so the delta is exact even with no minor GC between
+           the samples (the quick_stat trap resource.ml documents) *)
+        let r, d =
+          Obs.Resource.measure (fun () ->
+              Sys.opaque_identity (List.init 1000 (fun i -> i + 1)))
+        in
+        check int "thunk result threads through" 1000 (List.length r);
+        check bool "at least the list cells" true
+          (Obs.Resource.allocated_words d >= 3000.);
+        check bool "collection counts never negative" true
+          (d.Obs.Resource.minor_collections >= 0
+          && d.Obs.Resource.major_collections >= 0));
+    test_case "zero is zero" `Quick (fun () ->
+        check (float 0.) "no allocation" 0.
+          (Obs.Resource.allocated_words Obs.Resource.zero));
+    test_case "to_attrs exposes the gc.* keys" `Quick (fun () ->
+        check (list string) "stable key set"
+          [
+            "gc.minor_words";
+            "gc.major_words";
+            "gc.promoted_words";
+            "gc.minor_collections";
+            "gc.major_collections";
+          ]
+          (List.map fst (Obs.Resource.to_attrs Obs.Resource.zero)));
+    test_case "explain analyze reports a GC delta" `Quick (fun () ->
+        let report =
+          Query.explain ~analyze:true (C.context ()) (parse C.query1)
+        in
+        match report.Explain.resources with
+        | Some d ->
+            check bool "an analyzed run allocates" true
+              (Obs.Resource.allocated_words d > 0.)
+        | None -> fail "analyzed report carries no resources");
+    test_case "static explain reports none" `Quick (fun () ->
+        let report = Query.explain (C.context ()) (parse C.query1) in
+        check bool "no resources without analyze" true
+          (report.Explain.resources = None));
+  ]
+
 let suites =
   [
+    ("obs.json", json_tests);
     ("obs.trace", trace_tests);
     ("obs.metrics", metrics_tests);
+    ("obs.export", export_tests);
+    ("obs.querylog", querylog_tests);
+    ("obs.resource", resource_tests);
     ("obs.topk", topk_tests);
     ("obs.explain", explain_tests);
   ]
