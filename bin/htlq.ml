@@ -85,7 +85,7 @@ let emit_exports ~prom ~trace_out tracer registry querylog =
   Option.iter (fun ql -> prerr_string (Obs.Querylog.to_jsonl ql)) querylog
 
 let run dataset seed level threshold backend query top classify_only explain
-    trace metrics prom trace_out slow_ms =
+    trace metrics prom trace_out slow_ms no_index =
   match Htl.Parser.formula_of_string_opt query with
   | Error msg ->
       Format.eprintf "syntax error: %s@." msg;
@@ -108,6 +108,18 @@ let run dataset seed level threshold backend query top classify_only explain
             exit_usage
         | Some backend -> (
             let ctx = make_context dataset seed level threshold in
+            let ctx =
+              if no_index then
+                {
+                  ctx with
+                  Engine.Context.picture_config =
+                    {
+                      ctx.Engine.Context.picture_config with
+                      Picture.Retrieval.prune = false;
+                    };
+                }
+              else ctx
+            in
             let tracer =
               if trace || Option.is_some trace_out then
                 Some (Obs.Trace.create ())
@@ -308,6 +320,15 @@ let cmd =
             "Log queries at least $(docv) milliseconds long to stderr as \
              JSONL slow-query records (0 logs every query).")
   in
+  let no_index =
+    Arg.(
+      value & flag
+      & info [ "no-index" ]
+          ~doc:
+            "Disable index-based candidate pruning: atomic formulas score \
+             every segment of the level (the pre-index behaviour, for A/B \
+             debugging).  Results are identical either way.")
+  in
   let load_store =
     Arg.(
       value
@@ -324,7 +345,7 @@ let cmd =
   in
   let combine dataset synthetic load_store load_tables seed level threshold
       backend query top classify_only explain trace metrics prom trace_out
-      slow_ms =
+      slow_ms no_index =
     let dataset =
       match (synthetic, load_store, load_tables) with
       | Some n, _, _ -> Synthetic n
@@ -333,7 +354,7 @@ let cmd =
       | None, None, None -> dataset
     in
     run dataset seed level threshold backend query top classify_only explain
-      trace metrics prom trace_out slow_ms
+      trace metrics prom trace_out slow_ms no_index
   in
   Cmd.v
     (Cmd.info "htlq" ~doc:"Similarity-based retrieval of videos with HTL"
@@ -347,6 +368,6 @@ let cmd =
     Term.(
       const combine $ dataset $ synthetic $ load_store $ load_tables $ seed
       $ level $ threshold $ backend $ query $ top $ classify_only $ explain
-      $ trace $ metrics $ prom $ trace_out $ slow_ms)
+      $ trace $ metrics $ prom $ trace_out $ slow_ms $ no_index)
 
 let () = exit (Cmd.eval' ~term_err:exit_usage cmd)

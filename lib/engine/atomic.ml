@@ -17,7 +17,8 @@ let rec resolve (ctx : Context.t) f =
           let pool = Context.pool_for ctx ~n:(Context.segment_count ctx) in
           try
             Picture.Retrieval.eval ~config:ctx.picture_config ?pool
-              ?tracer:ctx.tracer ?metrics:ctx.metrics store ~level:ctx.level f
+              ?tracer:ctx.tracer ?metrics:ctx.metrics
+              ?index:(Context.index ctx) store ~level:ctx.level f
           with Picture.Retrieval.Unsupported msg -> raise (Unsupported msg))
       | None -> (
           (* store-less contexts resolve only named tables; decompose the

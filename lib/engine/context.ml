@@ -13,6 +13,7 @@ type t = {
   tracer : Obs.Trace.t option;
   metrics : Obs.Metrics.t option;
   querylog : Obs.Querylog.t option;
+  registry : Picture.Index.Registry.t;
 }
 
 let default_par_cutoff = 4096
@@ -48,6 +49,7 @@ let of_store ?(config = Picture.Retrieval.default_config) ?(threshold = 0.5)
     tracer;
     metrics;
     querylog;
+    registry = Picture.Index.Registry.create ();
   }
 
 let of_tables ?(threshold = 0.5)
@@ -73,6 +75,7 @@ let of_tables ?(threshold = 0.5)
     tracer;
     metrics;
     querylog;
+    registry = Picture.Index.Registry.create ();
   }
 
 let with_level t ~level ~extents = { t with level; extents }
@@ -100,6 +103,18 @@ let without_cache t = { t with cache = None }
 
 let store_version t =
   match t.store with Some s -> Video_model.Store.version s | None -> 0
+
+(* Derived contexts share the registry (it is part of the record), so
+   with_level / run_batch / fresh-cache variants all reuse the same
+   finalized indexes; the version stamp inside [Registry.get] handles
+   store mutation. *)
+let index t =
+  match t.store with
+  | None -> None
+  | Some s ->
+      Some
+        (Picture.Index.Registry.get t.registry ?metrics:t.metrics s
+           ~level:t.level)
 
 let cache_key t f =
   Cache.key ~formula:(Htl.Hcons.intern_id f) ~level:t.level

@@ -47,6 +47,12 @@ type t = {
   querylog : Obs.Querylog.t option;
       (** slow-query log {!Query.run} appends to when a query's latency
           reaches its threshold; [None] (the default) disables it. *)
+  registry : Picture.Index.Registry.t;
+      (** per-store index registry: finalized {!Picture.Index} per level,
+          stamped with the store version (the stamp {!Cache} uses), so
+          repeated queries and batches never rebuild.  Created by
+          {!of_store}/{!of_tables} and shared by every derived context
+          ([with_level], [with_fresh_cache], record updates, ...). *)
 }
 
 val of_store :
@@ -146,6 +152,12 @@ val without_cache : t -> t
 val store_version : t -> int
 (** {!Video_model.Store.version} of the context's store; 0 when
     store-less (precomputed tables are immutable). *)
+
+val index : t -> Picture.Index.t option
+(** The registry's finalized index for the context's store, level and
+    current store version, building it on first use ([None] when
+    store-less).  Thread-safe; counts [picture.index.builds] /
+    [picture.index.registry_hits] on the context's metrics. *)
 
 val cache_find : t -> Htl.Ast.t -> Simlist.Sim_table.t option
 (** Look up the subformula's table for the current level, extents and

@@ -79,22 +79,29 @@ let value_table (ctx : Context.t) ~attr ~obj =
            (fun (v, spans) -> { Simlist.Value_table.objs = []; value = v; spans })
            (spans_of !values))
   | Some x ->
-      let idx = Picture.Index.build store ~level:ctx.level in
+      (* the registry's finalized index — the same one the atomic
+         evaluator uses, so one query builds at most once *)
+      let idx =
+        match Context.index ctx with
+        | Some idx -> idx
+        | None -> Picture.Index.build ?metrics:ctx.metrics store ~level:ctx.level
+      in
       let rows_of oid =
         let values = ref [] in
-        List.iter
-          (fun id ->
-            match
-              Metadata.Seg_meta.object_attr
-                (Store.meta store ~level:ctx.level ~id)
-                oid attr
-            with
-            | Some v -> (
-                match to_range_value id v with
-                | Some rv -> values := (id, rv) :: !values
-                | None -> ())
-            | None -> ())
-          (List.rev (Picture.Index.segments_of_object idx oid));
+        let segs = Picture.Index.segments_of_object idx oid in
+        for k = Array.length segs - 1 downto 0 do
+          let id = segs.(k) in
+          match
+            Metadata.Seg_meta.object_attr
+              (Store.meta store ~level:ctx.level ~id)
+              oid attr
+          with
+          | Some v -> (
+              match to_range_value id v with
+              | Some rv -> values := (id, rv) :: !values
+              | None -> ())
+          | None -> ()
+        done;
         List.map
           (fun (v, spans) ->
             { Simlist.Value_table.objs = [ (x, oid) ]; value = v; spans })

@@ -71,13 +71,31 @@ let observed take f =
           in
           (timing, attrs))
 
+(* How the atomic evaluator will source a non-temporal leaf: a
+   precomputed named table, an index-pruned candidate scan, or a full
+   segment scan.  Static analysis only ({!Picture.Pruning.plan} needs no
+   index), so it is available in un-analyzed EXPLAIN too. *)
+let atom_access (ctx : Context.t) f =
+  match Atomic.named_table ctx f with
+  | Some _ -> [ ("access", "table") ]
+  | None -> (
+      match ctx.store with
+      | None -> []
+      | Some _ ->
+          if not ctx.picture_config.prune then [ ("access", "scan") ]
+          else (
+            match Picture.Pruning.describe (Picture.Pruning.plan f) with
+            | Some d -> [ ("access", "index: " ^ d) ]
+            | None -> [ ("access", "scan") ]))
+
+let atom_attrs ctx f = ("formula", Htl.Pretty.to_string f) :: atom_access ctx f
+
 (* --- direct-evaluation trees --------------------------------------------- *)
 
 let rec direct_tree (ctx : Context.t) ?take f =
   let timing, span_attrs = observed take f in
   let structural, children =
-    if is_non_temporal f then
-      ([ ("formula", Htl.Pretty.to_string f) ], [])
+    if is_non_temporal f then (atom_attrs ctx f, [])
     else
       match f with
       | And _ when ctx.reorder_joins ->
@@ -116,15 +134,15 @@ let rec direct_tree (ctx : Context.t) ?take f =
   node (Direct.node_label ctx f) ~timing ~attrs:(structural @ span_attrs)
     children
 
-let rec type1_tree ?take f =
+let rec type1_tree (ctx : Context.t) ?take f =
   let timing, span_attrs = observed take f in
   let structural, children =
-    if is_non_temporal f then ([ ("formula", Htl.Pretty.to_string f) ], [])
+    if is_non_temporal f then (atom_attrs ctx f, [])
     else
       match f with
       | And (g, h) | Until (g, h) ->
-          ([], [ type1_tree ?take g; type1_tree ?take h ])
-      | Next g | Eventually g -> ([], [ type1_tree ?take g ])
+          ([], [ type1_tree ctx ?take g; type1_tree ctx ?take h ])
+      | Next g | Eventually g -> ([], [ type1_tree ctx ?take g ])
       | _ -> ([], [])
   in
   node (Type1.node_label f) ~timing ~attrs:(structural @ span_attrs) children
@@ -132,7 +150,7 @@ let rec type1_tree ?take f =
 let rec sql_tree (ctx : Context.t) ?take f =
   let timing, span_attrs = observed take f in
   let structural, children =
-    if is_non_temporal f then ([ ("formula", Htl.Pretty.to_string f) ], [])
+    if is_non_temporal f then (atom_attrs ctx f, [])
     else
       match f with
       | And (g, h) | Until (g, h) ->

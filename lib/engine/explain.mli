@@ -51,7 +51,8 @@ val direct_tree :
     under [reorder_joins]).  [take], when given, yields each
     subformula's recorded span — use {!span_lookup}. *)
 
-val type1_tree : ?take:(Htl.Ast.t -> Obs.Trace.span option) -> Htl.Ast.t -> node
+val type1_tree :
+  Context.t -> ?take:(Htl.Ast.t -> Obs.Trace.span option) -> Htl.Ast.t -> node
 (** Mirror of {!Type1.eval}'s dispatch. *)
 
 val sql_tree :

@@ -217,7 +217,7 @@ let explain ?(backend = Direct_backend) ?(analyze = false) ctx f =
       in
       let tree_of ?take ctx =
         match (backend, cls) with
-        | Direct_backend, Htl.Classify.Type1 -> Explain.type1_tree ?take f
+        | Direct_backend, Htl.Classify.Type1 -> Explain.type1_tree ctx ?take f
         | Sql_backend_choice, Htl.Classify.Type1 -> Explain.sql_tree ctx ?take f
         | Direct_backend, _ ->
             let vars, body = strip_prefix [] f in

@@ -1,52 +1,227 @@
+module Value = Metadata.Value
+
+type points = {
+  ints : int list;
+  strs : string list;
+  bad : [ `Float | `Bool ] option;
+}
+
+let no_points = { ints = []; strs = []; bad = None }
+
+(* Posting key for attribute values.  [Value.equal] coerces Int/Float
+   when numerically equal, so both map onto [Knum]; -0. folds onto 0.
+   (they hash differently but compare equal); NaN is not indexable
+   because it compares equal to nothing. *)
+type vkey = Knum of float | Kstr of string | Kbool of bool
+
+let key_of_value = function
+  | Value.Int n -> Some (Knum (float_of_int n))
+  | Value.Float f ->
+      if Float.is_nan f then None else Some (Knum (if f = 0. then 0. else f))
+  | Value.Str s -> Some (Kstr s)
+  | Value.Bool b -> Some (Kbool b)
+
 type t = {
   level : int;
   segment_count : int;
-  by_object : (int, int list) Hashtbl.t;
-  by_type : (string, int list) Hashtbl.t;
-  by_relationship : (string, int list) Hashtbl.t;
+  by_object : (int, int array) Hashtbl.t;
+  by_type : (string, int array) Hashtbl.t;
+  by_relationship : (string, int array) Hashtbl.t;
+  with_objects : int array;
+  by_seg_attr : (string, int array) Hashtbl.t;
+  by_seg_attr_value : (string * vkey, int array) Hashtbl.t;
+  by_obj_attr : (string, int array) Hashtbl.t;
+  by_obj_attr_value : (string * vkey, int array) Hashtbl.t;
+  seg_points : (string, points) Hashtbl.t;
+  obj_points : (string * int, points) Hashtbl.t;
+  objects : int list;
+  types : string list;
 }
+
+(* Build-time accumulators: postings as reversed lists with head dedup
+   (segments are scanned in increasing id order), value points as
+   reversed raw lists plus the first offending non-indexable kind in
+   scan order (so the hoisted freeze-region pass reports the same error
+   the per-eval scan used to). *)
 
 let add_posting tbl key seg =
   let prev = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
-  (* segments are scanned in increasing id order; store reversed *)
   match prev with
   | s :: _ when s = seg -> ()
   | _ -> Hashtbl.replace tbl key (seg :: prev)
 
-let build store ~level =
-  let n = Video_model.Store.count_at store ~level in
-  let t =
-    {
-      level;
-      segment_count = n;
-      by_object = Hashtbl.create 64;
-      by_type = Hashtbl.create 64;
-      by_relationship = Hashtbl.create 16;
-    }
+type points_acc = {
+  mutable p_ints : int list;
+  mutable p_strs : string list;
+  mutable p_bad : [ `Float | `Bool ] option;
+}
+
+let add_point tbl key v =
+  let acc =
+    match Hashtbl.find_opt tbl key with
+    | Some acc -> acc
+    | None ->
+        let acc = { p_ints = []; p_strs = []; p_bad = None } in
+        Hashtbl.add tbl key acc;
+        acc
   in
+  match v with
+  | Value.Int k -> acc.p_ints <- k :: acc.p_ints
+  | Value.Str s -> acc.p_strs <- s :: acc.p_strs
+  | Value.Float _ -> if acc.p_bad = None then acc.p_bad <- Some `Float
+  | Value.Bool _ -> if acc.p_bad = None then acc.p_bad <- Some `Bool
+
+let finalize_postings tbl =
+  let out = Hashtbl.create (max 16 (Hashtbl.length tbl)) in
+  Hashtbl.iter
+    (fun k segs -> Hashtbl.replace out k (Array.of_list (List.rev segs)))
+    tbl;
+  out
+
+let finalize_points tbl =
+  let out = Hashtbl.create (max 16 (Hashtbl.length tbl)) in
+  Hashtbl.iter
+    (fun k acc ->
+      Hashtbl.replace out k
+        {
+          ints = List.sort_uniq compare acc.p_ints;
+          strs = List.sort_uniq compare acc.p_strs;
+          bad = acc.p_bad;
+        })
+    tbl;
+  out
+
+let build ?metrics store ~level =
+  (match metrics with
+  | Some m -> Obs.Metrics.incr m "picture.index.builds"
+  | None -> ());
+  let n = Video_model.Store.count_at store ~level in
+  let by_object = Hashtbl.create 64 in
+  let by_type = Hashtbl.create 64 in
+  let by_relationship = Hashtbl.create 16 in
+  let with_objects = Hashtbl.create 64 in
+  let by_seg_attr = Hashtbl.create 16 in
+  let by_seg_attr_value = Hashtbl.create 64 in
+  let by_obj_attr = Hashtbl.create 16 in
+  let by_obj_attr_value = Hashtbl.create 64 in
+  let seg_points = Hashtbl.create 16 in
+  let obj_points = Hashtbl.create 64 in
   for id = 1 to n do
     let meta = Video_model.Store.meta store ~level ~id in
     List.iter
       (fun (o : Metadata.Entity.t) ->
-        add_posting t.by_object o.id id;
-        add_posting t.by_type o.otype id)
+        add_posting by_object o.id id;
+        add_posting by_type o.otype id;
+        add_posting with_objects () id;
+        (* [Entity.attr] exposes "type" and "id" as virtual attributes;
+           index them alongside the stored ones so value postings and
+           freeze points agree with the evaluator. *)
+        List.iter
+          (fun (name, v) ->
+            add_posting by_obj_attr name id;
+            (match key_of_value v with
+            | Some k -> add_posting by_obj_attr_value (name, k) id
+            | None -> ());
+            add_point obj_points (name, o.id) v)
+          (("type", Value.Str o.otype) :: ("id", Value.Int o.id) :: o.attrs))
       meta.Metadata.Seg_meta.objects;
     List.iter
       (fun (r : Metadata.Relationship.t) ->
-        add_posting t.by_relationship r.name id)
-      meta.Metadata.Seg_meta.relationships
+        add_posting by_relationship r.name id)
+      meta.Metadata.Seg_meta.relationships;
+    List.iter
+      (fun (name, v) ->
+        add_posting by_seg_attr name id;
+        (match key_of_value v with
+        | Some k -> add_posting by_seg_attr_value (name, k) id
+        | None -> ());
+        add_point seg_points name v)
+      meta.Metadata.Seg_meta.attrs
   done;
-  t
+  let objects =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) by_object [])
+  in
+  let types =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) by_type [])
+  in
+  {
+    level;
+    segment_count = n;
+    by_object = finalize_postings by_object;
+    by_type = finalize_postings by_type;
+    by_relationship = finalize_postings by_relationship;
+    with_objects =
+      (match Hashtbl.find_opt with_objects () with
+      | Some segs -> Array.of_list (List.rev segs)
+      | None -> [||]);
+    by_seg_attr = finalize_postings by_seg_attr;
+    by_seg_attr_value = finalize_postings by_seg_attr_value;
+    by_obj_attr = finalize_postings by_obj_attr;
+    by_obj_attr_value = finalize_postings by_obj_attr_value;
+    seg_points = finalize_points seg_points;
+    obj_points = finalize_points obj_points;
+    objects;
+    types;
+  }
 
 let postings tbl key =
-  List.rev (Option.value ~default:[] (Hashtbl.find_opt tbl key))
+  Option.value ~default:[||] (Hashtbl.find_opt tbl key)
 
 let segments_of_object t oid = postings t.by_object oid
 let segments_of_type t name = postings t.by_type name
 let segments_of_relationship t name = postings t.by_relationship name
+let segments_with_objects t = t.with_objects
+let segments_with_seg_attr t name = postings t.by_seg_attr name
 
-let objects_at_level t =
-  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.by_object [])
+let segments_with_seg_attr_value t name v =
+  match key_of_value v with
+  | None -> [||]
+  | Some k -> postings t.by_seg_attr_value (name, k)
 
+let segments_with_obj_attr t name = postings t.by_obj_attr name
+
+let segments_with_obj_attr_value t name v =
+  match key_of_value v with
+  | None -> [||]
+  | Some k -> postings t.by_obj_attr_value (name, k)
+
+let seg_attr_points t name =
+  Option.value ~default:no_points (Hashtbl.find_opt t.seg_points name)
+
+let obj_attr_points t name ~oid =
+  Option.value ~default:no_points (Hashtbl.find_opt t.obj_points (name, oid))
+
+let objects_at_level t = t.objects
+let types_at_level t = t.types
 let level t = t.level
 let segment_count t = t.segment_count
+
+module Registry = struct
+  type index = t
+
+  type nonrec t = {
+    mutex : Mutex.t;
+    mutable version : int;
+    tbl : (int, index) Hashtbl.t;
+  }
+
+  let create () = { mutex = Mutex.create (); version = -1; tbl = Hashtbl.create 4 }
+
+  let get r ?metrics store ~level =
+    Mutex.protect r.mutex (fun () ->
+        let v = Video_model.Store.version store in
+        if v <> r.version then begin
+          Hashtbl.reset r.tbl;
+          r.version <- v
+        end;
+        match Hashtbl.find_opt r.tbl level with
+        | Some idx ->
+            (match metrics with
+            | Some m -> Obs.Metrics.incr m "picture.index.registry_hits"
+            | None -> ());
+            idx
+        | None ->
+            let idx = build ?metrics store ~level in
+            Hashtbl.add r.tbl level idx;
+            idx)
+end

@@ -1,22 +1,90 @@
-(** Inverted indices over one level of the video store, as used by the
-    picture retrieval system to find candidate segments for the conditions
-    of a query ([27] §"indices on spatial relationships"). *)
+(** Finalized inverted indices over one level of the video store, as
+    used by the picture retrieval system to find candidate segments for
+    the conditions of a query ([27] §"indices on spatial
+    relationships").
+
+    An index is built in one scan of the level and then immutable: every
+    posting list is a sorted (ascending, duplicate-free) [int array] of
+    global segment ids, ready for the galloping set operations in
+    {!Pruning} with no per-lookup reversal or sort.  Besides the
+    object/type/relationship families the index stores segment- and
+    object-attribute postings (name and (name, value)) and the hoisted
+    freeze-region point sets that {!Retrieval} previously recomputed per
+    evaluation. *)
 
 type t
 
-val build : Video_model.Store.t -> level:int -> t
+type points = {
+  ints : int list;  (** sorted distinct integer values seen *)
+  strs : string list;  (** sorted distinct string values seen *)
+  bad : [ `Float | `Bool ] option;
+      (** first non-indexable kind in segment scan order, if any — the
+          hoisted freeze-region pass reports it exactly as the per-eval
+          scan used to *)
+}
 
-val segments_of_object : t -> int -> int list
+val no_points : points
+
+val build : ?metrics:Obs.Metrics.t -> Video_model.Store.t -> level:int -> t
+(** Scan the level once and finalize.  Bumps the
+    [picture.index.builds] counter when a registry is supplied. *)
+
+val segments_of_object : t -> int -> int array
 (** Sorted global ids of the segments containing the object. *)
 
-val segments_of_type : t -> string -> int list
+val segments_of_type : t -> string -> int array
 (** Segments containing at least one object of exactly this type. *)
 
-val segments_of_relationship : t -> string -> int list
+val segments_of_relationship : t -> string -> int array
 (** Segments storing at least one relationship with this name. *)
+
+val segments_with_objects : t -> int array
+(** Segments containing at least one object. *)
+
+val segments_with_seg_attr : t -> string -> int array
+(** Segments where the segment attribute is defined. *)
+
+val segments_with_seg_attr_value : t -> string -> Metadata.Value.t -> int array
+(** Segments where the segment attribute equals the value (under
+    {!Metadata.Value.equal}'s Int/Float coercion).  Empty for NaN. *)
+
+val segments_with_obj_attr : t -> string -> int array
+(** Segments where some object defines the attribute.  The virtual
+    attributes "type" and "id" of {!Metadata.Entity.attr} are indexed,
+    so these two names cover every segment with objects. *)
+
+val segments_with_obj_attr_value : t -> string -> Metadata.Value.t -> int array
+(** Segments where some object's attribute equals the value. *)
+
+val seg_attr_points : t -> string -> points
+(** Every value the segment attribute takes across the level. *)
+
+val obj_attr_points : t -> string -> oid:int -> points
+(** Every value the attribute takes on this object across the level. *)
 
 val objects_at_level : t -> int list
 (** Sorted universal object ids present in at least one segment. *)
 
+val types_at_level : t -> string list
+(** Sorted object types present in at least one segment. *)
+
 val level : t -> int
 val segment_count : t -> int
+
+(** A per-context cache of finalized indexes, keyed by level and stamped
+    with {!Video_model.Store.version} — the same stamp [Engine.Cache]
+    uses, so any store mutation invalidates both.  Thread-safe: one
+    mutex serializes lookups and builds, giving build-once semantics
+    under the domain pool. *)
+module Registry : sig
+  type index = t
+  type t
+
+  val create : unit -> t
+
+  val get :
+    t -> ?metrics:Obs.Metrics.t -> Video_model.Store.t -> level:int -> index
+  (** The cached index for the store's current version, building it on
+      first use.  A version mismatch drops every cached level first.
+      Bumps [picture.index.registry_hits] on a hit. *)
+end

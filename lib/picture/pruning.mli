@@ -1,0 +1,44 @@
+(** Candidate pruning for atomic evaluation.
+
+    A non-temporal formula scores 0 on most segments of a large level —
+    an object that is not there, a relationship never stored, an
+    attribute undefined.  This module compiles the formula into a small
+    static {!plan} over {!Index} posting families whose evaluation is a
+    sorted candidate array covering the formula's {e nonzero support}:
+    every segment where the similarity can be nonzero is a candidate
+    (the converse need not hold — candidates may still score 0).
+    {!Retrieval} then scores only the candidates and writes 0 elsewhere.
+
+    Soundness under the weighted-sum semantics: a conjunction earns
+    partial credit from either conjunct, so [And] maps to {e union};
+    [Exists] maxes over witnesses, so its body is planned with the
+    variable bound; a free or unscoped object variable zeroes every
+    atom it appears in; taxonomy-graded type atoms widen to every type
+    with positive similarity; derived spatial relations widen to every
+    segment with objects (bounding boxes can satisfy them without a
+    stored tuple).  Anything outside the fragment degenerates to the
+    whole level ([describe] = [None]) and keeps the full scan. *)
+
+type plan
+
+val plan : Htl.Ast.t -> plan
+(** Static analysis only — needs no index, usable for EXPLAIN. *)
+
+val is_all : plan -> bool
+(** The plan covers the whole level (no pruning possible). *)
+
+val candidates : taxonomy:Taxonomy.t -> Index.t -> plan -> int array option
+(** Evaluate the plan: [None] when it covers the whole level, otherwise
+    the sorted candidate segment ids. *)
+
+val describe : plan -> string option
+(** Human-readable rendering for EXPLAIN ([None] when the plan is the
+    whole level), e.g. ["(objects | rel:holds)"]. *)
+
+val intersect : int array -> int array -> int array
+(** Intersection of sorted duplicate-free arrays by galloping
+    (doubling-probe + binary search) over the larger side:
+    O(small · log large). *)
+
+val union : int array -> int array -> int array
+(** Linear merge of sorted duplicate-free arrays. *)

@@ -13,10 +13,16 @@ type config = {
   taxonomy : Taxonomy.t;
   weights : Weights.t;
   max_rows : int;
+  prune : bool;
 }
 
 let default_config =
-  { taxonomy = Taxonomy.default; weights = Weights.default; max_rows = 20_000 }
+  {
+    taxonomy = Taxonomy.default;
+    weights = Weights.default;
+    max_rows = 20_000;
+    prune = true;
+  }
 
 (* Evaluation environments: an object variable bound to [None] is a
    wildcard — it stands for any object that appears nowhere in the data,
@@ -179,30 +185,54 @@ let y_atoms f y =
   in
   go ~local:[] [] f
 
+let merge_sorted_unique xs ys =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], l | l, [] -> l
+    | x :: xtl, y :: ytl ->
+        if x < y then x :: go xtl ys
+        else if y < x then y :: go xs ytl
+        else x :: go xtl ytl
+  in
+  go xs ys
+
 (* The elementary regions of [y] under a fixed object binding: ranges on
    which every comparison's truth is constant, each with a representative
-   value used to evaluate the formula on that region. *)
-let regions cfg store ~level ~n ~env_objs f y =
-  ignore cfg;
+   value used to evaluate the formula on that region.  The value points
+   come from the finalized index (sorted and deduplicated at build time),
+   not from a per-evaluation store scan. *)
+let regions idx ~env_objs f y =
   let atoms = y_atoms f y in
-  let ints = Hashtbl.create 16 and strs = Hashtbl.create 16 in
-  let env = { objs = env_objs; attrs = [] } in
-  List.iter
-    (fun (_, t) ->
-      for id = 1 to n do
-        match eval_term store ~level ~env ~id t with
-        | Some (Metadata.Value.Int k) -> Hashtbl.replace ints k ()
-        | Some (Metadata.Value.Str s) -> Hashtbl.replace strs s ()
-        | Some (Metadata.Value.Float _) ->
-            unsupported
-              "frozen attribute variables must range over integers (§3.3)"
-        | Some (Metadata.Value.Bool _) ->
-            unsupported "frozen attribute variables cannot be boolean"
-        | None -> ()
-      done)
-    atoms;
-  let int_points = List.sort compare (Hashtbl.fold (fun k () l -> k :: l) ints [])
-  and str_points = Hashtbl.fold (fun k () l -> k :: l) strs [] in
+  let n = Index.segment_count idx in
+  let raise_bad = function
+    | `Float ->
+        unsupported "frozen attribute variables must range over integers (§3.3)"
+    | `Bool -> unsupported "frozen attribute variables cannot be boolean"
+  in
+  let add_points (ints, strs) (p : Index.points) =
+    (match p.Index.bad with Some b -> raise_bad b | None -> ());
+    ( merge_sorted_unique p.Index.ints ints,
+      merge_sorted_unique p.Index.strs strs )
+  in
+  let add (ints, strs) (_, t) =
+    match t with
+    | Const v ->
+        if n = 0 then (ints, strs)
+        else (
+          match v with
+          | Metadata.Value.Int k -> (merge_sorted_unique [ k ] ints, strs)
+          | Metadata.Value.Str s -> (ints, merge_sorted_unique [ s ] strs)
+          | Metadata.Value.Float _ -> raise_bad `Float
+          | Metadata.Value.Bool _ -> raise_bad `Bool)
+    | Attr_var _ -> (ints, strs) (* rejected by [y_atoms] *)
+    | Obj_attr (q, x) -> (
+        match List.assoc_opt x env_objs with
+        | Some (Some oid) ->
+            add_points (ints, strs) (Index.obj_attr_points idx q ~oid)
+        | Some None | None -> (ints, strs))
+    | Seg_attr q -> add_points (ints, strs) (Index.seg_attr_points idx q)
+  in
+  let int_points, str_points = List.fold_left add ([], []) atoms in
   match (int_points, str_points) with
   | [], [] -> [ (Range.full_int, Metadata.Value.Int 0) ]
   | _ :: _, _ :: _ ->
@@ -237,33 +267,41 @@ let cartesian options_per_var =
       List.concat_map (fun o -> List.map (fun rest -> o :: rest) acc) options)
     options_per_var [ [] ]
 
-let merge_sorted_unique xs ys =
-  let rec go xs ys =
-    match (xs, ys) with
-    | [], l | l, [] -> l
-    | x :: xtl, y :: ytl ->
-        if x < y then x :: go xtl ys
-        else if y < x then y :: go xs ytl
-        else x :: go xtl ytl
-  in
-  go xs ys
-
-let eval ?(config = default_config) ?pool ?tracer ?metrics store ~level f =
+let eval ?(config = default_config) ?pool ?tracer ?metrics ?index store ~level f
+    =
   validate f;
   let max_total = Weights.total config.weights f in
   let obj_vars = free_obj_vars f in
   let attr_vars = free_attr_vars f in
-  let idx = Index.build store ~level in
+  let idx =
+    match index with
+    | Some idx ->
+        if Index.level idx <> level then
+          invalid_arg "Picture.Retrieval.eval: index level mismatch";
+        idx
+    | None -> Index.build ?metrics store ~level
+  in
   let n = Index.segment_count idx in
   let support = Index.objects_at_level idx in
   (* segments scanned, per level: one count per segment scored (full
-     scans and candidate rescans both) *)
+     scans, pruned scans and candidate rescans alike) *)
   let scanned k =
     match metrics with
     | Some m ->
         Obs.Metrics.incr m ~by:k
           (Printf.sprintf "picture.segments_scanned.l%d" level)
     | None -> ()
+  in
+  (* Candidate pruning: a static plan over the index's posting families
+     covering every segment where the formula can score nonzero.  [None]
+     means the plan degenerated to the whole level — keep the plain
+     scan.  The plan only depends on the formula shape (attribute
+     variables are value-independent), so one candidate array serves
+     every region combination's base scan. *)
+  let pruned =
+    if config.prune then
+      Pruning.candidates ~taxonomy:config.taxonomy idx (Pruning.plan f)
+    else None
   in
   let combo_count =
     Float.pow (float_of_int (1 + List.length support))
@@ -286,28 +324,43 @@ let eval ?(config = default_config) ?pool ?tracer ?metrics store ~level f =
   (* Scoring reads the store, taxonomy and weights only, so a segment
      scan chunks across the pool freely; candidate rescans write disjoint
      slots of a private copy. *)
+  let rescore_into arr ~env ~(candidates : int array) =
+    let rescore id = arr.(id - 1) <- score config store ~level ~env ~id f in
+    (match pool with
+    | Some p ->
+        Parallel.Pool.iter_chunks p (Array.length candidates) (fun ~lo ~hi ->
+            for k = lo to hi do
+              rescore candidates.(k)
+            done)
+    | None -> Array.iter rescore candidates);
+    arr
+  in
   let score_all ~env_objs ~attrs ~only =
     let env = { objs = env_objs; attrs } in
     match only with
     | None -> (
-        scanned n;
-        let cell i = score config store ~level ~env ~id:(i + 1) f in
-        match pool with
-        | Some p -> Parallel.Pool.parallel_init p n cell
-        | None -> Array.init n cell)
+        match pruned with
+        | Some candidates ->
+            scanned (Array.length candidates);
+            (match metrics with
+            | Some m ->
+                Obs.Metrics.incr m
+                  ~by:(Array.length candidates)
+                  "picture.index.candidates";
+                Obs.Metrics.incr m
+                  ~by:(n - Array.length candidates)
+                  "picture.index.pruned_segments"
+            | None -> ());
+            rescore_into (Array.make n 0.) ~env ~candidates
+        | None -> (
+            scanned n;
+            let cell i = score config store ~level ~env ~id:(i + 1) f in
+            match pool with
+            | Some p -> Parallel.Pool.parallel_init p n cell
+            | None -> Array.init n cell))
     | Some (base, candidates) ->
-        scanned (List.length candidates);
-        let arr = Array.copy base in
-        let rescore id = arr.(id - 1) <- score config store ~level ~env ~id f in
-        (match pool with
-        | Some p ->
-            let cand = Array.of_list candidates in
-            Parallel.Pool.iter_chunks p (Array.length cand) (fun ~lo ~hi ->
-                for k = lo to hi do
-                  rescore cand.(k)
-                done)
-        | None -> List.iter rescore candidates);
-        arr
+        scanned (Array.length candidates);
+        rescore_into (Array.copy base) ~env ~candidates
   in
   let span_of f =
     match tracer with
@@ -319,6 +372,10 @@ let eval ?(config = default_config) ?pool ?tracer ?metrics store ~level f =
               ("level", string_of_int level);
               ("segments", string_of_int n);
               ("combos", string_of_int (List.length combos));
+              ( "pruning",
+                match pruned with
+                | Some c -> string_of_int (Array.length c)
+                | None -> "full" );
             ]
           f
   in
@@ -328,8 +385,7 @@ let eval ?(config = default_config) ?pool ?tracer ?metrics store ~level f =
     (fun combo ->
       let bound = List.filter_map (fun (x, o) -> Option.map (fun o -> (x, o)) o) combo in
       let region_sets =
-        List.map (fun y -> regions config store ~level ~n ~env_objs:combo f y)
-          attr_vars
+        List.map (fun y -> regions idx ~env_objs:combo f y) attr_vars
       in
       let region_combos = cartesian region_sets in
       List.iter
@@ -359,8 +415,8 @@ let eval ?(config = default_config) ?pool ?tracer ?metrics store ~level f =
               let candidates =
                 List.fold_left
                   (fun acc (_, oid) ->
-                    merge_sorted_unique acc (Index.segments_of_object idx oid))
-                  [] bound
+                    Pruning.union acc (Index.segments_of_object idx oid))
+                  [||] bound
               in
               score_all ~env_objs:combo ~attrs ~only:(Some (base, candidates))
           in

@@ -25,6 +25,11 @@ type config = {
   taxonomy : Taxonomy.t;
   weights : Weights.t;
   max_rows : int;  (** evaluation-enumeration safety cap *)
+  prune : bool;
+      (** when true (the default), base scans restrict to the candidate
+          segments of a {!Pruning} plan whenever the formula provably
+          scores 0 elsewhere; false forces full scans (the [--no-index]
+          debugging mode) *)
 }
 
 val default_config : config
@@ -34,6 +39,7 @@ val eval :
   ?pool:Parallel.Pool.t ->
   ?tracer:Obs.Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?index:Index.t ->
   Video_model.Store.t ->
   level:int ->
   Htl.Ast.t ->
@@ -44,10 +50,15 @@ val eval :
     scoring only reads the store, so results are identical.  Callers
     decide the sequential cutoff — pass [pool] only when the level is
     big enough to be worth it (see {!Engine.Context.pool_for}).
+    With [index], reuse a prebuilt index for this store and [level]
+    (normally the context registry's — [Invalid_argument] on a level
+    mismatch); otherwise one is built here.
     With [tracer], the scan records a ["picture.eval"] span (level,
-    segment and combination counts); with [metrics], every scored
-    segment counts toward the [picture.segments_scanned.l<level>]
-    counter — full scans and candidate rescans both.
+    segment, combination and pruning counts); with [metrics], every
+    scored segment counts toward the
+    [picture.segments_scanned.l<level>] counter — full scans, pruned
+    scans and candidate rescans alike — and pruned base scans record
+    [picture.index.candidates] / [picture.index.pruned_segments].
     @raise Unsupported as described above. *)
 
 val score_at :

@@ -39,9 +39,81 @@ for an analyzed run, which is not cram-stable):
   backend: direct
   
   type1.until
-    type1.atom {formula=man_woman}
-    type1.atom {formula=moving_train}
+    type1.atom {formula=man_woman, access=table}
+    type1.atom {formula=moving_train, access=table}
   
+
+
+Over a store dataset, EXPLAIN annotates each atom with its access
+path: the index candidate plan the pruning pass will intersect, or
+"scan" when pruning is off (--no-index) or the plan covers the level:
+
+  $ ../bin/htlq.exe --dataset casablanca-store --explain \
+  >     --query 'exists z . (present(z) and type(z) = "train")'
+  query:   (exists z . (present(z) and type(z) = "train"))
+  class:   type (1)
+  backend: direct
+  
+  type1.atom {formula=(exists z . (present(z) and type(z) = "train")), access=index: (objects | type~train)}
+  
+
+
+
+  $ ../bin/htlq.exe --dataset casablanca-store --explain --no-index \
+  >     --query 'exists z . (present(z) and type(z) = "train")'
+  query:   (exists z . (present(z) and type(z) = "train"))
+  class:   type (1)
+  backend: direct
+  
+  type1.atom {formula=(exists z . (present(z) and type(z) = "train")), access=scan}
+  
+
+
+
+--no-index only changes the access path, never the results — the same
+query over the store, pruned and full-scan:
+
+  $ ../bin/htlq.exe --dataset casablanca-store --top 3 \
+  >     --query 'exists z . (present(z) and type(z) = "train")'
+  formula class: type (1)
+  
+  Start    End      Sim
+  9        9        2.000000
+  1        4        1.062500
+  6        6        1.062500
+  8        8        1.062500
+  10       44       1.062500
+  47       49       1.062500
+  
+  
+  top 3 segments:
+    segment 9: 2.0000 (fraction 1.000)
+    segment 1: 1.0625 (fraction 0.531)
+    segment 2: 1.0625 (fraction 0.531)
+
+
+
+
+  $ ../bin/htlq.exe --dataset casablanca-store --top 3 --no-index \
+  >     --query 'exists z . (present(z) and type(z) = "train")'
+  formula class: type (1)
+  
+  Start    End      Sim
+  9        9        2.000000
+  1        4        1.062500
+  6        6        1.062500
+  8        8        1.062500
+  10       44       1.062500
+  47       49       1.062500
+  
+  
+  top 3 segments:
+    segment 9: 2.0000 (fraction 1.000)
+    segment 1: 1.0625 (fraction 0.531)
+    segment 2: 1.0625 (fraction 0.531)
+
+
+
 
 
 A general formula is a query error (stderr, exit 1), not a crash:
@@ -126,3 +198,10 @@ rows carry live timings, so only the verdict line is cram-stable:
   $ ../bench/main.exe --check --baseline ../BENCH_cache.json \
   >     --tolerance -1 > /dev/null
   [1]
+
+The index section's baseline goes through the same gate (registry,
+pruning and selectivity rows):
+
+  $ ../bench/main.exe --check --baseline ../BENCH_index.json \
+  >     --tolerance 1e9 | tail -1
+  no regressions (tolerance 1e+09)

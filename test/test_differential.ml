@@ -281,6 +281,64 @@ let accounted_store_prop ?videos (seed, f) =
   let ctx = Context.of_store (store_of_seed ?videos seed) in
   accounted_differential ctx f
 
+(* --- pruned vs full scan ---------------------------------------------------
+
+   Candidate pruning through the finalized index must be observationally
+   identical to the full scan it replaces: same similarity list (exactly
+   — segments outside a sound candidate set contribute credit 0), or the
+   same refusal, on both backends, sequentially and across pool sizes
+   1/2 with the cutoff forced to 0.  A pruning bug (unsound candidate
+   plan, broken galloping intersection, stale postings) shows up here as
+   a pruned/full divergence on some generated formula. *)
+let pruning_differential store f =
+  let outcome ctx backend =
+    match Query.run ~backend ctx f with
+    | list -> Ok list
+    | exception Query.Error msg -> Error msg
+  in
+  let full_config =
+    { Picture.Retrieval.default_config with prune = false }
+  in
+  let pruned = Context.of_store store in
+  let full = Context.of_store ~config:full_config store in
+  let variants ctx =
+    (Context.without_cache ctx, "sequential")
+    :: List.map
+         (fun pool ->
+           ( Context.with_pool ~par_cutoff:0 (Context.without_cache ctx) pool,
+             Printf.sprintf "%d domains" (Parallel.Pool.domain_count pool) ))
+         (List.filteri (fun i _ -> i < 2) (Lazy.force pools))
+  in
+  List.iter
+    (fun (bname, backend) ->
+      List.iter2
+        (fun (pctx, label) (fctx, _) ->
+          match (outcome pctx backend, outcome fctx backend) with
+          | Ok a, Ok b ->
+              if not (Sim_list.equal a b) then
+                QCheck.Test.fail_reportf
+                  "pruned (%s, %s) differs from full scan on %s" bname label
+                  (Htl.Pretty.to_string f)
+          | Error _, Error _ -> ()
+          | Ok _, Error msg ->
+              QCheck.Test.fail_reportf
+                "full scan (%s, %s) refused %s that pruned accepted: %s" bname
+                label
+                (Htl.Pretty.to_string f)
+                msg
+          | Error msg, Ok _ ->
+              QCheck.Test.fail_reportf
+                "pruned (%s, %s) refused %s that full scan accepted: %s" bname
+                label
+                (Htl.Pretty.to_string f)
+                msg)
+        (variants pruned) (variants full))
+    [ ("direct", Query.Direct_backend); ("sql", Query.Sql_backend_choice) ];
+  true
+
+let pruning_store_prop ?videos (seed, f) =
+  pruning_differential (store_of_seed ?videos seed) f
+
 let traced_table_prop (seed, f) =
   let rng = Workload.Rng.make seed in
   let n = 10 + Workload.Rng.int rng 40 in
@@ -329,6 +387,18 @@ let suites =
           par_store_prop
           (Helpers.arb_store_formula Helpers.gen_conjunctive_formula);
         Helpers.qtest ~count:40 "parallel = sequential (mixed)" par_store_prop
+          (Helpers.arb_store_formula Helpers.gen_closed_formula);
+        Helpers.qtest ~count:40 "pruned = full scan (type 1)"
+          (pruning_store_prop ~videos:2)
+          (Helpers.arb_store_formula Helpers.gen_type1_formula);
+        Helpers.qtest ~count:40 "pruned = full scan (type 2)"
+          pruning_store_prop
+          (Helpers.arb_store_formula Helpers.gen_type2_formula);
+        Helpers.qtest ~count:40 "pruned = full scan (conjunctive)"
+          pruning_store_prop
+          (Helpers.arb_store_formula Helpers.gen_conjunctive_formula);
+        Helpers.qtest ~count:40 "pruned = full scan (mixed)"
+          pruning_store_prop
           (Helpers.arb_store_formula Helpers.gen_closed_formula);
         Helpers.qtest ~count:40 "traced = untraced (tables)" traced_table_prop
           (Helpers.arb_table_formula ~names:table_names ());
