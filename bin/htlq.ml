@@ -216,39 +216,71 @@ let dataset_arg =
   in
   Arg.conv (parse, print)
 
-let cmd =
-  let dataset =
-    Arg.(
-      value
-      & opt dataset_arg Casablanca
-      & info [ "dataset" ] ~docv:"NAME"
-          ~doc:
-            "Dataset: casablanca (the paper's Tables 1-2 as input), \
-             casablanca-store (meta-data reconstruction), gulf (the \
-             4-level Gulf-war video).")
+(* --- argument terms shared between the subcommands -------------------------- *)
+
+let dataset_t =
+  Arg.(
+    value
+    & opt dataset_arg Casablanca
+    & info [ "dataset" ] ~docv:"NAME"
+        ~doc:
+          "Dataset: casablanca (the paper's Tables 1-2 as input), \
+           casablanca-store (meta-data reconstruction), gulf (the \
+           4-level Gulf-war video).")
+
+let synthetic_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "synthetic" ] ~docv:"N"
+        ~doc:"Use N random segments with atomic predicates p1, p2, p3.")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let level_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "level" ] ~docv:"L"
+        ~doc:"Hierarchy level the query is asserted on (default: leaves).")
+
+let threshold_t =
+  Arg.(
+    value & opt float 0.5
+    & info [ "threshold" ] ~doc:"Fractional until-threshold.")
+
+let load_store_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "load-store" ] ~docv:"FILE"
+        ~doc:"Load a video store saved by the storage library.")
+
+let load_tables_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "load-tables" ] ~docv:"FILE"
+        ~doc:"Load a bundle of atomic similarity tables.")
+
+(* (dataset, seed, level, threshold), with --synthetic / --load-store /
+   --load-tables taking precedence over --dataset *)
+let context_args_t =
+  let combine dataset synthetic load_store load_tables seed level threshold =
+    let dataset =
+      match (synthetic, load_store, load_tables) with
+      | Some n, _, _ -> Synthetic n
+      | None, Some path, _ -> Store_file path
+      | None, None, Some path -> Tables_file path
+      | None, None, None -> dataset
+    in
+    (dataset, seed, level, threshold)
   in
-  let synthetic =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "synthetic" ] ~docv:"N"
-          ~doc:"Use N random segments with atomic predicates p1, p2, p3.")
-  in
-  let seed =
-    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
-  in
-  let level =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "level" ] ~docv:"L"
-          ~doc:"Hierarchy level the query is asserted on (default: leaves).")
-  in
-  let threshold =
-    Arg.(
-      value & opt float 0.5
-      & info [ "threshold" ] ~doc:"Fractional until-threshold.")
-  in
+  Term.(
+    const combine $ dataset_t $ synthetic_t $ load_store_t $ load_tables_t
+    $ seed_t $ level_t $ threshold_t)
+
+let query_cmd_term =
   let backend =
     Arg.(
       value & opt string "direct"
@@ -329,34 +361,233 @@ let cmd =
              every segment of the level (the pre-index behaviour, for A/B \
              debugging).  Results are identical either way.")
   in
-  let load_store =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "load-store" ] ~docv:"FILE"
-          ~doc:"Load a video store saved by the storage library.")
-  in
-  let load_tables =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "load-tables" ] ~docv:"FILE"
-          ~doc:"Load a bundle of atomic similarity tables.")
-  in
-  let combine dataset synthetic load_store load_tables seed level threshold
-      backend query top classify_only explain trace metrics prom trace_out
-      slow_ms no_index =
-    let dataset =
-      match (synthetic, load_store, load_tables) with
-      | Some n, _, _ -> Synthetic n
-      | None, Some path, _ -> Store_file path
-      | None, None, Some path -> Tables_file path
-      | None, None, None -> dataset
-    in
+  let combine (dataset, seed, level, threshold) backend query top
+      classify_only explain trace metrics prom trace_out slow_ms no_index =
     run dataset seed level threshold backend query top classify_only explain
       trace metrics prom trace_out slow_ms no_index
   in
+  Term.(
+    const combine $ context_args_t $ backend $ query $ top $ classify_only
+    $ explain $ trace $ metrics $ prom $ trace_out $ slow_ms $ no_index)
+
+(* --- htlq serve -------------------------------------------------------------- *)
+
+let serve_run (dataset, seed, level, threshold) host port port_file workers
+    queue_capacity timeout_ms io_timeout_ms max_body domains slow_ms =
+  match make_context dataset seed level threshold with
+  | exception (Sys_error msg | Failure msg) ->
+      Format.eprintf "serve: %s@." msg;
+      exit_query_error
+  | ctx -> (
+      let pool =
+        if domains > 0 then Some (Parallel.Pool.create ~domains ()) else None
+      in
+      let ctx =
+        match pool with
+        | Some p -> Engine.Context.with_pool ctx p
+        | None -> ctx
+      in
+      let querylog =
+        Obs.Querylog.create ~threshold_s:(slow_ms /. 1000.) ()
+      in
+      let state = Htl_server.Router.make ~querylog ctx in
+      let config =
+        {
+          Htl_server.Server.default_config with
+          host;
+          port;
+          workers;
+          queue_capacity;
+          request_timeout_s = timeout_ms /. 1000.;
+          io_timeout_s = io_timeout_ms /. 1000.;
+          limits =
+            { Htl_server.Http.default_limits with max_body_bytes = max_body };
+        }
+      in
+      match Htl_server.Server.start ~config state with
+      | exception Unix.Unix_error (e, _, _) ->
+          Format.eprintf "serve: cannot bind %s:%d: %s@." host port
+            (Unix.error_message e);
+          exit_query_error
+      | exception Failure msg ->
+          Format.eprintf "serve: %s@." msg;
+          exit_query_error
+      | server ->
+          Htl_server.Server.install_signal_handlers server;
+          let bound = Htl_server.Server.port server in
+          Option.iter
+            (fun path ->
+              Out_channel.with_open_text path (fun oc ->
+                  Printf.fprintf oc "%d\n" bound))
+            port_file;
+          (* "@." flushes, so a log-following test sees the banner as
+             soon as the socket is live *)
+          Format.printf
+            "htlq: serving on %s:%d (workers=%d, queue=%d, domains=%d)@." host
+            bound workers queue_capacity domains;
+          Htl_server.Server.wait server;
+          Option.iter Parallel.Pool.shutdown pool;
+          Format.printf "htlq: shutdown complete@.";
+          exit_ok)
+
+let serve_term =
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address (an IP literal).")
+  in
+  let port =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Port to listen on; 0 picks an ephemeral port.")
+  in
+  let port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:
+            "Write the bound port to $(docv) once listening — how \
+             scripts find an ephemeral port.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Connection worker threads.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission-control bound: accepted connections allowed to \
+             wait for a worker; beyond it new connections get 429.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt float 30000.
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline for /query and /batch; past it the \
+             client gets 503 (0 rejects every query — for tests).")
+  in
+  let io_timeout_ms =
+    Arg.(
+      value & opt float 10000.
+      & info [ "io-timeout-ms" ] ~docv:"MS"
+          ~doc:"Socket read/write timeout and keep-alive idle limit.")
+  in
+  let max_body =
+    Arg.(
+      value
+      & opt int Htl_server.Http.default_limits.Htl_server.Http.max_body_bytes
+      & info [ "max-body" ] ~docv:"BYTES" ~doc:"Request body size limit.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Domain pool for parallel evaluation shared by all requests \
+             (0: evaluate on the worker thread).")
+  in
+  let slow_ms =
+    Arg.(
+      value & opt float 100.
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:"Slow-query log threshold served at /slowlog.")
+  in
+  Term.(
+    const serve_run $ context_args_t $ host $ port $ port_file $ workers
+    $ queue $ timeout_ms $ io_timeout_ms $ max_body $ domains $ slow_ms)
+
+let serve_cmd =
   Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-running query service: POST /query, POST /batch, GET \
+          /metrics, GET /slowlog, GET /healthz over one warm context.")
+    serve_term
+
+(* --- htlq http ---------------------------------------------------------------- *)
+
+let http_run host port target body body_file timeout_ms =
+  let body =
+    match body_file with
+    | Some path -> Some (In_channel.with_open_bin path In_channel.input_all)
+    | None -> body
+  in
+  let meth = match body with Some _ -> "POST" | None -> "GET" in
+  match
+    Htl_server.Client.request ~timeout_s:(timeout_ms /. 1000.) ~host ~port
+      ~meth ~target ?body ()
+  with
+  | Error msg ->
+      Format.eprintf "http: %s@." msg;
+      exit_query_error
+  | Ok (status, _headers, body) ->
+      print_string body;
+      flush stdout;
+      if status >= 200 && status < 300 then exit_ok
+      else begin
+        Format.eprintf "http status %d@." status;
+        exit_query_error
+      end
+
+let http_term =
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Server address (an IP literal).")
+  in
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PATH" ~doc:"Request target, e.g. /healthz or /query.")
+  in
+  let body =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "body"; "d" ] ~docv:"JSON"
+          ~doc:"Request body; its presence makes the request a POST.")
+  in
+  let body_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "body-file" ] ~docv:"FILE"
+          ~doc:"Read the request body from $(docv) (overrides $(b,--body)).")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt float 30000.
+      & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Connect and IO timeout.")
+  in
+  Term.(
+    const http_run $ host $ port $ target $ body $ body_file $ timeout_ms)
+
+let http_cmd =
+  Cmd.v
+    (Cmd.info "http"
+       ~doc:
+         "Send one request to a running htlq server and print the response \
+          body (exit 1 on transport errors and non-2xx statuses).")
+    http_term
+
+let cmd =
+  Cmd.group ~default:query_cmd_term
     (Cmd.info "htlq" ~doc:"Similarity-based retrieval of videos with HTL"
        ~exits:
          [
@@ -365,9 +596,6 @@ let cmd =
              ~doc:"on query errors (syntax, unsupported formula, backend).";
            Cmd.Exit.info exit_usage ~doc:"on command-line usage errors.";
          ])
-    Term.(
-      const combine $ dataset $ synthetic $ load_store $ load_tables $ seed
-      $ level $ threshold $ backend $ query $ top $ classify_only $ explain
-      $ trace $ metrics $ prom $ trace_out $ slow_ms $ no_index)
+    [ serve_cmd; http_cmd ]
 
 let () = exit (Cmd.eval' ~term_err:exit_usage cmd)

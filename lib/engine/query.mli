@@ -23,6 +23,16 @@ val run_string :
   ?backend:backend -> Context.t -> string -> Simlist.Sim_list.t
 (** Parse then {!run}. *)
 
+val run_observed :
+  backend:backend -> Context.t -> Htl.Ast.t -> Simlist.Sim_list.t
+(** The observed evaluation path {!run} takes when the context carries a
+    tracer, metrics or a querylog: span, counters, latency/allocation
+    histograms and the slow-log record, whichever of the three are
+    attached.  Exposed for callers that hold a long-lived observed
+    context (the {!Server}) and want the bookkeeping unconditionally;
+    on a bare context it is just {!run} with extra clock reads.
+    @raise Error as {!run} does. *)
+
 val run_batch :
   ?backend:backend ->
   ?pool:Parallel.Pool.t ->

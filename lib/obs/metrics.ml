@@ -44,6 +44,34 @@ let kind_error name =
   invalid_arg
     (Printf.sprintf "Obs.Metrics: %S already registered with another kind" name)
 
+(* Pre-registration (PR 4's cache.hits/misses lesson, generalised): a
+   series that only appears once traffic exercises its code path makes
+   the first scrapes unstable — dashboards and goldens want every series
+   present from scrape one.  Declaring is idempotent and kind-checked
+   like any other touch. *)
+let declare_counter t name =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.cells name with
+      | Some (C _) -> ()
+      | Some _ -> kind_error name
+      | None -> Hashtbl.add t.cells name (C (ref 0)))
+
+let declare_histogram t name =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.cells name with
+      | Some (H _) -> ()
+      | Some _ -> kind_error name
+      | None ->
+          Hashtbl.add t.cells name
+            (H
+               {
+                 hcount = 0;
+                 hsum = 0.;
+                 hmin = Float.infinity;
+                 hmax = Float.neg_infinity;
+                 hbuckets = Array.make bucket_count 0;
+               }))
+
 let incr t ?(by = 1) name =
   Mutex.protect t.mutex (fun () ->
       match Hashtbl.find_opt t.cells name with
@@ -129,6 +157,10 @@ let pp_value ppf = function
   | Counter n -> Format.fprintf ppf "%d" n
   | Gauge v -> Format.fprintf ppf "%g" v
   | Histogram { count; sum; min; max; buckets = _ } ->
+      (* a declared-but-never-observed histogram has min/max at the
+         infinities; render the empty series as zeros *)
+      let min = if count = 0 then 0. else min
+      and max = if count = 0 then 0. else max in
       Format.fprintf ppf "count %d  sum %.6f  min %.6f  mean %.6f  max %.6f"
         count sum min
         (if count = 0 then 0. else sum /. float_of_int count)

@@ -13,6 +13,17 @@ val create : unit -> t
 val incr : t -> ?by:int -> string -> unit
 (** Bump a counter (created at 0). *)
 
+val declare_counter : t -> string -> unit
+(** Register the counter at 0 without bumping it, so the series appears
+    in every exposition from the first scrape (see
+    {!Export.prometheus}).  Idempotent; [Invalid_argument] when the name
+    is already registered with another kind. *)
+
+val declare_histogram : t -> string -> unit
+(** Register an empty histogram (count 0, all buckets 0) under the
+    shared {!bucket_bounds}.  Idempotent; [Invalid_argument] on a kind
+    mismatch. *)
+
 val set_gauge : t -> string -> float -> unit
 
 val observe : t -> string -> float -> unit

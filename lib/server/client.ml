@@ -1,0 +1,78 @@
+(* Minimal HTTP client: enough to drive the server from the CLI, the
+   tests and the bench without curl.  Requests always carry an explicit
+   Content-Length; responses come back through Http.read_response. *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off >= n then Ok ()
+    else
+      match Unix.write fd b off (n - off) with
+      | 0 -> Error "connection closed while sending the request"
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  go 0
+
+let reader_of_fd fd =
+  Http.reader (fun buf off len ->
+      let rec go () =
+        match Unix.read fd buf off len with
+        | n -> n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            raise Http.Read_timeout
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0
+      in
+      go ())
+
+type conn = { fd : Unix.file_descr; reader : Http.reader; host : string }
+
+let connect ?(timeout_s = 30.) ~host ~port () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; reader = reader_of_fd fd; host = Printf.sprintf "%s:%d" host port }
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let render ~keep_alive ~host ~meth ~target ~body =
+  let b = Buffer.create (String.length body + 128) in
+  Printf.bprintf b "%s %s HTTP/1.1\r\n" meth target;
+  Printf.bprintf b "Host: %s\r\n" host;
+  if body <> "" then Buffer.add_string b "Content-Type: application/json\r\n";
+  Printf.bprintf b "Content-Length: %d\r\n" (String.length body);
+  Printf.bprintf b "Connection: %s\r\n"
+    (if keep_alive then "keep-alive" else "close");
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let roundtrip_on ~keep_alive c ~meth ~target ~body =
+  match
+    write_all c.fd
+      (render ~keep_alive ~host:c.host ~meth ~target ~body)
+  with
+  | Error _ as e -> e
+  | Ok () -> Http.read_response c.reader
+
+let roundtrip c ~meth ~target ?(body = "") () =
+  roundtrip_on ~keep_alive:true c ~meth ~target ~body
+
+let request ?(timeout_s = 30.) ~host ~port ~meth ~target ?(body = "") () =
+  match connect ~timeout_s ~host ~port () with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
+  | exception Failure msg -> Error msg
+  | c ->
+      let r = roundtrip_on ~keep_alive:false c ~meth ~target ~body in
+      close c;
+      r

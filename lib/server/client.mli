@@ -1,0 +1,36 @@
+(** A one-shot HTTP client over {!Http}'s response parser — what the
+    [htlq http] subcommand, the cram tests and the serve bench use to
+    talk to a running server without any external tooling. *)
+
+val request :
+  ?timeout_s:float ->
+  host:string ->
+  port:int ->
+  meth:string ->
+  target:string ->
+  ?body:string ->
+  unit ->
+  (int * (string * string) list * string, string) result
+(** One request, [Connection: close]: connect, send, parse the response,
+    close.  [timeout_s] (default 30.) bounds the connect and each
+    read/write.  [Error msg] on refused connections, timeouts and
+    protocol violations. *)
+
+type conn
+(** A persistent keep-alive connection — the serve bench's closed-loop
+    clients reuse one per thread. *)
+
+val connect : ?timeout_s:float -> host:string -> port:int -> unit -> conn
+
+val roundtrip :
+  conn ->
+  meth:string ->
+  target:string ->
+  ?body:string ->
+  unit ->
+  (int * (string * string) list * string, string) result
+(** One request/response on the open connection ([Connection:
+    keep-alive]).  After an [Error] the connection is in an unknown
+    state — {!close} it. *)
+
+val close : conn -> unit

@@ -1,0 +1,273 @@
+(* HTTP/1.1 message reading and writing over a pull callback.
+
+   The parser is deliberately strict and small: request line, headers,
+   optional Content-Length body.  No chunked transfer encoding, no
+   continuation lines, no pipelining — the server rejects what it does
+   not speak rather than half-supporting it.  All the states a hostile
+   or broken client can produce (EOF mid-line, oversized headers, a
+   Content-Length lying about the body) map to typed errors the server
+   turns into status codes. *)
+
+exception Read_timeout
+
+type limits = { max_header_bytes : int; max_body_bytes : int }
+
+let default_limits = { max_header_bytes = 8192; max_body_bytes = 1 lsl 20 }
+
+type request = {
+  meth : string;
+  target : string;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type error =
+  | Closed
+  | Timeout
+  | Too_large of string
+  | Bad of string
+
+(* --- buffered pull reader -------------------------------------------------- *)
+
+(* One reader lives for the whole connection, so bytes buffered past a
+   request boundary survive into the next read_request call.  [pos] is
+   the consumed prefix of [buf]. *)
+type reader = {
+  read : bytes -> int -> int -> int;
+  chunk : bytes;
+  buf : Buffer.t;
+  mutable pos : int;
+}
+
+let reader read =
+  { read; chunk = Bytes.create 4096; buf = Buffer.create 512; pos = 0 }
+
+let fill c =
+  match c.read c.chunk 0 (Bytes.length c.chunk) with
+  | 0 -> false
+  | n ->
+      Buffer.add_subbytes c.buf c.chunk 0 n;
+      true
+
+let available c = Buffer.length c.buf - c.pos
+
+(* Drop the consumed prefix between messages so a long-lived keep-alive
+   connection does not accrete every request it ever carried. *)
+let compact c =
+  if c.pos > 0 && available c = 0 then begin
+    Buffer.clear c.buf;
+    c.pos <- 0
+  end
+
+(* Index of the first "\r\n\r\n" at or after [c.pos], or None. *)
+let find_terminator c =
+  let s = Buffer.contents c.buf in
+  let n = String.length s in
+  let rec go i =
+    if i + 3 >= n then None
+    else if
+      s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then Some i
+    else go (i + 1)
+  in
+  go c.pos
+
+let lowercase = String.lowercase_ascii
+let trim = String.trim
+
+let split_on_first ch s =
+  match String.index_opt s ch with
+  | None -> None
+  | Some i ->
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let parse_headers lines =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match split_on_first ':' line with
+        | None -> Error (Bad (Printf.sprintf "malformed header %S" line))
+        | Some (name, value) ->
+            let name = lowercase (trim name) in
+            if name = "" then
+              Error (Bad (Printf.sprintf "malformed header %S" line))
+            else go ((name, trim value) :: acc) rest)
+  in
+  go [] lines
+
+let header_assoc headers name = List.assoc_opt (lowercase name) headers
+
+(* Read up to the header terminator; the reader is left positioned at
+   the first body byte.  Returns the block without the terminator. *)
+let read_header_block ~limits c =
+  let rec go () =
+    match find_terminator c with
+    | Some i ->
+        let s = Buffer.contents c.buf in
+        let block = String.sub s c.pos (i - c.pos) in
+        c.pos <- i + 4;
+        if String.length block + 4 > limits.max_header_bytes then
+          Error (Too_large "header block")
+        else Ok block
+    | None ->
+        if available c > limits.max_header_bytes then
+          Error (Too_large "header block")
+        else if fill c then go ()
+        else if available c = 0 then Error Closed
+        else Error (Bad "unexpected end of stream inside the header block")
+  in
+  go ()
+
+let read_body ~limits c length =
+  if length > limits.max_body_bytes then Error (Too_large "body")
+  else
+    let rec go () =
+      if available c >= length then begin
+        let s = Buffer.sub c.buf c.pos length in
+        c.pos <- c.pos + length;
+        Ok s
+      end
+      else if fill c then go ()
+      else Error (Bad "unexpected end of stream inside the body")
+    in
+    go ()
+
+let content_length headers =
+  match header_assoc headers "content-length" with
+  | None -> Ok 0
+  | Some v -> (
+      match int_of_string_opt (trim v) with
+      | Some n when n >= 0 -> Ok n
+      | Some _ | None ->
+          Error (Bad (Printf.sprintf "invalid content-length %S" v)))
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ] when meth <> "" && target <> "" ->
+      if version <> "HTTP/1.1" && version <> "HTTP/1.0" then
+        Error (Bad (Printf.sprintf "unsupported version %S" version))
+      else Ok (meth, target, version)
+  | _ -> Error (Bad (Printf.sprintf "malformed request line %S" line))
+
+let read_request ?(limits = default_limits) c =
+  compact c;
+  let before = available c in
+  match
+    match read_header_block ~limits c with
+    | Error _ as e -> e
+    | Ok block -> (
+        match String.split_on_char '\n' block with
+        | [] -> Error (Bad "empty request")
+        | first :: rest -> (
+            match parse_request_line (strip_cr first) with
+            | Error _ as e -> e
+            | Ok (meth, target, version) -> (
+                match parse_headers (List.map strip_cr rest) with
+                | Error _ as e -> e
+                | Ok headers -> (
+                    match header_assoc headers "transfer-encoding" with
+                    | Some _ -> Error (Bad "transfer-encoding is not supported")
+                    | None -> (
+                        match content_length headers with
+                        | Error _ as e -> e
+                        | Ok length -> (
+                            match read_body ~limits c length with
+                            | Error _ as e -> e
+                            | Ok body ->
+                                Ok { meth; target; version; headers; body }))))))
+  with
+  | r -> r
+  | exception Read_timeout ->
+      (* an idle keep-alive connection timing out is a clean close; a
+         timeout after bytes arrived is a stalled request *)
+      if available c > before then Error Timeout else Error Closed
+
+let header req name = header_assoc req.headers name
+
+let keep_alive req =
+  match Option.map lowercase (header req "connection") with
+  | Some "close" -> false
+  | Some "keep-alive" -> true
+  | Some _ | None -> req.version = "HTTP/1.1"
+
+(* --- responses ------------------------------------------------------------- *)
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+let response ?(headers = []) ~status body = { status; headers; body }
+
+let reason_phrase = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Payload Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let to_string ?(keep_alive = false) r =
+  let b = Buffer.create (String.length r.body + 128) in
+  Printf.bprintf b "HTTP/1.1 %d %s\r\n" r.status (reason_phrase r.status);
+  List.iter (fun (k, v) -> Printf.bprintf b "%s: %s\r\n" k v) r.headers;
+  Printf.bprintf b "Content-Length: %d\r\n" (String.length r.body);
+  Printf.bprintf b "Connection: %s\r\n"
+    (if keep_alive then "keep-alive" else "close");
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b r.body;
+  Buffer.contents b
+
+(* --- client-side response parsing ------------------------------------------ *)
+
+let read_response ?(limits = default_limits) c =
+  compact c;
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match
+    match read_header_block ~limits c with
+    | Error Closed -> fail "connection closed before a response"
+    | Error Timeout -> fail "response timed out"
+    | Error (Too_large what) -> fail "response %s too large" what
+    | Error (Bad msg) -> fail "%s" msg
+    | Ok block -> (
+        match List.map strip_cr (String.split_on_char '\n' block) with
+        | [] -> fail "empty response"
+        | status_line :: header_lines -> (
+            let code =
+              match String.split_on_char ' ' status_line with
+              | version :: code :: _
+                when String.length version >= 5
+                     && String.sub version 0 5 = "HTTP/" ->
+                  int_of_string_opt code
+              | _ -> None
+            in
+            match code with
+            | None -> fail "malformed status line %S" status_line
+            | Some code -> (
+                match parse_headers header_lines with
+                | Error (Bad msg) -> fail "%s" msg
+                | Error _ -> fail "malformed response headers"
+                | Ok headers -> (
+                    match content_length headers with
+                    | Error _ -> fail "invalid response content-length"
+                    | Ok length -> (
+                        match read_body ~limits c length with
+                        | Ok body -> Ok (code, headers, body)
+                        | Error (Bad msg) -> fail "%s" msg
+                        | Error (Too_large what) ->
+                            fail "response %s too large" what
+                        | Error Closed | Error Timeout ->
+                            fail "connection lost inside the response body")))))
+  with
+  | r -> r
+  | exception Read_timeout -> fail "response timed out"

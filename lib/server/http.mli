@@ -1,0 +1,91 @@
+(** A minimal HTTP/1.1 message layer over pluggable byte reads — just
+    enough protocol for {!Server}: request parsing with hard size
+    limits, response rendering, and client-side response parsing for
+    {!Client} and the tests.
+
+    Nothing here touches a socket: the parser pulls bytes through a
+    [read] callback (the server wraps [Unix.read], the unit tests wrap a
+    string), so every protocol corner — truncated bodies, oversized
+    payloads, split reads, timeouts — is testable in memory. *)
+
+exception Read_timeout
+(** The [read] callback raises this when the underlying transport timed
+    out (the server maps [EAGAIN]/[EWOULDBLOCK] under [SO_RCVTIMEO] to
+    it); the parser turns it into {!Timeout} or a clean {!Closed}
+    depending on whether the request had started. *)
+
+type limits = {
+  max_header_bytes : int;
+      (** request line + headers, terminator included (default 8192) *)
+  max_body_bytes : int;  (** declared Content-Length cap (default 1 MiB) *)
+}
+
+val default_limits : limits
+
+type request = {
+  meth : string;  (** verbatim, e.g. ["GET"] *)
+  target : string;  (** the request target, e.g. ["/query"] *)
+  version : string;  (** ["HTTP/1.1"] *)
+  headers : (string * string) list;
+      (** names lowercased, values trimmed, in order *)
+  body : string;
+}
+
+type error =
+  | Closed
+      (** the peer closed (or went idle past the timeout) before sending
+          anything — the clean end of a keep-alive connection, not a
+          protocol error *)
+  | Timeout  (** the transport timed out mid-request *)
+  | Too_large of string
+      (** headers or declared body beyond {!limits}; the message says
+          which *)
+  | Bad of string  (** malformed request; the message says how *)
+
+type reader
+(** Buffered byte source.  One reader lives for a whole connection, so
+    bytes buffered past a message boundary carry into the next parse
+    call. *)
+
+val reader : (bytes -> int -> int -> int) -> reader
+(** Wrap a pull callback: [read buf off len] writes at most [len] bytes
+    into [buf] at [off] and returns how many (0 for end of stream). *)
+
+val read_request :
+  ?limits:limits -> reader -> (request, error) result
+(** Pull one request through the reader.  The body is read iff a valid
+    [Content-Length] is present; requests without one have an empty
+    body ([Transfer-Encoding] is not supported and yields {!Bad}). *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup (names are stored lowercased). *)
+
+val keep_alive : request -> bool
+(** HTTP/1.1 defaults to persistent unless [Connection: close];
+    HTTP/1.0 to close unless [Connection: keep-alive]. *)
+
+(** {1 Responses} *)
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+      (** extra headers; [Content-Length] and [Connection] are added by
+          {!to_string} *)
+  body : string;
+}
+
+val response : ?headers:(string * string) list -> status:int -> string -> response
+
+val reason_phrase : int -> string
+(** ["OK"], ["Not Found"], ... — ["Unknown"] for unmapped codes. *)
+
+val to_string : ?keep_alive:bool -> response -> string
+(** Render status line, headers (caller's first, then [Content-Length]
+    and [Connection: keep-alive|close]), blank line, body. *)
+
+(** {1 Client side} *)
+
+val read_response :
+  ?limits:limits -> reader -> (int * (string * string) list * string, string) result
+(** Parse one response: status code, lowercased headers, body (requires
+    [Content-Length]; this layer never sends chunked replies). *)

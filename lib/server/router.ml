@@ -1,0 +1,353 @@
+(* Routing and the JSON wire format.  Everything here is pure with
+   respect to the transport: Http.request in, Http.response out.  The
+   engine context is the warm shared state — subformula cache, index
+   registry, metrics — and is already thread-safe, so concurrent calls
+   to [handle] need no router-level lock. *)
+
+module Json = Obs.Json
+
+(* --- wire format ----------------------------------------------------------- *)
+
+type query_req = {
+  q : string;
+  level : int option;
+  k : int;
+  backend : Engine.Query.backend;
+  explain : bool;
+}
+
+let default_k = 10
+
+let backend_name = function
+  | Engine.Query.Direct_backend -> "direct"
+  | Engine.Query.Sql_backend_choice -> "sql"
+
+let backend_of_name = function
+  | "direct" -> Ok Engine.Query.Direct_backend
+  | "sql" -> Ok Engine.Query.Sql_backend_choice
+  | other -> Error (Printf.sprintf "unknown backend %S (use direct or sql)" other)
+
+let query_req_to_json r =
+  Json.Obj
+    (("query", Json.String r.q)
+     :: (match r.level with
+        | Some l -> [ ("level", Json.Int l) ]
+        | None -> [])
+    @ [
+        ("k", Json.Int r.k);
+        ("backend", Json.String (backend_name r.backend));
+        ("explain", Json.Bool r.explain);
+      ])
+
+(* The fields /query and /batch share: level, k, backend, explain. *)
+let shared_fields_of_json json =
+  let ( let* ) = Result.bind in
+  let field name = Json.member name json in
+  let* level =
+    match field "level" with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.Int l) -> Ok (Some l)
+    | Some _ -> Error "\"level\" must be an integer"
+  in
+  let* k =
+    match field "k" with
+    | None | Some Json.Null -> Ok default_k
+    | Some (Json.Int k) when k >= 0 -> Ok k
+    | Some _ -> Error "\"k\" must be a non-negative integer"
+  in
+  let* backend =
+    match field "backend" with
+    | None | Some Json.Null -> Ok Engine.Query.Direct_backend
+    | Some (Json.String s) -> backend_of_name s
+    | Some _ -> Error "\"backend\" must be \"direct\" or \"sql\""
+  in
+  let* explain =
+    match field "explain" with
+    | None | Some Json.Null -> Ok false
+    | Some (Json.Bool b) -> Ok b
+    | Some _ -> Error "\"explain\" must be a boolean"
+  in
+  Ok (level, k, backend, explain)
+
+let query_req_of_json json =
+  let ( let* ) = Result.bind in
+  let* q =
+    match Json.member "query" json with
+    | Some (Json.String s) -> Ok s
+    | Some _ -> Error "\"query\" must be a string"
+    | None -> Error "missing \"query\" field"
+  in
+  let* level, k, backend, explain = shared_fields_of_json json in
+  Ok { q; level; k; backend; explain }
+
+let results_to_json results =
+  Json.Array
+    (List.map
+       (fun (id, sim) ->
+         Json.Obj
+           [
+             ("id", Json.Int id);
+             ("sim", Json.Float (Simlist.Sim.actual sim));
+             ("max", Json.Float (Simlist.Sim.max_sim sim));
+             ("fraction", Json.Float (Simlist.Sim.fraction sim));
+           ])
+       results)
+
+let results_of_json json =
+  let ( let* ) = Result.bind in
+  let num name j =
+    match Option.bind (Json.member name j) Json.to_float_opt with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "result entry missing %S" name)
+  in
+  let entry j =
+    let* id =
+      match Json.member "id" j with
+      | Some (Json.Int id) -> Ok id
+      | _ -> Error "result entry missing \"id\""
+    in
+    let* actual = num "sim" j in
+    let* max = num "max" j in
+    match Simlist.Sim.make ~actual ~max with
+    | sim -> Ok (id, sim)
+    | exception Invalid_argument msg -> Error msg
+  in
+  match json with
+  | Json.Array items ->
+      List.fold_right
+        (fun item acc ->
+          let* tl = acc in
+          let* hd = entry item in
+          Ok (hd :: tl))
+        items (Ok [])
+  | _ -> Error "results must be an array"
+
+(* --- state ------------------------------------------------------------------ *)
+
+type state = {
+  ctx : Engine.Context.t;
+  metrics : Obs.Metrics.t;
+  querylog : Obs.Querylog.t;
+}
+
+let preregister m =
+  List.iter
+    (Obs.Metrics.declare_counter m)
+    [
+      "server.connections";
+      "server.requests";
+      "server.responses.2xx";
+      "server.responses.4xx";
+      "server.responses.5xx";
+      "server.rejected";
+      "server.timeouts";
+      "server.bad_requests";
+    ];
+  List.iter
+    (Obs.Metrics.declare_histogram m)
+    [ "server.request_latency_s"; "server.queue_wait_s" ]
+
+let make ?metrics ?querylog ctx =
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
+  let querylog =
+    match querylog with
+    | Some q -> q
+    | None -> Obs.Querylog.create ~threshold_s:0.1 ()
+  in
+  preregister metrics;
+  let ctx =
+    Engine.Context.with_querylog
+      (Engine.Context.with_metrics ctx metrics)
+      querylog
+  in
+  { ctx; metrics; querylog }
+
+let context s = s.ctx
+let metrics s = s.metrics
+let querylog s = s.querylog
+
+let count_status s status =
+  let series =
+    if status >= 200 && status < 300 then Some "server.responses.2xx"
+    else if status >= 400 && status < 500 then Some "server.responses.4xx"
+    else if status >= 500 then Some "server.responses.5xx"
+    else None
+  in
+  Option.iter (fun name -> Obs.Metrics.incr s.metrics name) series
+
+(* --- responses -------------------------------------------------------------- *)
+
+let json_headers = [ ("Content-Type", "application/json") ]
+let text_headers = [ ("Content-Type", "text/plain; charset=utf-8") ]
+
+let json_response ~status json =
+  Http.response ~headers:json_headers ~status (Json.to_string json ^ "\n")
+
+let error_response ~status msg =
+  json_response ~status (Json.Obj [ ("error", Json.String msg) ])
+
+(* --- query evaluation ------------------------------------------------------- *)
+
+let ctx_for_level ctx = function
+  | None -> Ok ctx
+  | Some level -> (
+      match ctx.Engine.Context.store with
+      | None -> Error "\"level\" requires a store-backed dataset"
+      | Some store ->
+          let levels = Video_model.Store.levels store in
+          if level < 1 || level > levels then
+            Error
+              (Printf.sprintf "level %d out of range 1..%d" level levels)
+          else
+            Ok
+              (Engine.Context.with_level ctx ~level
+                 ~extents:(Video_model.Store.extents_at store ~level)))
+
+let query_result_json ctx req f =
+  let cls = Htl.Classify.classify f in
+  if req.explain then
+    let report = Engine.Query.explain ~backend:req.backend ctx f in
+    Json.Obj
+      [
+        ("class", Json.String (Htl.Classify.cls_to_string cls));
+        ("plan", Json.String (Format.asprintf "%a" Engine.Explain.pp report));
+      ]
+  else
+    let list = Engine.Query.run_observed ~backend:req.backend ctx f in
+    let top = Engine.Topk.top_k list ~k:req.k in
+    Json.Obj
+      [
+        ("class", Json.String (Htl.Classify.cls_to_string cls));
+        ("count", Json.Int (Simlist.Sim_list.length list));
+        ("results", results_to_json top);
+      ]
+
+let run_query state req =
+  match ctx_for_level state.ctx req.level with
+  | Error msg -> error_response ~status:400 msg
+  | Ok ctx -> (
+      match Htl.Parser.formula_of_string_opt req.q with
+      | Error msg -> error_response ~status:400 ("syntax error: " ^ msg)
+      | Ok f -> (
+          match query_result_json ctx req f with
+          | json -> json_response ~status:200 json
+          | exception Engine.Query.Error msg -> error_response ~status:400 msg))
+
+(* Batch: queries are independent; a parse failure occupies its error
+   slot without touching its neighbours, and evaluation failures come
+   back as [Error msg] from run_batch itself. *)
+let run_batch state req_json =
+  let ( let* ) = Result.bind in
+  let parsed =
+    let* level, k, backend, _explain = shared_fields_of_json req_json in
+    let* queries =
+      match Json.member "queries" req_json with
+      | Some (Json.Array items) ->
+          List.fold_right
+            (fun item acc ->
+              let* tl = acc in
+              match item with
+              | Json.String q -> Ok (q :: tl)
+              | _ -> Error "\"queries\" must be an array of strings")
+            items (Ok [])
+      | Some _ -> Error "\"queries\" must be an array of strings"
+      | None -> Error "missing \"queries\" field"
+    in
+    let* ctx = ctx_for_level state.ctx level in
+    Ok (k, backend, queries, ctx)
+  in
+  match parsed with
+  | Error msg -> error_response ~status:400 msg
+  | Ok (k, backend, queries, ctx) ->
+      let slots =
+        List.map
+          (fun q ->
+            match Htl.Parser.formula_of_string_opt q with
+            | Error msg -> Error ("syntax error: " ^ msg)
+            | Ok f -> Ok f)
+          queries
+      in
+      let formulas = List.filter_map Result.to_option slots in
+      let outcomes = Engine.Query.run_batch ~backend ctx formulas in
+      (* stitch evaluation outcomes back into the parse-error slots *)
+      let rec stitch slots outcomes =
+        match (slots, outcomes) with
+        | [], _ -> []
+        | Error msg :: slots, outcomes ->
+            Json.Obj [ ("error", Json.String msg) ] :: stitch slots outcomes
+        | Ok f :: slots, outcome :: outcomes ->
+            (match outcome with
+            | Ok list ->
+                Json.Obj
+                  [
+                    ( "class",
+                      Json.String
+                        (Htl.Classify.cls_to_string (Htl.Classify.classify f))
+                    );
+                    ("count", Json.Int (Simlist.Sim_list.length list));
+                    ("results", results_to_json (Engine.Topk.top_k list ~k));
+                  ]
+            | Error msg -> Json.Obj [ ("error", Json.String msg) ])
+            :: stitch slots outcomes
+        | Ok _ :: _, [] ->
+            (* run_batch returns one outcome per formula, so this arm is
+               unreachable; answer in kind rather than crash *)
+            [ Json.Obj [ ("error", Json.String "missing batch outcome") ] ]
+      in
+      json_response ~status:200
+        (Json.Obj [ ("results", Json.Array (stitch slots outcomes)) ])
+
+let with_body_json (req : Http.request) k =
+  match Json.of_string req.Http.body with
+  | Error msg -> error_response ~status:400 ("invalid JSON body: " ^ msg)
+  | Ok json -> k json
+
+(* --- dispatch --------------------------------------------------------------- *)
+
+let heavy req =
+  req.Http.meth = "POST"
+  && (req.Http.target = "/query" || req.Http.target = "/batch")
+
+let route state req =
+  match (req.Http.meth, req.Http.target) with
+  | "GET", "/healthz" -> Http.response ~headers:text_headers ~status:200 "ok\n"
+  | "GET", "/metrics" ->
+      Http.response
+        ~headers:[ ("Content-Type", "text/plain; version=0.0.4") ]
+        ~status:200
+        (Obs.Export.prometheus state.metrics)
+  | "GET", "/slowlog" ->
+      Http.response
+        ~headers:[ ("Content-Type", "application/x-ndjson") ]
+        ~status:200
+        (Obs.Querylog.to_jsonl state.querylog)
+  | "POST", "/query" ->
+      with_body_json req (fun json ->
+          match query_req_of_json json with
+          | Error msg -> error_response ~status:400 msg
+          | Ok q -> run_query state q)
+  | "POST", "/batch" -> with_body_json req (run_batch state)
+  | _, ("/healthz" | "/metrics" | "/slowlog" | "/query" | "/batch") ->
+      error_response ~status:405
+        (Printf.sprintf "method %s not allowed on %s" req.Http.meth
+           req.Http.target)
+  | _, target -> error_response ~status:404 ("no route for " ^ target)
+
+let handle state req =
+  let t0 = Obs.Clock.now () in
+  Obs.Metrics.incr state.metrics "server.requests";
+  let resp =
+    match route state req with
+    | resp -> resp
+    | exception e ->
+        (* a crash must answer (and be visible in metrics), not tear
+           down the worker *)
+        error_response ~status:500
+          ("internal error: " ^ Printexc.to_string e)
+  in
+  Obs.Metrics.observe state.metrics "server.request_latency_s"
+    (Obs.Clock.now () -. t0);
+  count_status state resp.Http.status;
+  resp

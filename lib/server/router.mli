@@ -1,0 +1,82 @@
+(** Request routing over a warm {!Engine.Context}: the pure core of the
+    server — an {!Http.request} in, an {!Http.response} out, no sockets
+    — so every route, status code and wire-format corner is unit-testable
+    in memory.
+
+    Routes:
+    - [POST /query] — one HTL query (JSON body, {!query_req}) → ranked
+      segments as JSON, or an EXPLAIN plan with [explain: true];
+    - [POST /batch] — many queries through {!Engine.Query.run_batch},
+      per-query error isolation (one bad query yields an error slot,
+      never a failed batch);
+    - [GET /metrics] — Prometheus text exposition of the state's
+      registry;
+    - [GET /slowlog] — the slow-query ring as JSONL;
+    - [GET /healthz] — liveness probe, ["ok"].
+
+    The context is shared by every concurrent request: its cache,
+    index registry, hash-consing table and metrics are all thread-safe
+    (DESIGN.md §2.13, §2.17), so the router takes no lock of its own. *)
+
+(** {1 Wire format} *)
+
+type query_req = {
+  q : string;  (** the HTL query text (JSON field ["query"]) *)
+  level : int option;
+      (** hierarchy level to assert on; requires a store-backed dataset *)
+  k : int;  (** how many segments to return (default 10) *)
+  backend : Engine.Query.backend;
+  explain : bool;  (** return the static evaluation plan instead *)
+}
+
+val default_k : int
+
+val query_req_to_json : query_req -> Obs.Json.t
+val query_req_of_json : Obs.Json.t -> (query_req, string) result
+
+val results_to_json : (int * Simlist.Sim.t) list -> Obs.Json.t
+(** The ranked-segments array: one object per segment with [id], [sim]
+    (the actual value), [max] and [fraction]. *)
+
+val results_of_json :
+  Obs.Json.t -> ((int * Simlist.Sim.t) list, string) result
+(** Inverse of {!results_to_json} ([fraction] is derived and ignored);
+    gives the tests and clients a typed view of a response. *)
+
+(** {1 State} *)
+
+type state
+
+val make :
+  ?metrics:Obs.Metrics.t ->
+  ?querylog:Obs.Querylog.t ->
+  Engine.Context.t ->
+  state
+(** Wrap a context for serving: attach [metrics] (fresh by default) and
+    [querylog] (fresh, threshold 100 ms, by default) to it and
+    pre-register every [server.*] series (see {!preregister}) so the
+    exposition is stable from the first scrape.  Attach a domain pool to
+    the context before calling when parallel evaluation is wanted. *)
+
+val context : state -> Engine.Context.t
+val metrics : state -> Obs.Metrics.t
+val querylog : state -> Obs.Querylog.t
+
+val preregister : Obs.Metrics.t -> unit
+(** Register the [server.*] counters ([connections], [requests],
+    [responses.2xx/4xx/5xx], [rejected], [timeouts], [bad_requests])
+    and histograms ([request_latency_s], [queue_wait_s]) at zero. *)
+
+val count_status : state -> int -> unit
+(** Bump the [server.responses.<class>] counter for a status code — the
+    socket layer uses this for responses it synthesizes itself (429,
+    503, protocol errors). *)
+
+val handle : state -> Http.request -> Http.response
+(** Dispatch one request: counts [server.requests], observes
+    [server.request_latency_s], counts the response's status class.
+    Never raises — unexpected evaluator exceptions become a 500. *)
+
+val heavy : Http.request -> bool
+(** Whether the request runs queries ([/query], [/batch]) — the routes
+    the socket layer guards with the per-request deadline. *)

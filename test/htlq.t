@@ -205,3 +205,55 @@ pruning and selectivity rows):
   $ ../bench/main.exe --check --baseline ../BENCH_index.json \
   >     --tolerance 1e9 | tail -1
   no regressions (tolerance 1e+09)
+
+As does the serve section's (p50 per clients x domains combination):
+
+  $ ../bench/main.exe --check --baseline ../BENCH_serve.json \
+  >     --tolerance 1e9 | tail -1
+  no regressions (tolerance 1e+09)
+
+The query service: htlq serve keeps one warm context behind an HTTP
+interface, and htlq http talks to it.  An ephemeral port (--port 0)
+lands in --port-file; the banner confirms the configuration:
+
+  $ ../bin/htlq.exe serve --port-file port.txt --workers 2 --queue 8 \
+  >     > serve.log 2>&1 &
+  $ SERVE_PID=$!
+  $ for i in $(seq 1 50); do test -s port.txt && break; sleep 0.1; done
+  $ PORT=$(cat port.txt)
+  $ grep -c 'htlq: serving on 127.0.0.1:' serve.log
+  1
+  $ grep -o 'workers=2, queue=8' serve.log
+  workers=2, queue=8
+
+Liveness, a query, and the observability endpoints round-trip:
+
+  $ ../bin/htlq.exe http /healthz --port $PORT
+  ok
+  $ ../bin/htlq.exe http /query --port $PORT \
+  >     --body '{"query": "man_woman", "k": 2}' | grep -o '"class": "type (1)"'
+  "class": "type (1)"
+  $ ../bin/htlq.exe http /query --port $PORT \
+  >     --body '{"query": "man_woman", "k": 2}' > /dev/null
+  $ ../bin/htlq.exe http /metrics --port $PORT | grep -o '^cache_hits [1-9]' \
+  >     | head -1
+  cache_hits 1
+  $ ../bin/htlq.exe http /slowlog --port $PORT
+  $ ../bin/htlq.exe http /nope --port $PORT
+  {"error": "no route for /nope"}
+  http status 404
+  [1]
+
+SIGTERM drains and exits 0:
+
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID
+  $ grep -c 'htlq: shutdown complete' serve.log
+  1
+
+Usage errors in the subcommands exit 2 like the main command's:
+
+  $ ../bin/htlq.exe http /healthz --no-such-flag 2> /dev/null
+  [2]
+  $ ../bin/htlq.exe serve --no-such-flag 2> /dev/null
+  [2]

@@ -1,0 +1,812 @@
+(* Tests for the query service (lib/server): the HTTP message layer in
+   memory (parser corners, response goldens), the router's status codes
+   and JSON wire format (qcheck round-trips), the pre-registered
+   server.* metrics exposition, and a live server over real sockets —
+   warm-context behaviour, concurrent-load differential against
+   sequential in-process evaluation, protocol fault injection,
+   admission control, per-request timeouts and graceful shutdown. *)
+
+module Http = Htl_server.Http
+module Router = Htl_server.Router
+module Server = Htl_server.Server
+module Client = Htl_server.Client
+module Json = Obs.Json
+module Context = Engine.Context
+module Query = Engine.Query
+
+(* --- in-memory readers ------------------------------------------------------ *)
+
+let reader_of_string ?(chunk = max_int) s =
+  let pos = ref 0 in
+  Http.reader (fun buf off len ->
+      let n = min (min len chunk) (String.length s - !pos) in
+      Bytes.blit_string s !pos buf off n;
+      pos := !pos + n;
+      n)
+
+(* yields [s], then raises Read_timeout forever *)
+let stalling_reader s =
+  let pos = ref 0 in
+  Http.reader (fun buf off len ->
+      let n = min len (String.length s - !pos) in
+      if n = 0 then raise Http.Read_timeout;
+      Bytes.blit_string s !pos buf off n;
+      pos := !pos + n;
+      n)
+
+let req_error = function
+  | Ok (r : Http.request) ->
+      Alcotest.failf "expected an error, parsed %s %s" r.Http.meth
+        r.Http.target
+  | Error e -> e
+
+let req_ok = function
+  | Ok (r : Http.request) -> r
+  | Error _ -> Alcotest.fail "expected a request"
+
+let error_name = function
+  | Http.Closed -> "closed"
+  | Http.Timeout -> "timeout"
+  | Http.Too_large what -> "too_large:" ^ what
+  | Http.Bad _ -> "bad"
+
+let check_error name expected r =
+  Alcotest.(check string) name expected (error_name (req_error r))
+
+(* --- the HTTP layer --------------------------------------------------------- *)
+
+let http_parser_tests =
+  let open Alcotest in
+  [
+    test_case "GET parses: line, headers, empty body" `Quick (fun () ->
+        let r =
+          req_ok
+            (Http.read_request
+               (reader_of_string
+                  "GET /healthz HTTP/1.1\r\nHost: x\r\nX-Weird:  padded  \r\n\r\n"))
+        in
+        check string "meth" "GET" r.Http.meth;
+        check string "target" "/healthz" r.Http.target;
+        check string "version" "HTTP/1.1" r.Http.version;
+        check (option string) "host header" (Some "x") (Http.header r "Host");
+        check (option string) "names lowercase, values trimmed"
+          (Some "padded")
+          (Http.header r "x-weird");
+        check string "no body" "" r.Http.body);
+    test_case "POST reads exactly content-length bytes" `Quick (fun () ->
+        let r =
+          req_ok
+            (Http.read_request
+               (reader_of_string
+                  "POST /query HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}extra"))
+        in
+        check string "body" "{\"a\":1}" r.Http.body);
+    test_case "one-byte reads parse identically" `Quick (fun () ->
+        let raw = "POST /q HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc" in
+        let r = req_ok (Http.read_request (reader_of_string ~chunk:1 raw)) in
+        check string "meth" "POST" r.Http.meth;
+        check string "body" "abc" r.Http.body);
+    test_case "keep-alive: buffered second request survives the boundary"
+      `Quick (fun () ->
+        let raw =
+          "GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+        in
+        let c = reader_of_string raw in
+        let a = req_ok (Http.read_request c) in
+        let b = req_ok (Http.read_request c) in
+        check string "first" "/a" a.Http.target;
+        check string "second" "/b" b.Http.target;
+        check string "second's body" "hi" b.Http.body;
+        check_error "then a clean end" "closed" (Http.read_request c));
+    test_case "malformed request line / version / header / length" `Quick
+      (fun () ->
+        check_error "two tokens" "bad"
+          (Http.read_request (reader_of_string "GET /\r\n\r\n"));
+        check_error "bad version" "bad"
+          (Http.read_request (reader_of_string "GET / HTTP/2.0\r\n\r\n"));
+        check_error "header missing colon" "bad"
+          (Http.read_request
+             (reader_of_string "GET / HTTP/1.1\r\nnocolon\r\n\r\n"));
+        check_error "negative content-length" "bad"
+          (Http.read_request
+             (reader_of_string
+                "POST / HTTP/1.1\r\nContent-Length: -4\r\n\r\n"));
+        check_error "transfer-encoding refused" "bad"
+          (Http.read_request
+             (reader_of_string
+                "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")));
+    test_case "truncation: EOF nowhere, mid-header, mid-body" `Quick
+      (fun () ->
+        check_error "nothing at all" "closed"
+          (Http.read_request (reader_of_string ""));
+        check_error "EOF inside the header block" "bad"
+          (Http.read_request (reader_of_string "GET / HTTP/1.1\r\nHo"));
+        check_error "EOF inside the body" "bad"
+          (Http.read_request
+             (reader_of_string
+                "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")));
+    test_case "limits: oversized header block and body" `Quick (fun () ->
+        let limits =
+          { Http.max_header_bytes = 64; Http.max_body_bytes = 8 }
+        in
+        check_error "long header" "too_large:header block"
+          (Http.read_request ~limits
+             (reader_of_string
+                ("GET / HTTP/1.1\r\nX-Big: " ^ String.make 100 'x' ^ "\r\n\r\n")));
+        check_error "declared body over the cap" "too_large:body"
+          (Http.read_request ~limits
+             (reader_of_string
+                "POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789")));
+    test_case "transport timeout: idle is Closed, mid-request is Timeout"
+      `Quick (fun () ->
+        check_error "idle keep-alive" "closed"
+          (Http.read_request (stalling_reader ""));
+        check_error "stalled mid-request" "timeout"
+          (Http.read_request (stalling_reader "GET / HT")));
+    test_case "keep_alive defaults per version" `Quick (fun () ->
+        let parse raw = req_ok (Http.read_request (reader_of_string raw)) in
+        check bool "1.1 default on" true
+          (Http.keep_alive (parse "GET / HTTP/1.1\r\n\r\n"));
+        check bool "1.1 + close" false
+          (Http.keep_alive (parse "GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        check bool "1.0 default off" false
+          (Http.keep_alive (parse "GET / HTTP/1.0\r\n\r\n"));
+        check bool "1.0 + keep-alive" true
+          (Http.keep_alive
+             (parse "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")));
+  ]
+
+let http_writer_tests =
+  let open Alcotest in
+  [
+    test_case "response golden, close" `Quick (fun () ->
+        let r =
+          Http.response
+            ~headers:[ ("Content-Type", "application/json") ]
+            ~status:200 "{}"
+        in
+        check string "rendering"
+          "HTTP/1.1 200 OK\r\n\
+           Content-Type: application/json\r\n\
+           Content-Length: 2\r\n\
+           Connection: close\r\n\
+           \r\n\
+           {}"
+          (Http.to_string r));
+    test_case "response golden, keep-alive, empty body" `Quick (fun () ->
+        check string "rendering"
+          "HTTP/1.1 429 Too Many Requests\r\n\
+           Retry-After: 1\r\n\
+           Content-Length: 0\r\n\
+           Connection: keep-alive\r\n\
+           \r\n"
+          (Http.to_string ~keep_alive:true
+             (Http.response ~headers:[ ("Retry-After", "1") ] ~status:429 "")));
+    test_case "reason phrases" `Quick (fun () ->
+        List.iter
+          (fun (code, phrase) ->
+            check string (string_of_int code) phrase (Http.reason_phrase code))
+          [
+            (200, "OK");
+            (400, "Bad Request");
+            (404, "Not Found");
+            (408, "Request Timeout");
+            (413, "Payload Too Large");
+            (429, "Too Many Requests");
+            (503, "Service Unavailable");
+            (599, "Unknown");
+          ]);
+    test_case "read_response inverts to_string" `Quick (fun () ->
+        let rendered =
+          Http.to_string
+            (Http.response
+               ~headers:[ ("Content-Type", "text/plain") ]
+               ~status:404 "nope")
+        in
+        match Http.read_response (reader_of_string rendered) with
+        | Error msg -> Alcotest.fail msg
+        | Ok (status, headers, body) ->
+            check int "status" 404 status;
+            check string "body" "nope" body;
+            check (option string) "content-type" (Some "text/plain")
+              (List.assoc_opt "content-type" headers));
+  ]
+
+(* --- wire-format round-trips ------------------------------------------------ *)
+
+let arb_query_req =
+  let gen =
+    let open QCheck.Gen in
+    let* q = string_size ~gen:printable (int_range 0 40) in
+    let* level = opt (int_range 1 4) in
+    let* k = int_range 0 50 in
+    let* backend =
+      oneofl [ Query.Direct_backend; Query.Sql_backend_choice ]
+    in
+    let* explain = bool in
+    return { Router.q; level; k; backend; explain }
+  in
+  let print (r : Router.query_req) = Json.to_string (Router.query_req_to_json r) in
+  QCheck.make ~print gen
+
+let arb_results =
+  let gen =
+    let open QCheck.Gen in
+    list_size (int_range 0 12)
+      (let* id = int_range 1 1000 in
+       let* max = float_bound_inclusive 20. in
+       let* frac = float_bound_inclusive 1. in
+       return (id, Simlist.Sim.make ~actual:(max *. frac) ~max))
+  in
+  let print rs = Json.to_string (Router.results_to_json rs) in
+  QCheck.make ~print gen
+
+let roundtrip_wire to_json of_json v =
+  match Json.of_string (Json.to_string (to_json v)) with
+  | Error msg -> QCheck.Test.fail_reportf "reparse failed: %s" msg
+  | Ok json -> (
+      match of_json json with
+      | Error msg -> QCheck.Test.fail_reportf "decode failed: %s" msg
+      | Ok v' -> (v', true))
+
+let wire_tests =
+  [
+    Helpers.qtest ~count:200 "query_req survives JSON and back"
+      (fun r ->
+        let r', ok = roundtrip_wire Router.query_req_to_json
+            Router.query_req_of_json r
+        in
+        ok && r' = r)
+      arb_query_req;
+    Helpers.qtest ~count:200
+      "results survive JSON and back bit-for-bit"
+      (fun rs ->
+        let rs', ok =
+          roundtrip_wire Router.results_to_json Router.results_of_json rs
+        in
+        ok
+        && List.length rs = List.length rs'
+        && List.for_all2
+             (fun (id, s) (id', s') ->
+               id = id'
+               && Simlist.Sim.actual s = Simlist.Sim.actual s'
+               && Simlist.Sim.max_sim s = Simlist.Sim.max_sim s')
+             rs rs')
+      arb_results;
+  ]
+
+(* --- the router in memory --------------------------------------------------- *)
+
+let fresh_state () = Router.make (Workload.Casablanca.context ())
+
+let get target = { Http.meth = "GET"; target; version = "HTTP/1.1"; headers = []; body = "" }
+
+let post target body =
+  { Http.meth = "POST"; target; version = "HTTP/1.1"; headers = []; body }
+
+let handle state req = (Router.handle state req : Http.response)
+
+let check_status name expected (resp : Http.response) =
+  Alcotest.(check int) name expected resp.Http.status;
+  resp
+
+let body_json name (resp : Http.response) =
+  match Json.of_string resp.Http.body with
+  | Ok j -> j
+  | Error msg -> Alcotest.failf "%s: body is not JSON (%s)" name msg
+
+let router_tests =
+  let open Alcotest in
+  [
+    test_case "healthz / metrics / slowlog answer 200" `Quick (fun () ->
+        let s = fresh_state () in
+        ignore (check_status "healthz" 200 (handle s (get "/healthz")));
+        let m = check_status "metrics" 200 (handle s (get "/metrics")) in
+        check bool "exposition mentions server_requests" true
+          (Astring.String.is_infix ~affix:"server_requests" m.Http.body);
+        ignore (check_status "slowlog" 200 (handle s (get "/slowlog"))));
+    test_case "unknown route 404, wrong method 405" `Quick (fun () ->
+        let s = fresh_state () in
+        ignore (check_status "404" 404 (handle s (get "/nope")));
+        ignore (check_status "405" 405 (handle s (post "/metrics" "{}")));
+        check int "both counted as 4xx" 2
+          (Obs.Metrics.counter_value (Router.metrics s)
+             "server.responses.4xx"));
+    test_case "query: happy path carries class, count, ranked results" `Quick
+      (fun () ->
+        let s = fresh_state () in
+        let resp =
+          check_status "200" 200
+            (handle s
+               (post "/query"
+                  "{\"query\": \"man_woman and eventually moving_train\", \
+                   \"k\": 3}"))
+        in
+        let j = body_json "query" resp in
+        check (option string) "class" (Some "type (1)")
+          (match Json.member "class" j with
+          | Some (Json.String c) -> Some c
+          | _ -> None);
+        match Json.member "results" j with
+        | Some (Json.Array rs) -> check int "k capped the results" 3 (List.length rs)
+        | _ -> Alcotest.fail "no results array");
+    test_case "query: 400s say what is wrong" `Quick (fun () ->
+        let s = fresh_state () in
+        let bad body name =
+          let resp = check_status name 400 (handle s (post "/query" body)) in
+          match Json.member "error" (body_json name resp) with
+          | Some (Json.String _) -> ()
+          | _ -> Alcotest.failf "%s: no error field" name
+        in
+        bad "not json" "malformed JSON";
+        bad "{}" "missing query";
+        bad "{\"query\": \"man_woman and ((\"}" "syntax error";
+        bad "{\"query\": \"man_woman\", \"backend\": \"mystery\"}"
+          "unknown backend";
+        bad "{\"query\": \"man_woman\", \"k\": -1}" "negative k";
+        bad "{\"query\": \"man_woman\", \"level\": 1}"
+          "level without a store";
+        check bool "all counted as 4xx" true
+          (Obs.Metrics.counter_value (Router.metrics s) "server.responses.4xx"
+          >= 6));
+    test_case "query: explain returns a plan" `Quick (fun () ->
+        let s = fresh_state () in
+        let resp =
+          check_status "200" 200
+            (handle s
+               (post "/query"
+                  "{\"query\": \"man_woman\", \"explain\": true}"))
+        in
+        match Json.member "plan" (body_json "explain" resp) with
+        | Some (Json.String plan) ->
+            check bool "plan mentions the backend" true
+              (Astring.String.is_infix ~affix:"direct" plan)
+        | _ -> Alcotest.fail "no plan field");
+    test_case "query: level selects a store level" `Quick (fun () ->
+        let s =
+          Router.make (Context.of_store (Workload.Casablanca.store ()))
+        in
+        ignore
+          (check_status "valid level" 200
+             (handle s
+                (post "/query" "{\"query\": \"man_woman\", \"level\": 1}")));
+        ignore
+          (check_status "out-of-range level" 400
+             (handle s
+                (post "/query" "{\"query\": \"man_woman\", \"level\": 9}"))));
+    test_case "batch: per-query isolation, shared k" `Quick (fun () ->
+        let s = fresh_state () in
+        let resp =
+          check_status "200" 200
+            (handle s
+               (post "/batch"
+                  "{\"queries\": [\"man_woman\", \"broken ((\", \
+                   \"moving_train\"], \"k\": 2}"))
+        in
+        match Json.member "results" (body_json "batch" resp) with
+        | Some (Json.Array [ ok1; err; ok2 ]) ->
+            check bool "slot 1 evaluated" true
+              (Json.member "count" ok1 <> None);
+            check bool "slot 2 is an isolated error" true
+              (Json.member "error" err <> None);
+            check bool "slot 3 evaluated" true
+              (Json.member "count" ok2 <> None)
+        | _ -> Alcotest.fail "expected exactly three slots");
+    test_case "batch: malformed envelope 400" `Quick (fun () ->
+        let s = fresh_state () in
+        ignore
+          (check_status "no queries field" 400 (handle s (post "/batch" "{}")));
+        ignore
+          (check_status "non-string entry" 400
+             (handle s (post "/batch" "{\"queries\": [42]}"))));
+    test_case "requests and latency are counted" `Quick (fun () ->
+        let s = fresh_state () in
+        ignore (handle s (get "/healthz"));
+        ignore (handle s (get "/nope"));
+        check int "server.requests" 2
+          (Obs.Metrics.counter_value (Router.metrics s) "server.requests");
+        match Obs.Metrics.find (Router.metrics s) "server.request_latency_s" with
+        | Some (Obs.Metrics.Histogram h) ->
+            check int "latency samples" 2 h.Obs.Metrics.count
+        | _ -> Alcotest.fail "no latency histogram");
+  ]
+
+(* --- pre-registered exposition ---------------------------------------------- *)
+
+let exposition_tests =
+  let open Alcotest in
+  [
+    test_case "every server.* series is visible before any traffic" `Quick
+      (fun () ->
+        Obs.Clock.set_source (fun () -> 1000.);
+        Fun.protect ~finally:Obs.Clock.use_wall_clock (fun () ->
+            let s = fresh_state () in
+            let exposition = Obs.Export.prometheus (Router.metrics s) in
+            List.iter
+              (fun line ->
+                check bool line true
+                  (Astring.String.is_infix ~affix:line exposition))
+              [
+                "server_connections 0";
+                "server_requests 0";
+                "server_responses_2xx 0";
+                "server_responses_4xx 0";
+                "server_responses_5xx 0";
+                "server_rejected 0";
+                "server_timeouts 0";
+                "server_bad_requests 0";
+                "server_request_latency_s_count 0";
+                "server_queue_wait_s_count 0";
+                (* PR 4's lesson, carried over: the cache series are
+                   pre-registered by with_metrics *)
+                "cache_hits 0";
+                "cache_misses 0";
+              ]));
+    test_case "declare is idempotent and kind-checked" `Quick (fun () ->
+        let m = Obs.Metrics.create () in
+        Router.preregister m;
+        Router.preregister m;
+        check int "still zero" 0
+          (Obs.Metrics.counter_value m "server.requests");
+        Obs.Metrics.incr m "server.requests";
+        Router.preregister m;
+        check int "declare never resets" 1
+          (Obs.Metrics.counter_value m "server.requests");
+        check_raises "histogram name cannot become a counter"
+          (Invalid_argument
+             "Obs.Metrics: \"server.request_latency_s\" already registered \
+              with another kind")
+          (fun () -> Obs.Metrics.declare_counter m "server.request_latency_s"));
+  ]
+
+(* --- live servers ------------------------------------------------------------ *)
+
+let test_config =
+  {
+    Server.default_config with
+    Server.workers = 2;
+    queue_capacity = 16;
+    request_timeout_s = 30.;
+    io_timeout_s = 5.;
+  }
+
+let with_server ?(config = test_config) state f =
+  let server = Server.start ~config state in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Server.wait server)
+    (fun () -> f (Server.port server))
+
+let must = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "client error: %s" msg
+
+let post_query ~port body =
+  must
+    (Client.request ~host:"127.0.0.1" ~port ~meth:"POST" ~target:"/query"
+       ~body ())
+
+let get_path ~port target =
+  must (Client.request ~host:"127.0.0.1" ~port ~meth:"GET" ~target ())
+
+let metric_value exposition name =
+  (* the exposition is "name value" lines; histogram series have
+     suffixed names, so match the exact line *)
+  String.split_on_char '\n' exposition
+  |> List.find_map (fun line ->
+         match String.split_on_char ' ' line with
+         | [ n; v ] when n = name -> int_of_string_opt v
+         | _ -> None)
+
+let warm_context_test () =
+  (* the acceptance bar: a warm server builds the picture index once and
+     answers the second identical query from the cache *)
+  let state = Router.make (Context.of_store (Workload.Casablanca.store ())) in
+  with_server state (fun port ->
+      let q = "{\"query\": \"man_woman and eventually moving_train\"}" in
+      let s1, _, b1 = post_query ~port q in
+      let s2, _, b2 = post_query ~port q in
+      Alcotest.(check int) "first answers" 200 s1;
+      Alcotest.(check int) "second answers" 200 s2;
+      Alcotest.(check string) "identical responses" b1 b2;
+      let _, _, exposition = get_path ~port "/metrics" in
+      Alcotest.(check (option int))
+        "the index was built exactly once" (Some 1)
+        (metric_value exposition "picture_index_builds");
+      (* exactly the two query responses — counted once each, not once
+         in the router and again at the socket (the scrape's own 2xx is
+         counted after its exposition renders) *)
+      Alcotest.(check (option int))
+        "2xx responses counted once per response" (Some 2)
+        (metric_value exposition "server_responses_2xx");
+      match metric_value exposition "cache_hits" with
+      | Some hits when hits > 0 -> ()
+      | v ->
+          Alcotest.failf "expected warm cache hits, exposition says %s"
+            (match v with Some n -> string_of_int n | None -> "(absent)"))
+
+(* --- concurrent-load differential -------------------------------------------
+
+   N client threads fire the differential strata at a live server; every
+   response must be byte-identical to what a sequential in-process
+   evaluation of the same request produces.  Cache warmth may differ
+   (the server's context is shared and warm, the reference is cold) —
+   the protocol makes that invisible, which is exactly the claim. *)
+
+let sample_stratum gen ~count rand =
+  QCheck.Gen.generate ~n:(count * 4) ~rand (gen ~depth:2)
+  |> List.filter (fun f ->
+         Result.is_ok (Htl.Classify.check f)
+         &&
+         (* the wire carries text: only formulas whose pretty form
+            re-parses can round-trip through the server *)
+         match Htl.Parser.formula_of_string_opt (Htl.Pretty.to_string f) with
+         | Ok f' -> Htl.Ast.equal f f'
+         | Error _ -> false)
+  |> List.filteri (fun i _ -> i < count)
+
+let differential_queries () =
+  let rand = Random.State.make [| 20260805 |] in
+  List.concat_map
+    (fun gen -> sample_stratum gen ~count:6 rand)
+    [
+      Helpers.gen_type1_formula;
+      Helpers.gen_type2_formula;
+      Helpers.gen_conjunctive_formula;
+      Helpers.gen_closed_formula;
+    ]
+  |> List.map (fun f ->
+         Json.to_string
+           (Json.Obj
+              [
+                ("query", Json.String (Htl.Pretty.to_string f));
+                ("k", Json.Int 5);
+              ]))
+
+let concurrent_differential ~domains () =
+  let store = Workload.Casablanca.store () in
+  let queries = differential_queries () in
+  Alcotest.(check bool) "sampled a real workload" true (List.length queries > 12);
+  (* sequential in-process reference over its own cold context *)
+  let reference = Router.make (Context.of_store store) in
+  let expected =
+    List.map
+      (fun body -> (Router.handle reference (post "/query" body)).Http.body)
+      queries
+  in
+  let pool =
+    if domains > 0 then Some (Parallel.Pool.create ~domains ()) else None
+  in
+  let ctx = Context.of_store store in
+  let ctx =
+    match pool with Some p -> Context.with_pool ~par_cutoff:0 ctx p | None -> ctx
+  in
+  let state = Router.make ctx in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Parallel.Pool.shutdown pool)
+    (fun () ->
+      with_server state (fun port ->
+          let failures = ref [] in
+          let failures_mutex = Mutex.create () in
+          let client_thread offset =
+            (* each client walks all queries, starting at its own offset,
+               over one keep-alive connection *)
+            let conn = Client.connect ~host:"127.0.0.1" ~port () in
+            Fun.protect
+              ~finally:(fun () -> Client.close conn)
+              (fun () ->
+                let n = List.length queries in
+                List.iteri
+                  (fun i () ->
+                    let idx = (i + offset) mod n in
+                    let body = List.nth queries idx in
+                    let want = List.nth expected idx in
+                    match
+                      Client.roundtrip conn ~meth:"POST" ~target:"/query"
+                        ~body ()
+                    with
+                    | Ok (200, _, got) when String.equal got want -> ()
+                    | Ok (status, _, got) ->
+                        Mutex.protect failures_mutex (fun () ->
+                            failures :=
+                              Printf.sprintf
+                                "query %d: status %d, got %s, want %s" idx
+                                status got want
+                              :: !failures)
+                    | Error msg ->
+                        Mutex.protect failures_mutex (fun () ->
+                            failures :=
+                              Printf.sprintf "query %d: %s" idx msg
+                              :: !failures))
+                  (List.map (fun _ -> ()) queries))
+          in
+          let clients =
+            List.init 4 (fun i -> Thread.create client_thread (i * 7))
+          in
+          List.iter Thread.join clients;
+          match !failures with
+          | [] -> ()
+          | f :: _ ->
+              Alcotest.failf "%d divergent responses; first: %s"
+                (List.length !failures) f))
+
+(* --- fault injection ---------------------------------------------------------
+
+   Broken clients must get the right status code, and the shared context
+   must stay fully usable afterwards — no stuck mutex, no leaked span,
+   /healthz green throughout. *)
+
+let raw_socket port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd
+    (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  fd
+
+let read_status fd =
+  let buf = Bytes.create 4096 in
+  let b = Buffer.create 256 in
+  let rec drain () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes b buf 0 n;
+        drain ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  in
+  drain ();
+  let s = Buffer.contents b in
+  match String.split_on_char ' ' s with
+  | _ :: code :: _ -> int_of_string_opt (String.sub code 0 3)
+  | _ -> None
+
+let send_raw fd s = ignore (Unix.write_substring fd s 0 (String.length s))
+
+let check_health ~port name =
+  let status, _, body = get_path ~port "/healthz" in
+  Alcotest.(check int) (name ^ ": healthz status") 200 status;
+  Alcotest.(check string) (name ^ ": healthz body") "ok\n" body
+
+let fault_injection_test () =
+  let state = fresh_state () in
+  let config = { test_config with Server.io_timeout_s = 1. } in
+  with_server ~config state (fun port ->
+      (* truncated body: declared 100 bytes, sent 2, then EOF *)
+      let fd = raw_socket port in
+      send_raw fd "POST /query HTTP/1.1\r\nContent-Length: 100\r\n\r\n{}";
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      Alcotest.(check (option int)) "truncated body" (Some 400) (read_status fd);
+      Unix.close fd;
+      check_health ~port "after truncation";
+      (* stalled mid-request: bytes then silence -> 408 within io_timeout *)
+      let fd = raw_socket port in
+      send_raw fd "POST /query HTTP/1.1\r\nContent-Le";
+      Alcotest.(check (option int)) "stalled request" (Some 408)
+        (read_status fd);
+      Unix.close fd;
+      check_health ~port "after stall";
+      (* oversized payload *)
+      let fd = raw_socket port in
+      send_raw fd "POST /query HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+      Alcotest.(check (option int)) "oversized body" (Some 413)
+        (read_status fd);
+      Unix.close fd;
+      check_health ~port "after oversize";
+      (* mid-request disconnect: close without reading the response *)
+      let fd = raw_socket port in
+      send_raw fd "POST /query HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}";
+      Unix.close fd;
+      check_health ~port "after disconnect";
+      (* malformed JSON and unknown routes through the well-behaved client *)
+      let status, _, _ = post_query ~port "not json" in
+      Alcotest.(check int) "malformed JSON" 400 status;
+      let status, _, _ = get_path ~port "/no/such/route" in
+      Alcotest.(check int) "unknown route" 404 status;
+      (* the context still evaluates queries *)
+      let status, _, _ = post_query ~port "{\"query\": \"man_woman\"}" in
+      Alcotest.(check int) "query after the abuse" 200 status;
+      let _, _, exposition = get_path ~port "/metrics" in
+      match metric_value exposition "server_bad_requests" with
+      | Some n when n >= 3 -> ()
+      | v ->
+          Alcotest.failf "bad requests under-counted: %s"
+            (match v with Some n -> string_of_int n | None -> "(absent)"))
+
+let admission_control_test () =
+  let state = fresh_state () in
+  let config =
+    {
+      test_config with
+      Server.workers = 1;
+      queue_capacity = 1;
+      io_timeout_s = 5.;
+    }
+  in
+  with_server ~config state (fun port ->
+      (* occupy the only worker with a half-sent request... *)
+      let busy = raw_socket port in
+      send_raw busy "POST /query HTTP/1.1\r\nContent-Le";
+      Thread.delay 0.2;
+      (* ...fill the queue of one... *)
+      let queued = raw_socket port in
+      send_raw queued "GET /healthz HTTP/1.1\r\n";
+      Thread.delay 0.2;
+      (* ...and the next connection must be turned away *)
+      let rejected = raw_socket port in
+      let buf = Bytes.create 1024 in
+      let n = Unix.read rejected buf 0 1024 in
+      let head = Bytes.sub_string buf 0 n in
+      Alcotest.(check bool) "429 status line" true
+        (Astring.String.is_prefix ~affix:"HTTP/1.1 429" head);
+      Alcotest.(check bool) "retry-after advertised" true
+        (Astring.String.is_infix ~affix:"Retry-After: 1" head);
+      Unix.close rejected;
+      Unix.close busy;
+      Unix.close queued;
+      (* capacity frees up once the stuck request times out *)
+      Thread.delay 0.3;
+      check_health ~port "after saturation";
+      let _, _, exposition = get_path ~port "/metrics" in
+      Alcotest.(check (option int)) "rejection counted" (Some 1)
+        (metric_value exposition "server_rejected"))
+
+let request_timeout_test () =
+  let state = fresh_state () in
+  let config = { test_config with Server.request_timeout_s = 0. } in
+  with_server ~config state (fun port ->
+      let status, _, body = post_query ~port "{\"query\": \"man_woman\"}" in
+      Alcotest.(check int) "query deadline already passed" 503 status;
+      Alcotest.(check bool) "error body" true
+        (Astring.String.is_infix ~affix:"timed out" body);
+      (* light routes carry no deadline *)
+      check_health ~port "healthz unaffected";
+      let _, _, exposition = get_path ~port "/metrics" in
+      match metric_value exposition "server_timeouts" with
+      | Some n when n >= 1 -> ()
+      | _ -> Alcotest.fail "timeout not counted")
+
+let graceful_shutdown_test () =
+  let state = fresh_state () in
+  let server = Server.start ~config:test_config state in
+  let port = Server.port server in
+  let status, _, _ = get_path ~port "/healthz" in
+  Alcotest.(check int) "serves before stop" 200 status;
+  Server.stop server;
+  Server.wait server;
+  match
+    Client.request ~timeout_s:1. ~host:"127.0.0.1" ~port ~meth:"GET"
+      ~target:"/healthz" ()
+  with
+  | Error _ -> ()
+  | Ok (status, _, _) ->
+      Alcotest.failf "still answering (%d) after shutdown" status
+
+let live_tests =
+  let open Alcotest in
+  [
+    test_case "warm context: one index build, cache hits on repeats" `Quick
+      warm_context_test;
+    test_case "concurrent load matches sequential evaluation (no pool)"
+      `Quick
+      (concurrent_differential ~domains:0);
+    test_case "concurrent load matches sequential evaluation (2 domains)"
+      `Quick
+      (concurrent_differential ~domains:2);
+    test_case "fault injection leaves the service healthy" `Quick
+      fault_injection_test;
+    test_case "admission control: 429 past the queue bound" `Quick
+      admission_control_test;
+    test_case "request deadline: heavy routes 503, light routes fine" `Quick
+      request_timeout_test;
+    test_case "graceful shutdown stops answering" `Quick
+      graceful_shutdown_test;
+  ]
+
+let suites =
+  [
+    ("server.http", http_parser_tests @ http_writer_tests);
+    ("server.wire", wire_tests);
+    ("server.router", router_tests);
+    ("server.exposition", exposition_tests);
+    ("server.live", live_tests);
+  ]
