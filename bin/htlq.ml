@@ -28,6 +28,20 @@ type dataset =
   | Store_file of string
   | Tables_file of string
 
+module Sharded = Htl_shard.Sharded
+
+(* Datasets --shards and snapshot save can partition: the sharded store
+   needs the actual video store, not similarity tables. *)
+let store_of_dataset = function
+  | Casablanca_store -> Some (Workload.Casablanca.store ())
+  | Gulf -> Some (Workload.Gulf_war.store ())
+  | Store_file path -> Some (Storage.Io.load_store path)
+  | Casablanca | Synthetic _ | Tables_file _ -> None
+
+let store_required =
+  "--shards and snapshots require a store-backed dataset \
+   (casablanca-store, gulf, or --load-store)"
+
 let make_context dataset seed level threshold =
   match dataset with
   | Casablanca ->
@@ -84,8 +98,8 @@ let emit_exports ~prom ~trace_out tracer registry querylog =
   | _ -> ());
   Option.iter (fun ql -> prerr_string (Obs.Querylog.to_jsonl ql)) querylog
 
-let run dataset seed level threshold backend query top classify_only explain
-    trace metrics prom trace_out slow_ms no_index =
+let run (dataset, seed, level, threshold, shards, snapshot) backend query top
+    classify_only explain trace metrics prom trace_out slow_ms no_index =
   match Htl.Parser.formula_of_string_opt query with
   | Error msg ->
       Format.eprintf "syntax error: %s@." msg;
@@ -107,19 +121,6 @@ let run dataset seed level threshold backend query top classify_only explain
             Format.eprintf "unknown backend %S (use direct or sql)@." backend;
             exit_usage
         | Some backend -> (
-            let ctx = make_context dataset seed level threshold in
-            let ctx =
-              if no_index then
-                {
-                  ctx with
-                  Engine.Context.picture_config =
-                    {
-                      ctx.Engine.Context.picture_config with
-                      Picture.Retrieval.prune = false;
-                    };
-                }
-              else ctx
-            in
             let tracer =
               if trace || Option.is_some trace_out then
                 Some (Obs.Trace.create ())
@@ -137,21 +138,6 @@ let run dataset seed level threshold backend query top classify_only explain
                 (fun ms -> Obs.Querylog.create ~threshold_s:(ms /. 1000.) ())
                 slow_ms
             in
-            let ctx =
-              Option.fold ~none:ctx
-                ~some:(Engine.Context.with_tracer ctx)
-                tracer
-            in
-            let ctx =
-              Option.fold ~none:ctx
-                ~some:(Engine.Context.with_metrics ctx)
-                registry
-            in
-            let ctx =
-              Option.fold ~none:ctx
-                ~some:(Engine.Context.with_querylog ctx)
-                querylog
-            in
             let emit_exports () =
               emit_exports ~prom ~trace_out tracer registry querylog
             in
@@ -159,41 +145,133 @@ let run dataset seed level threshold backend query top classify_only explain
                exists only to feed an export should not print *)
             let shown_tracer = if trace then tracer else None in
             let shown_registry = if metrics then registry else None in
-            if explain then
-              (* --trace upgrades the explain to an analyzed run: the
-                 query executes and the tree carries per-node timings *)
-              match Engine.Query.explain ~backend ~analyze:trace ctx f with
-              | report ->
-                  Format.printf "%a@." Engine.Explain.pp report;
-                  emit_diagnostics None shown_registry;
-                  emit_exports ();
-                  exit_ok
-              | exception Engine.Query.Error msg ->
-                  Format.eprintf "error: %s@." msg;
-                  emit_exports ();
-                  exit_query_error
-            else
-              match Engine.Query.run ~backend ctx f with
-              | result ->
-                  Format.printf "formula class: %s@."
-                    (Htl.Classify.cls_to_string cls);
-                  Format.printf "@.%a@."
-                    (Engine.Topk.pp_table ?header:None)
-                    result;
-                  Format.printf "@.top %d segments:@." top;
-                  List.iter
-                    (fun (id, sim) ->
-                      Format.printf "  segment %d: %.4f (fraction %.3f)@." id
-                        (Simlist.Sim.actual sim) (Simlist.Sim.fraction sim))
-                    (Engine.Topk.top_k result ~k:top);
-                  emit_diagnostics shown_tracer shown_registry;
-                  emit_exports ();
-                  exit_ok
-              | exception Engine.Query.Error msg ->
-                  Format.eprintf "error: %s@." msg;
-                  emit_diagnostics shown_tracer shown_registry;
-                  emit_exports ();
-                  exit_query_error))
+            (* the result rendering is shared by the plain and sharded
+               paths so the output format cannot drift between them *)
+            let print_result result =
+              Format.printf "formula class: %s@."
+                (Htl.Classify.cls_to_string cls);
+              Format.printf "@.%a@." (Engine.Topk.pp_table ?header:None) result;
+              Format.printf "@.top %d segments:@." top;
+              List.iter
+                (fun (id, sim) ->
+                  Format.printf "  segment %d: %.4f (fraction %.3f)@." id
+                    (Simlist.Sim.actual sim) (Simlist.Sim.fraction sim))
+                (Engine.Topk.top_k result ~k:top)
+            in
+            let no_index_config =
+              if no_index then
+                Some
+                  {
+                    Picture.Retrieval.default_config with
+                    Picture.Retrieval.prune = false;
+                  }
+              else None
+            in
+            match
+              match snapshot with
+              | Some path ->
+                  `Sharded
+                    (Sharded.load_snapshot ?config:no_index_config ~threshold
+                       ?level ?metrics:registry ?querylog path)
+              | None ->
+                  if shards <= 1 then
+                    `Plain (make_context dataset seed level threshold)
+                  else (
+                    match store_of_dataset dataset with
+                    | Some store ->
+                        `Sharded
+                          (Sharded.create ~shards ?config:no_index_config
+                             ~threshold ?level ?metrics:registry ?querylog
+                             store)
+                    | None -> failwith store_required)
+            with
+            | exception Storage.Snapshot.Snapshot_error e ->
+                Format.eprintf "snapshot error: %s@."
+                  (Storage.Snapshot.error_to_string e);
+                exit_query_error
+            | exception Sys_error msg ->
+                Format.eprintf "error: %s@." msg;
+                exit_query_error
+            | exception Failure msg ->
+                Format.eprintf "%s@." msg;
+                exit_usage
+            | `Sharded sh -> (
+                if explain then
+                  match Sharded.explain ~backend ~analyze:trace sh f with
+                  | plan ->
+                      Format.printf "%s@." plan;
+                      emit_diagnostics None shown_registry;
+                      emit_exports ();
+                      exit_ok
+                  | exception Engine.Query.Error msg ->
+                      Format.eprintf "error: %s@." msg;
+                      emit_exports ();
+                      exit_query_error
+                else
+                  match Sharded.run ~backend sh f with
+                  | result ->
+                      print_result result;
+                      emit_diagnostics None shown_registry;
+                      emit_exports ();
+                      exit_ok
+                  | exception Engine.Query.Error msg ->
+                      Format.eprintf "error: %s@." msg;
+                      emit_diagnostics None shown_registry;
+                      emit_exports ();
+                      exit_query_error)
+            | `Plain ctx -> (
+                let ctx =
+                  if no_index then
+                    {
+                      ctx with
+                      Engine.Context.picture_config =
+                        {
+                          ctx.Engine.Context.picture_config with
+                          Picture.Retrieval.prune = false;
+                        };
+                    }
+                  else ctx
+                in
+                let ctx =
+                  Option.fold ~none:ctx
+                    ~some:(Engine.Context.with_tracer ctx)
+                    tracer
+                in
+                let ctx =
+                  Option.fold ~none:ctx
+                    ~some:(Engine.Context.with_metrics ctx)
+                    registry
+                in
+                let ctx =
+                  Option.fold ~none:ctx
+                    ~some:(Engine.Context.with_querylog ctx)
+                    querylog
+                in
+                if explain then
+                  (* --trace upgrades the explain to an analyzed run: the
+                     query executes and the tree carries per-node timings *)
+                  match Engine.Query.explain ~backend ~analyze:trace ctx f with
+                  | report ->
+                      Format.printf "%a@." Engine.Explain.pp report;
+                      emit_diagnostics None shown_registry;
+                      emit_exports ();
+                      exit_ok
+                  | exception Engine.Query.Error msg ->
+                      Format.eprintf "error: %s@." msg;
+                      emit_exports ();
+                      exit_query_error
+                else
+                  match Engine.Query.run ~backend ctx f with
+                  | result ->
+                      print_result result;
+                      emit_diagnostics shown_tracer shown_registry;
+                      emit_exports ();
+                      exit_ok
+                  | exception Engine.Query.Error msg ->
+                      Format.eprintf "error: %s@." msg;
+                      emit_diagnostics shown_tracer shown_registry;
+                      emit_exports ();
+                      exit_query_error)))
 
 let dataset_arg =
   let parse s =
@@ -263,10 +341,30 @@ let load_tables_t =
     & info [ "load-tables" ] ~docv:"FILE"
         ~doc:"Load a bundle of atomic similarity tables.")
 
-(* (dataset, seed, level, threshold), with --synthetic / --load-store /
-   --load-tables taking precedence over --dataset *)
+let shards_t =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Partition the store into N shards with scatter-gather \
+           evaluation (store-backed datasets only; 1 keeps the store \
+           unsharded).")
+
+let snapshot_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot" ] ~docv:"FILE"
+        ~doc:
+          "Load a binary snapshot written by $(b,htlq snapshot save) — \
+           stores and finalized indexes, no rebuild — instead of a \
+           dataset (overrides --dataset and --shards).")
+
+(* (dataset, seed, level, threshold, shards, snapshot), with --synthetic
+   / --load-store / --load-tables taking precedence over --dataset *)
 let context_args_t =
-  let combine dataset synthetic load_store load_tables seed level threshold =
+  let combine dataset synthetic load_store load_tables seed level threshold
+      shards snapshot =
     let dataset =
       match (synthetic, load_store, load_tables) with
       | Some n, _, _ -> Synthetic n
@@ -274,11 +372,11 @@ let context_args_t =
       | None, None, Some path -> Tables_file path
       | None, None, None -> dataset
     in
-    (dataset, seed, level, threshold)
+    (dataset, seed, level, threshold, shards, snapshot)
   in
   Term.(
     const combine $ dataset_t $ synthetic_t $ load_store_t $ load_tables_t
-    $ seed_t $ level_t $ threshold_t)
+    $ seed_t $ level_t $ threshold_t $ shards_t $ snapshot_t)
 
 let query_cmd_term =
   let backend =
@@ -361,36 +459,56 @@ let query_cmd_term =
              every segment of the level (the pre-index behaviour, for A/B \
              debugging).  Results are identical either way.")
   in
-  let combine (dataset, seed, level, threshold) backend query top
-      classify_only explain trace metrics prom trace_out slow_ms no_index =
-    run dataset seed level threshold backend query top classify_only explain
-      trace metrics prom trace_out slow_ms no_index
-  in
   Term.(
-    const combine $ context_args_t $ backend $ query $ top $ classify_only
+    const run $ context_args_t $ backend $ query $ top $ classify_only
     $ explain $ trace $ metrics $ prom $ trace_out $ slow_ms $ no_index)
 
 (* --- htlq serve -------------------------------------------------------------- *)
 
-let serve_run (dataset, seed, level, threshold) host port port_file workers
-    queue_capacity timeout_ms io_timeout_ms max_body domains slow_ms =
-  match make_context dataset seed level threshold with
+let serve_run (dataset, seed, level, threshold, shards, snapshot) host port
+    port_file workers queue_capacity timeout_ms io_timeout_ms max_body domains
+    slow_ms =
+  let pool =
+    if domains > 0 then Some (Parallel.Pool.create ~domains ()) else None
+  in
+  let metrics = Obs.Metrics.create () in
+  let querylog = Obs.Querylog.create ~threshold_s:(slow_ms /. 1000.) () in
+  match
+    match snapshot with
+    | Some path ->
+        `Sharded
+          (Sharded.load_snapshot ~threshold ?level ?pool ~metrics ~querylog
+             path)
+    | None ->
+        if shards <= 1 then `Plain (make_context dataset seed level threshold)
+        else (
+          match store_of_dataset dataset with
+          | Some store ->
+              `Sharded
+                (Sharded.create ~shards ~threshold ?level ?pool ~metrics
+                   ~querylog store)
+          | None -> failwith store_required)
+  with
   | exception (Sys_error msg | Failure msg) ->
       Format.eprintf "serve: %s@." msg;
       exit_query_error
-  | ctx -> (
-      let pool =
-        if domains > 0 then Some (Parallel.Pool.create ~domains ()) else None
+  | exception Storage.Snapshot.Snapshot_error e ->
+      Format.eprintf "serve: snapshot error: %s@."
+        (Storage.Snapshot.error_to_string e);
+      exit_query_error
+  | exec -> (
+      let ctx, sharded =
+        match exec with
+        | `Plain ctx ->
+            let ctx =
+              match pool with
+              | Some p -> Engine.Context.with_pool ctx p
+              | None -> ctx
+            in
+            (ctx, None)
+        | `Sharded sh -> ((Sharded.contexts sh).(0), Some sh)
       in
-      let ctx =
-        match pool with
-        | Some p -> Engine.Context.with_pool ctx p
-        | None -> ctx
-      in
-      let querylog =
-        Obs.Querylog.create ~threshold_s:(slow_ms /. 1000.) ()
-      in
-      let state = Htl_server.Router.make ~querylog ctx in
+      let state = Htl_server.Router.make ~metrics ~querylog ?sharded ctx in
       let config =
         {
           Htl_server.Server.default_config with
@@ -586,6 +704,92 @@ let http_cmd =
           body (exit 1 on transport errors and non-2xx statuses).")
     http_term
 
+(* --- htlq snapshot ----------------------------------------------------------- *)
+
+let pp_snapshot_summary verb path sh =
+  Format.printf "snapshot: %s %s (%d shards, %d leaf segments, %d levels)@."
+    verb path (Sharded.shard_count sh)
+    (Sharded.count_at sh ~level:(Sharded.levels sh))
+    (Sharded.levels sh)
+
+let snapshot_save_run (dataset, seed, level, threshold, shards, snapshot) out =
+  ignore seed;
+  match
+    match snapshot with
+    | Some path -> Sharded.load_snapshot ~threshold ?level path
+    | None -> (
+        match store_of_dataset dataset with
+        | Some store -> Sharded.create ~shards ~threshold ?level store
+        | None -> failwith store_required)
+  with
+  | exception Failure msg ->
+      Format.eprintf "snapshot: %s@." msg;
+      exit_usage
+  | exception Sys_error msg ->
+      Format.eprintf "snapshot: %s@." msg;
+      exit_query_error
+  | exception Storage.Snapshot.Snapshot_error e ->
+      Format.eprintf "snapshot error: %s@."
+        (Storage.Snapshot.error_to_string e);
+      exit_query_error
+  | sh -> (
+      match Sharded.save_snapshot sh out with
+      | () ->
+          pp_snapshot_summary "wrote" out sh;
+          exit_ok
+      | exception Sys_error msg ->
+          Format.eprintf "snapshot: %s@." msg;
+          exit_query_error)
+
+let snapshot_load_run path =
+  match Sharded.load_snapshot path with
+  | sh ->
+      pp_snapshot_summary "loaded" path sh;
+      exit_ok
+  | exception Storage.Snapshot.Snapshot_error e ->
+      Format.eprintf "snapshot error: %s@."
+        (Storage.Snapshot.error_to_string e);
+      exit_query_error
+  | exception Sys_error msg ->
+      Format.eprintf "snapshot: %s@." msg;
+      exit_query_error
+
+let snapshot_save_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Where to write the snapshot.")
+  in
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:
+         "Build the dataset (honouring $(b,--shards)), finalize its indexes \
+          for every level, and write a binary snapshot to $(b,--out).")
+    Term.(const snapshot_save_run $ context_args_t $ out)
+
+let snapshot_load_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Snapshot file to load.")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Load and validate a snapshot (magic, version, length, checksum, \
+          payload) and print its shape; exit 1 on any corruption.")
+    Term.(const snapshot_load_run $ path)
+
+let snapshot_cmd =
+  Cmd.group
+    (Cmd.info "snapshot"
+       ~doc:
+         "Save or load binary store snapshots (stores plus finalized \
+          indexes) for rebuild-free cold starts.")
+    [ snapshot_save_cmd; snapshot_load_cmd ]
+
 let cmd =
   Cmd.group ~default:query_cmd_term
     (Cmd.info "htlq" ~doc:"Similarity-based retrieval of videos with HTL"
@@ -596,6 +800,6 @@ let cmd =
              ~doc:"on query errors (syntax, unsupported formula, backend).";
            Cmd.Exit.info exit_usage ~doc:"on command-line usage errors.";
          ])
-    [ serve_cmd; http_cmd ]
+    [ serve_cmd; http_cmd; snapshot_cmd ]
 
 let () = exit (Cmd.eval' ~term_err:exit_usage cmd)

@@ -79,6 +79,7 @@ let of_tables ?(threshold = 0.5)
   }
 
 let with_level t ~level ~extents = { t with level; extents }
+let with_registry t registry = { t with registry }
 let segment_count t = Simlist.Extent.total t.extents
 
 let with_pool ?(par_cutoff = default_par_cutoff) t pool =

@@ -94,6 +94,11 @@ val of_tables :
 
 val with_level : t -> level:int -> extents:Simlist.Extent.t -> t
 
+val with_registry : t -> Picture.Index.Registry.t -> t
+(** Replace the index registry — used when restoring a snapshot whose
+    finalized indexes were preloaded into a registry, so queries start
+    with zero rebuilds. *)
+
 val segment_count : t -> int
 
 (** {1 Parallel evaluation} *)

@@ -163,6 +163,7 @@ let run_observed ~backend (ctx : Context.t) f =
             cache_misses = misses;
             segments_scanned = scans;
             resources = !gc;
+            shards = [];
             error;
           }
     | Some _ | None -> ()

@@ -9,6 +9,19 @@ type backend =
 
 val classify : Htl.Ast.t -> Htl.Classify.cls
 
+val dispatch :
+  backend:backend ->
+  Context.t ->
+  Htl.Classify.cls ->
+  Htl.Ast.t ->
+  Simlist.Sim_list.t
+(** The class dispatcher {!run} sits on: evaluate an already-classified
+    formula with no per-query envelope (no [query.count], latency
+    histogram or slow-log record).  [Htl_shard]'s coordinator uses it so
+    a scatter over N shards still counts as {e one} query; everyone else
+    wants {!run}.
+    @raise Error as {!run} does. *)
+
 val run :
   ?backend:backend -> Context.t -> Htl.Ast.t -> Simlist.Sim_list.t
 (** Evaluate a closed formula of any supported class over the context's

@@ -30,6 +30,98 @@ let top_k list ~k =
   in
   take k (ranked_intervals list)
 
+(* K-way merge of per-shard ranked lists: each list's ids shift by its
+   offset into the global numbering, and the shifted entries are pairwise
+   disjoint (shards partition the id space).  A binary heap holding one
+   cursor per list pops entries in (value desc, global start asc) order —
+   for disjoint intervals that is exactly the (value desc, id asc)
+   ranking [top_k] produces on the merged list — so the coordinator
+   materialises k ids, never the full ranked list.  O(m log s + k) for m
+   total entries over s lists. *)
+type cursor = {
+  c_value : float;
+  c_iv : Interval.t; (* already shifted into global ids *)
+  c_rest : (Interval.t * float) list; (* still list-local *)
+  c_off : int;
+}
+
+let merged_top_k parts ~k =
+  if k < 0 then
+    invalid_arg (Printf.sprintf "Topk.merged_top_k: negative k (%d)" k);
+  let max =
+    match parts with
+    | [] -> invalid_arg "Topk.merged_top_k: no lists"
+    | (l, _) :: rest ->
+        let m = Sim_list.max_sim l in
+        List.iter
+          (fun (l', _) ->
+            if Sim_list.max_sim l' <> m then
+              invalid_arg "Topk.merged_top_k: lists disagree on max")
+          rest;
+        m
+  in
+  let dummy =
+    { c_value = 0.; c_iv = Interval.point 1; c_rest = []; c_off = 0 }
+  in
+  let heap = Array.make (List.length parts) dummy in
+  let size = ref 0 in
+  let before a b =
+    match Float.compare a.c_value b.c_value with
+    | 0 -> Interval.lo a.c_iv < Interval.lo b.c_iv
+    | c -> c > 0
+  in
+  let swap i j =
+    let t = heap.(i) in
+    heap.(i) <- heap.(j);
+    heap.(j) <- t
+  in
+  let rec up i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if before heap.(i) heap.(p) then begin
+        swap i p;
+        up p
+      end
+    end
+  in
+  let rec down i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = ref i in
+    if l < !size && before heap.(l) heap.(!m) then m := l;
+    if r < !size && before heap.(r) heap.(!m) then m := r;
+    if !m <> i then begin
+      swap i !m;
+      down !m
+    end
+  in
+  let push c =
+    heap.(!size) <- c;
+    incr size;
+    up (!size - 1)
+  in
+  let cursor off = function
+    | [] -> ()
+    | (iv, v) :: rest ->
+        push { c_value = v; c_iv = Interval.shift off iv; c_rest = rest; c_off = off }
+  in
+  List.iter (fun (l, off) -> cursor off (ranked_intervals l)) parts;
+  let rec take n =
+    if n = 0 || !size = 0 then []
+    else begin
+      let c = heap.(0) in
+      decr size;
+      heap.(0) <- heap.(!size);
+      heap.(!size) <- dummy;
+      down 0;
+      cursor c.c_off c.c_rest;
+      let m = min n (Interval.length c.c_iv) in
+      List.init m (fun i ->
+          (Interval.lo c.c_iv + i, Sim.make ~actual:c.c_value ~max))
+      @ take (n - m)
+    end
+  in
+  take k
+
 let pp_table ?(header = ("Start", "End", "Sim")) ppf list =
   let s, e, v = header in
   Format.fprintf ppf "@[<v>%-8s %-8s %s@," s e v;

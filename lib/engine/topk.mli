@@ -15,6 +15,20 @@ val top_k : Simlist.Sim_list.t -> k:int -> (int * Simlist.Sim.t) list
     population yields every positive-similarity segment.
     @raise Invalid_argument when [k] is negative. *)
 
+val merged_top_k :
+  (Simlist.Sim_list.t * int) list -> k:int -> (int * Simlist.Sim.t) list
+(** [merged_top_k [(l0, off0); (l1, off1); ...] ~k]: the k best segments
+    of the union of the lists, where list [i]'s ids are shifted by
+    [offi] into a global numbering — the coordinator step of
+    scatter–gather evaluation over sharded stores.  The shifted entries
+    must be pairwise disjoint across lists (shards partition the id
+    space) and every list must carry the same maximum.  A k-way binary
+    heap pops entries in (value desc, global id asc) order, so the
+    result equals [top_k] of the fully merged list without ever
+    materialising it: O(m log s + k) for m total entries over s lists.
+    @raise Invalid_argument when [k] is negative, the list of lists is
+    empty, or the maxima disagree. *)
+
 val pp_table :
   ?header:string * string * string ->
   Format.formatter ->

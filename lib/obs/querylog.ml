@@ -16,6 +16,7 @@ type record = {
   cache_misses : int;
   segments_scanned : (string * int) list;
   resources : Resource.delta;
+  shards : (int * float) list;
   error : string option;
 }
 
@@ -88,6 +89,16 @@ let to_json r =
            (List.map (fun (k, v) -> (k, Json.Int v)) r.segments_scanned) );
        ("gc", Resource.to_json r.resources);
      ]
+    @ (match r.shards with
+      | [] -> []
+      | shards ->
+          [
+            ( "shards",
+              Json.Obj
+                (List.map
+                   (fun (i, s) -> (string_of_int i, Json.Float s))
+                   shards) );
+          ])
     @ match r.error with None -> [] | Some e -> [ ("error", Json.String e) ])
 
 let to_jsonl t =

@@ -23,6 +23,10 @@ type record = {
       (** per-level scan counter deltas, e.g.
           [("picture.segments_scanned.l2", 180)] *)
   resources : Resource.delta;
+  shards : (int * float) list;
+      (** per-shard latency seconds, keyed by shard ordinal — empty for
+          unsharded queries; sharded coordinators record one pair per
+          shard so skew is visible in the log *)
   error : string option;
 }
 

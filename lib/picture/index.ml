@@ -196,6 +196,77 @@ let types_at_level t = t.types
 let level t = t.level
 let segment_count t = t.segment_count
 
+(* --- serialization-friendly view ----------------------------------------
+
+   A dump flattens every hashtable into a sorted association list, so a
+   snapshot of the same index is byte-identical run to run (hashtable
+   fold order is not deterministic).  [undump] rebuilds the tables; the
+   posting arrays are shared, not copied — both sides treat them as
+   immutable. *)
+
+type dump = {
+  d_level : int;
+  d_segments : int;
+  d_by_object : (int * int array) list;
+  d_by_type : (string * int array) list;
+  d_by_relationship : (string * int array) list;
+  d_with_objects : int array;
+  d_by_seg_attr : (string * int array) list;
+  d_by_seg_attr_value : ((string * vkey) * int array) list;
+  d_by_obj_attr : (string * int array) list;
+  d_by_obj_attr_value : ((string * vkey) * int array) list;
+  d_seg_points : (string * points) list;
+  d_obj_points : ((string * int) * points) list;
+  d_objects : int list;
+  d_types : string list;
+}
+
+let sorted_bindings tbl =
+  List.sort
+    (fun (k1, _) (k2, _) -> compare k1 k2)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let dump t =
+  {
+    d_level = t.level;
+    d_segments = t.segment_count;
+    d_by_object = sorted_bindings t.by_object;
+    d_by_type = sorted_bindings t.by_type;
+    d_by_relationship = sorted_bindings t.by_relationship;
+    d_with_objects = t.with_objects;
+    d_by_seg_attr = sorted_bindings t.by_seg_attr;
+    d_by_seg_attr_value = sorted_bindings t.by_seg_attr_value;
+    d_by_obj_attr = sorted_bindings t.by_obj_attr;
+    d_by_obj_attr_value = sorted_bindings t.by_obj_attr_value;
+    d_seg_points = sorted_bindings t.seg_points;
+    d_obj_points = sorted_bindings t.obj_points;
+    d_objects = t.objects;
+    d_types = t.types;
+  }
+
+let table_of bindings =
+  let tbl = Hashtbl.create (max 16 (List.length bindings)) in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) bindings;
+  tbl
+
+let undump d =
+  {
+    level = d.d_level;
+    segment_count = d.d_segments;
+    by_object = table_of d.d_by_object;
+    by_type = table_of d.d_by_type;
+    by_relationship = table_of d.d_by_relationship;
+    with_objects = d.d_with_objects;
+    by_seg_attr = table_of d.d_by_seg_attr;
+    by_seg_attr_value = table_of d.d_by_seg_attr_value;
+    by_obj_attr = table_of d.d_by_obj_attr;
+    by_obj_attr_value = table_of d.d_by_obj_attr_value;
+    seg_points = table_of d.d_seg_points;
+    obj_points = table_of d.d_obj_points;
+    objects = d.d_objects;
+    types = d.d_types;
+  }
+
 module Registry = struct
   type index = t
 
@@ -224,4 +295,10 @@ module Registry = struct
             let idx = build ?metrics store ~level in
             Hashtbl.add r.tbl level idx;
             idx)
+
+  let preload r ~version indexes =
+    Mutex.protect r.mutex (fun () ->
+        Hashtbl.reset r.tbl;
+        r.version <- version;
+        List.iter (fun (idx : index) -> Hashtbl.replace r.tbl idx.level idx) indexes)
 end

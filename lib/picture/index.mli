@@ -71,6 +71,40 @@ val types_at_level : t -> string list
 val level : t -> int
 val segment_count : t -> int
 
+(** {1 Serialization view}
+
+    Snapshots (Storage.Snapshot) persist finalized indexes.  A {!dump}
+    flattens every hashtable into a sorted association list so the same
+    index always serializes to the same bytes; {!undump} rebuilds the
+    tables.  Posting arrays are shared between the index and its dump —
+    both treat them as immutable. *)
+
+type vkey = Knum of float | Kstr of string | Kbool of bool
+(** Posting key for attribute values: Int/Float coerce onto [Knum]
+    (-0. folds onto 0.), NaN is never stored. *)
+
+type dump = {
+  d_level : int;
+  d_segments : int;
+  d_by_object : (int * int array) list;
+  d_by_type : (string * int array) list;
+  d_by_relationship : (string * int array) list;
+  d_with_objects : int array;
+  d_by_seg_attr : (string * int array) list;
+  d_by_seg_attr_value : ((string * vkey) * int array) list;
+  d_by_obj_attr : (string * int array) list;
+  d_by_obj_attr_value : ((string * vkey) * int array) list;
+  d_seg_points : (string * points) list;
+  d_obj_points : ((string * int) * points) list;
+  d_objects : int list;
+  d_types : string list;
+}
+
+val dump : t -> dump
+(** Deterministic: association lists sorted by key. *)
+
+val undump : dump -> t
+
 (** A per-context cache of finalized indexes, keyed by level and stamped
     with {!Video_model.Store.version} — the same stamp [Engine.Cache]
     uses, so any store mutation invalidates both.  Thread-safe: one
@@ -87,4 +121,10 @@ module Registry : sig
   (** The cached index for the store's current version, building it on
       first use.  A version mismatch drops every cached level first.
       Bumps [picture.index.registry_hits] on a hit. *)
+
+  val preload : t -> version:int -> index list -> unit
+  (** Replace the registry's contents with already-finalized indexes
+      (keyed by their own level) stamped with [version] — snapshot
+      restore, so the first query after a load is a registry hit, not a
+      rebuild. *)
 end

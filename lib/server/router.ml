@@ -126,6 +126,7 @@ let results_of_json json =
 
 type state = {
   ctx : Engine.Context.t;
+  sharded : Htl_shard.Sharded.t option;
   metrics : Obs.Metrics.t;
   querylog : Obs.Querylog.t;
 }
@@ -147,7 +148,7 @@ let preregister m =
     (Obs.Metrics.declare_histogram m)
     [ "server.request_latency_s"; "server.queue_wait_s" ]
 
-let make ?metrics ?querylog ctx =
+let make ?metrics ?querylog ?sharded ctx =
   let metrics =
     match metrics with Some m -> m | None -> Obs.Metrics.create ()
   in
@@ -162,9 +163,10 @@ let make ?metrics ?querylog ctx =
       (Engine.Context.with_metrics ctx metrics)
       querylog
   in
-  { ctx; metrics; querylog }
+  { ctx; sharded; metrics; querylog }
 
 let context s = s.ctx
+let sharded s = s.sharded
 let metrics s = s.metrics
 let querylog s = s.querylog
 
@@ -205,6 +207,34 @@ let ctx_for_level ctx = function
               (Engine.Context.with_level ctx ~level
                  ~extents:(Video_model.Store.extents_at store ~level)))
 
+module Sharded = Htl_shard.Sharded
+
+let sharded_for_level sh = function
+  | None -> Ok sh
+  | Some level ->
+      let levels = Sharded.levels sh in
+      if level < 1 || level > levels then
+        Error (Printf.sprintf "level %d out of range 1..%d" level levels)
+      else Ok (Sharded.with_level sh ~level)
+
+let sharded_result_json sh req f =
+  let cls = Htl.Classify.classify f in
+  if req.explain then
+    Json.Obj
+      [
+        ("class", Json.String (Htl.Classify.cls_to_string cls));
+        ("plan", Json.String (Sharded.explain ~backend:req.backend sh f));
+      ]
+  else
+    let list = Sharded.run ~backend:req.backend sh f in
+    let top = Engine.Topk.top_k list ~k:req.k in
+    Json.Obj
+      [
+        ("class", Json.String (Htl.Classify.cls_to_string cls));
+        ("count", Json.Int (Simlist.Sim_list.length list));
+        ("results", results_to_json top);
+      ]
+
 let query_result_json ctx req f =
   let cls = Htl.Classify.classify f in
   if req.explain then
@@ -225,15 +255,29 @@ let query_result_json ctx req f =
       ]
 
 let run_query state req =
-  match ctx_for_level state.ctx req.level with
-  | Error msg -> error_response ~status:400 msg
-  | Ok ctx -> (
-      match Htl.Parser.formula_of_string_opt req.q with
-      | Error msg -> error_response ~status:400 ("syntax error: " ^ msg)
-      | Ok f -> (
-          match query_result_json ctx req f with
-          | json -> json_response ~status:200 json
-          | exception Engine.Query.Error msg -> error_response ~status:400 msg))
+  match state.sharded with
+  | Some sh -> (
+      match sharded_for_level sh req.level with
+      | Error msg -> error_response ~status:400 msg
+      | Ok sh -> (
+          match Htl.Parser.formula_of_string_opt req.q with
+          | Error msg -> error_response ~status:400 ("syntax error: " ^ msg)
+          | Ok f -> (
+              match sharded_result_json sh req f with
+              | json -> json_response ~status:200 json
+              | exception Engine.Query.Error msg ->
+                  error_response ~status:400 msg)))
+  | None -> (
+      match ctx_for_level state.ctx req.level with
+      | Error msg -> error_response ~status:400 msg
+      | Ok ctx -> (
+          match Htl.Parser.formula_of_string_opt req.q with
+          | Error msg -> error_response ~status:400 ("syntax error: " ^ msg)
+          | Ok f -> (
+              match query_result_json ctx req f with
+              | json -> json_response ~status:200 json
+              | exception Engine.Query.Error msg ->
+                  error_response ~status:400 msg)))
 
 (* Batch: queries are independent; a parse failure occupies its error
    slot without touching its neighbours, and evaluation failures come
@@ -255,12 +299,22 @@ let run_batch state req_json =
       | Some _ -> Error "\"queries\" must be an array of strings"
       | None -> Error "missing \"queries\" field"
     in
-    let* ctx = ctx_for_level state.ctx level in
-    Ok (k, backend, queries, ctx)
+    let* eval =
+      match state.sharded with
+      | Some sh ->
+          let* sh = sharded_for_level sh level in
+          Ok (fun backend formulas -> Sharded.run_batch ~backend sh formulas)
+      | None ->
+          let* ctx = ctx_for_level state.ctx level in
+          Ok
+            (fun backend formulas ->
+              Engine.Query.run_batch ~backend ctx formulas)
+    in
+    Ok (k, backend, queries, eval)
   in
   match parsed with
   | Error msg -> error_response ~status:400 msg
-  | Ok (k, backend, queries, ctx) ->
+  | Ok (k, backend, queries, eval) ->
       let slots =
         List.map
           (fun q ->
@@ -270,7 +324,7 @@ let run_batch state req_json =
           queries
       in
       let formulas = List.filter_map Result.to_option slots in
-      let outcomes = Engine.Query.run_batch ~backend ctx formulas in
+      let outcomes = eval backend formulas in
       (* stitch evaluation outcomes back into the parse-error slots *)
       let rec stitch slots outcomes =
         match (slots, outcomes) with

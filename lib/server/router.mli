@@ -50,15 +50,22 @@ type state
 val make :
   ?metrics:Obs.Metrics.t ->
   ?querylog:Obs.Querylog.t ->
+  ?sharded:Htl_shard.Sharded.t ->
   Engine.Context.t ->
   state
 (** Wrap a context for serving: attach [metrics] (fresh by default) and
     [querylog] (fresh, threshold 100 ms, by default) to it and
     pre-register every [server.*] series (see {!preregister}) so the
     exposition is stable from the first scrape.  Attach a domain pool to
-    the context before calling when parallel evaluation is wanted. *)
+    the context before calling when parallel evaluation is wanted.
+
+    When [sharded] is given, [/query] and [/batch] evaluate against it
+    (scatter–gather with coordinator merge) instead of the context; the
+    sharded handle should have been created with the same [metrics] and
+    [querylog] so [/metrics] and [/slowlog] keep reporting it. *)
 
 val context : state -> Engine.Context.t
+val sharded : state -> Htl_shard.Sharded.t option
 val metrics : state -> Obs.Metrics.t
 val querylog : state -> Obs.Querylog.t
 

@@ -1,0 +1,470 @@
+module Store = Video_model.Store
+module Video = Video_model.Video
+module Context = Engine.Context
+module Query = Engine.Query
+module Cache = Engine.Cache
+module Sim_list = Simlist.Sim_list
+module Interval = Simlist.Interval
+
+type t = {
+  shards : Context.t array;  (* in partition order; every ctx store-backed *)
+  level : int;
+  levels : int;
+  offsets : int array;  (* global-id offset per shard at [level] *)
+  pool : Parallel.Pool.t option;
+  metrics : Obs.Metrics.t option;
+  querylog : Obs.Querylog.t option;
+}
+
+let store_of ctx =
+  match ctx.Context.store with
+  | Some s -> s
+  | None -> invalid_arg "Sharded: shard context without a store"
+
+let offsets_of shards ~level =
+  let n = Array.length shards in
+  let off = Array.make n 0 in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    off.(i) <- !acc;
+    acc := !acc + Store.count_at (store_of shards.(i)) ~level
+  done;
+  off
+
+let make ~pool ~metrics ~querylog ctxs =
+  let shards = Array.of_list ctxs in
+  if Array.length shards = 0 then invalid_arg "Sharded: no shards";
+  let levels = Store.levels (store_of shards.(0)) in
+  Array.iter
+    (fun c ->
+      if Store.levels (store_of c) <> levels then
+        invalid_arg "Sharded: shards disagree on level structure")
+    shards;
+  let level = shards.(0).Context.level in
+  { shards; level; levels; offsets = offsets_of shards ~level; pool; metrics;
+    querylog }
+
+(* Contiguous partition of the videos into at most [n] groups of roughly
+   equal leaf weight: videos accumulate into the current group until the
+   running total crosses the next n-quantile of the total weight.  A
+   video is never split, so the group count can come out below [n] for
+   small or skewed corpora. *)
+let partition n videos =
+  let weight v = Video.count_at v (Video.levels v) in
+  let total = List.fold_left (fun acc v -> acc + weight v) 0 videos in
+  let boundary i = total * i / n in
+  let rec go i cum group groups = function
+    | [] -> List.rev (List.rev group :: groups)
+    | v :: rest ->
+        let cum = cum + weight v in
+        let group = v :: group in
+        if cum >= boundary (i + 1) && rest <> [] then
+          go (i + 1) cum [] (List.rev group :: groups) rest
+        else go i cum group groups rest
+  in
+  match videos with
+  | [] -> invalid_arg "Sharded: empty store"
+  | _ -> go 0 0 [] [] videos
+
+let create ?(shards = 1) ?config ?threshold ?conj_mode ?reorder_joins ?level
+    ?pool ?par_cutoff ?metrics ?querylog store =
+  if shards < 1 then
+    invalid_arg (Printf.sprintf "Sharded.create: shards %d < 1" shards);
+  let videos = Store.videos store in
+  let n = min shards (List.length videos) in
+  let groups = partition n videos in
+  let ctxs =
+    List.map
+      (fun group ->
+        Context.of_store ?config ?threshold ?conj_mode ?reorder_joins ?level
+          ?pool ?par_cutoff ?metrics (Store.create group))
+      groups
+  in
+  make ~pool ~metrics ~querylog ctxs
+
+let shard_count t = Array.length t.shards
+let level t = t.level
+let levels t = t.levels
+let level_index t name = Store.level_index (store_of t.shards.(0)) name
+let contexts t = t.shards
+let offsets t = t.offsets
+
+let count_at t ~level =
+  Array.fold_left
+    (fun acc ctx -> acc + Store.count_at (store_of ctx) ~level)
+    0 t.shards
+
+let segment_count t = count_at t ~level:t.level
+
+let with_level t ~level =
+  if level < 1 || level > t.levels then
+    invalid_arg (Printf.sprintf "Sharded.with_level: level %d not in 1..%d"
+                   level t.levels);
+  let shards =
+    Array.map
+      (fun ctx ->
+        let store = store_of ctx in
+        Context.with_level ctx ~level ~extents:(Store.extents_at store ~level))
+      t.shards
+  in
+  { t with shards; level; offsets = offsets_of shards ~level }
+
+(* --- scatter–gather ------------------------------------------------------ *)
+
+let fail fmt = Format.kasprintf (fun s -> raise (Query.Error s)) fmt
+
+(* Scatter: evaluate the already-classified formula on every shard,
+   recording per-shard wall time.  [Query.dispatch] skips the per-query
+   envelope, so N shard evaluations still count as one query at the
+   coordinator; the shard contexts carry the shared metrics, so cache
+   and index counters (cache.hits, picture.index.builds, ...) keep
+   accumulating normally. *)
+let eval_parts ~backend t cls f =
+  let one ctx =
+    let t0 = Obs.Clock.now () in
+    let list = Query.dispatch ~backend ctx cls f in
+    (list, Obs.Clock.now () -. t0)
+  in
+  let ctxs = Array.to_list t.shards in
+  match t.pool with
+  | Some p when Parallel.Pool.domain_count p > 1 && Array.length t.shards > 1
+    ->
+      Parallel.Pool.parallel_map p one ctxs
+  | _ -> List.map one ctxs
+
+let shared_max parts =
+  match parts with
+  | [] -> fail "Sharded: no shards"
+  | (l, _) :: rest ->
+      let m = Sim_list.max_sim l in
+      List.iter
+        (fun (l', _) ->
+          if Sim_list.max_sim l' <> m then
+            fail
+              "Sharded: shards disagree on the formula maximum (%g vs %g)"
+              m (Sim_list.max_sim l'))
+        rest;
+      m
+
+(* Gather for [run]: shift every shard's entries into the global
+   numbering and re-canonicalise.  [of_entries] coalesces adjacent
+   equal-valued intervals across shard boundaries, so the result is
+   byte-equal to evaluating the unsharded store. *)
+let merge t parts =
+  let max = shared_max parts in
+  let entries =
+    List.concat
+      (List.mapi
+         (fun i (l, _) ->
+           List.map
+             (fun (iv, v) -> (Interval.shift t.offsets.(i) iv, v))
+             (Sim_list.entries l))
+         parts)
+  in
+  Sim_list.of_entries ~max entries
+
+let note_scatter t ~merge_s parts =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+      Obs.Metrics.incr m ~by:(Array.length t.shards) "shard.queries";
+      Obs.Metrics.observe m "shard.merge_s" merge_s;
+      let lats = List.map snd parts in
+      let mx = List.fold_left Float.max 0. lats in
+      let mean =
+        List.fold_left ( +. ) 0. lats /. float_of_int (List.length lats)
+      in
+      if mean > 0. then Obs.Metrics.set_gauge m "shard.imbalance" (mx /. mean)
+
+let scan_prefix = "picture.segments_scanned"
+
+let scan_counters m =
+  List.filter_map
+    (function
+      | name, Obs.Metrics.Counter n
+        when String.starts_with ~prefix:scan_prefix name ->
+          Some (name, n)
+      | _ -> None)
+    (Obs.Metrics.snapshot m)
+
+let scan_delta ~before after =
+  List.filter_map
+    (fun (name, n) ->
+      let prior =
+        match List.assoc_opt name before with Some p -> p | None -> 0
+      in
+      if n > prior then Some (name, n - prior) else None)
+    after
+
+let cache_probes t =
+  Array.fold_left
+    (fun (h, m) ctx ->
+      match Context.cache ctx with
+      | None -> (h, m)
+      | Some c ->
+          let s = Cache.stats c in
+          (h + s.Cache.hits, m + s.Cache.misses))
+    (0, 0) t.shards
+
+let backend_name = function
+  | Query.Direct_backend -> "direct"
+  | Query.Sql_backend_choice -> "sql"
+
+(* The coordinator's query envelope, mirroring [Query.run_observed]:
+   classify once, scatter, time the gather via [consume], and record the
+   one-per-query metrics and the slow-log entry (with per-shard
+   latencies in the [shards] field).  [consume] is either the full merge
+   ([run]) or the lazy top-k heap merge ([top_k]). *)
+let run_core ~backend t f consume =
+  let gathered parts =
+    let t0 = Obs.Clock.now () in
+    let r = consume parts in
+    let merge_s = Obs.Clock.now () -. t0 in
+    note_scatter t ~merge_s parts;
+    r
+  in
+  let plain () =
+    match Htl.Classify.check f with
+    | Error reason -> fail "unsupported formula: %s" reason
+    | Ok cls -> gathered (eval_parts ~backend t cls f)
+  in
+  match (t.metrics, t.querylog) with
+  | None, None -> plain ()
+  | _ ->
+      let t_start = Obs.Clock.now () in
+      Option.iter (fun m -> Obs.Metrics.incr m "query.count") t.metrics;
+      let cache_before =
+        match t.querylog with Some _ -> Some (cache_probes t) | None -> None
+      in
+      let scans_before =
+        match (t.querylog, t.metrics) with
+        | Some _, Some m -> Some (scan_counters m)
+        | _ -> None
+      in
+      let gc_before = Obs.Resource.sample () in
+      let gc = ref Obs.Resource.zero in
+      let cls = ref None in
+      let lats = ref [] in
+      let work () =
+        match Htl.Classify.check f with
+        | Error reason -> fail "unsupported formula: %s" reason
+        | Ok c ->
+            cls := Some c;
+            let parts = eval_parts ~backend t c f in
+            lats := List.mapi (fun i (_, s) -> (i, s)) parts;
+            let r = gathered parts in
+            gc :=
+              Obs.Resource.delta ~before:gc_before
+                ~after:(Obs.Resource.sample ());
+            r
+      in
+      let finish ~error =
+        let latency = Obs.Clock.now () -. t_start in
+        Option.iter
+          (fun m ->
+            if Option.is_some error then Obs.Metrics.incr m "query.errors";
+            Obs.Metrics.observe m "query.latency_s" latency;
+            Obs.Metrics.observe m "query.allocated_words"
+              (Obs.Resource.allocated_words !gc))
+          t.metrics;
+        match t.querylog with
+        | Some ql when Obs.Querylog.should_log ql ~latency_s:latency ->
+            let hits, misses =
+              match cache_before with
+              | Some (h0, m0) ->
+                  let h1, m1 = cache_probes t in
+                  (h1 - h0, m1 - m0)
+              | None -> (0, 0)
+            in
+            let scans =
+              match (scans_before, t.metrics) with
+              | Some before, Some m -> scan_delta ~before (scan_counters m)
+              | _ -> []
+            in
+            Obs.Querylog.record ql
+              {
+                Obs.Querylog.time_s = t_start;
+                formula_id = Htl.Hcons.intern_id f;
+                formula = Htl.Pretty.to_string f;
+                backend = backend_name backend;
+                cls =
+                  (match !cls with
+                  | Some c -> Htl.Classify.cls_to_string c
+                  | None -> "unsupported");
+                latency_s = latency;
+                cache_hits = hits;
+                cache_misses = misses;
+                segments_scanned = scans;
+                resources = !gc;
+                shards = !lats;
+                error;
+              }
+        | Some _ | None -> ()
+      in
+      (match work () with
+      | r ->
+          finish ~error:None;
+          r
+      | exception e ->
+          finish
+            ~error:
+              (Some
+                 (match e with
+                 | Query.Error msg -> msg
+                 | e -> Printexc.to_string e));
+          raise e)
+
+let run ?(backend = Query.Direct_backend) t f =
+  run_core ~backend t f (merge t)
+
+let parse src =
+  match Htl.Parser.formula_of_string_opt src with
+  | Error msg -> fail "syntax error: %s" msg
+  | Ok f -> f
+
+let run_string ?backend t src = run ?backend t (parse src)
+
+let top_k ?(backend = Query.Direct_backend) t ~k src =
+  let f = parse src in
+  run_core ~backend t f (fun parts ->
+      Engine.Topk.merged_top_k
+        (List.mapi (fun i (l, _) -> (l, t.offsets.(i))) parts)
+        ~k)
+
+let run_batch ?(backend = Query.Direct_backend) t fs =
+  let one f =
+    match run ~backend t f with
+    | list -> Result.Ok list
+    | exception Query.Error msg -> Result.Error msg
+  in
+  match t.pool with
+  | Some p when Parallel.Pool.domain_count p > 1 && List.length fs > 1 ->
+      Parallel.Pool.parallel_map p one fs
+  | _ -> List.map one fs
+
+(* --- explain ------------------------------------------------------------- *)
+
+let explain ?(backend = Query.Direct_backend) ?(analyze = false) t f =
+  let buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "scatter-gather over %d shard%s at level %d (%d segments)@."
+    (shard_count t)
+    (if shard_count t = 1 then "" else "s")
+    t.level (segment_count t);
+  let parts =
+    if not analyze then None
+    else
+      match Htl.Classify.check f with
+      | Error reason -> fail "unsupported formula: %s" reason
+      | Ok cls -> Some (eval_parts ~backend t cls f)
+  in
+  Array.iteri
+    (fun i ctx ->
+      let store = store_of ctx in
+      Format.fprintf ppf "  shard %d: videos %d, segments %d, offset %d" i
+        (List.length (Store.videos store))
+        (Store.count_at store ~level:t.level)
+        t.offsets.(i);
+      (match parts with
+      | Some parts ->
+          let l, s = List.nth parts i in
+          Format.fprintf ppf ", time %.6fs, entries %d" s (Sim_list.length l)
+      | None -> ());
+      Format.fprintf ppf "@.")
+    t.shards;
+  (match parts with
+  | Some parts ->
+      let t0 = Obs.Clock.now () in
+      let merged = merge t parts in
+      Format.fprintf ppf
+        "  merge: %d entries, %.6fs (Sim_list.of_entries over shifted \
+         shard entries)@."
+        (Sim_list.length merged)
+        (Obs.Clock.now () -. t0)
+  | None ->
+      Format.fprintf ppf
+        "  merge: shift by shard offset, re-canonicalise (top-k via \
+         Topk.merged_top_k)@.");
+  Format.fprintf ppf "shard 0 plan:@.%a@." Engine.Explain.pp
+    (Query.explain ~backend ~analyze t.shards.(0) f);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* --- mutation routing ---------------------------------------------------- *)
+
+let locate t ~level ~id =
+  if level < 1 || level > t.levels then
+    invalid_arg (Printf.sprintf "Sharded.locate: level %d not in 1..%d" level
+                   t.levels);
+  let off = offsets_of t.shards ~level in
+  let n = Array.length t.shards in
+  let rec find i =
+    if i >= n then
+      invalid_arg (Printf.sprintf "Sharded.locate: id %d out of range" id)
+    else
+      let count = Store.count_at (store_of t.shards.(i)) ~level in
+      if id > off.(i) && id <= off.(i) + count then (i, id - off.(i))
+      else find (i + 1)
+  in
+  if id < 1 then
+    invalid_arg (Printf.sprintf "Sharded.locate: id %d out of range" id);
+  find 0
+
+let route t ~level ~id f =
+  let shard, local = locate t ~level ~id in
+  f (store_of t.shards.(shard)) ~level ~id:local
+
+let update_meta t ~level ~id ~f =
+  route t ~level ~id (fun store ~level ~id -> Store.update_meta store ~level ~id ~f)
+
+let set_attr t ~level ~id ~name v =
+  route t ~level ~id (fun store ~level ~id ->
+      Store.set_attr store ~level ~id ~name v)
+
+let add_object t ~level ~id o =
+  route t ~level ~id (fun store ~level ~id ->
+      Store.add_object store ~level ~id o)
+
+let remove_object t ~level ~id ~obj =
+  route t ~level ~id (fun store ~level ~id ->
+      Store.remove_object store ~level ~id ~obj)
+
+let remove_attr t ~level ~id ~name =
+  route t ~level ~id (fun store ~level ~id ->
+      Store.remove_attr store ~level ~id ~name)
+
+(* --- snapshots ----------------------------------------------------------- *)
+
+let save_snapshot t path =
+  let shards =
+    List.map
+      (fun ctx ->
+        let store = store_of ctx in
+        (* materialise every level through the shard's registry, so the
+           snapshot answers any level with zero rebuilds after load *)
+        let indexes =
+          List.init (Store.levels store) (fun i ->
+              Picture.Index.Registry.get ctx.Context.registry
+                ?metrics:ctx.Context.metrics store ~level:(i + 1))
+        in
+        { Storage.Snapshot.store; indexes })
+      (Array.to_list t.shards)
+  in
+  Storage.Snapshot.save path shards
+
+let load_snapshot ?config ?threshold ?conj_mode ?reorder_joins ?level ?pool
+    ?par_cutoff ?metrics ?querylog path =
+  let shards = Storage.Snapshot.load path in
+  let ctxs =
+    List.map
+      (fun { Storage.Snapshot.store; indexes } ->
+        let registry = Picture.Index.Registry.create () in
+        Picture.Index.Registry.preload registry
+          ~version:(Store.version store) indexes;
+        Context.with_registry
+          (Context.of_store ?config ?threshold ?conj_mode ?reorder_joins
+             ?level ?pool ?par_cutoff ?metrics store)
+          registry)
+      shards
+  in
+  make ~pool ~metrics ~querylog ctxs

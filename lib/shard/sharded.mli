@@ -1,0 +1,164 @@
+(** Sharded stores with scatter–gather evaluation.
+
+    A sharded store partitions the videos of one corpus into N
+    contiguous groups, each its own {!Video_model.Store.t} with a
+    private {!Picture.Index.Registry} and {!Engine.Cache}.  Global
+    segment ids number videos in temporal order, so a contiguous-video
+    partition makes every shard own a contiguous global-id range per
+    level: shard-local id + per-shard offset = global id, and proper
+    sequences (per-video extents) never cross a shard boundary —
+    temporal operators need no cross-shard communication.
+
+    A query scatters over the shards (on the {!Parallel.Pool} when one
+    is attached), evaluates each shard independently, and gathers the
+    per-shard similarity lists at a coordinator: {!run} shifts and
+    re-canonicalises entries into one {!Simlist.Sim_list.t} byte-equal
+    to the unsharded evaluation, {!top_k} feeds the per-shard lists
+    through {!Engine.Topk.merged_top_k} so the full ranked list is never
+    materialised.
+
+    The payoff on mutation-heavy workloads is partition-isolated
+    invalidation: a store edit bumps only the owning shard's version, so
+    only that shard's result cache and index registry rebuild — sibling
+    shards stay warm, where an unsharded store would drop everything
+    (see DESIGN.md §2.18). *)
+
+type t
+
+val create :
+  ?shards:int ->
+  ?config:Picture.Retrieval.config ->
+  ?threshold:float ->
+  ?conj_mode:Simlist.Sim_list.conj_mode ->
+  ?reorder_joins:bool ->
+  ?level:int ->
+  ?pool:Parallel.Pool.t ->
+  ?par_cutoff:int ->
+  ?metrics:Obs.Metrics.t ->
+  ?querylog:Obs.Querylog.t ->
+  Video_model.Store.t ->
+  t
+(** Partition the store's videos into at most [shards] (default 1)
+    contiguous groups of roughly equal leaf-segment weight.  The actual
+    shard count can be lower when the store has fewer videos (a video is
+    never split).  [metrics] and [pool] are shared by every shard
+    context; the [querylog] is owned by the coordinator, which records
+    one entry per query with per-shard latencies.  Other options are as
+    {!Engine.Context.of_store}.
+    @raise Invalid_argument when [shards < 1]. *)
+
+val shard_count : t -> int
+val level : t -> int
+val levels : t -> int
+val level_index : t -> string -> int option
+val segment_count : t -> int
+(** Total segments at the current query level, across shards. *)
+
+val count_at : t -> level:int -> int
+
+val contexts : t -> Engine.Context.t array
+(** The per-shard evaluation contexts, in partition order (tests and
+    diagnostics; mutate stores through {!set_attr} &co, not directly). *)
+
+val offsets : t -> int array
+(** Global-id offset of each shard at the current level:
+    global id = local id + offset. *)
+
+val with_level : t -> level:int -> t
+(** Re-aim every shard context at a level (same registries and caches).
+    @raise Invalid_argument when out of range. *)
+
+(** {1 Scatter–gather evaluation}
+
+    All evaluation raises {!Engine.Query.Error} exactly as the
+    unsharded {!Engine.Query} entry points do. *)
+
+val run :
+  ?backend:Engine.Query.backend -> t -> Htl.Ast.t -> Simlist.Sim_list.t
+(** Evaluate on every shard, shift each shard's entries by its offset
+    and re-canonicalise — byte-equal to {!Engine.Query.run} over the
+    unsharded store.  With metrics attached, counts [query.count] once
+    (not per shard) plus [shard.queries]/[shard.merge_s]/
+    [shard.imbalance]; with a querylog, slow queries record per-shard
+    latencies in the [shards] field. *)
+
+val run_string :
+  ?backend:Engine.Query.backend -> t -> string -> Simlist.Sim_list.t
+
+val top_k :
+  ?backend:Engine.Query.backend ->
+  t ->
+  k:int ->
+  string ->
+  (int * Simlist.Sim.t) list
+(** Parse, scatter, and gather through {!Engine.Topk.merged_top_k}: the
+    coordinator pops the k best global ids off a heap of per-shard
+    cursors without materialising the merged list. *)
+
+val run_batch :
+  ?backend:Engine.Query.backend ->
+  t ->
+  Htl.Ast.t list ->
+  (Simlist.Sim_list.t, string) result list
+(** Each slot goes through the scatter–gather path independently; a slot
+    that fails (on any shard) yields [Error msg] without poisoning
+    sibling slots.  Slots fan out across the pool when one is
+    attached. *)
+
+val explain :
+  ?backend:Engine.Query.backend -> ?analyze:bool -> t -> Htl.Ast.t -> string
+(** The scatter–gather plan: one row per shard (videos, segments,
+    global-id offset) and the coordinator merge.  With [~analyze:true]
+    the query actually runs and every shard row carries its wall time
+    and result entry count — skewed shards are visible at a glance — and
+    the representative per-shard evaluation tree (shard 0, via
+    {!Engine.Query.explain}) is appended. *)
+
+(** {1 Mutation routing}
+
+    Global-id mutation API mirroring {!Video_model.Store}: the owning
+    shard is located by offset, and only {e its} version bumps — sibling
+    caches and registries stay warm. *)
+
+val locate : t -> level:int -> id:int -> int * int
+(** (shard ordinal, shard-local id) owning a global id.
+    @raise Invalid_argument when out of range. *)
+
+val update_meta :
+  t ->
+  level:int ->
+  id:int ->
+  f:(Metadata.Seg_meta.t -> Metadata.Seg_meta.t) ->
+  unit
+
+val set_attr :
+  t -> level:int -> id:int -> name:string -> Metadata.Value.t -> unit
+
+val add_object : t -> level:int -> id:int -> Metadata.Entity.t -> unit
+val remove_object : t -> level:int -> id:int -> obj:int -> unit
+val remove_attr : t -> level:int -> id:int -> name:string -> unit
+
+(** {1 Snapshots} *)
+
+val save_snapshot : t -> string -> unit
+(** Persist every shard's store and its finalized indexes for {e all}
+    levels (building any the registry has not seen yet) via
+    {!Storage.Snapshot.save}, so a load answers queries at any level
+    with zero index rebuilds. *)
+
+val load_snapshot :
+  ?config:Picture.Retrieval.config ->
+  ?threshold:float ->
+  ?conj_mode:Simlist.Sim_list.conj_mode ->
+  ?reorder_joins:bool ->
+  ?level:int ->
+  ?pool:Parallel.Pool.t ->
+  ?par_cutoff:int ->
+  ?metrics:Obs.Metrics.t ->
+  ?querylog:Obs.Querylog.t ->
+  string ->
+  t
+(** Restore the saved shard layout, preloading each shard's registry
+    with the snapshot's finalized indexes — the first query after a load
+    is a registry hit, not a rebuild ([picture.index.builds] stays 0).
+    @raise Storage.Snapshot.Snapshot_error as {!Storage.Snapshot.load}. *)

@@ -1,0 +1,130 @@
+exception Decode_error of string
+
+let decode_error fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+(* OCaml ints are 63-bit, so zigzag folds the sign bit with [asr 62]. *)
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag u = (u lsr 1) lxor (-(u land 1))
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 4096
+  let contents = Buffer.contents
+  let length = Buffer.length
+
+  let u8 b n =
+    if n < 0 || n > 0xFF then
+      invalid_arg (Printf.sprintf "Binio.Writer.u8: %d out of range" n);
+    Buffer.add_uint8 b n
+
+  let varint b n =
+    if n < 0 then
+      invalid_arg (Printf.sprintf "Binio.Writer.varint: negative %d" n);
+    let rec go n =
+      if n < 0x80 then Buffer.add_uint8 b n
+      else begin
+        Buffer.add_uint8 b (0x80 lor (n land 0x7F));
+        go (n lsr 7)
+      end
+    in
+    go n
+
+  let zint b n = varint b (zigzag n)
+  let f64 b x = Buffer.add_int64_le b (Int64.bits_of_float x)
+
+  let str b s =
+    varint b (String.length s);
+    Buffer.add_string b s
+
+  let sorted_array b a =
+    let n = Array.length a in
+    varint b n;
+    if n > 0 then begin
+      zint b a.(0);
+      for i = 1 to n - 1 do
+        let gap = a.(i) - a.(i - 1) in
+        if gap <= 0 then
+          invalid_arg "Binio.Writer.sorted_array: not strictly ascending";
+        varint b gap
+      done
+    end
+
+  let list b f l =
+    varint b (List.length l);
+    List.iter f l
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string data = { data; pos = 0 }
+  let pos r = r.pos
+  let eof r = r.pos >= String.length r.data
+
+  let u8 r =
+    if r.pos >= String.length r.data then
+      decode_error "unexpected end of input at byte %d" r.pos;
+    let v = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let varint r =
+    let rec go shift acc =
+      if shift > 62 then decode_error "varint overflow at byte %d" r.pos;
+      let byte = u8 r in
+      let acc = acc lor ((byte land 0x7F) lsl shift) in
+      if byte land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let zint r = unzigzag (varint r)
+
+  let f64 r =
+    if r.pos + 8 > String.length r.data then
+      decode_error "truncated float at byte %d" r.pos;
+    let v = Int64.float_of_bits (String.get_int64_le r.data r.pos) in
+    r.pos <- r.pos + 8;
+    v
+
+  let str r =
+    let n = varint r in
+    if r.pos + n > String.length r.data then
+      decode_error "truncated string (%d bytes) at byte %d" n r.pos;
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let sorted_array r =
+    let n = varint r in
+    if n = 0 then [||]
+    else begin
+      let a = Array.make n 0 in
+      a.(0) <- zint r;
+      for i = 1 to n - 1 do
+        let gap = varint r in
+        if gap <= 0 then decode_error "sorted_array gap %d at byte %d" gap r.pos;
+        a.(i) <- a.(i - 1) + gap
+      done;
+      a
+    end
+
+  let list r f = List.init (varint r) (fun _ -> f ())
+end
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF

@@ -1,0 +1,62 @@
+(** Low-level binary codec primitives for the snapshot format: LEB128
+    varints (zigzag for signed), IEEE-754 doubles in little-endian bit
+    order, length-prefixed strings, delta-coded sorted integer arrays,
+    and a CRC-32 for whole-payload checksums.  Everything is
+    deterministic — the same value always produces the same bytes — so
+    snapshots of identical stores are byte-identical. *)
+
+exception Decode_error of string
+(** Raised by every [Reader] primitive on malformed or truncated
+    input. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val contents : t -> string
+  val length : t -> int
+
+  val u8 : t -> int -> unit
+  (** One byte; [0..255].  @raise Invalid_argument out of range. *)
+
+  val varint : t -> int -> unit
+  (** Unsigned LEB128.  @raise Invalid_argument when negative. *)
+
+  val zint : t -> int -> unit
+  (** Signed integer, zigzag + LEB128. *)
+
+  val f64 : t -> float -> unit
+  (** 8 bytes, [Int64.bits_of_float] little-endian — total (NaN bit
+      patterns survive round-trips). *)
+
+  val str : t -> string -> unit
+  (** Varint byte length + raw bytes. *)
+
+  val sorted_array : t -> int array -> unit
+  (** Strictly-ascending int array, delta-coded: varint length, zigzag
+      first element, then varint gaps.  @raise Invalid_argument when not
+      strictly ascending. *)
+
+  val list : t -> ('a -> unit) -> 'a list -> unit
+  (** Varint length + each element via the callback. *)
+end
+
+module Reader : sig
+  type t
+
+  val of_string : string -> t
+  val pos : t -> int
+  val eof : t -> bool
+
+  val u8 : t -> int
+  val varint : t -> int
+  val zint : t -> int
+  val f64 : t -> float
+  val str : t -> string
+  val sorted_array : t -> int array
+  val list : t -> (unit -> 'a) -> 'a list
+end
+
+val crc32 : string -> int
+(** CRC-32 (polynomial 0xEDB88320, the zlib one) of the whole string,
+    in [0, 0xFFFFFFFF]. *)

@@ -1,0 +1,381 @@
+module W = Binio.Writer
+module R = Binio.Reader
+module Value = Metadata.Value
+module Entity = Metadata.Entity
+module Relationship = Metadata.Relationship
+module Seg_meta = Metadata.Seg_meta
+module Bbox = Metadata.Bbox
+module Store = Video_model.Store
+module Video = Video_model.Video
+module Segment = Video_model.Segment
+module Index = Picture.Index
+
+type error =
+  | Not_a_snapshot
+  | Unsupported_version of int
+  | Truncated of { expected : int; got : int }
+  | Checksum_mismatch
+  | Corrupt of string
+
+exception Snapshot_error of error
+
+let error_to_string = function
+  | Not_a_snapshot -> "not a snapshot file (bad magic)"
+  | Unsupported_version v -> Printf.sprintf "unsupported snapshot version %d" v
+  | Truncated { expected; got } ->
+      Printf.sprintf "truncated snapshot: expected %d bytes, got %d" expected
+        got
+  | Checksum_mismatch -> "snapshot checksum mismatch"
+  | Corrupt msg -> Printf.sprintf "corrupt snapshot payload: %s" msg
+
+type shard = { store : Store.t; indexes : Index.t list }
+
+let magic = "HTLSNAP"
+let format_version = 1
+let header_len = 20 (* magic 7 + version 1 + payload length 8 + crc 4 *)
+
+(* --- payload encoding ---------------------------------------------------- *)
+
+let w_value w = function
+  | Value.Int n ->
+      W.u8 w 0;
+      W.zint w n
+  | Value.Float f ->
+      W.u8 w 1;
+      W.f64 w f
+  | Value.Str s ->
+      W.u8 w 2;
+      W.str w s
+  | Value.Bool b ->
+      W.u8 w 3;
+      W.u8 w (if b then 1 else 0)
+
+let w_attr w (name, v) =
+  W.str w name;
+  w_value w v
+
+let w_bbox w = function
+  | None -> W.u8 w 0
+  | Some (b : Bbox.t) ->
+      W.u8 w 1;
+      W.f64 w b.x0;
+      W.f64 w b.y0;
+      W.f64 w b.x1;
+      W.f64 w b.y1
+
+let w_entity w (o : Entity.t) =
+  W.zint w o.id;
+  W.str w o.otype;
+  W.list w (w_attr w) o.attrs;
+  w_bbox w o.bbox
+
+let w_relationship w (r : Relationship.t) =
+  W.str w r.name;
+  W.list w (W.zint w) r.args
+
+let w_meta w (m : Seg_meta.t) =
+  W.list w (w_entity w) m.objects;
+  W.list w (w_relationship w) m.relationships;
+  W.list w (w_attr w) m.attrs
+
+let rec w_segment w (s : Segment.t) =
+  w_meta w s.meta;
+  W.list w (w_segment w) s.children
+
+let w_video w (v : Video.t) =
+  W.str w v.title;
+  W.list w (W.str w) (Array.to_list v.level_names);
+  w_segment w v.root
+
+let w_store w store = W.list w (w_video w) (Store.videos store)
+
+let w_vkey w = function
+  | Index.Knum f ->
+      W.u8 w 0;
+      W.f64 w f
+  | Index.Kstr s ->
+      W.u8 w 1;
+      W.str w s
+  | Index.Kbool b ->
+      W.u8 w 2;
+      W.u8 w (if b then 1 else 0)
+
+let w_points w (p : Index.points) =
+  W.list w (W.zint w) p.ints;
+  W.list w (W.str w) p.strs;
+  W.u8 w (match p.bad with None -> 0 | Some `Float -> 1 | Some `Bool -> 2)
+
+let w_assoc w wkey l =
+  W.list w
+    (fun (k, postings) ->
+      wkey k;
+      W.sorted_array w postings)
+    l
+
+let w_index w idx =
+  let d = Index.dump idx in
+  W.zint w d.Index.d_level;
+  W.zint w d.d_segments;
+  w_assoc w (W.zint w) d.d_by_object;
+  w_assoc w (W.str w) d.d_by_type;
+  w_assoc w (W.str w) d.d_by_relationship;
+  W.sorted_array w d.d_with_objects;
+  w_assoc w (W.str w) d.d_by_seg_attr;
+  w_assoc w
+    (fun (name, k) ->
+      W.str w name;
+      w_vkey w k)
+    d.d_by_seg_attr_value;
+  w_assoc w (W.str w) d.d_by_obj_attr;
+  w_assoc w
+    (fun (name, k) ->
+      W.str w name;
+      w_vkey w k)
+    d.d_by_obj_attr_value;
+  W.list w
+    (fun (name, p) ->
+      W.str w name;
+      w_points w p)
+    d.d_seg_points;
+  W.list w
+    (fun ((name, oid), p) ->
+      W.str w name;
+      W.zint w oid;
+      w_points w p)
+    d.d_obj_points;
+  W.list w (W.zint w) d.d_objects;
+  W.list w (W.str w) d.d_types
+
+let w_shard w { store; indexes } =
+  w_store w store;
+  W.list w (w_index w) indexes
+
+let encode shards =
+  let w = W.create () in
+  W.list w (w_shard w) shards;
+  W.contents w
+
+(* --- payload decoding ---------------------------------------------------- *)
+
+let r_value r =
+  match R.u8 r with
+  | 0 -> Value.Int (R.zint r)
+  | 1 -> Value.Float (R.f64 r)
+  | 2 -> Value.Str (R.str r)
+  | 3 -> Value.Bool (R.u8 r <> 0)
+  | t -> raise (Binio.Decode_error (Printf.sprintf "bad value tag %d" t))
+
+let r_attr r =
+  let name = R.str r in
+  (name, r_value r)
+
+let r_bbox r =
+  match R.u8 r with
+  | 0 -> None
+  | 1 ->
+      let x0 = R.f64 r in
+      let y0 = R.f64 r in
+      let x1 = R.f64 r in
+      let y1 = R.f64 r in
+      Some (Bbox.make ~x0 ~y0 ~x1 ~y1)
+  | t -> raise (Binio.Decode_error (Printf.sprintf "bad bbox tag %d" t))
+
+let r_entity r =
+  let id = R.zint r in
+  let otype = R.str r in
+  let attrs = R.list r (fun () -> r_attr r) in
+  let bbox = r_bbox r in
+  Entity.make ~id ~otype ~attrs ?bbox ()
+
+let r_relationship r =
+  let name = R.str r in
+  let args = R.list r (fun () -> R.zint r) in
+  Relationship.make name args
+
+(* Corpora repeat metadata heavily — the same few attribute sets across
+   millions of segments — and a load's cost is dominated by what it
+   leaves live on the major heap.  Hash-consing each decoded meta
+   against the ones already seen makes identical segments share one
+   immutable record, so a million-segment load keeps a handful of metas
+   live instead of a million.  (A meta holding a NaN never compares
+   equal to itself and simply goes unshared.) *)
+let r_meta memo r =
+  let objects = R.list r (fun () -> r_entity r) in
+  let relationships = R.list r (fun () -> r_relationship r) in
+  let attrs = R.list r (fun () -> r_attr r) in
+  let meta = Seg_meta.make ~objects ~relationships ~attrs () in
+  match Hashtbl.find_opt memo meta with
+  | Some shared -> shared
+  | None ->
+      Hashtbl.add memo meta meta;
+      meta
+
+(* Leaves dominate a corpus and are immutable (store edits replace
+   by-level nodes, never segment records), so leaves with the same
+   shared meta can be one record too. *)
+let rec r_segment memo leaves r =
+  let meta = r_meta memo r in
+  let children = R.list r (fun () -> r_segment memo leaves r) in
+  match children with
+  | [] -> (
+      match Hashtbl.find_opt leaves meta with
+      | Some leaf -> leaf
+      | None ->
+          let leaf = Segment.make ~meta [] in
+          Hashtbl.add leaves meta leaf;
+          leaf)
+  | _ :: _ -> Segment.make ~meta children
+
+let r_video memo leaves r =
+  let title = R.str r in
+  let level_names = R.list r (fun () -> R.str r) in
+  let root = r_segment memo leaves r in
+  Video.create ~title ~level_names root
+
+let r_store r =
+  let memo = Hashtbl.create 64 in
+  let leaves = Hashtbl.create 64 in
+  let videos = R.list r (fun () -> r_video memo leaves r) in
+  Store.create videos
+
+let r_vkey r =
+  match R.u8 r with
+  | 0 -> Index.Knum (R.f64 r)
+  | 1 -> Index.Kstr (R.str r)
+  | 2 -> Index.Kbool (R.u8 r <> 0)
+  | t -> raise (Binio.Decode_error (Printf.sprintf "bad vkey tag %d" t))
+
+let r_points r : Index.points =
+  let ints = R.list r (fun () -> R.zint r) in
+  let strs = R.list r (fun () -> R.str r) in
+  let bad =
+    match R.u8 r with
+    | 0 -> None
+    | 1 -> Some `Float
+    | 2 -> Some `Bool
+    | t -> raise (Binio.Decode_error (Printf.sprintf "bad points tag %d" t))
+  in
+  { ints; strs; bad }
+
+let r_assoc r rkey =
+  R.list r (fun () ->
+      let k = rkey () in
+      (k, R.sorted_array r))
+
+let r_index r =
+  let d_level = R.zint r in
+  let d_segments = R.zint r in
+  let d_by_object = r_assoc r (fun () -> R.zint r) in
+  let d_by_type = r_assoc r (fun () -> R.str r) in
+  let d_by_relationship = r_assoc r (fun () -> R.str r) in
+  let d_with_objects = R.sorted_array r in
+  let d_by_seg_attr = r_assoc r (fun () -> R.str r) in
+  let d_by_seg_attr_value =
+    r_assoc r (fun () ->
+        let name = R.str r in
+        (name, r_vkey r))
+  in
+  let d_by_obj_attr = r_assoc r (fun () -> R.str r) in
+  let d_by_obj_attr_value =
+    r_assoc r (fun () ->
+        let name = R.str r in
+        (name, r_vkey r))
+  in
+  let d_seg_points =
+    R.list r (fun () ->
+        let name = R.str r in
+        (name, r_points r))
+  in
+  let d_obj_points =
+    R.list r (fun () ->
+        let name = R.str r in
+        let oid = R.zint r in
+        ((name, oid), r_points r))
+  in
+  let d_objects = R.list r (fun () -> R.zint r) in
+  let d_types = R.list r (fun () -> R.str r) in
+  Index.undump
+    {
+      Index.d_level;
+      d_segments;
+      d_by_object;
+      d_by_type;
+      d_by_relationship;
+      d_with_objects;
+      d_by_seg_attr;
+      d_by_seg_attr_value;
+      d_by_obj_attr;
+      d_by_obj_attr_value;
+      d_seg_points;
+      d_obj_points;
+      d_objects;
+      d_types;
+    }
+
+let r_shard r =
+  let store = r_store r in
+  let indexes = R.list r (fun () -> r_index r) in
+  { store; indexes }
+
+let decode payload =
+  let r = R.of_string payload in
+  let shards = R.list r (fun () -> r_shard r) in
+  if not (R.eof r) then
+    raise
+      (Binio.Decode_error
+         (Printf.sprintf "payload has trailing bytes at %d" (R.pos r)));
+  shards
+
+(* --- files --------------------------------------------------------------- *)
+
+let save path shards =
+  let payload = encode shards in
+  let header = Buffer.create header_len in
+  Buffer.add_string header magic;
+  Buffer.add_uint8 header format_version;
+  Buffer.add_int64_le header (Int64.of_int (String.length payload));
+  Buffer.add_int32_le header (Int32.of_int (Binio.crc32 payload));
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc (Buffer.contents header);
+      Out_channel.output_string oc payload);
+  Sys.rename tmp path
+
+let load path =
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  let len = String.length data in
+  if len < String.length magic || String.sub data 0 (String.length magic) <> magic
+  then raise (Snapshot_error Not_a_snapshot);
+  if len < header_len then
+    raise (Snapshot_error (Truncated { expected = header_len; got = len }));
+  let version = Char.code data.[7] in
+  if version <> format_version then
+    raise (Snapshot_error (Unsupported_version version));
+  let payload_len = Int64.to_int (String.get_int64_le data 8) in
+  if payload_len < 0 then
+    raise (Snapshot_error (Corrupt "negative payload length"));
+  let expected = header_len + payload_len in
+  if len < expected then
+    raise (Snapshot_error (Truncated { expected; got = len }));
+  if len > expected then
+    raise
+      (Snapshot_error
+         (Corrupt (Printf.sprintf "%d trailing bytes" (len - expected))));
+  let stored_crc = Int32.to_int (String.get_int32_le data 16) land 0xFFFFFFFF in
+  let payload = String.sub data header_len payload_len in
+  if Binio.crc32 payload <> stored_crc then
+    raise (Snapshot_error Checksum_mismatch);
+  (* a load is one long allocation burst whose result stays live: on the
+     default GC settings the major collector keeps the heap tight and
+     does a full marking pass's worth of work per few MB decoded, which
+     multiplies wall time several-fold on large corpora.  Relax the
+     space/time trade-off for the burst and restore it after. *)
+  let gc = Gc.get () in
+  Gc.set { gc with Gc.space_overhead = 800 };
+  Fun.protect
+    ~finally:(fun () -> Gc.set gc)
+    (fun () ->
+      match decode payload with
+      | shards -> shards
+      | exception Binio.Decode_error msg -> raise (Snapshot_error (Corrupt msg))
+      | exception Invalid_argument msg -> raise (Snapshot_error (Corrupt msg)))

@@ -1,0 +1,51 @@
+(** Binary on-disk snapshots of sharded stores with their finalized
+    indexes.
+
+    A snapshot holds one or more shards; each shard is a complete
+    {!Video_model.Store.t} (its videos, serialized structurally) plus
+    any number of finalized {!Picture.Index.t} values, so a
+    multi-million-segment corpus cold-starts by deserializing posting
+    arrays instead of re-ingesting and re-scanning every level.
+
+    {2 Format}
+
+    {v
+    "HTLSNAP"  7 bytes   magic
+    u8         1 byte    format version (currently 1)
+    u64 LE     8 bytes   payload length
+    u32 LE     4 bytes   CRC-32 of the payload (poly 0xEDB88320)
+    payload    ...       Binio-encoded shard list
+    v}
+
+    The payload is a varint-counted list of shards; every string is
+    length-prefixed, every posting array delta-coded, every float a
+    little-endian IEEE-754 bit pattern (see {!Binio}).  Index dumps come
+    from {!Picture.Index.dump}, whose association lists are sorted, so
+    the same store always snapshots to the same bytes.  Unknown
+    versions, length mismatches, checksum failures and malformed
+    payloads each raise a distinct {!error}. *)
+
+type error =
+  | Not_a_snapshot  (** the file does not start with the magic *)
+  | Unsupported_version of int
+  | Truncated of { expected : int; got : int }  (** in bytes *)
+  | Checksum_mismatch
+  | Corrupt of string  (** structurally invalid payload *)
+
+exception Snapshot_error of error
+
+val error_to_string : error -> string
+
+type shard = {
+  store : Video_model.Store.t;
+  indexes : Picture.Index.t list;  (** finalized, any set of levels *)
+}
+
+val save : string -> shard list -> unit
+(** Write atomically (temp file + rename).  @raise Sys_error on IO
+    failure. *)
+
+val load : string -> shard list
+(** Restored stores have version 0 (fresh, as if just created).
+    @raise Snapshot_error on any validation or decode failure.
+    @raise Sys_error on IO failure. *)

@@ -574,6 +574,7 @@ let ql_record ?(latency = 1.) ?(hits = 0) ?(misses = 0) ?error name =
     cache_misses = misses;
     segments_scanned = [];
     resources = Obs.Resource.zero;
+    shards = [];
     error;
   }
 
