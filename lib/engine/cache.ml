@@ -1,17 +1,16 @@
 type key = {
   formula : int;
   level : int;
-  version : int;
   extents : int list;  (* extent lengths: the proper-sequence partition *)
 }
 
-let key ~formula ~level ~version ~extents =
+let key ~formula ~level ~extents =
   let lengths =
     List.map
       (fun iv -> Simlist.Interval.hi iv - Simlist.Interval.lo iv + 1)
       (Simlist.Extent.spans extents)
   in
-  { formula; level; version; extents = lengths }
+  { formula; level; extents = lengths }
 
 type stats = {
   hits : int;
@@ -21,9 +20,16 @@ type stats = {
   capacity : int;
 }
 
-(* doubly-linked recency list; head = most recent, tail = next to evict *)
+(* doubly-linked recency list; head = most recent, tail = next to evict.
+   The store version is NOT part of the key: each entry carries the
+   version it was computed at as a [stamp], and a lookup at a newer
+   version asks the caller's validity predicate whether the changes in
+   between could have affected the entry (extent-scoped invalidation).
+   A surviving entry is restamped so the replay happens once per entry
+   per version step, not once per probe. *)
 type entry = {
   ekey : key;
+  mutable stamp : int;
   mutable value : Simlist.Sim_table.t;
   mutable prev : entry option;
   mutable next : entry option;
@@ -43,6 +49,8 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable survivals : int;
+  mutable stale_drops : int;
 }
 
 let create ?(capacity = 256) () =
@@ -56,6 +64,8 @@ let create ?(capacity = 256) () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    survivals = 0;
+    stale_drops = 0;
   }
 
 let capacity t = t.cap
@@ -71,17 +81,39 @@ let push_front t e =
   (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
   t.head <- Some e
 
-let find t k =
+type outcome =
+  | Hit of Simlist.Sim_table.t
+  | Survived of Simlist.Sim_table.t
+  | Stale
+  | Absent
+
+let find t k ~version ~valid =
   Mutex.protect t.mutex (fun () ->
       match Hashtbl.find_opt t.table k with
-      | Some e ->
+      | Some e when e.stamp = version ->
           t.hits <- t.hits + 1;
           unlink t e;
           push_front t e;
-          Some e.value
+          Hit e.value
+      | Some e ->
+          if valid ~stamp:e.stamp then begin
+            e.stamp <- version;
+            t.hits <- t.hits + 1;
+            t.survivals <- t.survivals + 1;
+            unlink t e;
+            push_front t e;
+            Survived e.value
+          end
+          else begin
+            unlink t e;
+            Hashtbl.remove t.table e.ekey;
+            t.misses <- t.misses + 1;
+            t.stale_drops <- t.stale_drops + 1;
+            Stale
+          end
       | None ->
           t.misses <- t.misses + 1;
-          None)
+          Absent)
 
 let evict_lru t =
   match t.tail with
@@ -91,16 +123,17 @@ let evict_lru t =
       Hashtbl.remove t.table e.ekey;
       t.evictions <- t.evictions + 1
 
-let add t k v =
+let add t k ~version v =
   Mutex.protect t.mutex (fun () ->
       match Hashtbl.find_opt t.table k with
       | Some e ->
           e.value <- v;
+          e.stamp <- version;
           unlink t e;
           push_front t e
       | None ->
           if Hashtbl.length t.table >= t.cap then evict_lru t;
-          let e = { ekey = k; value = v; prev = None; next = None } in
+          let e = { ekey = k; stamp = version; value = v; prev = None; next = None } in
           Hashtbl.add t.table k e;
           push_front t e)
 
@@ -113,6 +146,9 @@ let stats t =
         entries = Hashtbl.length t.table;
         capacity = t.cap;
       })
+
+let survivals t = Mutex.protect t.mutex (fun () -> t.survivals)
+let stale_drops t = Mutex.protect t.mutex (fun () -> t.stale_drops)
 
 let stats_delta ~(before : stats) ~(after : stats) =
   {
@@ -127,7 +163,9 @@ let reset_stats t =
   Mutex.protect t.mutex (fun () ->
       t.hits <- 0;
       t.misses <- 0;
-      t.evictions <- 0)
+      t.evictions <- 0;
+      t.survivals <- 0;
+      t.stale_drops <- 0)
 
 let clear t =
   Mutex.protect t.mutex (fun () ->
@@ -136,7 +174,9 @@ let clear t =
       t.tail <- None;
       t.hits <- 0;
       t.misses <- 0;
-      t.evictions <- 0)
+      t.evictions <- 0;
+      t.survivals <- 0;
+      t.stale_drops <- 0)
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf "hits %d  misses %d  evictions %d  entries %d/%d" s.hits

@@ -1,3 +1,13 @@
+(* Where the level's proper-sequence partition comes from.  [Fixed] is a
+   snapshot the caller computed (level descents, explicit with_level);
+   [Tracked] re-derives from the store whenever the version stamp moved,
+   so a long-lived context (the server's warm context) sees appended
+   segments without being rebuilt.  The cell holds (version, extents);
+   racing refreshes compute the same value, so a plain Atomic suffices. *)
+type extent_source =
+  | Fixed of Simlist.Extent.t
+  | Tracked of (int * Simlist.Extent.t) Stdlib.Atomic.t
+
 type t = {
   store : Video_model.Store.t option;
   picture_config : Picture.Retrieval.config;
@@ -6,7 +16,7 @@ type t = {
   conj_mode : Simlist.Sim_list.conj_mode;
   reorder_joins : bool;
   level : int;
-  extents : Simlist.Extent.t;
+  extent_source : extent_source;
   cache : Cache.t option;
   pool : Parallel.Pool.t option;
   par_cutoff : int;
@@ -24,7 +34,9 @@ let default_par_cutoff = 4096
    always computable from one exposition. *)
 let preregister m =
   Obs.Metrics.incr m ~by:0 "cache.hits";
-  Obs.Metrics.incr m ~by:0 "cache.misses"
+  Obs.Metrics.incr m ~by:0 "cache.misses";
+  Obs.Metrics.incr m ~by:0 "cache.survivals";
+  Obs.Metrics.incr m ~by:0 "cache.stale_drops"
 
 let of_store ?(config = Picture.Retrieval.default_config) ?(threshold = 0.5)
     ?(conj_mode = Simlist.Sim_list.Weighted_sum) ?(reorder_joins = false)
@@ -42,7 +54,11 @@ let of_store ?(config = Picture.Retrieval.default_config) ?(threshold = 0.5)
     conj_mode;
     reorder_joins;
     level;
-    extents = Video_model.Store.extents_at store ~level;
+    extent_source =
+      Tracked
+        (Stdlib.Atomic.make
+           ( Video_model.Store.version store,
+             Video_model.Store.extents_at store ~level ));
     cache = Some (match cache with Some c -> c | None -> Cache.create ());
     pool;
     par_cutoff;
@@ -68,7 +84,7 @@ let of_tables ?(threshold = 0.5)
     conj_mode;
     reorder_joins;
     level = 1;
-    extents;
+    extent_source = Fixed extents;
     cache = Some (match cache with Some c -> c | None -> Cache.create ());
     pool;
     par_cutoff;
@@ -78,9 +94,30 @@ let of_tables ?(threshold = 0.5)
     registry = Picture.Index.Registry.create ();
   }
 
-let with_level t ~level ~extents = { t with level; extents }
+let with_level t ~level ~extents =
+  { t with level; extent_source = Fixed extents }
+
 let with_registry t registry = { t with registry }
-let segment_count t = Simlist.Extent.total t.extents
+
+let store_version t =
+  match t.store with Some s -> Video_model.Store.version s | None -> 0
+
+let extents t =
+  match t.extent_source with
+  | Fixed e -> e
+  | Tracked cell -> (
+      let v = store_version t in
+      let cv, e = Stdlib.Atomic.get cell in
+      if cv = v then e
+      else
+        match t.store with
+        | None -> e
+        | Some s ->
+            let e = Video_model.Store.extents_at s ~level:t.level in
+            Stdlib.Atomic.set cell (v, e);
+            e)
+
+let segment_count t = Simlist.Extent.total (extents t)
 
 let with_pool ?(par_cutoff = default_par_cutoff) t pool =
   { t with pool = Some pool; par_cutoff }
@@ -102,9 +139,6 @@ let with_cache t cache = { t with cache = Some cache }
 let with_fresh_cache t = { t with cache = Some (Cache.create ()) }
 let without_cache t = { t with cache = None }
 
-let store_version t =
-  match t.store with Some s -> Video_model.Store.version s | None -> 0
-
 (* Derived contexts share the registry (it is part of the record), so
    with_level / run_batch / fresh-cache variants all reuse the same
    finalized indexes; the version stamp inside [Registry.get] handles
@@ -119,7 +153,45 @@ let index t =
 
 let cache_key t f =
   Cache.key ~formula:(Htl.Hcons.intern_id f) ~level:t.level
-    ~version:(store_version t) ~extents:t.extents
+    ~extents:(extents t)
+
+(* Extent-scoped validity of a cached entry computed at [stamp], probed
+   at the current version: replay the store's change log and keep the
+   entry iff no change can reach what the evaluation read.  An
+   evaluation at level [l] reads level-[l] meta-data (atoms, the freeze
+   value table, the finalized index) and — only under a level operator,
+   which must descend — deeper levels and the children spans between
+   them.  So:
+
+   - an edit at a shallower level never invalidates;
+   - an edit at the entry's own level always invalidates (the key's
+     extent partition tiles the whole level, so the edit overlaps);
+   - an edit at a deeper level invalidates only formulas with level
+     operators;
+   - an append leaves every existing id's meta-data untouched; it
+     invalidates only (a) formulas with level operators (descendant
+     spans grow) or (b) entries at a level that itself gained segments
+     (defensive: such entries are unreachable anyway, because the
+     caller's freshly derived partition no longer matches the key).
+
+   The log is bounded: past its horizon ([changes_since] = None) we
+   assume everything changed. *)
+let entry_valid t f ~stamp =
+  match t.store with
+  | None -> true (* precomputed tables are immutable *)
+  | Some s -> (
+      match Video_model.Store.changes_since s ~since:stamp with
+      | None -> false
+      | Some changes ->
+          let descends = Htl.Ast.has_level_ops f in
+          List.for_all
+            (fun (c : Video_model.Store.change) ->
+              match c with
+              | Edited { level = lm; _ } ->
+                  lm < t.level || (lm > t.level && not descends)
+              | Appended { counts } ->
+                  counts.(t.level - 1) = 0 && not descends)
+            changes)
 
 (* --- observability ------------------------------------------------------ *)
 
@@ -160,18 +232,33 @@ let metric_observe t name v =
 let cache_find t f =
   match t.cache with
   | None -> None
-  | Some c ->
-      let r = Cache.find c (cache_key t f) in
-      (match t.metrics with
-      | None -> ()
-      | Some m ->
-          Obs.Metrics.incr m
-            (match r with Some _ -> "cache.hits" | None -> "cache.misses"));
-      r
+  | Some c -> (
+      let outcome =
+        Cache.find c (cache_key t f) ~version:(store_version t)
+          ~valid:(entry_valid t f)
+      in
+      let note names =
+        match t.metrics with
+        | None -> ()
+        | Some m -> List.iter (Obs.Metrics.incr m) names
+      in
+      match outcome with
+      | Cache.Hit table ->
+          note [ "cache.hits" ];
+          Some table
+      | Cache.Survived table ->
+          note [ "cache.hits"; "cache.survivals" ];
+          Some table
+      | Cache.Stale ->
+          note [ "cache.misses"; "cache.stale_drops" ];
+          None
+      | Cache.Absent ->
+          note [ "cache.misses" ];
+          None)
 
 let cache_add t f table =
   match t.cache with
   | None -> ()
-  | Some c -> Cache.add c (cache_key t f) table
+  | Some c -> Cache.add c (cache_key t f) ~version:(store_version t) table
 
 let cache_stats t = Option.map Cache.stats t.cache

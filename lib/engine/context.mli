@@ -7,6 +7,11 @@
     asserted on, the proper-sequence extents of that level, and the
     until-threshold. *)
 
+type extent_source
+(** Either a fixed partition snapshot or one re-derived from the store
+    whenever its version stamp moves (so a long-lived context sees
+    appended segments without being rebuilt). *)
+
 type t = {
   store : Video_model.Store.t option;
   picture_config : Picture.Retrieval.config;
@@ -21,7 +26,11 @@ type t = {
           smallest tables first (an optimisation the paper leaves to the
           relational engine in its SQL variant) *)
   level : int;  (** level the formula is asserted on *)
-  extents : Simlist.Extent.t;  (** proper sequences of that level *)
+  extent_source : extent_source;
+      (** where the level's proper-sequence partition comes from; read it
+          through {!extents}.  {!of_store} tracks the store (appends are
+          picked up automatically); {!with_level} pins the partition the
+          caller computed. *)
   cache : Cache.t option;
       (** subformula result cache; [None] disables memoization.  A cache
           is private to one configuration: derive contexts that change
@@ -93,6 +102,15 @@ val of_tables :
     defaults to a single sequence; [cache] to a fresh private cache. *)
 
 val with_level : t -> level:int -> extents:Simlist.Extent.t -> t
+(** Pin the level and its partition.  The extents are a snapshot: a
+    context derived this way does not track later appends — derive a
+    fresh one per request (the server does) or use {!of_store}. *)
+
+val extents : t -> Simlist.Extent.t
+(** The current proper-sequence partition of the context's level.  For
+    store-tracking contexts this re-derives after any store version
+    change, so appended segments are visible; {!with_level}-derived
+    contexts return the pinned snapshot. *)
 
 val with_registry : t -> Picture.Index.Registry.t -> t
 (** Replace the index registry — used when restoring a snapshot whose

@@ -272,12 +272,12 @@ and eval_raw (ctx : Context.t) f =
         let tg, th = eval_pair ctx g h in
         Sim_table.join
           ~combine:(fun lg lh ->
-            Sim_list.until_merge ~threshold:ctx.threshold ~extents:ctx.extents
+            Sim_list.until_merge ~threshold:ctx.threshold ~extents:(Context.extents ctx)
               lg lh)
           tg th
-    | Next g -> map_lists (Sim_list.next_shift ~extents:ctx.extents) (eval ctx g)
+    | Next g -> map_lists (Sim_list.next_shift ~extents:(Context.extents ctx)) (eval ctx g)
     | Eventually g ->
-        map_lists (Sim_list.eventually ~extents:ctx.extents) (eval ctx g)
+        map_lists (Sim_list.eventually ~extents:(Context.extents ctx)) (eval ctx g)
     | Exists (x, g) -> Sim_table.project_obj_var (eval ctx g) x
     | Freeze { var; attr; obj; body } ->
         let table = eval ctx body in

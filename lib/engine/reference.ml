@@ -196,5 +196,5 @@ let similarity_over_level (ctx : Context.t) f =
   let n = Context.segment_count ctx in
   Array.init n (fun i ->
       let id = i + 1 in
-      let span = Simlist.Extent.containing ctx.extents id in
+      let span = Simlist.Extent.containing (Context.extents ctx) id in
       similarity_at ctx ~span ~pos:id f)

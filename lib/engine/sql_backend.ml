@@ -30,7 +30,7 @@ let create (ctx : Context.t) =
         List.init
           (Interval.length span)
           (fun k -> [| V.Int (lo + k); V.Int lo; V.Int hi |]))
-      (Extent.spans ctx.extents)
+      (Extent.spans (Context.extents ctx))
   in
   Catalog.put db "seq" (Table.create ~cols:[ "id"; "elo"; "ehi" ] rows);
   { db; fresh = 0; script = []; temps = [] }

@@ -64,9 +64,9 @@ and eval_raw (ctx : Context.t) f =
         Sim_list.conjunction_mode ctx.conj_mode lg lh
     | Until (g, h) ->
         let lg, lh = eval_pair ctx g h in
-        Sim_list.until_merge ~threshold:ctx.threshold ~extents:ctx.extents lg lh
-    | Next g -> Sim_list.next_shift ~extents:ctx.extents (eval ctx g)
-    | Eventually g -> Sim_list.eventually ~extents:ctx.extents (eval ctx g)
+        Sim_list.until_merge ~threshold:ctx.threshold ~extents:(Context.extents ctx) lg lh
+    | Next g -> Sim_list.next_shift ~extents:(Context.extents ctx) (eval ctx g)
+    | Eventually g -> Sim_list.eventually ~extents:(Context.extents ctx) (eval ctx g)
     | Or _ | Not _ | Exists _ | Freeze _ | At_level _ ->
         unsupported "not a type (1) construct: %s" (Htl.Pretty.to_string f)
     | Atom _ -> assert false (* atoms are non-temporal *)

@@ -91,11 +91,12 @@ let finalize_points tbl =
     tbl;
   out
 
-let build ?metrics store ~level =
-  (match metrics with
-  | Some m -> Obs.Metrics.incr m "picture.index.builds"
-  | None -> ());
-  let n = Video_model.Store.count_at store ~level in
+(* One scan over ids [lo..hi] of a level, accumulating every posting
+   family.  [build] runs it over the whole level; [build_delta] over the
+   appended tail only (appended ids are greater than every existing id,
+   so the per-key posting arrays of a delta sort strictly after the
+   finalized ones and {!merge} can concatenate). *)
+let build_over store ~level ~lo ~hi =
   let by_object = Hashtbl.create 64 in
   let by_type = Hashtbl.create 64 in
   let by_relationship = Hashtbl.create 16 in
@@ -106,7 +107,7 @@ let build ?metrics store ~level =
   let by_obj_attr_value = Hashtbl.create 64 in
   let seg_points = Hashtbl.create 16 in
   let obj_points = Hashtbl.create 64 in
-  for id = 1 to n do
+  for id = lo to hi do
     let meta = Video_model.Store.meta store ~level ~id in
     List.iter
       (fun (o : Metadata.Entity.t) ->
@@ -146,7 +147,7 @@ let build ?metrics store ~level =
   in
   {
     level;
-    segment_count = n;
+    segment_count = hi;
     by_object = finalize_postings by_object;
     by_type = finalize_postings by_type;
     by_relationship = finalize_postings by_relationship;
@@ -162,6 +163,80 @@ let build ?metrics store ~level =
     obj_points = finalize_points obj_points;
     objects;
     types;
+  }
+
+let build ?metrics store ~level =
+  (match metrics with
+  | Some m -> Obs.Metrics.incr m "picture.index.builds"
+  | None -> ());
+  build_over store ~level ~lo:1
+    ~hi:(Video_model.Store.count_at store ~level)
+
+let build_delta store ~level ~lo =
+  let hi = Video_model.Store.count_at store ~level in
+  if lo < 1 || lo > hi then
+    invalid_arg
+      (Printf.sprintf "Index.build_delta: lo %d out of range 1..%d" lo hi);
+  build_over store ~level ~lo ~hi
+
+(* Merging a delta built over the appended tail into a finalized index.
+   Neither input is mutated: other threads may hold the base (the
+   registry hands indexes out without copying), and snapshot dumps share
+   posting arrays.  Delta ids are all greater than [base.segment_count],
+   so concatenation preserves the ascending, duplicate-free invariant of
+   every posting family. *)
+
+let merge_postings base delta =
+  let out = Hashtbl.copy base in
+  Hashtbl.iter
+    (fun k arr ->
+      match Hashtbl.find_opt out k with
+      | None -> Hashtbl.replace out k arr
+      | Some old -> Hashtbl.replace out k (Array.append old arr))
+    delta;
+  out
+
+let merge_points base delta =
+  let out = Hashtbl.copy base in
+  Hashtbl.iter
+    (fun k (p : points) ->
+      match Hashtbl.find_opt out k with
+      | None -> Hashtbl.replace out k p
+      | Some (old : points) ->
+          Hashtbl.replace out k
+            {
+              ints = List.sort_uniq compare (old.ints @ p.ints);
+              strs = List.sort_uniq compare (old.strs @ p.strs);
+              (* the base's offender came first in scan order *)
+              bad = (match old.bad with Some _ -> old.bad | None -> p.bad);
+            })
+    delta;
+  out
+
+let merge base delta =
+  if base.level <> delta.level then
+    invalid_arg
+      (Printf.sprintf "Index.merge: levels disagree (%d vs %d)" base.level
+         delta.level);
+  if delta.segment_count < base.segment_count then
+    invalid_arg "Index.merge: delta covers fewer segments than the base";
+  {
+    level = base.level;
+    segment_count = delta.segment_count;
+    by_object = merge_postings base.by_object delta.by_object;
+    by_type = merge_postings base.by_type delta.by_type;
+    by_relationship = merge_postings base.by_relationship delta.by_relationship;
+    with_objects = Array.append base.with_objects delta.with_objects;
+    by_seg_attr = merge_postings base.by_seg_attr delta.by_seg_attr;
+    by_seg_attr_value =
+      merge_postings base.by_seg_attr_value delta.by_seg_attr_value;
+    by_obj_attr = merge_postings base.by_obj_attr delta.by_obj_attr;
+    by_obj_attr_value =
+      merge_postings base.by_obj_attr_value delta.by_obj_attr_value;
+    seg_points = merge_points base.seg_points delta.seg_points;
+    obj_points = merge_points base.obj_points delta.obj_points;
+    objects = List.sort_uniq compare (base.objects @ delta.objects);
+    types = List.sort_uniq compare (base.types @ delta.types);
   }
 
 let postings tbl key =
@@ -278,11 +353,42 @@ module Registry = struct
 
   let create () = { mutex = Mutex.create (); version = -1; tbl = Hashtbl.create 4 }
 
+  (* Version catch-up is per level.  An edit at level [l] can change any
+     posting at that level, so its cached index is dropped (rebuilt on
+     next demand); other levels are untouched.  An append never changes
+     an existing id's meta-data, so every cached level that grew gets a
+     delta built over its appended tail and merged — counted as
+     [picture.index.delta_merges], with [picture.index.builds] staying
+     flat.  Past the change-log horizon we can no longer tell what
+     happened and reset everything. *)
+  let catch_up r ?metrics store =
+    match Video_model.Store.changes_since store ~since:r.version with
+    | None -> Hashtbl.reset r.tbl
+    | Some changes ->
+        List.iter
+          (fun (c : Video_model.Store.change) ->
+            match c with
+            | Edited { level = lm; _ } -> Hashtbl.remove r.tbl lm
+            | Appended _ -> ())
+          changes;
+        let cached = Hashtbl.fold (fun l idx acc -> (l, idx) :: acc) r.tbl [] in
+        List.iter
+          (fun (l, (idx : index)) ->
+            let n = Video_model.Store.count_at store ~level:l in
+            if idx.segment_count < n then begin
+              let delta = build_delta store ~level:l ~lo:(idx.segment_count + 1) in
+              Hashtbl.replace r.tbl l (merge idx delta);
+              match metrics with
+              | Some m -> Obs.Metrics.incr m "picture.index.delta_merges"
+              | None -> ()
+            end)
+          cached
+
   let get r ?metrics store ~level =
     Mutex.protect r.mutex (fun () ->
         let v = Video_model.Store.version store in
         if v <> r.version then begin
-          Hashtbl.reset r.tbl;
+          catch_up r ?metrics store;
           r.version <- v
         end;
         match Hashtbl.find_opt r.tbl level with

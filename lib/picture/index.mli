@@ -29,6 +29,21 @@ val build : ?metrics:Obs.Metrics.t -> Video_model.Store.t -> level:int -> t
 (** Scan the level once and finalize.  Bumps the
     [picture.index.builds] counter when a registry is supplied. *)
 
+val build_delta : Video_model.Store.t -> level:int -> lo:int -> t
+(** Scan only ids [lo .. count_at store ~level] — the tail appended
+    since a base index covering [lo - 1] segments was built.  Does not
+    bump [picture.index.builds].
+    @raise Invalid_argument when [lo] is outside [1 .. count_at]. *)
+
+val merge : t -> t -> t
+(** [merge base delta] is the index [build] would produce over the whole
+    level, given [base] covering a prefix and [delta] the rest (appended
+    ids are greater than every base id, so posting arrays concatenate in
+    sorted order).  Neither input is mutated — concurrent readers and
+    snapshot dumps holding the base stay coherent.
+    @raise Invalid_argument on level mismatch or when [delta] covers
+    fewer segments than [base]. *)
+
 val segments_of_object : t -> int -> int array
 (** Sorted global ids of the segments containing the object. *)
 
@@ -119,8 +134,13 @@ module Registry : sig
   val get :
     t -> ?metrics:Obs.Metrics.t -> Video_model.Store.t -> level:int -> index
   (** The cached index for the store's current version, building it on
-      first use.  A version mismatch drops every cached level first.
-      Bumps [picture.index.registry_hits] on a hit. *)
+      first use.  On a version mismatch the registry replays the store's
+      change log: an edit drops only its own level (rebuilt on next
+      demand); a cached level that gained segments is extended by a
+      {!build_delta}/{!merge} pair ([picture.index.delta_merges], with
+      [picture.index.builds] staying flat); past the log horizon every
+      level is dropped.  Bumps [picture.index.registry_hits] on a
+      hit. *)
 
   val preload : t -> version:int -> index list -> unit
   (** Replace the registry's contents with already-finalized indexes

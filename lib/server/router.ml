@@ -143,6 +143,7 @@ let preregister m =
       "server.rejected";
       "server.timeouts";
       "server.bad_requests";
+      "server.ingested";
     ];
   List.iter
     (Obs.Metrics.declare_histogram m)
@@ -353,6 +354,170 @@ let run_batch state req_json =
       json_response ~status:200
         (Json.Obj [ ("results", Json.Array (stitch slots outcomes)) ])
 
+(* --- ingestion -------------------------------------------------------------- *)
+
+(* Wire format of POST /ingest:
+     { "segments": [ { "attrs": {..}, "objects": [ {"id": 3, "type":
+       "person", "attrs": {..}} ], "relationships": [ {"name":
+       "fires_at", "args": [3, 7]} ] } ],
+       "video": 0 }            (optional; default: the last video)
+   Appends the segments as new leaves of the target video (which must be
+   the last of the store, or of its owning shard) and answers with the
+   new leaf count and store version. *)
+
+let ( let* ) = Result.bind
+
+let value_of_json = function
+  | Json.Int n -> Ok (Metadata.Value.Int n)
+  | Json.Float f -> Ok (Metadata.Value.Float f)
+  | Json.String s -> Ok (Metadata.Value.Str s)
+  | Json.Bool b -> Ok (Metadata.Value.Bool b)
+  | _ -> Error "attribute values must be numbers, strings or booleans"
+
+let attrs_of_json what = function
+  | None | Some Json.Null -> Ok []
+  | Some (Json.Obj fields) ->
+      List.fold_right
+        (fun (name, v) acc ->
+          let* tl = acc in
+          let* v = value_of_json v in
+          Ok ((name, v) :: tl))
+        fields (Ok [])
+  | Some _ -> Error (Printf.sprintf "%s \"attrs\" must be an object" what)
+
+let object_of_json = function
+  | Json.Obj _ as j ->
+      let* id =
+        match Json.member "id" j with
+        | Some (Json.Int id) -> Ok id
+        | _ -> Error "object \"id\" must be an integer"
+      in
+      let* otype =
+        match Json.member "type" j with
+        | Some (Json.String s) -> Ok s
+        | _ -> Error "object \"type\" must be a string"
+      in
+      let* attrs = attrs_of_json "object" (Json.member "attrs" j) in
+      Ok (Metadata.Entity.make ~id ~otype ~attrs ())
+  | _ -> Error "\"objects\" items must be objects"
+
+let relationship_of_json = function
+  | Json.Obj _ as j ->
+      let* name =
+        match Json.member "name" j with
+        | Some (Json.String s) -> Ok s
+        | _ -> Error "relationship \"name\" must be a string"
+      in
+      let* args =
+        match Json.member "args" j with
+        | Some (Json.Array items) ->
+            List.fold_right
+              (fun item acc ->
+                let* tl = acc in
+                match item with
+                | Json.Int n -> Ok (n :: tl)
+                | _ -> Error "relationship \"args\" must be integers")
+              items (Ok [])
+        | _ -> Error "relationship \"args\" must be an array of integers"
+      in
+      Ok (Metadata.Relationship.make name args)
+  | _ -> Error "\"relationships\" items must be objects"
+
+let list_field of_item name j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok []
+  | Some (Json.Array items) ->
+      List.fold_right
+        (fun item acc ->
+          let* tl = acc in
+          let* hd = of_item item in
+          Ok (hd :: tl))
+        items (Ok [])
+  | Some _ -> Error (Printf.sprintf "%S must be an array" name)
+
+let segment_of_json = function
+  | Json.Obj _ as j ->
+      let* attrs = attrs_of_json "segment" (Json.member "attrs" j) in
+      let* objects = list_field object_of_json "objects" j in
+      let* relationships = list_field relationship_of_json "relationships" j in
+      Ok (Metadata.Seg_meta.make ~objects ~relationships ~attrs ())
+  | _ -> Error "\"segments\" items must be objects"
+
+let ingest_req_of_json json =
+  let* segments =
+    match Json.member "segments" json with
+    | Some (Json.Array (_ :: _ as items)) ->
+        List.fold_right
+          (fun item acc ->
+            let* tl = acc in
+            let* hd = segment_of_json item in
+            Ok (hd :: tl))
+          items (Ok [])
+    | Some (Json.Array []) -> Error "\"segments\" must not be empty"
+    | Some _ -> Error "\"segments\" must be an array"
+    | None -> Error "missing \"segments\" field"
+  in
+  let* video =
+    match Json.member "video" json with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.Int v) -> Ok (Some v)
+    | Some _ -> Error "\"video\" must be an integer"
+  in
+  Ok (segments, video)
+
+let run_ingest state json =
+  match ingest_req_of_json json with
+  | Error msg -> error_response ~status:400 msg
+  | Ok (segments, video) -> (
+      let appended () =
+        let n = List.length segments in
+        Obs.Metrics.incr state.metrics ~by:n "server.ingested";
+        n
+      in
+      match state.sharded with
+      | Some sh -> (
+          match Sharded.append_segments ?video sh segments with
+          | () ->
+              let n = appended () in
+              json_response ~status:200
+                (Json.Obj
+                   [
+                     ("appended", Json.Int n);
+                     ( "leaf_count",
+                       Json.Int (Sharded.count_at sh ~level:(Sharded.levels sh))
+                     );
+                   ])
+          | exception Invalid_argument msg -> error_response ~status:400 msg)
+      | None -> (
+          match state.ctx.Engine.Context.store with
+          | None ->
+              error_response ~status:400
+                "ingestion requires a store-backed dataset"
+          | Some store -> (
+              let last = List.length (Video_model.Store.videos store) - 1 in
+              match video with
+              | Some v when v <> last ->
+                  error_response ~status:400
+                    (Printf.sprintf
+                       "only the last video (%d) can grow, got %d" last v)
+              | Some _ | None -> (
+                  match Video_model.Store.append_segments store segments with
+                  | () ->
+                      let n = appended () in
+                      json_response ~status:200
+                        (Json.Obj
+                           [
+                             ("appended", Json.Int n);
+                             ( "leaf_count",
+                               Json.Int
+                                 (Video_model.Store.count_at store
+                                    ~level:(Video_model.Store.levels store)) );
+                             ( "version",
+                               Json.Int (Video_model.Store.version store) );
+                           ])
+                  | exception Invalid_argument msg ->
+                      error_response ~status:400 msg))))
+
 let with_body_json (req : Http.request) k =
   match Json.of_string req.Http.body with
   | Error msg -> error_response ~status:400 ("invalid JSON body: " ^ msg)
@@ -362,7 +527,8 @@ let with_body_json (req : Http.request) k =
 
 let heavy req =
   req.Http.meth = "POST"
-  && (req.Http.target = "/query" || req.Http.target = "/batch")
+  && (req.Http.target = "/query" || req.Http.target = "/batch"
+     || req.Http.target = "/ingest")
 
 let route state req =
   match (req.Http.meth, req.Http.target) with
@@ -383,7 +549,9 @@ let route state req =
           | Error msg -> error_response ~status:400 msg
           | Ok q -> run_query state q)
   | "POST", "/batch" -> with_body_json req (run_batch state)
-  | _, ("/healthz" | "/metrics" | "/slowlog" | "/query" | "/batch") ->
+  | "POST", "/ingest" -> with_body_json req (run_ingest state)
+  | _, ("/healthz" | "/metrics" | "/slowlog" | "/query" | "/batch" | "/ingest")
+    ->
       error_response ~status:405
         (Printf.sprintf "method %s not allowed on %s" req.Http.meth
            req.Http.target)

@@ -70,7 +70,9 @@ let create ?(shards = 1) ?config ?threshold ?conj_mode ?reorder_joins ?level
     ?pool ?par_cutoff ?metrics ?querylog store =
   if shards < 1 then
     invalid_arg (Printf.sprintf "Sharded.create: shards %d < 1" shards);
-  let videos = Store.videos store in
+  (* partition the *current* trees: edits and appends made to the source
+     store must survive re-sharding *)
+  let videos = Store.current_videos store in
   let n = min shards (List.length videos) in
   let groups = partition n videos in
   let ctxs =
@@ -432,6 +434,50 @@ let remove_object t ~level ~id ~obj =
 let remove_attr t ~level ~id ~name =
   route t ~level ~id (fun store ~level ~id ->
       Store.remove_attr store ~level ~id ~name)
+
+(* --- ingestion ----------------------------------------------------------- *)
+
+(* Appends grow exactly one shard's id space, so the offsets of the
+   shards after it shift.  The shard count is fixed for the lifetime of
+   the handle, so the array is refreshed in place — contexts derived
+   from [t] keep seeing coherent offsets. *)
+let refresh_offsets t =
+  let off = offsets_of t.shards ~level:t.level in
+  Array.blit off 0 t.offsets 0 (Array.length t.offsets)
+
+let video_counts t =
+  Array.map (fun ctx -> List.length (Store.videos (store_of ctx))) t.shards
+
+let video_count t = Array.fold_left ( + ) 0 (video_counts t)
+
+let append_video t v =
+  let last = Array.length t.shards - 1 in
+  Store.append_video (store_of t.shards.(last)) v;
+  refresh_offsets t
+
+let append_segments ?video t metas =
+  let counts = video_counts t in
+  let total = Array.fold_left ( + ) 0 counts in
+  let video = match video with Some v -> v | None -> total - 1 in
+  if video < 0 || video >= total then
+    invalid_arg
+      (Printf.sprintf "Sharded.append_segments: video %d not in 0..%d" video
+         (total - 1));
+  let rec find i acc =
+    if video < acc + counts.(i) then (i, video - acc) else find (i + 1) (acc + counts.(i))
+  in
+  let shard, local = find 0 0 in
+  (* [Store.append_segments] extends a store's last video; within a
+     contiguous partition only each shard's last video (and globally
+     only the corpus's last, unless the caller names an interior
+     shard-final video) can grow without renumbering. *)
+  if local <> counts.(shard) - 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Sharded.append_segments: video %d is not the last video of shard %d"
+         video shard);
+  Store.append_segments (store_of t.shards.(shard)) metas;
+  refresh_offsets t
 
 (* --- snapshots ----------------------------------------------------------- *)
 

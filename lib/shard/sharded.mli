@@ -138,6 +138,30 @@ val add_object : t -> level:int -> id:int -> Metadata.Entity.t -> unit
 val remove_object : t -> level:int -> id:int -> obj:int -> unit
 val remove_attr : t -> level:int -> id:int -> name:string -> unit
 
+(** {1 Ingestion}
+
+    Appends route to a single shard and grow only its id space: the
+    owning shard's version bumps, sibling caches and registries stay
+    warm, and the global offsets of the shards after it are refreshed in
+    place. *)
+
+val video_count : t -> int
+(** Total videos across shards. *)
+
+val append_video : t -> Video_model.Video.t -> unit
+(** Append a whole video to the {e last} shard (keeping the partition
+    contiguous), as {!Video_model.Store.append_video}.
+    @raise Invalid_argument when the video's level names disagree. *)
+
+val append_segments : ?video:int -> t -> Metadata.Seg_meta.t list -> unit
+(** Append leaf segments to a video, as
+    {!Video_model.Store.append_segments}.  [video] is the global 0-based
+    video index and defaults to the last video of the corpus; it must be
+    the last video of its owning shard (only shard-final videos can grow
+    without renumbering).
+    @raise Invalid_argument otherwise, or on an empty list or
+    single-level store. *)
+
 (** {1 Snapshots} *)
 
 val save_snapshot : t -> string -> unit

@@ -87,7 +87,10 @@ let w_video w (v : Video.t) =
   W.list w (W.str w) (Array.to_list v.level_names);
   w_segment w v.root
 
-let w_store w store = W.list w (w_video w) (Store.videos store)
+(* Serialize the *current* trees, not the source records: [Store.videos]
+   keeps the meta-data the store was created with, so a snapshot taken
+   after edits or appends would silently lose them. *)
+let w_store w store = W.list w (w_video w) (Store.current_videos store)
 
 let w_vkey w = function
   | Index.Knum f ->

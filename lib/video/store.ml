@@ -7,12 +7,53 @@ type node = {
   meta : Metadata.Seg_meta.t;
 }
 
+type change =
+  | Edited of { level : int; id : int }
+  | Appended of { counts : int array }
+
 type t = {
-  videos : Video.t list;
+  mutable videos : Video.t list;
   by_level : node array array;
   mutable version : int;
+  mutable log : (int * change) list;  (* (version after, change), newest first *)
+  mutable log_len : int;
 }
-(* by_level.(l-1).(id-1) is the node with global id [id] at level [l]. *)
+(* by_level.(l-1).(id-1) is the node with global id [id] at level [l].
+   [by_level] rows are replaced wholesale on append (reads hold a row
+   reference, never re-index mid-scan), so the array itself is the unit
+   of publication. *)
+
+(* The change log is the incremental-maintenance contract: every version
+   bump appends exactly one entry, so consumers (index registry, result
+   cache) can replay the gap between their stamp and the current version.
+   Bounded so an unconsulted store cannot leak; a consumer whose stamp
+   fell off the horizon gets [None] and falls back to a full rebuild. *)
+let log_limit = 512
+
+let log_change t c =
+  t.version <- t.version + 1;
+  t.log <- (t.version, c) :: t.log;
+  t.log_len <- t.log_len + 1;
+  (* amortized truncation: trim only when twice over the limit *)
+  if t.log_len > 2 * log_limit then begin
+    t.log <- List.filteri (fun i _ -> i < log_limit) t.log;
+    t.log_len <- log_limit
+  end
+
+let changes_since t ~since =
+  if since = t.version then Some []
+  else if since > t.version then None
+  else
+    (* entries carry consecutive versions newest-first, so reaching
+       [since + 1] (or [since] itself) proves the walk saw every change *)
+    let rec go acc = function
+      | [] -> None
+      | (v, c) :: rest ->
+          if v <= since then Some acc
+          else if v = since + 1 then Some (c :: acc)
+          else go (c :: acc) rest
+    in
+    go [] t.log
 
 let create videos =
   (match videos with
@@ -57,7 +98,7 @@ let create videos =
     (fun nodes ->
       Array.iteri (fun i n -> assert (n.id = i + 1)) nodes)
     by_level;
-  { videos; by_level; version = 0 }
+  { videos; by_level; version = 0; log = []; log_len = 0 }
 
 let of_video v = create [ v ]
 let version t = t.version
@@ -130,8 +171,14 @@ let locate t ~level ~id =
 
 let update_meta t ~level ~id ~f =
   let n = node t ~level ~id in
-  t.by_level.(level - 1).(id - 1) <- { n with meta = f n.meta };
-  t.version <- t.version + 1
+  let m' = f n.meta in
+  (* [compare], not [=]: a meta-data record carrying a NaN (bbox corners,
+     float attributes) must still count as unchanged when rewritten
+     verbatim, or an identity edit would bump the version forever. *)
+  if compare m' n.meta <> 0 then begin
+    t.by_level.(level - 1).(id - 1) <- { n with meta = m' };
+    log_change t (Edited { level; id })
+  end
 
 let add_object t ~level ~id obj =
   update_meta t ~level ~id ~f:(fun m ->
@@ -171,6 +218,115 @@ let remove_attr t ~level ~id ~name =
         Metadata.Seg_meta.attrs =
           List.remove_assoc name m.Metadata.Seg_meta.attrs;
       })
+
+(* --- ingestion ----------------------------------------------------------- *)
+
+let append_segments t metas =
+  let leaf = levels t in
+  if leaf < 2 then
+    invalid_arg "Store.append_segments: store has no leaf level below the root";
+  if metas = [] then invalid_arg "Store.append_segments: no segments";
+  let nodes = t.by_level.(leaf - 1) in
+  let n_old = Array.length nodes in
+  let parents = t.by_level.(leaf - 2) in
+  let parent = parents.(Array.length parents - 1) in
+  (* the globally last leaf-parent's children are the globally last
+     leaves (ids are assigned video by video, subtree by subtree), so
+     extending its span keeps the span contiguous *)
+  let lo =
+    match parent.children_span with
+    | Some span ->
+        assert (Simlist.Interval.hi span = n_old);
+        Simlist.Interval.lo span
+    | None -> n_old + 1
+  in
+  let k = List.length metas in
+  let fresh =
+    List.mapi
+      (fun i meta ->
+        {
+          video = parent.video;
+          level = leaf;
+          id = n_old + i + 1;
+          parent = Some parent.id;
+          children_span = None;
+          meta;
+        })
+      metas
+  in
+  t.by_level.(leaf - 1) <- Array.append nodes (Array.of_list fresh);
+  parents.(Array.length parents - 1) <-
+    { parent with
+      children_span = Some (Simlist.Interval.make lo (n_old + k)) };
+  (* keep the source tree in step, so sharding and serialization see the
+     appended leaves *)
+  (match List.rev t.videos with
+  | last :: before ->
+      t.videos <- List.rev (Video.append_leaves last metas :: before)
+  | [] -> assert false);
+  let counts = Array.make (levels t) 0 in
+  counts.(leaf - 1) <- k;
+  log_change t (Appended { counts })
+
+let append_video t v =
+  let names v = Array.to_list v.Video.level_names in
+  if names v <> names (List.hd t.videos) then
+    invalid_arg "Store.append_video: level names disagree with the store";
+  let nlevels = levels t in
+  let vidx = List.length t.videos in
+  let counters = Array.map Array.length t.by_level in
+  let acc : node list array = Array.make nlevels [] in
+  let rec walk level parent (seg : Segment.t) =
+    counters.(level - 1) <- counters.(level - 1) + 1;
+    let id = counters.(level - 1) in
+    let child_ids = List.map (walk (level + 1) (Some id)) seg.children in
+    let children_span =
+      match child_ids with
+      | [] -> None
+      | first :: _ ->
+          let last = List.nth child_ids (List.length child_ids - 1) in
+          Some (Simlist.Interval.make first last)
+    in
+    acc.(level - 1) <-
+      { video = vidx; level; id; parent; children_span; meta = seg.meta }
+      :: acc.(level - 1);
+    id
+  in
+  ignore (walk 1 None v.Video.root);
+  let counts = Array.make nlevels 0 in
+  Array.iteri
+    (fun i news ->
+      let news = Array.of_list (List.rev news) in
+      counts.(i) <- Array.length news;
+      t.by_level.(i) <- Array.append t.by_level.(i) news)
+    acc;
+  t.videos <- t.videos @ [ v ];
+  log_change t (Appended { counts })
+
+(* Reconstruct the video trees from the by-level nodes, so the result
+   reflects every edit and append (the [videos] source list keeps the
+   original meta-data of edited segments).  Titles and level names come
+   from the source records; structure and meta-data from the nodes. *)
+let current_videos t =
+  let rec rebuild level id =
+    let n = t.by_level.(level - 1).(id - 1) in
+    let children =
+      match n.children_span with
+      | None -> []
+      | Some span ->
+          let lo = Simlist.Interval.lo span in
+          List.init
+            (Simlist.Interval.hi span - lo + 1)
+            (fun i -> rebuild (level + 1) (lo + i))
+    in
+    Segment.make ~meta:n.meta children
+  in
+  List.mapi
+    (fun vidx v ->
+      Video.create ~title:v.Video.title
+        ~level_names:(Array.to_list v.Video.level_names)
+        (rebuild 1 (vidx + 1)))
+    t.videos
 
 let all_object_ids t =
   let ids = Hashtbl.create 64 in

@@ -25,6 +25,17 @@ val create : Video.t list -> t
 val of_video : Video.t -> t
 
 val videos : t -> Video.t list
+(** The source video records (titles, level names, trees as created or
+    appended).  Segment {e meta-data} in these trees is not updated by
+    the in-place editors below; use {!current_videos} when the trees
+    must reflect every edit. *)
+
+val current_videos : t -> Video.t list
+(** The video trees reconstructed from the live per-level nodes: every
+    edit and append is reflected.  [Store.create (current_videos t)] is
+    an exact structural copy of the current state (with version 0) —
+    the form snapshots serialize and re-sharding consumes. *)
+
 val levels : t -> int
 val level_name : t -> int -> string
 val level_index : t -> string -> int option
@@ -61,22 +72,58 @@ val all_object_ids : t -> int list
 (** Every universal object id mentioned anywhere in the store (the domain
     of existential quantification), sorted. *)
 
-(** {1 Annotation updates and the version stamp}
+(** {1 Annotation updates, ingestion and the version stamp}
 
     A store's segment meta-data may be edited in place (annotation
-    tooling, incremental analysis).  Every mutation bumps a monotonically
-    increasing {!version} stamp; result caches ({!Engine.Cache}) key on it,
-    so any mutation invalidates every cached table computed against the
-    earlier state.  The level structure itself is immutable. *)
+    tooling, incremental analysis), and new segments may be appended at
+    the tail (live ingestion).  Every {e effective} mutation bumps a
+    monotonically increasing {!version} stamp and records a {!change} in
+    a bounded log; downstream caches and index registries consult
+    {!changes_since} to invalidate or maintain incrementally instead of
+    rebuilding wholesale.  A no-op mutation — rewriting identical
+    meta-data, removing an absent attribute or object — leaves both the
+    version and the log untouched.  Existing segments never move: ids
+    are stable, and appends only extend the id space. *)
+
+type change =
+  | Edited of { level : int; id : int }
+      (** one segment's meta-data was replaced in place *)
+  | Appended of { counts : int array }
+      (** [counts.(l-1)] segments were appended at the tail of level [l];
+          existing segments (ids and meta-data) are untouched, though the
+          last leaf-parent's children span grows *)
 
 val version : t -> int
-(** Starts at 0 for a fresh store; bumped by every mutation below. *)
+(** Starts at 0 for a fresh store; bumped by every effective mutation
+    below. *)
+
+val changes_since : t -> since:int -> change list option
+(** Every change after version [since], oldest first; [Some []] when
+    [since] is current.  [None] when the bounded change log no longer
+    reaches back to [since] (or [since] is from the future) — the caller
+    must then assume everything changed. *)
 
 val update_meta :
   t -> level:int -> id:int -> f:(Metadata.Seg_meta.t -> Metadata.Seg_meta.t) -> unit
-(** Replace one segment's meta-data.  Bumps {!version} even when [f] is
-    the identity.
+(** Replace one segment's meta-data.  Version-neutral when [f] returns
+    meta-data structurally equal to the current value (in particular when
+    [f] is the identity): warm caches and indexes survive no-op edits.
     @raise Invalid_argument when out of range. *)
+
+val append_segments : t -> Metadata.Seg_meta.t list -> unit
+(** Append leaf segments to the {e last} video, as children of its last
+    leaf-parent — the live-ingestion path (cut detection emitting shots).
+    Derived levels, {!video_span}, {!extents_at} and {!count_at} stay
+    consistent; the new segments take the next global leaf ids.  Records
+    one [Appended] change.
+    @raise Invalid_argument on an empty list or a single-level store. *)
+
+val append_video : t -> Video.t -> unit
+(** Append a whole new video after the existing ones; every level gains
+    the video's segments at the tail of its id space.  Records one
+    [Appended] change.
+    @raise Invalid_argument when the video's level names disagree with
+    the store's. *)
 
 val add_object : t -> level:int -> id:int -> Metadata.Entity.t -> unit
 (** Annotate a segment with an object; replaces any existing object with

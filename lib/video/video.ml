@@ -22,6 +22,27 @@ let two_level ~title ?(leaf_name = "shot") metas =
 
 let levels t = Array.length t.level_names
 
+(* Extend the rightmost path only: the new leaves become the last
+   children of the last leaf-parent, so every existing segment keeps its
+   position and the result has the same uniform depth (no re-validation
+   pass over the whole tree). *)
+let append_leaves t metas =
+  if metas = [] then invalid_arg "Video.append_leaves: no segments";
+  if levels t < 2 then
+    invalid_arg "Video.append_leaves: video has no leaf level below the root";
+  let rec extend depth (seg : Segment.t) =
+    if depth = levels t - 1 then
+      Segment.make ~meta:seg.meta
+        (seg.children @ List.map Segment.leaf metas)
+    else
+      match List.rev seg.children with
+      | [] -> invalid_arg "Video.append_leaves: malformed tree"
+      | last :: before ->
+          Segment.make ~meta:seg.meta
+            (List.rev (extend (depth + 1) last :: before))
+  in
+  { t with root = extend 1 t.root }
+
 let level_name t i =
   if i < 1 || i > levels t then invalid_arg "Video.level_name: out of range";
   t.level_names.(i - 1)

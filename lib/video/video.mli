@@ -16,6 +16,14 @@ val two_level : title:string -> ?leaf_name:string -> Metadata.Seg_meta.t list ->
     children (default level names: ["video"; "shot"]).
     @raise Invalid_argument on an empty list. *)
 
+val append_leaves : t -> Metadata.Seg_meta.t list -> t
+(** A copy of the video with the given segments appended at the leaf
+    level, as the last children of the last leaf-parent — the ingest
+    path: live annotation extends a video's tail, it never edits the
+    past.  Every existing segment keeps its position and the tree keeps
+    its uniform depth.
+    @raise Invalid_argument on an empty list or a single-level video. *)
+
 val levels : t -> int
 val level_name : t -> int -> string
 (** @raise Invalid_argument for an out-of-range level. *)

@@ -16,6 +16,10 @@ val random_store :
     relationships among co-present objects, and random segment
     attributes. *)
 
+val random_meta : Rng.t -> object_pool:int -> Metadata.Seg_meta.t
+(** One leaf segment's random meta-data, exactly as {!random_store}
+    draws it — the unit streaming-ingestion tests and benches append. *)
+
 val random_type1_formula : Rng.t -> depth:int -> Htl.Ast.t
 (** A random type (1) formula whose atomic units are closed queries over
     {!random_store}-style meta-data. *)

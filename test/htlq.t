@@ -212,6 +212,13 @@ As does the serve section's (p50 per clients x domains combination):
   >     --tolerance 1e9 | tail -1
   no regressions (tolerance 1e+09)
 
+And the ingest section's (qps per arm, gated as throughput; the
+committed baseline also records the invalidation counters):
+
+  $ ../bench/main.exe --check --baseline ../BENCH_ingest.json \
+  >     --tolerance 1e9 | tail -1
+  no regressions (tolerance 1e+09)
+
 The query service: htlq serve keeps one warm context behind an HTTP
 interface, and htlq http talks to it.  An ephemeral port (--port 0)
 lands in --port-file; the banner confirms the configuration:
@@ -250,6 +257,29 @@ SIGTERM drains and exits 0:
   $ wait $SERVE_PID
   $ grep -c 'htlq: shutdown complete' serve.log
   1
+
+POST /ingest appends leaf segments to a store-backed dataset without a
+restart, and the very next query ranks them (the casablanca store has
+50 shots, so the appended zebra lands at id 51):
+
+  $ ../bin/htlq.exe serve --dataset casablanca-store --port-file iport.txt \
+  >     > ingest-serve.log 2>&1 &
+  $ INGEST_PID=$!
+  $ for i in $(seq 1 50); do test -s iport.txt && break; sleep 0.1; done
+  $ IPORT=$(cat iport.txt)
+  $ ../bin/htlq.exe http /ingest --port $IPORT \
+  >     --body '{"segments": [{"objects": [{"id": 9, "type": "zebra"}]}]}'
+  {"appended": 1, "leaf_count": 51, "version": 1}
+  $ ../bin/htlq.exe http /query --port $IPORT \
+  >     --body '{"query": "exists z . (present(z) and type(z) = \"zebra\")", "k": 1}' \
+  >     | grep -o '"id": 51'
+  "id": 51
+  $ ../bin/htlq.exe http /ingest --port $IPORT --body '{"segments": []}'
+  {"error": "\"segments\" must not be empty"}
+  http status 400
+  [1]
+  $ kill -TERM $INGEST_PID
+  $ wait $INGEST_PID
 
 Usage errors in the subcommands exit 2 like the main command's:
 

@@ -83,8 +83,50 @@ let version_tests =
         check int "set_attr" 3 (Store.version s);
         Store.remove_attr s ~level:2 ~id:1 ~name:"mood";
         check int "remove_attr" 4 (Store.version s);
+        Store.update_meta s ~level:2 ~id:1 ~f:(fun m ->
+            { m with Metadata.Seg_meta.attrs = [ ("x", Metadata.Value.Int 1) ] });
+        check int "update_meta (effective)" 5 (Store.version s));
+    test_case "no-op mutations are version-neutral" `Quick (fun () ->
+        let s = small_store () in
         Store.update_meta s ~level:2 ~id:1 ~f:(fun m -> m);
-        check int "update_meta (identity)" 5 (Store.version s));
+        check int "identity update_meta" 0 (Store.version s);
+        Store.update_meta s ~level:2 ~id:2 ~f:(fun m ->
+            { m with Metadata.Seg_meta.attrs = m.Metadata.Seg_meta.attrs });
+        check int "structurally equal rewrite" 0 (Store.version s);
+        Store.remove_attr s ~level:2 ~id:1 ~name:"no-such-attr";
+        check int "remove_attr of absent name" 0 (Store.version s);
+        Store.remove_object s ~level:2 ~id:1 ~obj:999;
+        check int "remove_object of absent object" 0 (Store.version s);
+        Store.set_attr s ~level:2 ~id:2 ~name:"mood"
+          (Metadata.Value.Str "calm");
+        check int "set_attr to the current value" 0 (Store.version s));
+    test_case "no-op mutations keep caches and indexes warm" `Quick (fun () ->
+        let s = small_store () in
+        let m = Obs.Metrics.create () in
+        let ctx = Context.with_metrics (Context.of_store s) m in
+        ignore (Query.run_string ctx q_train);
+        let builds () =
+          match List.assoc_opt "picture.index.builds" (Obs.Metrics.snapshot m)
+          with
+          | Some (Obs.Metrics.Counter n) -> n
+          | _ -> 0
+        in
+        let builds0 = builds () in
+        check bool "warmed" true (builds0 > 0);
+        Store.update_meta s ~level:2 ~id:1 ~f:(fun x -> x);
+        Store.remove_attr s ~level:2 ~id:2 ~name:"no-such-attr";
+        Store.remove_object s ~level:2 ~id:3 ~obj:999;
+        let hits_before =
+          match Query.cache_stats ctx with
+          | Some st -> st.Cache.hits
+          | None -> Alcotest.fail "no cache"
+        in
+        ignore (Query.run_string ctx q_train);
+        check int "no index rebuild" builds0 (builds ());
+        match Query.cache_stats ctx with
+        | Some st ->
+            check bool "pure cache hits" true (st.Cache.hits > hits_before)
+        | None -> Alcotest.fail "no cache");
     test_case "remove_object drops its relationships too" `Quick (fun () ->
         let s = small_store () in
         Store.add_object s ~level:2 ~id:1 (train ~id:9);
@@ -196,38 +238,166 @@ let eviction_tests =
     test_case "LRU evicts the least recently used key" `Quick (fun () ->
         let c = Cache.create ~capacity:2 () in
         let extents = Simlist.Extent.single 4 in
-        let key i = Cache.key ~formula:i ~level:1 ~version:0 ~extents in
+        let key i = Cache.key ~formula:i ~level:1 ~extents in
         let table v =
           Sim_table.of_sim_list
             (Sim_list.of_entries ~max:1.
                [ (Simlist.Interval.make 1 1, v) ])
         in
-        Cache.add c (key 1) (table 0.25);
-        Cache.add c (key 2) (table 0.5);
-        ignore (Cache.find c (key 1));
-        Cache.add c (key 3) (table 0.75);
+        let probe k =
+          match Cache.find c k ~version:0 ~valid:(fun ~stamp:_ -> true) with
+          | Cache.Hit t | Cache.Survived t -> Some t
+          | Cache.Stale | Cache.Absent -> None
+        in
+        Cache.add c (key 1) ~version:0 (table 0.25);
+        Cache.add c (key 2) ~version:0 (table 0.5);
+        ignore (probe (key 1));
+        Cache.add c (key 3) ~version:0 (table 0.75);
         check bool "recently used key 1 survives" true
-          (Option.is_some (Cache.find c (key 1)));
-        check bool "LRU key 2 evicted" true
-          (Option.is_none (Cache.find c (key 2)));
+          (Option.is_some (probe (key 1)));
+        check bool "LRU key 2 evicted" true (Option.is_none (probe (key 2)));
         let st = Cache.stats c in
         check int "one eviction" 1 st.Cache.evictions);
-    test_case "distinct store versions are distinct keys" `Quick (fun () ->
+    test_case "entries survive or drop by the validity predicate" `Quick
+      (fun () ->
         let c = Cache.create () in
         let extents = Simlist.Extent.single 4 in
         let t =
           Sim_table.of_sim_list
             (Sim_list.of_entries ~max:1. [ (Simlist.Interval.make 1 2, 1.) ])
         in
-        Cache.add c (Cache.key ~formula:7 ~level:1 ~version:0 ~extents) t;
-        check bool "other version misses" true
-          (Option.is_none
-             (Cache.find c (Cache.key ~formula:7 ~level:1 ~version:1 ~extents)));
-        check bool "other extents miss" true
-          (Option.is_none
-             (Cache.find c
-                (Cache.key ~formula:7 ~level:1 ~version:0
-                   ~extents:(Simlist.Extent.of_lengths [ 2; 2 ])))));
+        let k = Cache.key ~formula:7 ~level:1 ~extents in
+        Cache.add c k ~version:0 t;
+        (* same version: a plain hit, the predicate is not consulted *)
+        (match
+           Cache.find c k ~version:0 ~valid:(fun ~stamp:_ ->
+               Alcotest.fail "predicate consulted on a version-equal hit")
+         with
+        | Cache.Hit _ -> ()
+        | _ -> Alcotest.fail "expected Hit");
+        (* newer version, benign changes: survives and is restamped *)
+        let seen = ref (-1) in
+        (match
+           Cache.find c k ~version:3 ~valid:(fun ~stamp ->
+               seen := stamp;
+               true)
+         with
+        | Cache.Survived _ -> ()
+        | _ -> Alcotest.fail "expected Survived");
+        check int "predicate saw the original stamp" 0 !seen;
+        check int "one survival" 1 (Cache.survivals c);
+        (* restamped: probing at version 3 again is a plain hit *)
+        (match
+           Cache.find c k ~version:3 ~valid:(fun ~stamp:_ ->
+               Alcotest.fail "restamp not applied")
+         with
+        | Cache.Hit _ -> ()
+        | _ -> Alcotest.fail "expected Hit after restamp");
+        (* invalidating change: dropped on probe, then absent *)
+        (match Cache.find c k ~version:4 ~valid:(fun ~stamp:_ -> false) with
+        | Cache.Stale -> ()
+        | _ -> Alcotest.fail "expected Stale");
+        check int "one stale drop" 1 (Cache.stale_drops c);
+        (match Cache.find c k ~version:4 ~valid:(fun ~stamp:_ -> true) with
+        | Cache.Absent -> ()
+        | _ -> Alcotest.fail "expected Absent after the drop");
+        (* different extent partition is a different key *)
+        Cache.add c k ~version:4 t;
+        match
+          Cache.find c
+            (Cache.key ~formula:7 ~level:1
+               ~extents:(Simlist.Extent.of_lengths [ 2; 2 ]))
+            ~version:4
+            ~valid:(fun ~stamp:_ -> true)
+        with
+        | Cache.Absent -> ()
+        | _ -> Alcotest.fail "expected other extents to miss");
+  ]
+
+(* --- extent-scoped survival across appends ---------------------------------- *)
+
+let fresh_eval_at store ~level q =
+  let ctx =
+    Context.with_level
+      (Context.without_cache (Context.of_store store))
+      ~level
+      ~extents:(Store.extents_at store ~level)
+  in
+  Query.run_string ctx q
+
+let survival_tests =
+  let open Alcotest in
+  [
+    test_case "appended segments are visible to a tracked context" `Quick
+      (fun () ->
+        let s = small_store () in
+        let ctx = Context.of_store s in
+        ignore (Query.run_string ctx q_train);
+        Store.append_segments s [ meta_with ~objects:[ train ~id:9 ] () ];
+        let after = Query.run_string ctx q_train in
+        check sim_list "agrees with fresh eval" (fresh_eval s q_train) after;
+        check bool "the appended shot scores" true
+          (Sim_list.value_at after 4 > 0.));
+    test_case "leaf appends keep non-descending upper-level entries warm"
+      `Quick (fun () ->
+        let s = small_store () in
+        let ctx =
+          Context.with_level (Context.of_store s) ~level:1
+            ~extents:(Store.extents_at s ~level:1)
+        in
+        let q = "seg.kind = \"movie\"" in
+        ignore (Query.run_string ctx q);
+        let c =
+          match Context.cache ctx with
+          | Some c -> c
+          | None -> Alcotest.fail "no cache"
+        in
+        let surv0 = Cache.survivals c in
+        (* the append bumps the version, but touches only level 2: the
+           level-1 entry reads nothing an append can change *)
+        Store.append_segments s [ meta_with () ];
+        check sim_list "still correct" (fresh_eval_at s ~level:1 q)
+          (Query.run_string ctx q);
+        check bool "entry survived the version bump" true
+          (Cache.survivals c > surv0);
+        check int "nothing dropped" 0 (Cache.stale_drops c));
+    test_case "leaf appends invalidate descending entries" `Quick (fun () ->
+        let s = small_store () in
+        let ctx =
+          Context.with_level (Context.of_store s) ~level:1
+            ~extents:(Store.extents_at s ~level:1)
+        in
+        let q = "at next level (eventually (" ^ q_train ^ "))" in
+        ignore (Query.run_string ctx q);
+        let c =
+          match Context.cache ctx with
+          | Some c -> c
+          | None -> Alcotest.fail "no cache"
+        in
+        Store.append_segments s [ meta_with ~objects:[ train ~id:9 ] () ];
+        let after = Query.run_string ctx q in
+        check sim_list "recomputed over the appended leaf"
+          (fresh_eval_at s ~level:1 q) after;
+        check bool "descending entries dropped" true (Cache.stale_drops c > 0));
+    test_case "edits at the leaf keep upper-level entries warm" `Quick
+      (fun () ->
+        let s = small_store () in
+        let ctx =
+          Context.with_level (Context.of_store s) ~level:1
+            ~extents:(Store.extents_at s ~level:1)
+        in
+        let q = "seg.kind = \"movie\"" in
+        ignore (Query.run_string ctx q);
+        let c =
+          match Context.cache ctx with
+          | Some c -> c
+          | None -> Alcotest.fail "no cache"
+        in
+        let surv0 = Cache.survivals c in
+        Store.set_attr s ~level:2 ~id:1 ~name:"mood"
+          (Metadata.Value.Str "tense");
+        ignore (Query.run_string ctx q);
+        check bool "survived the deeper edit" true (Cache.survivals c > surv0));
   ]
 
 (* --- counters -------------------------------------------------------------- *)
@@ -270,5 +440,6 @@ let suites =
     ("cache.version", version_tests);
     ("cache.invalidation", invalidation_tests);
     ("cache.eviction", eviction_tests);
+    ("cache.survival", survival_tests);
     ("cache.counters", counter_tests);
   ]

@@ -339,6 +339,102 @@ let pruning_differential store f =
 let pruning_store_prop ?videos (seed, f) =
   pruning_differential (store_of_seed ?videos seed) f
 
+(* --- streaming ingestion ---------------------------------------------------
+
+   Random interleavings of appends, effective edits and no-op mutations
+   against a long-lived context — and a sharded deployment mirroring
+   every mutation — must agree byte for byte, at every query point, with
+   a from-scratch rebuild of the store: the one evaluator that cannot
+   hold a stale cache entry or index posting.  This is the correctness
+   harness for the incremental-ingestion layer; a delta-merge bug, an
+   over-surviving cache entry, or a mis-routed shard append shows up as
+   a live/rebuild divergence on some interleaving. *)
+
+module Sharded = Htl_shard.Sharded
+
+let streaming_differential ~seed store f =
+  let ctx = Context.of_store store in
+  let sh = Sharded.create ~shards:2 store in
+  let rng = Workload.Rng.make (seed + 7919) in
+  let leaf = Video_model.Store.levels store in
+  let check step =
+    let rebuilt =
+      Context.without_cache
+        (Context.of_store
+           (Video_model.Store.create (Video_model.Store.current_videos store)))
+    in
+    List.iter
+      (fun (bname, backend) ->
+        let outcome run =
+          match run () with
+          | list -> Ok list
+          | exception Query.Error msg -> Error msg
+        in
+        let oracle = outcome (fun () -> Query.run ~backend rebuilt f) in
+        let agree what r =
+          match (oracle, r) with
+          | Ok a, Ok b ->
+              if not (Sim_list.equal a b) then
+                QCheck.Test.fail_reportf
+                  "%s (%s) differs from the from-scratch rebuild after %d \
+                   mutations on %s"
+                  what bname step
+                  (Htl.Pretty.to_string f)
+          | Error _, Error _ -> ()
+          | _ ->
+              QCheck.Test.fail_reportf
+                "%s (%s) changes the outcome class after %d mutations on %s"
+                what bname step
+                (Htl.Pretty.to_string f)
+        in
+        agree "live context" (outcome (fun () -> Query.run ~backend ctx f));
+        agree "sharded" (outcome (fun () -> Sharded.run ~backend sh f)))
+      [ ("direct", Query.Direct_backend); ("sql", Query.Sql_backend_choice) ]
+  in
+  (* Apply the same mutation to the plain store and the sharded mirror;
+     contiguous partitioning preserves global ids, so the arguments
+     coincide. *)
+  let mutate () =
+    let id () =
+      1 + Workload.Rng.int rng (Video_model.Store.count_at store ~level:leaf)
+    in
+    match Workload.Rng.int rng 4 with
+    | 0 ->
+        let metas =
+          List.init
+            (1 + Workload.Rng.int rng 2)
+            (fun _ -> Workload.Movies.random_meta rng ~object_pool:4)
+        in
+        Video_model.Store.append_segments store metas;
+        Sharded.append_segments sh metas
+    | 1 ->
+        let id = id () in
+        let v = Metadata.Value.Str (Workload.Rng.pick rng [ "calm"; "tense" ]) in
+        Video_model.Store.set_attr store ~level:leaf ~id ~name:"mood" v;
+        Sharded.set_attr sh ~level:leaf ~id ~name:"mood" v
+    | 2 ->
+        let id = id () in
+        Video_model.Store.update_meta store ~level:leaf ~id ~f:Fun.id;
+        Sharded.update_meta sh ~level:leaf ~id ~f:Fun.id
+    | _ ->
+        let id = id () in
+        Video_model.Store.remove_attr store ~level:leaf ~id ~name:"absent";
+        Sharded.remove_attr sh ~level:leaf ~id ~name:"absent"
+  in
+  check 0;
+  let steps = ref 0 in
+  for _round = 1 to 3 do
+    for _ = 1 to 1 + Workload.Rng.int rng 2 do
+      mutate ();
+      incr steps
+    done;
+    check !steps
+  done;
+  true
+
+let streaming_store_prop ?videos (seed, f) =
+  streaming_differential ~seed (store_of_seed ?videos seed) f
+
 let traced_table_prop (seed, f) =
   let rng = Workload.Rng.make seed in
   let n = 10 + Workload.Rng.int rng 40 in
@@ -399,6 +495,12 @@ let suites =
           (Helpers.arb_store_formula Helpers.gen_conjunctive_formula);
         Helpers.qtest ~count:40 "pruned = full scan (mixed)"
           pruning_store_prop
+          (Helpers.arb_store_formula Helpers.gen_closed_formula);
+        Helpers.qtest ~count:30 "streaming: live = rebuild (type 1)"
+          (streaming_store_prop ~videos:2)
+          (Helpers.arb_store_formula Helpers.gen_type1_formula);
+        Helpers.qtest ~count:30 "streaming: live = rebuild (mixed)"
+          (streaming_store_prop ~videos:2)
           (Helpers.arb_store_formula Helpers.gen_closed_formula);
         Helpers.qtest ~count:40 "traced = untraced (tables)" traced_table_prop
           (Helpers.arb_table_formula ~names:table_names ());

@@ -260,6 +260,91 @@ let registry_tests =
         check sim_list "agrees with a fresh context" fresh after);
   ]
 
+(* --- delta builds and merges ---------------------------------------------- *)
+
+let same_index a b =
+  Alcotest.check Alcotest.bool "indexes structurally equal" true
+    (compare (Index.dump a) (Index.dump b) = 0)
+
+(* two appended shots overlapping the fixture's posting keys (man#1,
+   holds, mood=calm, speed=80) and introducing fresh ones (zebra#5) *)
+let appended_shots () =
+  [
+    meta
+      ~objects:
+        [
+          entity 1 "man" ~attrs:[ ("speed", Metadata.Value.Int 80) ];
+          entity 5 "zebra";
+        ]
+      ~relationships:[ Metadata.Relationship.make "holds" [ 1; 5 ] ]
+      ~attrs:[ ("mood", Metadata.Value.Str "calm") ]
+      ();
+    meta ~attrs:[ ("rating", Metadata.Value.Int 9) ] ();
+  ]
+
+let delta_tests =
+  let open Alcotest in
+  [
+    test_case "merge of a delta equals a from-scratch build" `Quick (fun () ->
+        let s = fixture () in
+        let base = Index.build s ~level:2 in
+        let base_dump = Index.dump base in
+        Store.append_segments s (appended_shots ());
+        let delta = Index.build_delta s ~level:2 ~lo:6 in
+        let merged = Index.merge base delta in
+        same_index (Index.build s ~level:2) merged;
+        check bool "base not mutated" true
+          (compare (Index.dump base) base_dump = 0);
+        check_ids "concatenated posting" [| 1; 4; 6 |]
+          (Index.segments_of_object merged 1);
+        check_ids "fresh posting" [| 6 |] (Index.segments_of_object merged 5);
+        let p = Index.seg_attr_points merged "mood" in
+        check (list string) "points stay distinct" [ "calm"; "tense" ]
+          p.Index.strs);
+    test_case "build_delta rejects an out-of-range lo" `Quick (fun () ->
+        let s = fixture () in
+        (try
+           ignore (Index.build_delta s ~level:2 ~lo:0);
+           fail "expected Invalid_argument"
+         with Invalid_argument _ -> ());
+        try
+          ignore (Index.build_delta s ~level:2 ~lo:7);
+          fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    test_case "registry extends appended levels without a rebuild" `Quick
+      (fun () ->
+        let s = fixture () in
+        let r = Index.Registry.create () in
+        let m = Obs.Metrics.create () in
+        ignore (Index.Registry.get r ~metrics:m s ~level:2);
+        check int "one build" 1 (counter m "picture.index.builds");
+        Store.append_segments s (appended_shots ());
+        let idx = Index.Registry.get r ~metrics:m s ~level:2 in
+        check int "builds stay flat" 1 (counter m "picture.index.builds");
+        check int "one delta merge" 1
+          (counter m "picture.index.delta_merges");
+        same_index (Index.build s ~level:2) idx;
+        (* a second get at the same version is a plain registry hit *)
+        ignore (Index.Registry.get r ~metrics:m s ~level:2);
+        check int "no further merges" 1
+          (counter m "picture.index.delta_merges"));
+    test_case "registry edits drop only the edited level" `Quick (fun () ->
+        let s = Fixtures.layered_store () in
+        let r = Index.Registry.create () in
+        let m = Obs.Metrics.create () in
+        ignore (Index.Registry.get r ~metrics:m s ~level:2);
+        ignore (Index.Registry.get r ~metrics:m s ~level:3);
+        check int "two builds" 2 (counter m "picture.index.builds");
+        Store.set_attr s ~level:3 ~id:1 ~name:"mood"
+          (Metadata.Value.Str "tense");
+        ignore (Index.Registry.get r ~metrics:m s ~level:2);
+        check int "level 2 untouched" 2 (counter m "picture.index.builds");
+        let i3 = Index.Registry.get r ~metrics:m s ~level:3 in
+        check int "level 3 rebuilt" 3 (counter m "picture.index.builds");
+        check_ids "rebuild sees the edit" [| 1 |]
+          (Index.segments_with_seg_attr i3 "mood"));
+  ]
+
 (* --- pruned evaluation = full scan, atom family by atom family ------------ *)
 
 let full_config = { Picture.Retrieval.default_config with prune = false }
@@ -296,5 +381,6 @@ let suites =
     ("index.setops", setop_tests);
     ("index.postings", posting_tests);
     ("index.registry", registry_tests);
+    ("index.delta", delta_tests);
     ("index.pruned_eq_full", equivalence_tests);
   ]

@@ -411,6 +411,126 @@ let router_tests =
         | _ -> Alcotest.fail "no latency histogram");
   ]
 
+(* --- ingestion over the wire ------------------------------------------------ *)
+
+module Sharded = Htl_shard.Sharded
+
+(* one leaf carrying a uniquely-typed object, findable by query *)
+let zebra_segment =
+  "{\"attrs\": {\"mood\": \"tense\"}, \"objects\": [{\"id\": 9, \"type\": \
+   \"zebra\", \"attrs\": {\"speed\": 30}}], \"relationships\": [{\"name\": \
+   \"holds\", \"args\": [9, 9]}]}"
+
+let zebra_query =
+  "{\"query\": \"exists z . (present(z) and type(z) = \\\"zebra\\\")\"}"
+
+let int_field name field j =
+  match Json.member field j with
+  | Some (Json.Int n) -> n
+  | _ -> Alcotest.failf "%s: no integer %S field" name field
+
+(* the ranked global ids of a /query response *)
+let result_ids name (resp : Http.response) =
+  match Json.member "results" (body_json name resp) with
+  | Some rj -> (
+      match Router.results_of_json rj with
+      | Ok rs -> List.map fst rs
+      | Error msg -> Alcotest.failf "%s: bad results (%s)" name msg)
+  | None -> Alcotest.failf "%s: no results array" name
+
+let ingest_tests =
+  let open Alcotest in
+  [
+    test_case "ingest: the very next query sees the new leaf" `Quick (fun () ->
+        let store = Workload.Casablanca.store () in
+        let s = Router.make (Context.of_store store) in
+        let leaf = Video_model.Store.levels store in
+        let before = Video_model.Store.count_at store ~level:leaf in
+        let r0 =
+          check_status "cold query" 200 (handle s (post "/query" zebra_query))
+        in
+        check bool "the future id is not ranked yet" false
+          (List.mem (before + 1) (result_ids "before" r0));
+        let resp =
+          check_status "ingest 200" 200
+            (handle s
+               (post "/ingest"
+                  (Printf.sprintf "{\"segments\": [%s]}" zebra_segment)))
+        in
+        let j = body_json "ingest" resp in
+        check int "appended" 1 (int_field "ingest" "appended" j);
+        check int "leaf_count" (before + 1) (int_field "ingest" "leaf_count" j);
+        check int "version" 1 (int_field "ingest" "version" j);
+        check int "server.ingested counted" 1
+          (Obs.Metrics.counter_value (Router.metrics s) "server.ingested");
+        let r1 =
+          check_status "warm query" 200 (handle s (post "/query" zebra_query))
+        in
+        check bool "the appended segment is ranked" true
+          (List.mem (before + 1) (result_ids "after" r1)));
+    test_case "ingest: 400s say what is wrong" `Quick (fun () ->
+        let s = Router.make (Context.of_store (Workload.Casablanca.store ())) in
+        let bad body name =
+          let resp = check_status name 400 (handle s (post "/ingest" body)) in
+          match Json.member "error" (body_json name resp) with
+          | Some (Json.String _) -> ()
+          | _ -> Alcotest.failf "%s: no error field" name
+        in
+        bad "not json" "malformed JSON";
+        bad "{}" "missing segments";
+        bad "{\"segments\": []}" "empty segments";
+        bad "{\"segments\": 42}" "segments not an array";
+        bad "{\"segments\": [{\"objects\": [{\"type\": \"zebra\"}]}]}"
+          "object without id";
+        bad "{\"segments\": [{\"attrs\": {\"mood\": [1]}}]}"
+          "attr value not scalar";
+        bad
+          (Printf.sprintf "{\"segments\": [%s], \"video\": 7}" zebra_segment)
+          "not the last video";
+        check int "nothing was ingested" 0
+          (Obs.Metrics.counter_value (Router.metrics s) "server.ingested"));
+    test_case "ingest: storeless contexts refuse, GET is 405" `Quick (fun () ->
+        let s = fresh_state () in
+        ignore
+          (check_status "tables cannot grow" 400
+             (handle s
+                (post "/ingest"
+                   (Printf.sprintf "{\"segments\": [%s]}" zebra_segment))));
+        ignore (check_status "405" 405 (handle s (get "/ingest"))));
+    test_case "ingest: sharded appends route and stay visible" `Quick (fun () ->
+        let store =
+          Workload.Movies.random_store (Workload.Rng.make 11) ~videos:2
+            ~branching:3 ~object_pool:4 ()
+        in
+        let sh = Sharded.create ~shards:2 store in
+        let s = Router.make ~sharded:sh (Context.of_store store) in
+        let before = Sharded.count_at sh ~level:(Sharded.levels sh) in
+        let resp =
+          check_status "ingest 200" 200
+            (handle s
+               (post "/ingest"
+                  (Printf.sprintf "{\"segments\": [%s, %s]}" zebra_segment
+                     zebra_segment)))
+        in
+        let j = body_json "ingest" resp in
+        check int "appended" 2 (int_field "ingest" "appended" j);
+        check int "leaf_count" (before + 2) (int_field "ingest" "leaf_count" j);
+        check bool "no single-store version in sharded mode" true
+          (Json.member "version" j = None);
+        ignore
+          (check_status "out-of-range video" 400
+             (handle s
+                (post "/ingest"
+                   (Printf.sprintf "{\"segments\": [%s], \"video\": 9}"
+                      zebra_segment))));
+        let r =
+          check_status "query" 200 (handle s (post "/query" zebra_query))
+        in
+        let ids = result_ids "query" r in
+        check bool "scatter-gather ranks the appended leaves" true
+          (List.mem (before + 1) ids && List.mem (before + 2) ids));
+  ]
+
 (* --- pre-registered exposition ---------------------------------------------- *)
 
 let exposition_tests =
@@ -807,6 +927,7 @@ let suites =
     ("server.http", http_parser_tests @ http_writer_tests);
     ("server.wire", wire_tests);
     ("server.router", router_tests);
+    ("server.ingest", ingest_tests);
     ("server.exposition", exposition_tests);
     ("server.live", live_tests);
   ]

@@ -302,6 +302,103 @@ let unit_tests =
           (Astring.String.is_infix ~affix:"merge: " analyzed));
   ]
 
+(* --- ingestion routing ---------------------------------------------------- *)
+
+let shard_versions sh =
+  Array.map (fun ctx -> Context.store_version ctx) (Sharded.contexts sh)
+
+(* evaluate over one unsharded store rebuilt from every shard's current
+   trees — the oracle any sharded result must match byte for byte *)
+let oracle_run sh f =
+  let videos =
+    List.concat_map
+      (fun ctx ->
+        match ctx.Context.store with
+        | Some s -> Store.current_videos s
+        | None -> assert false)
+      (Array.to_list (Sharded.contexts sh))
+  in
+  Query.run (Context.without_cache (Context.of_store (Store.create videos))) f
+
+let ingest_tests =
+  let open Alcotest in
+  [
+    test_case "append_segments routes to one shard; siblings stay warm" `Quick
+      (fun () ->
+        let store = store_of_seed 61 in
+        let m = Obs.Metrics.create () in
+        let sh = Sharded.create ~shards:3 ~metrics:m store in
+        ignore (Sharded.run_string sh q_mood);
+        let builds0 = counter m "picture.index.builds" in
+        let before = shard_versions sh in
+        let n0 = Sharded.segment_count sh in
+        let rng = Workload.Rng.make 62 in
+        Sharded.append_segments sh
+          [ Workload.Movies.random_meta rng ~object_pool:4 ];
+        let after = shard_versions sh in
+        let bumped = ref [] in
+        Array.iteri
+          (fun i v -> if v <> before.(i) then bumped := i :: !bumped)
+          after;
+        check (list int) "only the last shard bumped"
+          [ Sharded.shard_count sh - 1 ]
+          !bumped;
+        check int "segment count grew" (n0 + 1) (Sharded.segment_count sh);
+        (* the owning shard catches up with a delta merge, not a rebuild *)
+        let f = parse q_mood in
+        let merged = Sharded.run sh f in
+        check int "builds stay flat" builds0
+          (counter m "picture.index.builds");
+        check int "one delta merge" 1
+          (counter m "picture.index.delta_merges");
+        check bool "byte-equal to the unsharded oracle" true
+          (Sim_list.equal merged (oracle_run sh f)));
+    test_case "append_video grows the last shard" `Quick (fun () ->
+        let store = Fixtures.two_movie_store () in
+        let sh = Sharded.create ~shards:2 store in
+        let before = shard_versions sh in
+        Sharded.append_video sh (Fixtures.western ());
+        let after = shard_versions sh in
+        check bool "first shard untouched" true (before.(0) = after.(0));
+        check int "three videos" 3 (Sharded.video_count sh);
+        check int "segments grew by the western's shots" 15
+          (Sharded.segment_count sh);
+        let offs = Sharded.offsets sh in
+        check int "offsets refreshed in place" 6 offs.(1);
+        let f = parse q_train in
+        check bool "byte-equal to the unsharded oracle" true
+          (Sim_list.equal (Sharded.run sh f) (oracle_run sh f)));
+    test_case "append to a non-final video of a shard is rejected" `Quick
+      (fun () ->
+        let sh = Sharded.create ~shards:1 (Fixtures.two_movie_store ()) in
+        (try
+           Sharded.append_segments ~video:0 sh [ Fixtures.shot () ];
+           fail "expected Invalid_argument"
+         with Invalid_argument _ -> ());
+        (try
+           Sharded.append_segments ~video:7 sh [ Fixtures.shot () ];
+           fail "expected Invalid_argument"
+         with Invalid_argument _ -> ());
+        (* video 1 is the corpus's last: accepted *)
+        Sharded.append_segments ~video:1 sh [ Fixtures.shot () ];
+        check int "appended" 10 (Sharded.segment_count sh));
+    test_case "no-op mutations keep every shard warm" `Quick (fun () ->
+        let store = store_of_seed 67 in
+        let m = Obs.Metrics.create () in
+        let sh = Sharded.create ~shards:3 ~metrics:m store in
+        let level = Sharded.level sh in
+        ignore (Sharded.run_string sh q_mood);
+        let builds0 = counter m "picture.index.builds" in
+        let before = shard_versions sh in
+        Sharded.update_meta sh ~level ~id:1 ~f:(fun x -> x);
+        Sharded.remove_attr sh ~level ~id:2 ~name:"no-such-attr";
+        Sharded.remove_object sh ~level ~id:3 ~obj:9999;
+        check bool "no shard version bumped" true
+          (shard_versions sh = before);
+        ignore (Sharded.run_string sh q_mood);
+        check int "no rebuilds" builds0 (counter m "picture.index.builds"));
+  ]
+
 (* --- snapshots ------------------------------------------------------------ *)
 
 let with_tmp f =
@@ -373,6 +470,24 @@ let snapshot_tests =
               (counter m "picture.index.builds");
             check bool "registry hits recorded" true
               (counter m "picture.index.registry_hits" > 0)));
+    test_case "snapshots round-trip appended state" `Quick (fun () ->
+        let sh = Sharded.create ~shards:2 (Fixtures.two_movie_store ()) in
+        Sharded.append_segments sh
+          [ Fixtures.shot ~objects:[ Fixtures.john () ] () ];
+        Sharded.set_attr sh ~level:(Sharded.level sh) ~id:1 ~name:"mood"
+          (Metadata.Value.Str "tense");
+        with_tmp (fun p1 ->
+            with_tmp (fun p2 ->
+                Sharded.save_snapshot sh p1;
+                let sh2 = Sharded.load_snapshot p1 in
+                check int "leaf count preserved" (Sharded.segment_count sh)
+                  (Sharded.segment_count sh2);
+                let f = parse q_mood in
+                check bool "appended and edited state preserved" true
+                  (Sim_list.equal (Sharded.run sh f) (Sharded.run sh2 f));
+                Sharded.save_snapshot sh2 p2;
+                check bool "save∘load is byte-stable after appends" true
+                  (read_file p1 = read_file p2))));
     test_case "garbage is not a snapshot" `Quick (fun () ->
         with_tmp (fun path ->
             write_file path "definitely not a snapshot";
@@ -457,6 +572,7 @@ let snapshot_tests =
 let suites =
   [
     ("shard.unit", unit_tests);
+    ("shard.ingest", ingest_tests);
     ( "shard.differential",
       [
         Helpers.qtest ~count:30 "sharded = unsharded (type 1)"

@@ -240,10 +240,129 @@ let exact_tests =
           r);
   ]
 
+(* --- ingestion ----------------------------------------------------------- *)
+
+let tagged tag =
+  Metadata.Seg_meta.make ~attrs:[ ("tag", Metadata.Value.Str tag) ] ()
+
+let expect_invalid what f =
+  try
+    ignore (f ());
+    Alcotest.fail ("expected Invalid_argument: " ^ what)
+  with Invalid_argument _ -> ()
+
+let ingest_tests =
+  let open Alcotest in
+  [
+    test_case "append_segments extends the leaf level consistently" `Quick
+      (fun () ->
+        let s = Fixtures.layered_store () in
+        (* 3 levels: 1 root, 2 scenes, 5 shots; scene 2 owns shots 3..5 *)
+        Store.append_segments s [ tagged "a"; tagged "b" ];
+        check int "shots grew" 7 (Store.count_at s ~level:3);
+        check int "scenes untouched" 2 (Store.count_at s ~level:2);
+        let scene2 = Store.node s ~level:2 ~id:2 in
+        check (option interval) "last parent's span grew" (Some (iv 3 7))
+          scene2.Store.children_span;
+        let shot6 = Store.node s ~level:3 ~id:6 in
+        check (option int) "new shot's parent" (Some 2) shot6.Store.parent;
+        check bool "new shot's meta" true
+          (Store.meta s ~level:3 ~id:7
+           = tagged "b");
+        check interval "video_span covers the tail" (iv 1 7)
+          (Store.video_span s ~video:0 ~level:3);
+        check (list interval) "extents re-derive" [ iv 1 7 ]
+          (Simlist.Extent.spans (Store.extents_at s ~level:3));
+        check (triple int string int) "locate reaches the tail"
+          (0, "layered", 7)
+          (Store.locate s ~level:3 ~id:7);
+        check int "one version bump" 1 (Store.version s);
+        match Store.changes_since s ~since:0 with
+        | Some [ Store.Appended { counts } ] ->
+            check (array int) "counts" [| 0; 0; 2 |] counts
+        | _ -> Alcotest.fail "expected one Appended change");
+    test_case "append_segments rejects bad input" `Quick (fun () ->
+        let s = Fixtures.layered_store () in
+        expect_invalid "empty list" (fun () -> Store.append_segments s []);
+        let flat =
+          Store.of_video
+            (Video.create ~title:"flat" ~level_names:[ "video" ]
+               (Segment.leaf Metadata.Seg_meta.empty))
+        in
+        expect_invalid "single-level store" (fun () ->
+            Store.append_segments flat [ tagged "x" ]);
+        check int "failed appends are version-neutral" 0 (Store.version s));
+    test_case "append_video appends a whole id range per level" `Quick
+      (fun () ->
+        let s = Fixtures.western_store () in
+        Store.append_video s (Fixtures.western ());
+        check int "roots" 2 (Store.count_at s ~level:1);
+        check int "shots" 12 (Store.count_at s ~level:2);
+        check interval "second video's span" (iv 7 12)
+          (Store.video_span s ~video:1 ~level:2);
+        check (list interval) "extents tile both videos"
+          [ iv 1 6; iv 7 12 ]
+          (Simlist.Extent.spans (Store.extents_at s ~level:2));
+        check bool "metas copied" true
+          (Store.meta s ~level:2 ~id:7 = Store.meta s ~level:2 ~id:1);
+        (match Store.changes_since s ~since:0 with
+        | Some [ Store.Appended { counts } ] ->
+            check (array int) "counts" [| 1; 6 |] counts
+        | _ -> Alcotest.fail "expected one Appended change");
+        expect_invalid "mismatched level names" (fun () ->
+            Store.append_video s (Fixtures.layered ())));
+    test_case "changes_since replays the gap oldest-first" `Quick (fun () ->
+        let s = Fixtures.western_store () in
+        check bool "current is Some []" true
+          (Store.changes_since s ~since:0 = Some []);
+        check bool "future is None" true
+          (Store.changes_since s ~since:7 = None);
+        Store.set_attr s ~level:2 ~id:1 ~name:"a" (Metadata.Value.Int 1);
+        Store.append_segments s [ tagged "x" ];
+        Store.set_attr s ~level:2 ~id:2 ~name:"b" (Metadata.Value.Int 2);
+        (match Store.changes_since s ~since:0 with
+        | Some
+            [
+              Store.Edited { level = 2; id = 1 };
+              Store.Appended _;
+              Store.Edited { level = 2; id = 2 };
+            ] ->
+            ()
+        | _ -> Alcotest.fail "expected the three changes oldest-first");
+        (match Store.changes_since s ~since:2 with
+        | Some [ Store.Edited { level = 2; id = 2 } ] -> ()
+        | _ -> Alcotest.fail "expected just the last change");
+        (* overflow the bounded log: the horizon is lost *)
+        for i = 1 to 2000 do
+          Store.set_attr s ~level:2 ~id:3 ~name:"n" (Metadata.Value.Int i)
+        done;
+        check bool "horizon lost" true (Store.changes_since s ~since:0 = None);
+        check bool "recent changes still replay" true
+          (match Store.changes_since s ~since:(Store.version s - 3) with
+          | Some [ _; _; _ ] -> true
+          | _ -> false));
+    test_case "current_videos reflects edits and appends" `Quick (fun () ->
+        let s = Fixtures.layered_store () in
+        Store.set_attr s ~level:3 ~id:1 ~name:"mood"
+          (Metadata.Value.Str "tense");
+        Store.append_segments s [ tagged "new" ];
+        let copy = Store.create (Store.current_videos s) in
+        check int "same leaf count" (Store.count_at s ~level:3)
+          (Store.count_at copy ~level:3);
+        check bool "edit survives" true
+          (Store.meta copy ~level:3 ~id:1 = Store.meta s ~level:3 ~id:1);
+        check bool "append survives" true
+          (Store.meta copy ~level:3 ~id:6 = tagged "new");
+        check (option interval) "derived spans agree"
+          (Store.node s ~level:2 ~id:2).Store.children_span
+          (Store.node copy ~level:2 ~id:2).Store.children_span);
+  ]
+
 let suites =
   [
     ("metadata", metadata_tests);
     ("video", video_tests);
     ("store", store_tests);
+    ("store.ingest", ingest_tests);
     ("exact_semantics", exact_tests);
   ]
