@@ -467,18 +467,19 @@ let query_cmd_term =
 
 let serve_run (dataset, seed, level, threshold, shards, snapshot) host port
     port_file workers queue_capacity timeout_ms io_timeout_ms max_body domains
-    slow_ms =
+    slow_ms trace_sample trace_slow_ms =
   let pool =
     if domains > 0 then Some (Parallel.Pool.create ~domains ()) else None
   in
   let metrics = Obs.Metrics.create () in
   let querylog = Obs.Querylog.create ~threshold_s:(slow_ms /. 1000.) () in
+  let stats = Obs.Stats.create () in
   match
     match snapshot with
     | Some path ->
         `Sharded
           (Sharded.load_snapshot ~threshold ?level ?pool ~metrics ~querylog
-             path)
+             ~stats path)
     | None ->
         if shards <= 1 then `Plain (make_context dataset seed level threshold)
         else (
@@ -486,7 +487,7 @@ let serve_run (dataset, seed, level, threshold, shards, snapshot) host port
           | Some store ->
               `Sharded
                 (Sharded.create ~shards ~threshold ?level ?pool ~metrics
-                   ~querylog store)
+                   ~querylog ~stats store)
           | None -> failwith store_required)
   with
   | exception (Sys_error msg | Failure msg) ->
@@ -508,7 +509,13 @@ let serve_run (dataset, seed, level, threshold, shards, snapshot) host port
             (ctx, None)
         | `Sharded sh -> ((Sharded.contexts sh).(0), Some sh)
       in
-      let state = Htl_server.Router.make ~metrics ~querylog ?sharded ctx in
+      let trace_slow_s =
+        Option.map (fun ms -> ms /. 1000.) trace_slow_ms
+      in
+      let state =
+        Htl_server.Router.make ~metrics ~querylog ~stats ~trace_sample
+          ?trace_slow_s ?sharded ctx
+      in
       let config =
         {
           Htl_server.Server.default_config with
@@ -618,16 +625,36 @@ let serve_term =
       & info [ "slow-ms" ] ~docv:"MS"
           ~doc:"Slow-query log threshold served at /slowlog.")
   in
+  let trace_sample =
+    Arg.(
+      value & opt int 0
+      & info [ "trace-sample" ] ~docv:"N"
+          ~doc:
+            "Trace 1 in $(docv) requests (deterministic counter) into \
+             the /trace ring; 0 disables sampling.")
+  in
+  let trace_slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "trace-slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Trace every request but retain only those slower than \
+             $(docv) — the retroactive slow-trace net; composes with \
+             $(b,--trace-sample).")
+  in
   Term.(
     const serve_run $ context_args_t $ host $ port $ port_file $ workers
-    $ queue $ timeout_ms $ io_timeout_ms $ max_body $ domains $ slow_ms)
+    $ queue $ timeout_ms $ io_timeout_ms $ max_body $ domains $ slow_ms
+    $ trace_sample $ trace_slow_ms)
 
 let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the long-running query service: POST /query, POST /batch, GET \
-          /metrics, GET /slowlog, GET /healthz over one warm context.")
+          /metrics, GET /slowlog, GET /stats, GET /trace, GET /healthz over \
+          one warm context.")
     serve_term
 
 (* --- htlq http ---------------------------------------------------------------- *)
@@ -647,10 +674,16 @@ let http_run host port target body body_file timeout_ms =
       Format.eprintf "http: %s@." msg;
       exit_query_error
   | Ok (status, _headers, body) ->
-      print_string body;
-      flush stdout;
-      if status >= 200 && status < 300 then exit_ok
+      if status >= 200 && status < 300 then begin
+        print_string body;
+        flush stdout;
+        exit_ok
+      end
       else begin
+        (* error bodies go to stderr with the status, so piping stdout
+           into a JSON consumer never feeds it an error payload *)
+        prerr_string body;
+        flush stderr;
         Format.eprintf "http status %d@." status;
         exit_query_error
       end
@@ -701,8 +734,62 @@ let http_cmd =
     (Cmd.info "http"
        ~doc:
          "Send one request to a running htlq server and print the response \
-          body (exit 1 on transport errors and non-2xx statuses).")
+          body (exit 1 on transport errors and non-2xx statuses, whose \
+          bodies go to stderr).")
     http_term
+
+(* --- htlq stats --------------------------------------------------------------- *)
+
+let stats_run host port timeout_ms =
+  match
+    Htl_server.Client.request ~timeout_s:(timeout_ms /. 1000.) ~host ~port
+      ~meth:"GET" ~target:"/stats" ()
+  with
+  | Error msg ->
+      Format.eprintf "stats: %s@." msg;
+      exit_query_error
+  | Ok (status, _headers, body) when status >= 200 && status < 300 -> (
+      match Obs.Json.of_string body with
+      | Ok json ->
+          print_endline (Obs.Json.to_string_pretty json);
+          exit_ok
+      | Error msg ->
+          Format.eprintf "stats: invalid JSON from server: %s@." msg;
+          exit_query_error)
+  | Ok (status, _headers, body) ->
+      prerr_string body;
+      flush stderr;
+      Format.eprintf "http status %d@." status;
+      exit_query_error
+
+let stats_term =
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Server address (an IP literal).")
+  in
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt float 30000.
+      & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Connect and IO timeout.")
+  in
+  Term.(const stats_run $ host $ port $ timeout_ms)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Fetch the running server's query statistics (GET /stats) and \
+          pretty-print them: per-query EWMA latency and quantiles, per-atom \
+          observed selectivity, per-backend error rates.")
+    stats_term
 
 (* --- htlq snapshot ----------------------------------------------------------- *)
 
@@ -800,6 +887,6 @@ let cmd =
              ~doc:"on query errors (syntax, unsupported formula, backend).";
            Cmd.Exit.info exit_usage ~doc:"on command-line usage errors.";
          ])
-    [ serve_cmd; http_cmd; snapshot_cmd ]
+    [ serve_cmd; http_cmd; stats_cmd; snapshot_cmd ]
 
 let () = exit (Cmd.eval' ~term_err:exit_usage cmd)

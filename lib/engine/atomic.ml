@@ -17,7 +17,7 @@ let rec resolve (ctx : Context.t) f =
           let pool = Context.pool_for ctx ~n:(Context.segment_count ctx) in
           try
             Picture.Retrieval.eval ~config:ctx.picture_config ?pool
-              ?tracer:ctx.tracer ?metrics:ctx.metrics
+              ?tracer:ctx.tracer ?metrics:ctx.metrics ?stats:ctx.stats
               ?index:(Context.index ctx) store ~level:ctx.level f
           with Picture.Retrieval.Unsupported msg -> raise (Unsupported msg))
       | None -> (

@@ -23,6 +23,8 @@ type t = {
   tracer : Obs.Trace.t option;
   metrics : Obs.Metrics.t option;
   querylog : Obs.Querylog.t option;
+  stats : Obs.Stats.t option;
+  trace_id : string option;
   registry : Picture.Index.Registry.t;
 }
 
@@ -41,7 +43,7 @@ let preregister m =
 let of_store ?(config = Picture.Retrieval.default_config) ?(threshold = 0.5)
     ?(conj_mode = Simlist.Sim_list.Weighted_sum) ?(reorder_joins = false)
     ?(tables = []) ?level ?cache ?pool ?(par_cutoff = default_par_cutoff)
-    ?tracer ?metrics ?querylog store =
+    ?tracer ?metrics ?querylog ?stats store =
   Option.iter preregister metrics;
   let level =
     match level with Some l -> l | None -> Video_model.Store.levels store
@@ -65,13 +67,15 @@ let of_store ?(config = Picture.Retrieval.default_config) ?(threshold = 0.5)
     tracer;
     metrics;
     querylog;
+    stats;
+    trace_id = None;
     registry = Picture.Index.Registry.create ();
   }
 
 let of_tables ?(threshold = 0.5)
     ?(conj_mode = Simlist.Sim_list.Weighted_sum) ?(reorder_joins = false) ~n
     ?extents ?cache ?pool ?(par_cutoff = default_par_cutoff) ?tracer ?metrics
-    ?querylog tables =
+    ?querylog ?stats tables =
   Option.iter preregister metrics;
   let extents =
     match extents with Some e -> e | None -> Simlist.Extent.single n
@@ -91,6 +95,8 @@ let of_tables ?(threshold = 0.5)
     tracer;
     metrics;
     querylog;
+    stats;
+    trace_id = None;
     registry = Picture.Index.Registry.create ();
   }
 
@@ -205,6 +211,9 @@ let with_metrics t metrics =
 let without_metrics t = { t with metrics = None }
 let with_querylog t querylog = { t with querylog = Some querylog }
 let without_querylog t = { t with querylog = None }
+let with_stats t stats = { t with stats = Some stats }
+let without_stats t = { t with stats = None }
+let with_trace_id t trace_id = { t with trace_id = Some trace_id }
 
 (* The nil-tracer zero-cost path: without a tracer every instrumentation
    site is this single match falling straight through to the work, and

@@ -56,6 +56,16 @@ type t = {
   querylog : Obs.Querylog.t option;
       (** slow-query log {!Query.run} appends to when a query's latency
           reaches its threshold; [None] (the default) disables it. *)
+  stats : Obs.Stats.t option;
+      (** always-on statistics collector ({!Obs.Stats}): per-fingerprint
+          latency EWMAs, per-atom observed selectivity and per-backend
+          error rates, folded on every {!Query.run}; [None] (the
+          default) disables it. *)
+  trace_id : string option;
+      (** the request's end-to-end trace id ({!Obs.Traceid}) when the
+          query runs under the service — stamped into query-log records
+          so they join the request's span tree.  [None] outside a
+          request. *)
   registry : Picture.Index.Registry.t;
       (** per-store index registry: finalized {!Picture.Index} per level,
           stamped with the store version (the stamp {!Cache} uses), so
@@ -77,6 +87,7 @@ val of_store :
   ?tracer:Obs.Trace.t ->
   ?metrics:Obs.Metrics.t ->
   ?querylog:Obs.Querylog.t ->
+  ?stats:Obs.Stats.t ->
   Video_model.Store.t ->
   t
 (** [level] defaults to the leaf level; extents are the per-video spans.
@@ -95,6 +106,7 @@ val of_tables :
   ?tracer:Obs.Trace.t ->
   ?metrics:Obs.Metrics.t ->
   ?querylog:Obs.Querylog.t ->
+  ?stats:Obs.Stats.t ->
   (string * Simlist.Sim_table.t) list ->
   t
 (** Store-less context over segment ids [1..n] — the §4 experimental
@@ -152,6 +164,14 @@ val without_metrics : t -> t
 
 val with_querylog : t -> Obs.Querylog.t -> t
 val without_querylog : t -> t
+
+val with_stats : t -> Obs.Stats.t -> t
+val without_stats : t -> t
+
+val with_trace_id : t -> string -> t
+(** Stamp the request's trace id on a derived context (the server does
+    this per request); {!Query.run} copies it into query-log
+    records. *)
 
 val with_span :
   t -> ?attrs:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a

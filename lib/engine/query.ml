@@ -134,6 +134,14 @@ let run_observed ~backend (ctx : Context.t) f =
         Obs.Metrics.observe m "query.allocated_words"
           (Obs.Resource.allocated_words !gc))
       ctx.metrics;
+    Option.iter
+      (fun st ->
+        Obs.Stats.record_query st
+          ~fingerprint:(Htl.Hcons.intern_id f)
+          ~formula:(fun () -> Htl.Pretty.to_string f)
+          ~backend:(backend_name backend) ~latency_s:latency
+          ~error:(Option.is_some error))
+      ctx.stats;
     match ctx.querylog with
     | Some ql when Obs.Querylog.should_log ql ~latency_s:latency ->
         let hits, misses =
@@ -164,6 +172,7 @@ let run_observed ~backend (ctx : Context.t) f =
             segments_scanned = scans;
             resources = !gc;
             shards = [];
+            trace_id = ctx.trace_id;
             error;
           }
     | Some _ | None -> ()
@@ -179,8 +188,8 @@ let run_observed ~backend (ctx : Context.t) f =
       raise e
 
 let run ?(backend = Direct_backend) (ctx : Context.t) f =
-  match (ctx.tracer, ctx.metrics, ctx.querylog) with
-  | None, None, None -> (
+  match (ctx.tracer, ctx.metrics, ctx.querylog, ctx.stats) with
+  | None, None, None, None -> (
       (* the unobserved fast path: classify + dispatch, nothing else *)
       match Htl.Classify.check f with
       | Error reason -> fail "unsupported formula: %s" reason

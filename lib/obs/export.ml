@@ -64,23 +64,29 @@ let prometheus metrics =
 let attrs_json attrs =
   Json.Obj (List.rev_map (fun (k, v) -> (k, Json.String v)) attrs)
 
-let span_json (s : Trace.span) =
+let span_json ?trace_id (s : Trace.span) =
   Json.Obj
-    [
-      ("id", Json.Int s.Trace.id);
-      ("parent", Json.Int s.Trace.parent);
-      ("name", Json.String s.Trace.name);
-      ("start_s", Json.Float s.Trace.start_s);
-      ( "stop_s",
-        match Trace.duration_s s with
-        | Some _ -> Json.Float s.Trace.stop_s
-        | None -> Json.Null );
-      ("attrs", attrs_json s.Trace.attrs);
-    ]
+    ((match trace_id with
+     | Some id -> [ ("trace_id", Json.String id) ]
+     | None -> [])
+    @ [
+        ("id", Json.Int s.Trace.id);
+        ("parent", Json.Int s.Trace.parent);
+        ("name", Json.String s.Trace.name);
+        ("start_s", Json.Float s.Trace.start_s);
+        ( "stop_s",
+          match Trace.duration_s s with
+          | Some _ -> Json.Float s.Trace.stop_s
+          | None -> Json.Null );
+        ("attrs", attrs_json s.Trace.attrs);
+      ])
 
 let spans_jsonl tracer =
+  let trace_id = Trace.trace_id tracer in
   String.concat ""
-    (List.map (fun s -> Json.to_string (span_json s) ^ "\n") (Trace.spans tracer))
+    (List.map
+       (fun s -> Json.to_string (span_json ?trace_id s) ^ "\n")
+       (Trace.spans tracer))
 
 (* --- Chrome trace events --------------------------------------------------- *)
 
@@ -89,14 +95,21 @@ let spans_jsonl tracer =
    containment, which matches the recorder's stack discipline.  A span
    still open when exported gets its elapsed time so far and an
    "open":"true" arg, the same never-under-report rule as
-   Trace.summarize. *)
-let chrome_trace_json tracer =
-  let spans = Trace.spans tracer in
+   Trace.summarize.  The span-list entry point exists so a frozen
+   Tracestore entry renders identically to a live tracer; when a trace
+   id is known it lands both at the top level and in every event's
+   args (Perfetto surfaces args in the span details pane). *)
+let chrome_trace_json_of_spans ?trace_id spans =
   let now = Clock.now () in
   let epoch =
     List.fold_left
       (fun acc (s : Trace.span) -> Float.min acc s.Trace.start_s)
       Float.infinity spans
+  in
+  let id_args =
+    match trace_id with
+    | Some id -> [ ("trace_id", Json.String id) ]
+    | None -> []
   in
   let event (s : Trace.span) =
     let dur, open_args =
@@ -107,7 +120,7 @@ let chrome_trace_json tracer =
     let args =
       (match attrs_json s.Trace.attrs with Json.Obj l -> l | _ -> [])
       @ [ ("span_id", Json.Int s.Trace.id); ("parent", Json.Int s.Trace.parent) ]
-      @ open_args
+      @ id_args @ open_args
     in
     Json.Obj
       [
@@ -122,10 +135,19 @@ let chrome_trace_json tracer =
       ]
   in
   Json.Obj
-    [
-      ("traceEvents", Json.Array (List.map event spans));
-      ("displayTimeUnit", Json.String "ms");
-    ]
+    ([
+       ("traceEvents", Json.Array (List.map event spans));
+       ("displayTimeUnit", Json.String "ms");
+     ]
+    @ id_args)
+
+let chrome_trace_of_spans ?trace_id spans =
+  Json.to_string (chrome_trace_json_of_spans ?trace_id spans)
+
+let chrome_trace_json tracer =
+  chrome_trace_json_of_spans
+    ?trace_id:(Trace.trace_id tracer)
+    (Trace.spans tracer)
 
 let chrome_trace tracer = Json.to_string (chrome_trace_json tracer)
 

@@ -13,21 +13,32 @@ val prometheus : Metrics.t -> string
     series over {!Metrics.bucket_bounds} plus [+Inf], [_sum] and
     [_count]. *)
 
-val span_json : Trace.span -> Json.t
+val span_json : ?trace_id:string -> Trace.span -> Json.t
 (** One span as JSON: [id], [parent], [name], [start_s], [stop_s]
     ([null] while open) and [attrs] (insertion order, duplicates
-    preserved). *)
+    preserved), led by a [trace_id] field when one is given. *)
 
 val spans_jsonl : Trace.t -> string
 (** Every recorded span as one compact JSON object per line, in start
-    order. *)
+    order; each line carries the tracer's {!Trace.trace_id} when
+    set. *)
 
-val chrome_trace_json : Trace.t -> Json.t
-(** The span tree as Chrome trace-event JSON (a [traceEvents] array of
+val chrome_trace_json_of_spans : ?trace_id:string -> Trace.span list -> Json.t
+(** A span list as Chrome trace-event JSON (a [traceEvents] array of
     complete ["ph":"X"] events, microsecond timestamps relative to the
     earliest span) — loadable at {{:https://ui.perfetto.dev}Perfetto}
     or [chrome://tracing].  A span still open at export time gets its
-    elapsed time so far and an ["open"] arg. *)
+    elapsed time so far and an ["open"] arg.  [trace_id] is stamped at
+    the top level and into every event's [args] — this is how a frozen
+    {!Tracestore} entry renders. *)
+
+val chrome_trace_of_spans : ?trace_id:string -> Trace.span list -> string
+(** {!chrome_trace_json_of_spans}, compactly serialized — the
+    [GET /trace/<id>] body. *)
+
+val chrome_trace_json : Trace.t -> Json.t
+(** {!chrome_trace_json_of_spans} over a live tracer's spans and
+    {!Trace.trace_id}. *)
 
 val chrome_trace : Trace.t -> string
 (** {!chrome_trace_json}, compactly serialized. *)

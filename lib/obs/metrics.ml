@@ -56,6 +56,13 @@ let declare_counter t name =
       | Some _ -> kind_error name
       | None -> Hashtbl.add t.cells name (C (ref 0)))
 
+let declare_gauge t name =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.cells name with
+      | Some (G _) -> ()
+      | Some _ -> kind_error name
+      | None -> Hashtbl.add t.cells name (G (ref 0.)))
+
 let declare_histogram t name =
   Mutex.protect t.mutex (fun () ->
       match Hashtbl.find_opt t.cells name with

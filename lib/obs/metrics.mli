@@ -19,6 +19,10 @@ val declare_counter : t -> string -> unit
     {!Export.prometheus}).  Idempotent; [Invalid_argument] when the name
     is already registered with another kind. *)
 
+val declare_gauge : t -> string -> unit
+(** Register the gauge at 0 without setting it — same contract as
+    {!declare_counter}. *)
+
 val declare_histogram : t -> string -> unit
 (** Register an empty histogram (count 0, all buckets 0) under the
     shared {!bucket_bounds}.  Idempotent; [Invalid_argument] on a kind

@@ -17,6 +17,7 @@ type record = {
   segments_scanned : (string * int) list;
   resources : Resource.delta;
   shards : (int * float) list;
+  trace_id : string option;
   error : string option;
 }
 
@@ -89,6 +90,9 @@ let to_json r =
            (List.map (fun (k, v) -> (k, Json.Int v)) r.segments_scanned) );
        ("gc", Resource.to_json r.resources);
      ]
+    @ (match r.trace_id with
+      | None -> []
+      | Some id -> [ ("trace_id", Json.String id) ])
     @ (match r.shards with
       | [] -> []
       | shards ->

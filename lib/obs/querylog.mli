@@ -27,6 +27,10 @@ type record = {
       (** per-shard latency seconds, keyed by shard ordinal — empty for
           unsharded queries; sharded coordinators record one pair per
           shard so skew is visible in the log *)
+  trace_id : string option;
+      (** the request's end-to-end id ({!Traceid}) when the query ran
+          under the service — joins this record to its span tree in
+          {!Tracestore} and to the [X-Trace-Id] response header *)
   error : string option;
 }
 

@@ -22,18 +22,23 @@ type span = {
    their own "pool.*" spans on the submitting domain instead. *)
 type t = {
   mutex : Mutex.t;
+  mutable tid : string option; (* the request's trace id, if any *)
   mutable next_id : int;
   mutable spans : span list; (* reverse start order *)
   stacks : (int, span list) Hashtbl.t; (* domain id -> open spans *)
 }
 
-let create () =
+let create ?trace_id () =
   {
     mutex = Mutex.create ();
+    tid = trace_id;
     next_id = 0;
     spans = [];
     stacks = Hashtbl.create 8;
   }
+
+let trace_id t = Mutex.protect t.mutex (fun () -> t.tid)
+let set_trace_id t id = Mutex.protect t.mutex (fun () -> t.tid <- Some id)
 
 let domain_key () = (Domain.self () :> int)
 
@@ -138,6 +143,13 @@ let pp_span ppf s =
   | None -> Format.fprintf ppf "%s (open)" s.name);
   pp_attrs ppf s.attrs
 
+(* A tracer carrying a trace id leads its renderings with it, so a
+   pp_tree in a log and a slowlog record join on the same key. *)
+let pp_trace_id ppf t =
+  match trace_id t with
+  | Some id -> Format.fprintf ppf "trace %s@," id
+  | None -> ()
+
 let pp_tree ppf t =
   let all = spans t in
   let children parent =
@@ -148,11 +160,14 @@ let pp_tree ppf t =
     List.iter (pp_at (depth + 1)) (children s.id)
   in
   Format.fprintf ppf "@[<v>";
+  pp_trace_id ppf t;
   List.iter (pp_at 0) (children 0);
   Format.fprintf ppf "@]"
 
 let pp_summary ppf t =
-  Format.fprintf ppf "@[<v>%-28s %8s %14s@," "Span" "Count" "Total (ms)";
+  Format.fprintf ppf "@[<v>";
+  pp_trace_id ppf t;
+  Format.fprintf ppf "%-28s %8s %14s@," "Span" "Count" "Total (ms)";
   List.iter
     (fun { sname; count; total_s; open_count } ->
       Format.fprintf ppf "%-28s %8d %14.3f%s@," sname count (total_s *. 1e3)

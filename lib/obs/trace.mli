@@ -25,7 +25,14 @@ type span = private {
 
 type t
 
-val create : unit -> t
+val create : ?trace_id:string -> unit -> t
+(** [trace_id] tags the whole recorder with a request id (see
+    {!Traceid}): exports and the {!pp_tree}/{!pp_summary} renderings
+    lead with it, so span dumps join against query-log records by
+    id.  Absent for ad-hoc tracers (the CLI's [--trace]). *)
+
+val trace_id : t -> string option
+val set_trace_id : t -> string -> unit
 
 val start : t -> ?attrs:(string * string) list -> string -> span
 (** Open a span as a child of the calling domain's innermost open span
@@ -66,7 +73,9 @@ val summarize : t -> summary_row list
     row's [open_count], so totals never silently deflate. *)
 
 val pp_tree : Format.formatter -> t -> unit
-(** Indented parent/child tree with durations and attributes. *)
+(** Indented parent/child tree with durations and attributes, led by a
+    [trace <id>] line when the recorder carries a trace id. *)
 
 val pp_summary : Format.formatter -> t -> unit
-(** The {!summarize} table. *)
+(** The {!summarize} table, led by a [trace <id>] line when the
+    recorder carries a trace id. *)

@@ -1,0 +1,67 @@
+(* W3C trace-context identifiers.  A trace id is 16 random bytes
+   rendered as 32 lowercase hex characters — the `trace-id` field of a
+   `traceparent` header (https://www.w3.org/TR/trace-context/).  The
+   all-zero id is the spec's nil value and never generated or accepted.
+
+   Generation shares one lazily-seeded PRNG behind a mutex: ids are
+   minted once per sampled-or-slow request, so contention is nil, and
+   a process-wide state keeps ids unique within a run without pulling
+   in an entropy syscall per request. *)
+
+let state = lazy (Random.State.make_self_init ())
+let mutex = Mutex.create ()
+
+let is_hex = function '0' .. '9' | 'a' .. 'f' -> true | _ -> false
+
+let nil id = String.for_all (fun c -> c = '0') id
+
+let hex_of_length n s =
+  String.length s = n && String.for_all is_hex s
+
+let is_valid id = hex_of_length 32 id && not (nil id)
+
+let random_hex st n =
+  String.init n (fun _ -> "0123456789abcdef".[Random.State.int st 16])
+
+let generate () =
+  Mutex.protect mutex (fun () ->
+      let st = Lazy.force state in
+      let rec fresh () =
+        let id = random_hex st 32 in
+        if nil id then fresh () else id
+      in
+      fresh ())
+
+let span_id () =
+  Mutex.protect mutex (fun () ->
+      let st = Lazy.force state in
+      let rec fresh () =
+        let id = random_hex st 16 in
+        if nil id then fresh () else id
+      in
+      fresh ())
+
+(* Accept a bare id in either case (callers hand-type X-Trace-Id in
+   curl walkthroughs); the canonical form is lowercase. *)
+let of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  if is_valid s then Some s else None
+
+(* traceparent: version "-" trace-id "-" parent-id "-" flags, e.g.
+   00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01.  Version
+   ff is forbidden by the spec; future versions may append fields, so
+   anything after the four we parse is tolerated for versions > 00. *)
+let of_traceparent s =
+  match String.split_on_char '-' (String.lowercase_ascii (String.trim s)) with
+  | version :: trace_id :: parent :: flags :: rest
+    when hex_of_length 2 version && version <> "ff"
+         && hex_of_length 16 parent
+         && (not (nil parent))
+         && hex_of_length 2 flags
+         && (rest = [] || version <> "00") ->
+      if is_valid trace_id then Some trace_id else None
+  | _ -> None
+
+let to_traceparent ?parent id =
+  let parent = match parent with Some p -> p | None -> span_id () in
+  Printf.sprintf "00-%s-%s-01" id parent

@@ -1,0 +1,31 @@
+(** W3C trace-context identifiers: 32-lowercase-hex trace ids, the
+    [trace-id] field of a
+    {{:https://www.w3.org/TR/trace-context/}traceparent} header.
+
+    The service accepts an id from the client ([X-Trace-Id] bare, or a
+    full [traceparent]) or mints one, stamps it on spans, query-log
+    records and the response, and keys {!Tracestore} retention by it —
+    one id follows one request end to end, across every shard. *)
+
+val generate : unit -> string
+(** A fresh random id: 32 lowercase hex characters, never all-zero
+    (the spec's nil value).  Thread-safe. *)
+
+val span_id : unit -> string
+(** A fresh 16-hex parent/span id for {!to_traceparent}. *)
+
+val is_valid : string -> bool
+(** 32 lowercase hex characters and not all-zero. *)
+
+val of_string : string -> string option
+(** Parse a bare id (either case, surrounding whitespace tolerated)
+    to canonical lowercase; [None] when malformed or nil. *)
+
+val of_traceparent : string -> string option
+(** Extract the trace id from a [traceparent] header value
+    ([version-traceid-parentid-flags]).  [None] on malformed input,
+    version [ff], or a nil trace/parent id. *)
+
+val to_traceparent : ?parent:string -> string -> string
+(** Render an id as a version-00 [traceparent] value; [parent]
+    defaults to a fresh {!span_id}. *)

@@ -1,0 +1,73 @@
+(* Completed request traces, retained in a bounded thread-safe ring —
+   the Querylog shape applied to span trees.  A sampled (or slow)
+   request's per-request tracer is torn down when the response is
+   written; its spans move here, keyed by trace id, so GET /trace/<id>
+   can render them as Chrome-trace JSON after the fact.  New entries
+   overwrite the oldest, so a busy server holds the most recent
+   [capacity] traces and nothing more. *)
+
+type entry = {
+  trace_id : string;
+  time_s : float; (* wall clock at request start *)
+  latency_s : float;
+  meth : string;
+  target : string;
+  status : int;
+  spans : Trace.span list; (* start order, frozen at retention time *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  ring : entry option array;
+  mutable next : int;
+  mutable added : int;
+}
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then
+    invalid_arg
+      (Printf.sprintf "Obs.Tracestore.create: capacity %d < 1" capacity);
+  { mutex = Mutex.create (); ring = Array.make capacity None; next = 0; added = 0 }
+
+let capacity t = Array.length t.ring
+
+let add t e =
+  Mutex.protect t.mutex (fun () ->
+      t.ring.(t.next) <- Some e;
+      t.next <- (t.next + 1) mod Array.length t.ring;
+      t.added <- t.added + 1)
+
+let entries t =
+  Mutex.protect t.mutex (fun () ->
+      let cap = Array.length t.ring in
+      (* oldest first: slots [next .. next+cap-1] mod cap *)
+      List.filter_map
+        (fun i -> t.ring.((t.next + i) mod cap))
+        (List.init cap Fun.id))
+
+(* newest match wins: a client that reuses an id sees its latest request *)
+let find t id =
+  List.fold_left
+    (fun acc e -> if String.equal e.trace_id id then Some e else acc)
+    None (entries t)
+
+let length t = Mutex.protect t.mutex (fun () -> min t.added (capacity t))
+let added t = Mutex.protect t.mutex (fun () -> t.added)
+
+let clear t =
+  Mutex.protect t.mutex (fun () ->
+      Array.fill t.ring 0 (Array.length t.ring) None;
+      t.next <- 0;
+      t.added <- 0)
+
+let summary_json e =
+  Json.Obj
+    [
+      ("trace_id", Json.String e.trace_id);
+      ("time_s", Json.Float e.time_s);
+      ("latency_s", Json.Float e.latency_s);
+      ("method", Json.String e.meth);
+      ("target", Json.String e.target);
+      ("status", Json.Int e.status);
+      ("spans", Json.Int (List.length e.spans));
+    ]

@@ -1,0 +1,45 @@
+(** Completed request traces: a thread-safe bounded ring of frozen span
+    trees keyed by trace id — what [GET /trace] lists and
+    [GET /trace/<id>] renders as Chrome-trace JSON.
+
+    A sampled (or retroactively-kept slow) request's per-request tracer
+    lands here when the response is written; the ring overwrites oldest
+    first, so retention is the most recent [capacity] traces. *)
+
+type entry = {
+  trace_id : string;
+  time_s : float;  (** wall clock at request start *)
+  latency_s : float;
+  meth : string;
+  target : string;
+  status : int;
+  spans : Trace.span list;  (** start order, frozen at retention *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 64 traces.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : t -> int
+
+val add : t -> entry -> unit
+
+val find : t -> string -> entry option
+(** The {e newest} retained entry with this trace id. *)
+
+val entries : t -> entry list
+(** Retained entries, oldest first. *)
+
+val length : t -> int
+(** Retained entries (≤ capacity). *)
+
+val added : t -> int
+(** Total entries ever added, including overwritten ones. *)
+
+val clear : t -> unit
+
+val summary_json : entry -> Json.t
+(** The [GET /trace] listing row: id, timing, method/target/status and
+    span count — everything but the spans themselves. *)

@@ -267,8 +267,8 @@ let cartesian options_per_var =
       List.concat_map (fun o -> List.map (fun rest -> o :: rest) acc) options)
     options_per_var [ [] ]
 
-let eval ?(config = default_config) ?pool ?tracer ?metrics ?index store ~level f
-    =
+let eval ?(config = default_config) ?pool ?tracer ?metrics ?stats ?index store
+    ~level f =
   validate f;
   let max_total = Weights.total config.weights f in
   let obj_vars = free_obj_vars f in
@@ -303,6 +303,18 @@ let eval ?(config = default_config) ?pool ?tracer ?metrics ?index store ~level f
       Pruning.candidates ~taxonomy:config.taxonomy idx (Pruning.plan f)
     else None
   in
+  (* observed selectivity: what fraction of the level the pruning pass
+     actually left for this atom — a full scan records candidates = n,
+     so selectivity 1 means "the index bought nothing here".  Fed on
+     every evaluation, this is the planner's index-vs-scan signal. *)
+  (match stats with
+  | Some st when n > 0 ->
+      let candidates =
+        match pruned with Some c -> Array.length c | None -> n
+      in
+      Obs.Stats.record_atom st ~atom:(Htl.Pretty.to_string f) ~level
+        ~candidates ~segments:n
+  | Some _ | None -> ());
   let combo_count =
     Float.pow (float_of_int (1 + List.length support))
       (float_of_int (List.length obj_vars))

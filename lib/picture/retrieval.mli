@@ -39,6 +39,7 @@ val eval :
   ?pool:Parallel.Pool.t ->
   ?tracer:Obs.Trace.t ->
   ?metrics:Obs.Metrics.t ->
+  ?stats:Obs.Stats.t ->
   ?index:Index.t ->
   Video_model.Store.t ->
   level:int ->
@@ -59,6 +60,9 @@ val eval :
     [picture.segments_scanned.l<level>] counter — full scans, pruned
     scans and candidate rescans alike — and pruned base scans record
     [picture.index.candidates] / [picture.index.pruned_segments].
+    With [stats], every evaluation folds the atom's observed pruning
+    selectivity (candidates ÷ level segments; 1 for a full scan) into
+    {!Obs.Stats.record_atom}.
     @raise Unsupported as described above. *)
 
 val score_at :

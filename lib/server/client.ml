@@ -44,10 +44,11 @@ let connect ?(timeout_s = 30.) ~host ~port () =
 
 let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
 
-let render ~keep_alive ~host ~meth ~target ~body =
+let render ~keep_alive ~host ~meth ~target ~headers ~body =
   let b = Buffer.create (String.length body + 128) in
   Printf.bprintf b "%s %s HTTP/1.1\r\n" meth target;
   Printf.bprintf b "Host: %s\r\n" host;
+  List.iter (fun (name, value) -> Printf.bprintf b "%s: %s\r\n" name value) headers;
   if body <> "" then Buffer.add_string b "Content-Type: application/json\r\n";
   Printf.bprintf b "Content-Length: %d\r\n" (String.length body);
   Printf.bprintf b "Connection: %s\r\n"
@@ -56,23 +57,24 @@ let render ~keep_alive ~host ~meth ~target ~body =
   Buffer.add_string b body;
   Buffer.contents b
 
-let roundtrip_on ~keep_alive c ~meth ~target ~body =
+let roundtrip_on ~keep_alive c ~meth ~target ~headers ~body =
   match
     write_all c.fd
-      (render ~keep_alive ~host:c.host ~meth ~target ~body)
+      (render ~keep_alive ~host:c.host ~meth ~target ~headers ~body)
   with
   | Error _ as e -> e
   | Ok () -> Http.read_response c.reader
 
-let roundtrip c ~meth ~target ?(body = "") () =
-  roundtrip_on ~keep_alive:true c ~meth ~target ~body
+let roundtrip c ~meth ~target ?(headers = []) ?(body = "") () =
+  roundtrip_on ~keep_alive:true c ~meth ~target ~headers ~body
 
-let request ?(timeout_s = 30.) ~host ~port ~meth ~target ?(body = "") () =
+let request ?(timeout_s = 30.) ~host ~port ~meth ~target ?(headers = [])
+    ?(body = "") () =
   match connect ~timeout_s ~host ~port () with
   | exception Unix.Unix_error (e, _, _) ->
       Error (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message e))
   | exception Failure msg -> Error msg
   | c ->
-      let r = roundtrip_on ~keep_alive:false c ~meth ~target ~body in
+      let r = roundtrip_on ~keep_alive:false c ~meth ~target ~headers ~body in
       close c;
       r

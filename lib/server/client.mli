@@ -8,13 +8,15 @@ val request :
   port:int ->
   meth:string ->
   target:string ->
+  ?headers:(string * string) list ->
   ?body:string ->
   unit ->
   (int * (string * string) list * string, string) result
 (** One request, [Connection: close]: connect, send, parse the response,
     close.  [timeout_s] (default 30.) bounds the connect and each
-    read/write.  [Error msg] on refused connections, timeouts and
-    protocol violations. *)
+    read/write.  [headers] are extra request headers (e.g.
+    [X-Trace-Id]), sent verbatim before the generated ones.  [Error
+    msg] on refused connections, timeouts and protocol violations. *)
 
 type conn
 (** A persistent keep-alive connection — the serve bench's closed-loop
@@ -26,6 +28,7 @@ val roundtrip :
   conn ->
   meth:string ->
   target:string ->
+  ?headers:(string * string) list ->
   ?body:string ->
   unit ->
   (int * (string * string) list * string, string) result

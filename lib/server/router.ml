@@ -124,11 +124,22 @@ let results_of_json json =
 
 (* --- state ------------------------------------------------------------------ *)
 
+(* When to give a request its own tracer: 1-in-[sample_every] requests
+   (0 = never), plus — when [slow_s] is set — every request, whose tree
+   is then kept only if the request ends up slower than the threshold
+   (retroactive keep: the tree must exist before we know the latency). *)
+type trace_policy = { sample_every : int; slow_s : float option }
+
 type state = {
   ctx : Engine.Context.t;
   sharded : Htl_shard.Sharded.t option;
   metrics : Obs.Metrics.t;
   querylog : Obs.Querylog.t;
+  stats : Obs.Stats.t;
+  tracestore : Obs.Tracestore.t;
+  policy : trace_policy;
+  sample_counter : int Atomic.t;
+  active : int Atomic.t;
 }
 
 let preregister m =
@@ -144,12 +155,25 @@ let preregister m =
       "server.timeouts";
       "server.bad_requests";
       "server.ingested";
+      "server.traced";
     ];
+  List.iter
+    (Obs.Metrics.declare_gauge m)
+    [ "server.queue_depth"; "server.active_requests" ];
   List.iter
     (Obs.Metrics.declare_histogram m)
     [ "server.request_latency_s"; "server.queue_wait_s" ]
 
-let make ?metrics ?querylog ?sharded ctx =
+let make ?metrics ?querylog ?stats ?tracestore ?(trace_sample = 0)
+    ?trace_slow_s ?sharded ctx =
+  if trace_sample < 0 then
+    invalid_arg
+      (Printf.sprintf "Server.Router.make: trace_sample %d < 0" trace_sample);
+  (match trace_slow_s with
+  | Some s when s < 0. ->
+      invalid_arg
+        (Printf.sprintf "Server.Router.make: trace_slow_s %g < 0" s)
+  | Some _ | None -> ());
   let metrics =
     match metrics with Some m -> m | None -> Obs.Metrics.create ()
   in
@@ -158,18 +182,36 @@ let make ?metrics ?querylog ?sharded ctx =
     | Some q -> q
     | None -> Obs.Querylog.create ~threshold_s:0.1 ()
   in
+  let stats = match stats with Some s -> s | None -> Obs.Stats.create () in
+  let tracestore =
+    match tracestore with Some t -> t | None -> Obs.Tracestore.create ()
+  in
   preregister metrics;
   let ctx =
-    Engine.Context.with_querylog
-      (Engine.Context.with_metrics ctx metrics)
-      querylog
+    Engine.Context.with_stats
+      (Engine.Context.with_querylog
+         (Engine.Context.with_metrics ctx metrics)
+         querylog)
+      stats
   in
-  { ctx; sharded; metrics; querylog }
+  {
+    ctx;
+    sharded;
+    metrics;
+    querylog;
+    stats;
+    tracestore;
+    policy = { sample_every = trace_sample; slow_s = trace_slow_s };
+    sample_counter = Atomic.make 0;
+    active = Atomic.make 0;
+  }
 
 let context s = s.ctx
 let sharded s = s.sharded
 let metrics s = s.metrics
 let querylog s = s.querylog
+let stats s = s.stats
+let tracestore s = s.tracestore
 
 let count_status s status =
   let series =
@@ -523,12 +565,41 @@ let with_body_json (req : Http.request) k =
   | Error msg -> error_response ~status:400 ("invalid JSON body: " ^ msg)
   | Ok json -> k json
 
+(* --- traces and stats ------------------------------------------------------- *)
+
+let run_trace_list state =
+  json_response ~status:200
+    (Json.Array
+       (List.map Obs.Tracestore.summary_json
+          (Obs.Tracestore.entries state.tracestore)))
+
+let run_trace_get state id =
+  match Obs.Traceid.of_string id with
+  | None -> error_response ~status:400 ("invalid trace id " ^ id)
+  | Some id -> (
+      match Obs.Tracestore.find state.tracestore id with
+      | None -> error_response ~status:404 ("no retained trace " ^ id)
+      | Some e ->
+          json_response ~status:200
+            (Obs.Export.chrome_trace_json_of_spans ~trace_id:e.Obs.Tracestore.trace_id
+               e.Obs.Tracestore.spans))
+
 (* --- dispatch --------------------------------------------------------------- *)
 
 let heavy req =
   req.Http.meth = "POST"
   && (req.Http.target = "/query" || req.Http.target = "/batch"
      || req.Http.target = "/ingest")
+
+let trace_target target =
+  (* "/trace/<id>" → Some "<id>"; "/trace" and "/trace/" → None *)
+  let prefix = "/trace/" in
+  let n = String.length prefix in
+  if
+    String.length target > n
+    && String.equal (String.sub target 0 n) prefix
+  then Some (String.sub target n (String.length target - n))
+  else None
 
 let route state req =
   match (req.Http.meth, req.Http.target) with
@@ -543,6 +614,11 @@ let route state req =
         ~headers:[ ("Content-Type", "application/x-ndjson") ]
         ~status:200
         (Obs.Querylog.to_jsonl state.querylog)
+  | "GET", "/stats" ->
+      json_response ~status:200 (Obs.Stats.to_json state.stats)
+  | "GET", ("/trace" | "/trace/") -> run_trace_list state
+  | "GET", target when trace_target target <> None ->
+      run_trace_get state (Option.get (trace_target target))
   | "POST", "/query" ->
       with_body_json req (fun json ->
           match query_req_of_json json with
@@ -550,18 +626,84 @@ let route state req =
           | Ok q -> run_query state q)
   | "POST", "/batch" -> with_body_json req (run_batch state)
   | "POST", "/ingest" -> with_body_json req (run_ingest state)
-  | _, ("/healthz" | "/metrics" | "/slowlog" | "/query" | "/batch" | "/ingest")
-    ->
+  | ( _,
+      ( "/healthz" | "/metrics" | "/slowlog" | "/stats" | "/trace"
+      | "/query" | "/batch" | "/ingest" ) ) ->
       error_response ~status:405
         (Printf.sprintf "method %s not allowed on %s" req.Http.meth
            req.Http.target)
+  | meth, target when trace_target target <> None ->
+      error_response ~status:405
+        (Printf.sprintf "method %s not allowed on %s" meth target)
   | _, target -> error_response ~status:404 ("no route for " ^ target)
+
+(* --- per-request observation ------------------------------------------------- *)
+
+(* The client's id when it sent a well-formed one ([X-Trace-Id] bare, or
+   a full W3C [traceparent]); a fresh one otherwise.  Malformed ids are
+   replaced, not rejected — tracing must never fail a request. *)
+let request_trace_id req =
+  let provided =
+    match Http.header req "x-trace-id" with
+    | Some v -> Obs.Traceid.of_string v
+    | None -> Option.bind (Http.header req "traceparent") Obs.Traceid.of_traceparent
+  in
+  match provided with Some id -> id | None -> Obs.Traceid.generate ()
+
+(* A request-scoped view of the state: same warm caches, registries and
+   rings, but the evaluation context (or every shard context) stamps
+   [trace_id] and — when the request is traced — emits into a tracer
+   that no concurrent request shares, so span nesting stays coherent
+   even though all worker threads live on one domain. *)
+let state_for_request state ~trace_id tracer =
+  let ctx = Engine.Context.with_trace_id state.ctx trace_id in
+  let ctx =
+    match tracer with
+    | Some tr -> Engine.Context.with_tracer ctx tr
+    | None -> ctx
+  in
+  let sharded =
+    Option.map
+      (fun sh -> Sharded.for_request ?tracer ~trace_id sh)
+      state.sharded
+  in
+  { state with ctx; sharded }
+
+let set_active state n =
+  Obs.Metrics.set_gauge state.metrics "server.active_requests" (float_of_int n)
 
 let handle state req =
   let t0 = Obs.Clock.now () in
+  let wall0 = Unix.gettimeofday () in
   Obs.Metrics.incr state.metrics "server.requests";
+  set_active state (Atomic.fetch_and_add state.active 1 + 1);
+  let trace_id = request_trace_id req in
+  let sampled =
+    state.policy.sample_every > 0
+    && Atomic.fetch_and_add state.sample_counter 1 mod state.policy.sample_every
+       = 0
+  in
+  let tracer =
+    if sampled || state.policy.slow_s <> None then
+      Some (Obs.Trace.create ~trace_id ())
+    else None
+  in
+  let rstate = state_for_request state ~trace_id tracer in
+  let run () =
+    match tracer with
+    | None -> route rstate req
+    | Some tr ->
+        Obs.Trace.with_span tr "server.request"
+          ~attrs:
+            [
+              ("method", req.Http.meth);
+              ("target", req.Http.target);
+              ("trace_id", trace_id);
+            ]
+          (fun () -> route rstate req)
+  in
   let resp =
-    match route state req with
+    match run () with
     | resp -> resp
     | exception e ->
         (* a crash must answer (and be visible in metrics), not tear
@@ -569,7 +711,31 @@ let handle state req =
         error_response ~status:500
           ("internal error: " ^ Printexc.to_string e)
   in
-  Obs.Metrics.observe state.metrics "server.request_latency_s"
-    (Obs.Clock.now () -. t0);
+  let latency = Obs.Clock.now () -. t0 in
+  Obs.Metrics.observe state.metrics "server.request_latency_s" latency;
   count_status state resp.Http.status;
-  resp
+  (match tracer with
+  | Some tr ->
+      let keep =
+        sampled
+        ||
+        match state.policy.slow_s with
+        | Some slow -> latency >= slow
+        | None -> false
+      in
+      if keep then begin
+        Obs.Metrics.incr state.metrics "server.traced";
+        Obs.Tracestore.add state.tracestore
+          {
+            Obs.Tracestore.trace_id;
+            time_s = wall0;
+            latency_s = latency;
+            meth = req.Http.meth;
+            target = req.Http.target;
+            status = resp.Http.status;
+            spans = Obs.Trace.spans tr;
+          }
+      end
+  | None -> ());
+  set_active state (Atomic.fetch_and_add state.active (-1) - 1);
+  { resp with Http.headers = resp.Http.headers @ [ ("X-Trace-Id", trace_id) ] }

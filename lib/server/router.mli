@@ -12,11 +12,27 @@
     - [GET /metrics] — Prometheus text exposition of the state's
       registry;
     - [GET /slowlog] — the slow-query ring as JSONL;
+    - [GET /stats] — the always-on {!Obs.Stats} collector as JSON:
+      per-fingerprint EWMA latency and windowed quantiles, per-atom
+      observed selectivity, per-backend error rates;
+    - [GET /trace] — retained trace summaries (JSON array);
+    - [GET /trace/<id>] — one retained trace as Chrome trace-event
+      JSON;
     - [GET /healthz] — liveness probe, ["ok"].
+
+    Every request gets a trace id — the client's ([X-Trace-Id] bare, or
+    a W3C [traceparent]) when well-formed, a fresh one otherwise — and
+    the response always answers with an [X-Trace-Id] header.  Sampled
+    requests (see {!make}'s [trace_sample]/[trace_slow_s]) additionally
+    run under a private per-request tracer whose frozen span tree lands
+    in the {!Obs.Tracestore} ring; everything else stays on the
+    zero-cost nil-tracer path.
 
     The context is shared by every concurrent request: its cache,
     index registry, hash-consing table and metrics are all thread-safe
-    (DESIGN.md §2.13, §2.17), so the router takes no lock of its own. *)
+    (DESIGN.md §2.13, §2.17), so the router takes no lock of its own —
+    the per-request tracer is reached only through a request-scoped
+    derived context (DESIGN.md §2.20). *)
 
 (** {1 Wire format} *)
 
@@ -50,28 +66,47 @@ type state
 val make :
   ?metrics:Obs.Metrics.t ->
   ?querylog:Obs.Querylog.t ->
+  ?stats:Obs.Stats.t ->
+  ?tracestore:Obs.Tracestore.t ->
+  ?trace_sample:int ->
+  ?trace_slow_s:float ->
   ?sharded:Htl_shard.Sharded.t ->
   Engine.Context.t ->
   state
-(** Wrap a context for serving: attach [metrics] (fresh by default) and
-    [querylog] (fresh, threshold 100 ms, by default) to it and
-    pre-register every [server.*] series (see {!preregister}) so the
-    exposition is stable from the first scrape.  Attach a domain pool to
-    the context before calling when parallel evaluation is wanted.
+(** Wrap a context for serving: attach [metrics] (fresh by default),
+    [querylog] (fresh, threshold 100 ms, by default) and [stats] (fresh
+    by default — the collector is always on) to it and pre-register
+    every [server.*] series (see {!preregister}) so the exposition is
+    stable from the first scrape.  Attach a domain pool to the context
+    before calling when parallel evaluation is wanted.
+
+    [trace_sample] samples 1 in N requests (deterministic counter over
+    all requests; default 0 = never) into a per-request tracer retained
+    in [tracestore] (fresh, capacity 64, by default).  [trace_slow_s]
+    additionally traces {e every} request but retains the tree only
+    when the request takes at least that many seconds — the retroactive
+    slow-trace net.  The two compose; with neither, requests stay on
+    the nil-tracer path.
+    @raise Invalid_argument when [trace_sample < 0] or
+    [trace_slow_s < 0].
 
     When [sharded] is given, [/query] and [/batch] evaluate against it
     (scatter–gather with coordinator merge) instead of the context; the
-    sharded handle should have been created with the same [metrics] and
-    [querylog] so [/metrics] and [/slowlog] keep reporting it. *)
+    sharded handle should have been created with the same [metrics],
+    [querylog] and [stats] so [/metrics], [/slowlog] and [/stats] keep
+    reporting it. *)
 
 val context : state -> Engine.Context.t
 val sharded : state -> Htl_shard.Sharded.t option
 val metrics : state -> Obs.Metrics.t
 val querylog : state -> Obs.Querylog.t
+val stats : state -> Obs.Stats.t
+val tracestore : state -> Obs.Tracestore.t
 
 val preregister : Obs.Metrics.t -> unit
 (** Register the [server.*] counters ([connections], [requests],
-    [responses.2xx/4xx/5xx], [rejected], [timeouts], [bad_requests])
+    [responses.2xx/4xx/5xx], [rejected], [timeouts], [bad_requests],
+    [ingested], [traced]), gauges ([queue_depth], [active_requests])
     and histograms ([request_latency_s], [queue_wait_s]) at zero. *)
 
 val count_status : state -> int -> unit
@@ -81,8 +116,12 @@ val count_status : state -> int -> unit
 
 val handle : state -> Http.request -> Http.response
 (** Dispatch one request: counts [server.requests], observes
-    [server.request_latency_s], counts the response's status class.
-    Never raises — unexpected evaluator exceptions become a 500. *)
+    [server.request_latency_s], counts the response's status class,
+    tracks [server.active_requests], resolves the trace id and answers
+    with it in [X-Trace-Id], and — when the request is sampled or ends
+    up past the slow threshold — freezes its span tree into the trace
+    ring.  Never raises — unexpected evaluator exceptions become a
+    500. *)
 
 val heavy : Http.request -> bool
 (** Whether the request runs queries ([/query], [/batch]) — the routes

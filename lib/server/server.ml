@@ -215,12 +215,21 @@ let serve_connection t conn =
 
 (* --- worker / accept loops -------------------------------------------------- *)
 
+let set_queue_depth t =
+  (* callers hold [queue_mutex], so the length is coherent *)
+  Obs.Metrics.set_gauge (metrics_of t) "server.queue_depth"
+    (float_of_int (Queue.length t.queue))
+
 let worker_loop t =
   let rec next () =
     let job =
       Mutex.protect t.queue_mutex (fun () ->
           let rec wait () =
-            if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+            if not (Queue.is_empty t.queue) then begin
+              let job = Queue.pop t.queue in
+              set_queue_depth t;
+              Some job
+            end
             else if t.stopping then None
             else begin
               Condition.wait t.queue_nonempty t.queue_mutex;
@@ -245,6 +254,7 @@ let try_enqueue t fd =
         false
       else begin
         Queue.push { fd; enqueued_at = Obs.Clock.now () } t.queue;
+        set_queue_depth t;
         Condition.signal t.queue_nonempty;
         true
       end)

@@ -14,6 +14,8 @@ type t = {
   pool : Parallel.Pool.t option;
   metrics : Obs.Metrics.t option;
   querylog : Obs.Querylog.t option;
+  stats : Obs.Stats.t option;
+  trace_id : string option; (* set per request via [for_request] *)
 }
 
 let store_of ctx =
@@ -31,7 +33,7 @@ let offsets_of shards ~level =
   done;
   off
 
-let make ~pool ~metrics ~querylog ctxs =
+let make ~pool ~metrics ~querylog ?stats ctxs =
   let shards = Array.of_list ctxs in
   if Array.length shards = 0 then invalid_arg "Sharded: no shards";
   let levels = Store.levels (store_of shards.(0)) in
@@ -42,7 +44,7 @@ let make ~pool ~metrics ~querylog ctxs =
     shards;
   let level = shards.(0).Context.level in
   { shards; level; levels; offsets = offsets_of shards ~level; pool; metrics;
-    querylog }
+    querylog; stats; trace_id = None }
 
 (* Contiguous partition of the videos into at most [n] groups of roughly
    equal leaf weight: videos accumulate into the current group until the
@@ -67,7 +69,7 @@ let partition n videos =
   | _ -> go 0 0 [] [] videos
 
 let create ?(shards = 1) ?config ?threshold ?conj_mode ?reorder_joins ?level
-    ?pool ?par_cutoff ?metrics ?querylog store =
+    ?pool ?par_cutoff ?metrics ?querylog ?stats store =
   if shards < 1 then
     invalid_arg (Printf.sprintf "Sharded.create: shards %d < 1" shards);
   (* partition the *current* trees: edits and appends made to the source
@@ -79,10 +81,10 @@ let create ?(shards = 1) ?config ?threshold ?conj_mode ?reorder_joins ?level
     List.map
       (fun group ->
         Context.of_store ?config ?threshold ?conj_mode ?reorder_joins ?level
-          ?pool ?par_cutoff ?metrics (Store.create group))
+          ?pool ?par_cutoff ?metrics ?stats (Store.create group))
       groups
   in
-  make ~pool ~metrics ~querylog ctxs
+  make ~pool ~metrics ~querylog ?stats ctxs
 
 let shard_count t = Array.length t.shards
 let level t = t.level
@@ -111,6 +113,36 @@ let with_level t ~level =
   in
   { t with shards; level; offsets = offsets_of shards ~level }
 
+(* --- per-request observability ------------------------------------------- *)
+
+(* A request-scoped view: the same shard stores, registries and caches
+   (Context.with_tracer/with_trace_id are record updates, so all warm
+   state is shared), but every shard context emits into the request's
+   own tracer and stamps its trace id.  The handle itself is immutable —
+   concurrent requests each derive their own view and never see each
+   other's spans, which is what lets the service trace live traffic
+   without poisoning the shared warm context (DESIGN.md §2.20). *)
+let for_request ?tracer ?trace_id t =
+  match (tracer, trace_id) with
+  | None, None -> t
+  | _ ->
+      let derive ctx =
+        let ctx =
+          match trace_id with
+          | Some id -> Context.with_trace_id ctx id
+          | None -> ctx
+        in
+        match tracer with
+        | Some tr -> Context.with_tracer ctx tr
+        | None -> ctx
+      in
+      {
+        t with
+        shards = Array.map derive t.shards;
+        trace_id =
+          (match trace_id with Some _ as id -> id | None -> t.trace_id);
+      }
+
 (* --- scatter–gather ------------------------------------------------------ *)
 
 let fail fmt = Format.kasprintf (fun s -> raise (Query.Error s)) fmt
@@ -120,14 +152,25 @@ let fail fmt = Format.kasprintf (fun s -> raise (Query.Error s)) fmt
    envelope, so N shard evaluations still count as one query at the
    coordinator; the shard contexts carry the shared metrics, so cache
    and index counters (cache.hits, picture.index.builds, ...) keep
-   accumulating normally. *)
+   accumulating normally.  When the shard contexts carry a (request)
+   tracer, each shard's evaluation sits under its own "shard.scatter"
+   span carrying the ordinal and trace id — under a pool the span roots
+   at the worker domain's stack bottom, sequentially it nests under the
+   caller. *)
 let eval_parts ~backend t cls f =
-  let one ctx =
-    let t0 = Obs.Clock.now () in
-    let list = Query.dispatch ~backend ctx cls f in
-    (list, Obs.Clock.now () -. t0)
+  let one (i, ctx) =
+    Context.with_span ctx "shard.scatter"
+      ~attrs:(fun () ->
+        ("shard", string_of_int i)
+        :: (match t.trace_id with
+           | Some id -> [ ("trace_id", id) ]
+           | None -> []))
+      (fun () ->
+        let t0 = Obs.Clock.now () in
+        let list = Query.dispatch ~backend ctx cls f in
+        (list, Obs.Clock.now () -. t0))
   in
-  let ctxs = Array.to_list t.shards in
+  let ctxs = List.mapi (fun i ctx -> (i, ctx)) (Array.to_list t.shards) in
   match t.pool with
   | Some p when Parallel.Pool.domain_count p > 1 && Array.length t.shards > 1
     ->
@@ -230,8 +273,8 @@ let run_core ~backend t f consume =
     | Error reason -> fail "unsupported formula: %s" reason
     | Ok cls -> gathered (eval_parts ~backend t cls f)
   in
-  match (t.metrics, t.querylog) with
-  | None, None -> plain ()
+  match (t.metrics, t.querylog, t.stats) with
+  | None, None, None -> plain ()
   | _ ->
       let t_start = Obs.Clock.now () in
       Option.iter (fun m -> Obs.Metrics.incr m "query.count") t.metrics;
@@ -269,6 +312,14 @@ let run_core ~backend t f consume =
             Obs.Metrics.observe m "query.allocated_words"
               (Obs.Resource.allocated_words !gc))
           t.metrics;
+        Option.iter
+          (fun st ->
+            Obs.Stats.record_query st
+              ~fingerprint:(Htl.Hcons.intern_id f)
+              ~formula:(fun () -> Htl.Pretty.to_string f)
+              ~backend:(backend_name backend) ~latency_s:latency
+              ~error:(Option.is_some error))
+          t.stats;
         match t.querylog with
         | Some ql when Obs.Querylog.should_log ql ~latency_s:latency ->
             let hits, misses =
@@ -299,6 +350,7 @@ let run_core ~backend t f consume =
                 segments_scanned = scans;
                 resources = !gc;
                 shards = !lats;
+                trace_id = t.trace_id;
                 error;
               }
         | Some _ | None -> ()
@@ -499,7 +551,7 @@ let save_snapshot t path =
   Storage.Snapshot.save path shards
 
 let load_snapshot ?config ?threshold ?conj_mode ?reorder_joins ?level ?pool
-    ?par_cutoff ?metrics ?querylog path =
+    ?par_cutoff ?metrics ?querylog ?stats path =
   let shards = Storage.Snapshot.load path in
   let ctxs =
     List.map
@@ -509,8 +561,8 @@ let load_snapshot ?config ?threshold ?conj_mode ?reorder_joins ?level ?pool
           ~version:(Store.version store) indexes;
         Context.with_registry
           (Context.of_store ?config ?threshold ?conj_mode ?reorder_joins
-             ?level ?pool ?par_cutoff ?metrics store)
+             ?level ?pool ?par_cutoff ?metrics ?stats store)
           registry)
       shards
   in
-  make ~pool ~metrics ~querylog ctxs
+  make ~pool ~metrics ~querylog ?stats ctxs

@@ -36,15 +36,18 @@ val create :
   ?par_cutoff:int ->
   ?metrics:Obs.Metrics.t ->
   ?querylog:Obs.Querylog.t ->
+  ?stats:Obs.Stats.t ->
   Video_model.Store.t ->
   t
 (** Partition the store's videos into at most [shards] (default 1)
     contiguous groups of roughly equal leaf-segment weight.  The actual
     shard count can be lower when the store has fewer videos (a video is
-    never split).  [metrics] and [pool] are shared by every shard
-    context; the [querylog] is owned by the coordinator, which records
-    one entry per query with per-shard latencies.  Other options are as
-    {!Engine.Context.of_store}.
+    never split).  [metrics], [stats] and [pool] are shared by every
+    shard context (so per-atom selectivity accumulates across shards);
+    the [querylog] is owned by the coordinator, which records one entry
+    per query with per-shard latencies, and per-fingerprint stats are
+    likewise folded once per query at the coordinator.  Other options
+    are as {!Engine.Context.of_store}.
     @raise Invalid_argument when [shards < 1]. *)
 
 val shard_count : t -> int
@@ -67,6 +70,15 @@ val offsets : t -> int array
 val with_level : t -> level:int -> t
 (** Re-aim every shard context at a level (same registries and caches).
     @raise Invalid_argument when out of range. *)
+
+val for_request : ?tracer:Obs.Trace.t -> ?trace_id:string -> t -> t
+(** A request-scoped view of the same handle: every shard context emits
+    into [tracer] and stamps [trace_id] (per-shard ["shard.scatter"]
+    spans, trace ids on the coordinator's query-log records), while all
+    warm state — stores, caches, index registries, offsets — stays
+    shared with the original.  With neither argument this is the
+    identity.  Concurrent requests derive independent views, so one
+    request's spans never interleave with another's. *)
 
 (** {1 Scatter–gather evaluation}
 
@@ -180,6 +192,7 @@ val load_snapshot :
   ?par_cutoff:int ->
   ?metrics:Obs.Metrics.t ->
   ?querylog:Obs.Querylog.t ->
+  ?stats:Obs.Stats.t ->
   string ->
   t
 (** Restore the saved shard layout, preloading each shard's registry

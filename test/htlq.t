@@ -224,7 +224,7 @@ interface, and htlq http talks to it.  An ephemeral port (--port 0)
 lands in --port-file; the banner confirms the configuration:
 
   $ ../bin/htlq.exe serve --port-file port.txt --workers 2 --queue 8 \
-  >     > serve.log 2>&1 &
+  >     --trace-sample 1 > serve.log 2>&1 &
   $ SERVE_PID=$!
   $ for i in $(seq 1 50); do test -s port.txt && break; sleep 0.1; done
   $ PORT=$(cat port.txt)
@@ -250,6 +250,30 @@ Liveness, a query, and the observability endpoints round-trip:
   {"error": "no route for /nope"}
   http status 404
   [1]
+
+Error bodies land on stderr, so piped stdout stays clean JSON:
+
+  $ ../bin/htlq.exe http /nope --port $PORT 2> /dev/null
+  [1]
+
+Request tracing: --trace-sample 1 retains every request's span tree,
+/trace lists the retained ids, and /trace/<id> renders the tree as
+Chrome trace-event JSON rooted at the server.request span:
+
+  $ TID=$(../bin/htlq.exe http /trace --port $PORT \
+  >     | grep -o '"trace_id": "[0-9a-f]\{32\}"' | head -1 | cut -d '"' -f 4)
+  $ ../bin/htlq.exe http /trace/$TID --port $PORT \
+  >     | grep -o '"name": "server.request"' | head -1
+  "name": "server.request"
+
+The always-on stats collector aggregates every request; htlq stats
+pretty-prints GET /stats:
+
+  $ ../bin/htlq.exe stats --port $PORT | grep -o '"formula": "man_woman"' \
+  >     | head -1
+  "formula": "man_woman"
+  $ ../bin/htlq.exe stats --port $PORT | grep -o '"backend": "direct"' | head -1
+  "backend": "direct"
 
 SIGTERM drains and exits 0:
 

@@ -575,6 +575,7 @@ let ql_record ?(latency = 1.) ?(hits = 0) ?(misses = 0) ?error name =
     segments_scanned = [];
     resources = Obs.Resource.zero;
     shards = [];
+    trace_id = None;
     error;
   }
 
@@ -734,13 +735,330 @@ let resource_tests =
           (report.Explain.resources = None));
   ]
 
+(* --- Traceid ---------------------------------------------------------------- *)
+
+let traceid_tests =
+  let open Alcotest in
+  let hex32 = "0123456789abcdef0123456789abcdef" in
+  [
+    test_case "generate mints valid, distinct ids" `Quick (fun () ->
+        let a = Obs.Traceid.generate () and b = Obs.Traceid.generate () in
+        check bool "a valid" true (Obs.Traceid.is_valid a);
+        check bool "b valid" true (Obs.Traceid.is_valid b);
+        check bool "distinct" true (a <> b);
+        check int "span ids are 16 hex" 16
+          (String.length (Obs.Traceid.span_id ())));
+    test_case "of_string canonicalizes and rejects" `Quick (fun () ->
+        check (option string) "lowercase passes" (Some hex32)
+          (Obs.Traceid.of_string hex32);
+        check (option string) "uppercase folds" (Some hex32)
+          (Obs.Traceid.of_string (String.uppercase_ascii hex32));
+        check (option string) "whitespace trimmed" (Some hex32)
+          (Obs.Traceid.of_string ("  " ^ hex32 ^ " "));
+        check (option string) "nil rejected" None
+          (Obs.Traceid.of_string (String.make 32 '0'));
+        check (option string) "short rejected" None
+          (Obs.Traceid.of_string (String.sub hex32 0 31));
+        check (option string) "non-hex rejected" None
+          (Obs.Traceid.of_string (String.make 32 'g')));
+    test_case "of_traceparent extracts the trace id" `Quick (fun () ->
+        let tp = Printf.sprintf "00-%s-00f067aa0ba902b7-01" hex32 in
+        check (option string) "well-formed" (Some hex32)
+          (Obs.Traceid.of_traceparent tp);
+        check (option string) "forbidden version ff" None
+          (Obs.Traceid.of_traceparent
+             (Printf.sprintf "ff-%s-00f067aa0ba902b7-01" hex32));
+        check (option string) "nil trace id" None
+          (Obs.Traceid.of_traceparent
+             (Printf.sprintf "00-%s-00f067aa0ba902b7-01" (String.make 32 '0')));
+        check (option string) "nil parent id" None
+          (Obs.Traceid.of_traceparent
+             (Printf.sprintf "00-%s-0000000000000000-01" hex32));
+        check (option string) "garbage" None
+          (Obs.Traceid.of_traceparent "not-a-traceparent"));
+    test_case "to_traceparent round-trips through of_traceparent" `Quick
+      (fun () ->
+        let id = Obs.Traceid.generate () in
+        check (option string) "round trip" (Some id)
+          (Obs.Traceid.of_traceparent (Obs.Traceid.to_traceparent id));
+        let tp = Obs.Traceid.to_traceparent ~parent:"00f067aa0ba902b7" id in
+        check string "explicit parent embedded"
+          (Printf.sprintf "00-%s-00f067aa0ba902b7-01" id)
+          tp);
+  ]
+
+(* --- Stats ------------------------------------------------------------------- *)
+
+(* nearest-rank convention matching bench/main.ml's [percentile] *)
+let nearest_rank sorted p =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(min (n - 1) (int_of_float (float_of_int n *. p)))
+
+let arb_latencies =
+  let open QCheck in
+  let gen =
+    Gen.(list_size (int_range 1 150) (map (fun x -> x /. 1000.) (float_range 0. 100.)))
+  in
+  make
+    ~print:(fun l -> String.concat ";" (List.map (Printf.sprintf "%.6f") l))
+    gen
+
+let stats_tests =
+  let open Alcotest in
+  let record ?(fingerprint = 1) ?(backend = "direct") ?(error = false) st
+      latency =
+    Obs.Stats.record_query st ~fingerprint
+      ~formula:(fun () -> "q")
+      ~backend ~latency_s:latency ~error
+  in
+  [
+    Helpers.qtest "EWMA matches the scalar fold" (fun samples ->
+        let alpha = 0.2 in
+        let st = Obs.Stats.create ~alpha () in
+        List.iter (record st) samples;
+        let oracle =
+          List.fold_left
+            (fun acc x ->
+              match acc with
+              | None -> Some x
+              | Some prev -> Some ((alpha *. x) +. ((1. -. alpha) *. prev)))
+            None samples
+        in
+        match (Obs.Stats.ewma_latency_s st ~fingerprint:1, oracle) with
+        | Some got, Some want -> Float.abs (got -. want) <= 1e-9
+        | _ -> false)
+      arb_latencies;
+    Helpers.qtest "window quantiles match nearest-rank over the tail"
+      (fun samples ->
+        let window = 16 in
+        let st = Obs.Stats.create ~window () in
+        List.iter (record st) samples;
+        let tail =
+          let n = List.length samples in
+          if n <= window then samples
+          else List.filteri (fun i _ -> i >= n - window) samples
+        in
+        let sorted = Array.of_list tail in
+        Array.sort compare sorted;
+        match Obs.Stats.queries st with
+        | [ row ] ->
+            row.Obs.Stats.window_n = Array.length sorted
+            && Float.abs (row.Obs.Stats.p50_s -. nearest_rank sorted 0.50)
+               <= 1e-9
+            && Float.abs (row.Obs.Stats.p95_s -. nearest_rank sorted 0.95)
+               <= 1e-9
+            && Float.abs (row.Obs.Stats.p99_s -. nearest_rank sorted 0.99)
+               <= 1e-9
+        | _ -> false)
+      arb_latencies;
+    test_case "rows count requests, errors and backends" `Quick (fun () ->
+        let st = Obs.Stats.create () in
+        record st 0.01;
+        record st ~error:true 0.03;
+        record st ~fingerprint:2 ~backend:"sql" 0.02;
+        record st 0.01;
+        (match Obs.Stats.queries st with
+        | [ a; b ] ->
+            check int "most-requested first" 1 a.Obs.Stats.fingerprint;
+            check int "count" 3 a.Obs.Stats.count;
+            check int "errors" 1 a.Obs.Stats.errors;
+            check int "sibling fingerprint" 2 b.Obs.Stats.fingerprint
+        | rows -> failf "expected 2 query rows, got %d" (List.length rows));
+        (match Obs.Stats.backends st with
+        | [ d; s ] ->
+            check string "sorted by name" "direct" d.Obs.Stats.backend;
+            check int "direct requests" 3 d.Obs.Stats.requests;
+            check int "direct errors" 1 d.Obs.Stats.backend_errors;
+            check string "sql row" "sql" s.Obs.Stats.backend
+        | rows -> failf "expected 2 backend rows, got %d" (List.length rows));
+        check (option (float 1e-9)) "error_rate" (Some (1. /. 3.))
+          (Obs.Stats.error_rate st ~backend:"direct");
+        Obs.Stats.clear st;
+        check int "clear empties" 0 (List.length (Obs.Stats.queries st)));
+    test_case "the formula thunk is forced once per fingerprint" `Quick
+      (fun () ->
+        let st = Obs.Stats.create () in
+        let forced = ref 0 in
+        let formula () =
+          incr forced;
+          "expensive" in
+        Obs.Stats.record_query st ~fingerprint:7 ~formula ~backend:"direct"
+          ~latency_s:0.01 ~error:false;
+        Obs.Stats.record_query st ~fingerprint:7 ~formula ~backend:"direct"
+          ~latency_s:0.02 ~error:false;
+        check int "forced once" 1 !forced;
+        match Obs.Stats.queries st with
+        | [ row ] -> check string "rendered" "expensive" row.Obs.Stats.formula
+        | _ -> fail "expected 1 row");
+    test_case "atom selectivity folds an EWMA of candidates/segments" `Quick
+      (fun () ->
+        let alpha = 0.5 in
+        let st = Obs.Stats.create ~alpha () in
+        Obs.Stats.record_atom st ~atom:"man" ~level:3 ~candidates:10
+          ~segments:100;
+        Obs.Stats.record_atom st ~atom:"man" ~level:3 ~candidates:30
+          ~segments:100;
+        (* seeds at 0.1, then 0.5·0.3 + 0.5·0.1 = 0.2 *)
+        check (option (float 1e-9)) "ewma" (Some 0.2)
+          (Obs.Stats.selectivity st ~level:3 ~atom:"man");
+        check (option (float 1e-9)) "levels are distinct keys" None
+          (Obs.Stats.selectivity st ~level:2 ~atom:"man");
+        Obs.Stats.record_atom st ~atom:"man" ~level:3 ~candidates:1 ~segments:0;
+        (match Obs.Stats.atoms st with
+        | [ row ] ->
+            check int "zero-segment eval is a no-op" 2 row.Obs.Stats.evals;
+            check int "candidates accumulate" 40
+              row.Obs.Stats.candidates_total;
+            check int "segments accumulate" 200 row.Obs.Stats.segments_total
+        | rows -> failf "expected 1 atom row, got %d" (List.length rows)));
+    test_case "to_json carries all three families" `Quick (fun () ->
+        let st = Obs.Stats.create () in
+        record st 0.01;
+        Obs.Stats.record_atom st ~atom:"man" ~level:1 ~candidates:1
+          ~segments:2;
+        let doc = Obs.Stats.to_json st in
+        let arr name =
+          match Obs.Json.member name doc with
+          | Some (Obs.Json.Array items) -> List.length items
+          | _ -> -1
+        in
+        check int "queries" 1 (arr "queries");
+        check int "atoms" 1 (arr "atoms");
+        check int "backends" 1 (arr "backends");
+        check bool "alpha present" true
+          (Obs.Json.member "alpha" doc <> None));
+    test_case "invalid configuration is rejected" `Quick (fun () ->
+        check_raises "alpha 0"
+          (Invalid_argument "Obs.Stats.create: alpha 0 outside (0, 1]")
+          (fun () -> ignore (Obs.Stats.create ~alpha:0. ()));
+        check_raises "window 0"
+          (Invalid_argument "Obs.Stats.create: window 0 < 1") (fun () ->
+            ignore (Obs.Stats.create ~window:0 ())));
+  ]
+
+(* --- Tracestore -------------------------------------------------------------- *)
+
+let ts_entry ?(trace_id = "cafe") ?(status = 200) ?spans () =
+  let spans =
+    match spans with
+    | Some s -> s
+    | None ->
+        let tr = Obs.Trace.create () in
+        Obs.Trace.with_span tr "server.request" (fun () -> ());
+        Obs.Trace.spans tr
+  in
+  {
+    Obs.Tracestore.trace_id;
+    time_s = 0.;
+    latency_s = 0.002;
+    meth = "POST";
+    target = "/query";
+    status;
+    spans;
+  }
+
+let tracestore_tests =
+  let open Alcotest in
+  [
+    test_case "the ring overwrites oldest first" `Quick (fun () ->
+        let ts = Obs.Tracestore.create ~capacity:2 () in
+        List.iter
+          (fun id -> Obs.Tracestore.add ts (ts_entry ~trace_id:id ()))
+          [ "aa"; "bb"; "cc" ];
+        check (list string) "oldest dropped, order kept" [ "bb"; "cc" ]
+          (List.map
+             (fun e -> e.Obs.Tracestore.trace_id)
+             (Obs.Tracestore.entries ts));
+        check int "length capped" 2 (Obs.Tracestore.length ts);
+        check int "added keeps counting" 3 (Obs.Tracestore.added ts);
+        Obs.Tracestore.clear ts;
+        check int "clear empties" 0 (Obs.Tracestore.length ts));
+    test_case "find answers the newest entry for an id" `Quick (fun () ->
+        let ts = Obs.Tracestore.create () in
+        Obs.Tracestore.add ts (ts_entry ~trace_id:"dd" ~status:200 ());
+        Obs.Tracestore.add ts (ts_entry ~trace_id:"ee" ());
+        Obs.Tracestore.add ts (ts_entry ~trace_id:"dd" ~status:500 ());
+        (match Obs.Tracestore.find ts "dd" with
+        | Some e -> check int "newest wins" 500 e.Obs.Tracestore.status
+        | None -> fail "dd not found");
+        check bool "absent id" true (Obs.Tracestore.find ts "zz" = None));
+    test_case "summary_json reports everything but the spans" `Quick
+      (fun () ->
+        let doc = Obs.Tracestore.summary_json (ts_entry ~trace_id:"ff" ()) in
+        check (option string) "trace_id" (Some "ff")
+          (match Obs.Json.member "trace_id" doc with
+          | Some (Obs.Json.String s) -> Some s
+          | _ -> None);
+        check bool "span count, not spans" true
+          (Obs.Json.member "spans" doc = Some (Obs.Json.Int 1)));
+    test_case "capacity below 1 is rejected" `Quick (fun () ->
+        check_raises "invalid capacity"
+          (Invalid_argument "Obs.Tracestore.create: capacity 0 < 1")
+          (fun () -> ignore (Obs.Tracestore.create ~capacity:0 ())));
+  ]
+
+(* --- trace ids on tracers and exports ---------------------------------------- *)
+
+let trace_id_tests =
+  let open Alcotest in
+  let id = "0123456789abcdef0123456789abcdef" in
+  [
+    test_case "a tracer carries its id into pp and summaries" `Quick
+      (fun () ->
+        let tr = Obs.Trace.create ~trace_id:id () in
+        check (option string) "trace_id accessor" (Some id)
+          (Obs.Trace.trace_id tr);
+        Obs.Trace.with_span tr "work" (fun () -> ());
+        let tree = Format.asprintf "%a" Obs.Trace.pp_tree tr in
+        let summary = Format.asprintf "%a" Obs.Trace.pp_summary tr in
+        check bool "pp_tree leads with the id" true
+          (Helpers.contains tree ("trace " ^ id));
+        check bool "pp_summary leads with the id" true
+          (Helpers.contains summary ("trace " ^ id));
+        let anon = Obs.Trace.create () in
+        Obs.Trace.with_span anon "work" (fun () -> ());
+        check bool "no id, no trace line" false
+          (Helpers.contains
+             (Format.asprintf "%a" Obs.Trace.pp_tree anon)
+             "trace "));
+    test_case "exports stamp the id on every span" `Quick (fun () ->
+        let tr = Obs.Trace.create ~trace_id:id () in
+        Obs.Trace.with_span tr "a" (fun () ->
+            Obs.Trace.with_span tr "b" (fun () -> ()));
+        let lines =
+          String.split_on_char '\n' (String.trim (Obs.Export.spans_jsonl tr))
+        in
+        check int "one line per span" 2 (List.length lines);
+        List.iter
+          (fun line ->
+            check bool "line carries trace_id" true
+              (Helpers.contains line id))
+          lines;
+        let chrome = Obs.Export.chrome_trace tr in
+        (match Obs.Json.of_string chrome with
+        | Ok doc ->
+            check bool "top-level trace_id" true
+              (Obs.Json.member "trace_id" doc
+              = Some (Obs.Json.String id))
+        | Error e -> failf "chrome trace is not JSON: %s" e);
+        check bool "set_trace_id retrofits" true
+          (let tr2 = Obs.Trace.create () in
+           Obs.Trace.set_trace_id tr2 id;
+           Obs.Trace.trace_id tr2 = Some id));
+  ]
+
 let suites =
   [
     ("obs.json", json_tests);
     ("obs.trace", trace_tests);
+    ("obs.traceid", traceid_tests);
     ("obs.metrics", metrics_tests);
     ("obs.export", export_tests);
     ("obs.querylog", querylog_tests);
+    ("obs.stats", stats_tests);
+    ("obs.tracestore", tracestore_tests);
+    ("obs.trace_id", trace_id_tests);
     ("obs.resource", resource_tests);
     ("obs.topk", topk_tests);
     ("obs.explain", explain_tests);

@@ -555,6 +555,9 @@ let exposition_tests =
                 "server_rejected 0";
                 "server_timeouts 0";
                 "server_bad_requests 0";
+                "server_traced 0";
+                "server_queue_depth 0";
+                "server_active_requests 0";
                 "server_request_latency_s_count 0";
                 "server_queue_wait_s_count 0";
                 (* PR 4's lesson, carried over: the cache series are
@@ -577,6 +580,196 @@ let exposition_tests =
              "Obs.Metrics: \"server.request_latency_s\" already registered \
               with another kind")
           (fun () -> Obs.Metrics.declare_counter m "server.request_latency_s"));
+  ]
+
+(* --- request-scoped tracing and /stats --------------------------------------- *)
+
+let resp_trace_id (resp : Http.response) =
+  List.assoc_opt "X-Trace-Id" resp.Http.headers
+
+let with_header name value (req : Http.request) =
+  { req with Http.headers = (name, value) :: req.Http.headers }
+
+let known_id = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+let tracing_tests =
+  let open Alcotest in
+  [
+    test_case "every response carries a trace id" `Quick (fun () ->
+        let s = fresh_state () in
+        (* minted when the client sends none *)
+        (match resp_trace_id (handle s (get "/healthz")) with
+        | Some id -> check bool "minted id is valid" true (Obs.Traceid.is_valid id)
+        | None -> fail "no X-Trace-Id header");
+        (* a well-formed client id is echoed *)
+        check (option string) "bare X-Trace-Id echoed" (Some known_id)
+          (resp_trace_id
+             (handle s (with_header "x-trace-id" known_id (get "/healthz"))));
+        check (option string) "traceparent accepted" (Some known_id)
+          (resp_trace_id
+             (handle s
+                (with_header "traceparent"
+                   ("00-" ^ known_id ^ "-00f067aa0ba902b7-01")
+                   (get "/healthz"))));
+        (* malformed ids are replaced, never a request failure *)
+        match
+          resp_trace_id
+            (handle s (with_header "x-trace-id" "not-hex!" (get "/healthz")))
+        with
+        | Some id ->
+            check bool "replaced with a fresh valid id" true
+              (Obs.Traceid.is_valid id && id <> "not-hex!")
+        | None -> fail "no X-Trace-Id header");
+    test_case "a sampled query's span tree round-trips at /trace/<id>" `Quick
+      (fun () ->
+        let s =
+          Router.make ~trace_sample:1 (Workload.Casablanca.context ())
+        in
+        let resp =
+          check_status "query" 200
+            (handle s (post "/query" "{\"query\": \"man_woman\", \"k\": 2}"))
+        in
+        let id =
+          match resp_trace_id resp with
+          | Some id -> id
+          | None -> fail "no X-Trace-Id on the query response"
+        in
+        (* the listing names it *)
+        let listing =
+          body_json "trace list"
+            (check_status "trace list" 200 (handle s (get "/trace")))
+        in
+        (match listing with
+        | Json.Array rows ->
+            check bool "listed" true
+              (List.exists
+                 (fun row ->
+                   Json.member "trace_id" row = Some (Json.String id))
+                 rows)
+        | _ -> fail "/trace is not an array");
+        (* and the full tree renders as Chrome trace-event JSON *)
+        let doc =
+          body_json "chrome trace"
+            (check_status "trace get" 200 (handle s (get ("/trace/" ^ id))))
+        in
+        check bool "top-level trace_id" true
+          (Json.member "trace_id" doc = Some (Json.String id));
+        (match Json.member "traceEvents" doc with
+        | Some (Json.Array (_ :: _ as events)) ->
+            let names =
+              List.filter_map
+                (fun e ->
+                  match Json.member "name" e with
+                  | Some (Json.String n) -> Some n
+                  | _ -> None)
+                events
+            in
+            check bool "root server.request span present" true
+              (List.mem "server.request" names)
+        | _ -> fail "no traceEvents");
+        ignore
+          (check_status "unknown id is 404" 404
+             (handle s (get ("/trace/" ^ String.make 31 'a' ^ "b"))));
+        ignore
+          (check_status "invalid id is 400" 400
+             (handle s (get "/trace/xyz"))));
+    test_case "unsampled requests leave no trace" `Quick (fun () ->
+        let s = fresh_state () in
+        ignore (handle s (post "/query" "{\"query\": \"man_woman\"}"));
+        check int "ring stays empty" 0
+          (Obs.Tracestore.length (Router.tracestore s));
+        check int "nothing counted" 0
+          (Obs.Metrics.counter_value (Router.metrics s) "server.traced"));
+    test_case "1-in-N sampling keeps every Nth request" `Quick (fun () ->
+        let s =
+          Router.make ~trace_sample:2 (Workload.Casablanca.context ())
+        in
+        for _ = 1 to 6 do
+          ignore (handle s (post "/query" "{\"query\": \"man_woman\"}"))
+        done;
+        check int "half the requests retained" 3
+          (Obs.Tracestore.length (Router.tracestore s)));
+    test_case "the slow threshold retains retroactively" `Quick (fun () ->
+        (* slow_s = 0: every request is slower than the threshold *)
+        let s =
+          Router.make ~trace_slow_s:0. (Workload.Casablanca.context ())
+        in
+        ignore (handle s (post "/query" "{\"query\": \"man_woman\"}"));
+        check int "kept" 1 (Obs.Tracestore.length (Router.tracestore s));
+        (* a threshold nothing reaches: traced but dropped *)
+        let s =
+          Router.make ~trace_slow_s:1000. (Workload.Casablanca.context ())
+        in
+        ignore (handle s (post "/query" "{\"query\": \"man_woman\"}"));
+        check int "dropped" 0 (Obs.Tracestore.length (Router.tracestore s)));
+    test_case "sampled and unsampled responses are byte-identical" `Quick
+      (fun () ->
+        let body = "{\"query\": \"man_woman and eventually moving_train\"}" in
+        let plain = fresh_state () in
+        let traced =
+          Router.make ~trace_sample:1 (Workload.Casablanca.context ())
+        in
+        check string "same body"
+          (handle plain (post "/query" body)).Http.body
+          (handle traced (post "/query" body)).Http.body);
+    test_case "/stats aggregates every request, consistent with the querylog"
+      `Quick (fun () ->
+        let querylog = Obs.Querylog.create ~threshold_s:0. () in
+        let s =
+          (* store-backed, so the picture layer runs and atom
+             selectivities actually accumulate *)
+          Router.make ~querylog (Context.of_store (Workload.Casablanca.store ()))
+        in
+        let q1 = "{\"query\": \"man_woman\"}" in
+        let q2 = "{\"query\": \"gun until man_woman\"}" in
+        ignore (check_status "q1" 200 (handle s (post "/query" q1)));
+        ignore (check_status "q1 again" 200 (handle s (post "/query" q1)));
+        ignore (check_status "q2" 200 (handle s (post "/query" q2)));
+        (* a parse failure never reaches the evaluator, so neither ring
+           nor collector should count it *)
+        ignore (check_status "syntax error" 400 (handle s (post "/query" "{\"query\": \"((\"}")));
+        let rows = Obs.Stats.queries (Router.stats s) in
+        check int "two fingerprints" 2 (List.length rows);
+        check int "stats total = querylog total"
+          (Obs.Querylog.logged querylog)
+          (List.fold_left (fun acc r -> acc + r.Obs.Stats.count) 0 rows);
+        (match rows with
+        | top :: _ ->
+            check int "most-requested first" 2 top.Obs.Stats.count;
+            check bool "ewma positive" true (top.Obs.Stats.ewma_latency_s > 0.)
+        | [] -> fail "no stats rows");
+        (match Obs.Stats.backends (Router.stats s) with
+        | [ b ] ->
+            check string "backend" "direct" b.Obs.Stats.backend;
+            check int "three evaluated requests" 3 b.Obs.Stats.requests
+        | rows -> failf "expected 1 backend row, got %d" (List.length rows));
+        (* atom selectivities accumulated from the picture layer *)
+        check bool "atoms observed" true
+          (Obs.Stats.atoms (Router.stats s) <> []);
+        (* and the route serves the same document *)
+        let doc =
+          body_json "stats"
+            (check_status "stats" 200 (handle s (get "/stats")))
+        in
+        match Json.member "queries" doc with
+        | Some (Json.Array rows') ->
+            check int "route row count" (List.length rows) (List.length rows')
+        | _ -> fail "/stats has no queries array");
+    test_case "trace ids land on slow-query records" `Quick (fun () ->
+        let querylog = Obs.Querylog.create ~threshold_s:0. () in
+        let s = Router.make ~querylog (Workload.Casablanca.context ()) in
+        ignore
+          (handle s
+             (with_header "x-trace-id" known_id
+                (post "/query" "{\"query\": \"man_woman\"}")));
+        match Obs.Querylog.records querylog with
+        | [ r ] ->
+            check (option string) "record joins by id" (Some known_id)
+              r.Obs.Querylog.trace_id;
+            check bool "jsonl carries it" true
+              (Astring.String.is_infix ~affix:known_id
+                 (Obs.Querylog.to_jsonl querylog))
+        | rs -> failf "expected 1 record, got %d" (List.length rs));
   ]
 
 (* --- live servers ------------------------------------------------------------ *)
@@ -684,11 +877,13 @@ let differential_queries () =
                 ("k", Json.Int 5);
               ]))
 
-let concurrent_differential ~domains () =
+let concurrent_differential ?(trace_sample = 0) ~domains () =
   let store = Workload.Casablanca.store () in
   let queries = differential_queries () in
   Alcotest.(check bool) "sampled a real workload" true (List.length queries > 12);
-  (* sequential in-process reference over its own cold context *)
+  (* sequential in-process reference over its own cold context — and no
+     sampling, so a traced server must answer byte-identically to an
+     untraced oracle *)
   let reference = Router.make (Context.of_store store) in
   let expected =
     List.map
@@ -702,7 +897,7 @@ let concurrent_differential ~domains () =
   let ctx =
     match pool with Some p -> Context.with_pool ~par_cutoff:0 ctx p | None -> ctx
   in
-  let state = Router.make ctx in
+  let state = Router.make ~trace_sample ctx in
   Fun.protect
     ~finally:(fun () -> Option.iter Parallel.Pool.shutdown pool)
     (fun () ->
@@ -745,11 +940,22 @@ let concurrent_differential ~domains () =
             List.init 4 (fun i -> Thread.create client_thread (i * 7))
           in
           List.iter Thread.join clients;
-          match !failures with
+          (match !failures with
           | [] -> ()
           | f :: _ ->
               Alcotest.failf "%d divergent responses; first: %s"
-                (List.length !failures) f))
+                (List.length !failures) f);
+          if trace_sample > 0 then begin
+            (* the traced arm must actually have traced: 4 clients ×
+               |queries| requests, 1 in [trace_sample] retained or
+               overwritten in the bounded ring *)
+            let added = Obs.Tracestore.added (Router.tracestore state) in
+            let requests = 4 * List.length queries in
+            Alcotest.(check int)
+              "every sampled request left a trace"
+              ((requests + trace_sample - 1) / trace_sample)
+              added
+          end))
 
 (* --- fault injection ---------------------------------------------------------
 
@@ -901,6 +1107,43 @@ let graceful_shutdown_test () =
   | Ok (status, _, _) ->
       Alcotest.failf "still answering (%d) after shutdown" status
 
+let live_trace_roundtrip_test () =
+  (* end to end over real sockets: the client names the trace, the
+     sampled server keeps it, and /trace/<id> serves Chrome JSON *)
+  let state = Router.make ~trace_sample:1 (Workload.Casablanca.context ()) in
+  with_server state (fun port ->
+      let status, headers, _ =
+        must
+          (Client.request ~host:"127.0.0.1" ~port ~meth:"POST"
+             ~target:"/query"
+             ~headers:[ ("X-Trace-Id", known_id) ]
+             ~body:"{\"query\": \"man_woman\", \"k\": 3}" ())
+      in
+      Alcotest.(check int) "query answers" 200 status;
+      Alcotest.(check (option string))
+        "response echoes the client's id" (Some known_id)
+        (List.assoc_opt "x-trace-id" headers);
+      let status, _, body = get_path ~port ("/trace/" ^ known_id) in
+      Alcotest.(check int) "trace served" 200 status;
+      match Json.of_string body with
+      | Error e -> Alcotest.failf "not JSON: %s" e
+      | Ok doc -> (
+          Alcotest.(check bool) "trace_id stamped" true
+            (Json.member "trace_id" doc = Some (Json.String known_id));
+          match Json.member "traceEvents" doc with
+          | Some (Json.Array (_ :: _ as events)) ->
+              Alcotest.(check bool)
+                "every event args carry the id" true
+                (List.for_all
+                   (fun e ->
+                     match Json.member "args" e with
+                     | Some args ->
+                         Json.member "trace_id" args
+                         = Some (Json.String known_id)
+                     | None -> false)
+                   events)
+          | _ -> Alcotest.fail "no traceEvents"))
+
 let live_tests =
   let open Alcotest in
   [
@@ -912,6 +1155,10 @@ let live_tests =
     test_case "concurrent load matches sequential evaluation (2 domains)"
       `Quick
       (concurrent_differential ~domains:2);
+    test_case "concurrent sampled tracing never perturbs responses" `Quick
+      (concurrent_differential ~trace_sample:2 ~domains:0);
+    test_case "a client-named trace round-trips over sockets" `Quick
+      live_trace_roundtrip_test;
     test_case "fault injection leaves the service healthy" `Quick
       fault_injection_test;
     test_case "admission control: 429 past the queue bound" `Quick
@@ -929,5 +1176,6 @@ let suites =
     ("server.router", router_tests);
     ("server.ingest", ingest_tests);
     ("server.exposition", exposition_tests);
+    ("server.tracing", tracing_tests);
     ("server.live", live_tests);
   ]
