@@ -115,10 +115,12 @@ let run (dataset, seed, level, threshold, shards, snapshot) backend query top
           match backend with
           | "direct" -> Some Engine.Query.Direct_backend
           | "sql" -> Some Engine.Query.Sql_backend_choice
+          | "auto" -> Some Engine.Query.Auto_backend
           | _ -> None
         with
         | None ->
-            Format.eprintf "unknown backend %S (use direct or sql)@." backend;
+            Format.eprintf "unknown backend %S (use direct, sql or auto)@."
+              backend;
             exit_usage
         | Some backend -> (
             let tracer =
@@ -382,7 +384,10 @@ let query_cmd_term =
   let backend =
     Arg.(
       value & opt string "direct"
-      & info [ "backend" ] ~doc:"Backend: direct or sql.")
+      & info [ "backend" ]
+          ~doc:
+            "Backend: direct, sql, or auto (the cost-based planner picks \
+             per query).")
   in
   let query =
     Arg.(

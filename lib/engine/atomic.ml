@@ -15,9 +15,21 @@ let rec resolve (ctx : Context.t) f =
           (* chunk the per-segment scoring scan across the pool when the
              level is large enough (point (a) of DESIGN.md §2.13) *)
           let pool = Context.pool_for ctx ~n:(Context.segment_count ctx) in
+          (* the plan's access-path decision: when the estimated
+             selectivity is past the index-vs-scan crossover, evaluate
+             this unit as a full scan (pruning is sound either way, so
+             only the cost changes) *)
+          let config =
+            match ctx.plan with
+            | Some plan
+              when ctx.picture_config.prune && Planner.scan_override plan f
+              ->
+                { ctx.picture_config with Picture.Retrieval.prune = false }
+            | Some _ | None -> ctx.picture_config
+          in
           try
-            Picture.Retrieval.eval ~config:ctx.picture_config ?pool
-              ?tracer:ctx.tracer ?metrics:ctx.metrics ?stats:ctx.stats
+            Picture.Retrieval.eval ~config ?pool ?tracer:ctx.tracer
+              ?metrics:ctx.metrics ?stats:ctx.stats
               ?index:(Context.index ctx) store ~level:ctx.level f
           with Picture.Retrieval.Unsupported msg -> raise (Unsupported msg))
       | None -> (

@@ -26,6 +26,8 @@ type t = {
   stats : Obs.Stats.t option;
   trace_id : string option;
   registry : Picture.Index.Registry.t;
+  planner : bool;
+  plan : Planner.t option;
 }
 
 let default_par_cutoff = 4096
@@ -43,7 +45,7 @@ let preregister m =
 let of_store ?(config = Picture.Retrieval.default_config) ?(threshold = 0.5)
     ?(conj_mode = Simlist.Sim_list.Weighted_sum) ?(reorder_joins = false)
     ?(tables = []) ?level ?cache ?pool ?(par_cutoff = default_par_cutoff)
-    ?tracer ?metrics ?querylog ?stats store =
+    ?tracer ?metrics ?querylog ?stats ?(planner = true) store =
   Option.iter preregister metrics;
   let level =
     match level with Some l -> l | None -> Video_model.Store.levels store
@@ -70,12 +72,14 @@ let of_store ?(config = Picture.Retrieval.default_config) ?(threshold = 0.5)
     stats;
     trace_id = None;
     registry = Picture.Index.Registry.create ();
+    planner;
+    plan = None;
   }
 
 let of_tables ?(threshold = 0.5)
     ?(conj_mode = Simlist.Sim_list.Weighted_sum) ?(reorder_joins = false) ~n
     ?extents ?cache ?pool ?(par_cutoff = default_par_cutoff) ?tracer ?metrics
-    ?querylog ?stats tables =
+    ?querylog ?stats ?(planner = true) tables =
   Option.iter preregister metrics;
   let extents =
     match extents with Some e -> e | None -> Simlist.Extent.single n
@@ -98,10 +102,13 @@ let of_tables ?(threshold = 0.5)
     stats;
     trace_id = None;
     registry = Picture.Index.Registry.create ();
+    planner;
+    plan = None;
   }
 
+(* the old level's estimates do not describe the new level — replan *)
 let with_level t ~level ~extents =
-  { t with level; extent_source = Fixed extents }
+  { t with level; extent_source = Fixed extents; plan = None }
 
 let with_registry t registry = { t with registry }
 
@@ -200,6 +207,13 @@ let entry_valid t f ~stamp =
             changes)
 
 (* --- observability ------------------------------------------------------ *)
+
+(* --- planning ----------------------------------------------------------- *)
+
+let with_plan t plan = { t with plan = Some plan }
+let without_plan t = { t with plan = None }
+let with_planner t = { t with planner = true }
+let without_planner t = { t with planner = false; plan = None }
 
 let with_tracer t tracer = { t with tracer = Some tracer }
 let without_tracer t = { t with tracer = None }

@@ -72,6 +72,16 @@ type t = {
           repeated queries and batches never rebuild.  Created by
           {!of_store}/{!of_tables} and shared by every derived context
           ([with_level], [with_fresh_cache], record updates, ...). *)
+  planner : bool;
+      (** whether {!Query} builds a cost-based {!Planner} plan before
+          dispatch (default true).  {!without_planner} reverts every
+          planning decision to the pre-planner heuristics: runtime
+          arity-ordered joins, the static pruning rule, and
+          [Auto_backend] resolving to the direct backend. *)
+  plan : Planner.t option;
+      (** the current query's physical plan, attached by {!Query} just
+          before dispatch ([None] otherwise).  Scoped to one formula at
+          the context's level: {!with_level} clears it. *)
 }
 
 val of_store :
@@ -88,11 +98,13 @@ val of_store :
   ?metrics:Obs.Metrics.t ->
   ?querylog:Obs.Querylog.t ->
   ?stats:Obs.Stats.t ->
+  ?planner:bool ->
   Video_model.Store.t ->
   t
 (** [level] defaults to the leaf level; extents are the per-video spans.
     [cache] defaults to a fresh private {!Cache.t} (capacity 256);
-    [pool] to none (sequential evaluation). *)
+    [pool] to none (sequential evaluation); [planner] to true
+    (cost-based planning on). *)
 
 val of_tables :
   ?threshold:float ->
@@ -107,6 +119,7 @@ val of_tables :
   ?metrics:Obs.Metrics.t ->
   ?querylog:Obs.Querylog.t ->
   ?stats:Obs.Stats.t ->
+  ?planner:bool ->
   (string * Simlist.Sim_table.t) list ->
   t
 (** Store-less context over segment ids [1..n] — the §4 experimental
@@ -130,6 +143,23 @@ val with_registry : t -> Picture.Index.Registry.t -> t
     with zero rebuilds. *)
 
 val segment_count : t -> int
+
+(** {1 Cost-based planning}
+
+    {!Query} plans each query just before dispatch when [planner] is on
+    and no plan is attached yet; the evaluators ({!Direct}, {!Atomic})
+    and {!Explain} read [plan] and fall back to the runtime heuristics
+    when it is [None]. *)
+
+val with_plan : t -> Planner.t -> t
+val without_plan : t -> t
+
+val with_planner : t -> t
+val without_planner : t -> t
+(** Turn cost-based planning off (and drop any attached plan): joins
+    reorder by runtime table arity, atoms follow the static pruning
+    rule, [Auto_backend] resolves to direct.  The heuristic arm of the
+    planned=heuristic differential. *)
 
 (** {1 Parallel evaluation} *)
 

@@ -224,9 +224,11 @@ and eval_raw (ctx : Context.t) f =
   else
     match f with
     | And (_, _) when ctx.reorder_joins ->
-        (* flatten the chain and join the smallest tables first; the
-           conjunction combiners are associative and commutative, so the
-           result is unchanged (property-tested) *)
+        (* flatten the chain and join in the planned order (sparsest
+           estimated support first) when the context carries a plan,
+           else the runtime arity heuristic (smallest tables first);
+           the conjunction combiners are associative and commutative,
+           so the result is unchanged either way (property-tested) *)
         let rec flatten = function
           | And (a, b) -> flatten a @ flatten b
           | g -> [ g ]
@@ -240,14 +242,29 @@ and eval_raw (ctx : Context.t) f =
                 (fun () -> Parallel.Pool.parallel_map pool (eval ctx) subs)
           | None -> List.map (eval ctx) subs
         in
-        (* sort (position, table) pairs so the chosen order is available
-           to the tracer; ties keep syntactic order *)
-        let sorted =
-          List.sort
-            (fun (i, a) (j, b) ->
-              compare (Sim_table.row_count a, i) (Sim_table.row_count b, j))
-            (List.mapi (fun i t -> (i, t)) tables)
+        let planned =
+          match ctx.plan with
+          | None -> None
+          | Some plan -> (
+              match Planner.join_order plan f with
+              | Some order when List.length order = List.length tables ->
+                  let arr = Array.of_list tables in
+                  Some (List.map (fun i -> (i, arr.(i))) order)
+              | Some _ | None -> None)
         in
+        let sorted =
+          match planned with
+          | Some sorted -> sorted
+          | None ->
+              (* sort (position, table) pairs so the chosen order is
+                 available to the tracer; ties keep syntactic order *)
+              List.sort
+                (fun (i, a) (j, b) ->
+                  compare (Sim_table.row_count a, i) (Sim_table.row_count b, j))
+                (List.mapi (fun i t -> (i, t)) tables)
+        in
+        Context.add_attr ctx "join_plan" (fun () ->
+            if Option.is_some planned then "planned" else "runtime");
         Context.add_attr ctx "join_order" (fun () ->
             String.concat ","
               (List.map (fun (i, _) -> string_of_int i) sorted));

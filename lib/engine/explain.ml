@@ -11,6 +11,7 @@ type node = {
 
 type report = {
   backend : string;
+  backend_reason : string option;
   cls : Htl.Classify.cls;
   formula : string;
   analyzed : bool;
@@ -76,17 +77,27 @@ let observed take f =
    segment scan.  Static analysis only ({!Picture.Pruning.plan} needs no
    index), so it is available in un-analyzed EXPLAIN too. *)
 let atom_access (ctx : Context.t) f =
-  match Atomic.named_table ctx f with
-  | Some _ -> [ ("access", "table") ]
+  (* the plan's decision when one is attached (it may demote a
+     high-selectivity atom to a scan); the static rule otherwise *)
+  match Option.bind ctx.plan (fun p -> Planner.access p f) with
+  | Some a -> [ ("access", Planner.access_to_string a) ]
   | None -> (
-      match ctx.store with
-      | None -> []
-      | Some _ ->
-          if not ctx.picture_config.prune then [ ("access", "scan") ]
-          else (
-            match Picture.Pruning.describe (Picture.Pruning.plan f) with
-            | Some d -> [ ("access", "index: " ^ d) ]
-            | None -> [ ("access", "scan") ]))
+      match Atomic.named_table ctx f with
+      | Some _ -> [ ("access", "table") ]
+      | None -> (
+          match ctx.store with
+          | None -> []
+          | Some _ ->
+              if not ctx.picture_config.prune then [ ("access", "scan") ]
+              else (
+                match Picture.Pruning.describe (Picture.Pruning.plan f) with
+                | Some d -> [ ("access", "index: " ^ d) ]
+                | None -> [ ("access", "scan") ])))
+
+(* estimated rows/cost per node when a plan is attached — EXPLAIN
+   ANALYZE places them next to the recorded actuals ([rows], timings) *)
+let est_attrs (ctx : Context.t) f =
+  match ctx.plan with None -> [] | Some p -> Planner.node_attrs p f
 
 let atom_attrs ctx f = ("formula", Htl.Pretty.to_string f) :: atom_access ctx f
 
@@ -105,8 +116,11 @@ let rec direct_tree (ctx : Context.t) ?take f =
           in
           let subs = flatten f in
           let attrs =
-            if Option.is_none take then
-              [ ("reorder", "joins smallest table first at runtime") ]
+            if
+              Option.is_none take
+              && Option.is_none
+                   (Option.bind ctx.plan (fun p -> Planner.join_order p f))
+            then [ ("reorder", "joins smallest table first at runtime") ]
             else []
           in
           (attrs, List.map (direct_tree ctx ?take) subs)
@@ -131,7 +145,8 @@ let rec direct_tree (ctx : Context.t) ?take f =
       | Not g -> ([], [ direct_tree ctx ?take g ])
       | Atom _ -> ([], [])
   in
-  node (Direct.node_label ctx f) ~timing ~attrs:(structural @ span_attrs)
+  node (Direct.node_label ctx f) ~timing
+    ~attrs:(structural @ est_attrs ctx f @ span_attrs)
     children
 
 let rec type1_tree (ctx : Context.t) ?take f =
@@ -145,7 +160,9 @@ let rec type1_tree (ctx : Context.t) ?take f =
       | Next g | Eventually g -> ([], [ type1_tree ctx ?take g ])
       | _ -> ([], [])
   in
-  node (Type1.node_label f) ~timing ~attrs:(structural @ span_attrs) children
+  node (Type1.node_label f) ~timing
+    ~attrs:(structural @ est_attrs ctx f @ span_attrs)
+    children
 
 let rec sql_tree (ctx : Context.t) ?take f =
   let timing, span_attrs = observed take f in
@@ -168,7 +185,8 @@ let rec sql_tree (ctx : Context.t) ?take f =
       | Not g -> ([], [ sql_tree ctx ?take g ])
       | Atom _ -> ([], [])
   in
-  node (Sql_backend.node_label f) ~timing ~attrs:(structural @ span_attrs)
+  node (Sql_backend.node_label f) ~timing
+    ~attrs:(structural @ est_attrs ctx f @ span_attrs)
     children
 
 (* --- SQL script plan trees ----------------------------------------------- *)
@@ -231,10 +249,13 @@ let pp_node ppf root =
   Format.fprintf ppf "@]"
 
 let pp ppf r =
-  Format.fprintf ppf "@[<v>query:   %s@,class:   %s@,backend: %s@,@,%a"
-    r.formula
+  Format.fprintf ppf "@[<v>query:   %s@,class:   %s@,backend: %s@," r.formula
     (Htl.Classify.cls_to_string r.cls)
-    r.backend pp_node r.tree;
+    r.backend;
+  (match r.backend_reason with
+  | Some reason -> Format.fprintf ppf "planner: %s@," reason
+  | None -> ());
+  Format.fprintf ppf "@,%a" pp_node r.tree;
   (match r.sql_script with
   | [] -> ()
   | stmts ->

@@ -28,7 +28,13 @@ type node = {
 }
 
 type report = {
-  backend : string;  (** ["direct"] or ["sql"] *)
+  backend : string;
+      (** the concrete backend that runs: ["direct"] or ["sql"] (an
+          [Auto_backend] request resolves before the report is built) *)
+  backend_reason : string option;
+      (** why the planner picked [backend] — present only for
+          [Auto_backend] requests: the estimated cost of each backend,
+          or their observed latency EWMAs once both have run *)
   cls : Htl.Classify.cls;
   formula : string;  (** pretty-printed *)
   analyzed : bool;

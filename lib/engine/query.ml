@@ -1,6 +1,6 @@
 exception Error of string
 
-type backend = Direct_backend | Sql_backend_choice
+type backend = Direct_backend | Sql_backend_choice | Auto_backend
 
 let classify = Htl.Classify.classify
 
@@ -21,9 +21,46 @@ let general_error f =
 let backend_name = function
   | Direct_backend -> "direct"
   | Sql_backend_choice -> "sql"
+  | Auto_backend -> "auto"
+
+(* Plan the query just before dispatch: once per query (the plan rides
+   the derived context), skipped entirely when planning is off or the
+   caller attached a plan already (the sharded coordinator does not —
+   each shard plans against its own registry and extents). *)
+let ensure_plan (ctx : Context.t) f =
+  if (not ctx.planner) || Option.is_some ctx.plan then ctx
+  else
+    let plan =
+      Planner.build ?stats:ctx.stats ?index:(Context.index ctx)
+        ~tables:ctx.tables ~taxonomy:ctx.picture_config.taxonomy
+        ~prune:ctx.picture_config.prune
+        ~segments:(Context.segment_count ctx)
+        ~level:ctx.level f
+    in
+    Context.with_plan ctx plan
+
+(* [Auto_backend] resolution: the plan's backend choice (observed
+   latency EWMAs when both backends have run this fingerprint, static
+   cost estimates otherwise); direct when planning is off. *)
+let resolve_backend ~backend (ctx : Context.t) f =
+  match backend with
+  | (Direct_backend | Sql_backend_choice) as b -> b
+  | Auto_backend -> (
+      match ctx.plan with
+      | None -> Direct_backend
+      | Some plan -> (
+          let choice =
+            Planner.choose_backend ?stats:ctx.stats
+              ~fingerprint:(Htl.Hcons.intern_id f) plan
+          in
+          match choice.Planner.picked with
+          | `Direct -> Direct_backend
+          | `Sql -> Sql_backend_choice))
 
 let dispatch ~backend ctx cls f =
-  match backend with
+  let ctx = ensure_plan ctx f in
+  match resolve_backend ~backend ctx f with
+  | Auto_backend -> fail "internal error: unresolved auto backend"
   | Sql_backend_choice -> (
       match cls with
       | Htl.Classify.Type1 -> (
@@ -82,6 +119,10 @@ let scan_delta ~before after =
    the slow-log record. *)
 let run_observed ~backend (ctx : Context.t) f =
   let t_start = Obs.Clock.now () in
+  (* plan and resolve [Auto_backend] up front so the stats, slow-log
+     and span all record the concrete backend that actually ran *)
+  let ctx = ensure_plan ctx f in
+  let backend = resolve_backend ~backend ctx f in
   Option.iter (fun m -> Obs.Metrics.incr m "query.count") ctx.metrics;
   let cache_before =
     match ctx.querylog with
@@ -207,6 +248,25 @@ let explain ?(backend = Direct_backend) ?(analyze = false) ctx f =
   match Htl.Classify.check f with
   | Error reason -> fail "unsupported formula: %s" reason
   | Ok cls ->
+      let ctx = ensure_plan ctx f in
+      let requested = backend in
+      let backend = resolve_backend ~backend ctx f in
+      (* with [Auto_backend] the report says which backend the planner
+         picked and on what grounds (estimated cost of each, or the
+         observed latency EWMAs once both have run) *)
+      let backend_reason =
+        match (requested, ctx.Context.plan) with
+        | Auto_backend, Some plan ->
+            let c =
+              Planner.choose_backend ?stats:ctx.Context.stats
+                ~fingerprint:(Htl.Hcons.intern_id f) plan
+            in
+            Some
+              (Printf.sprintf "auto chose %s: %s" (backend_name backend)
+                 c.Planner.reason)
+        | Auto_backend, None -> Some "auto chose direct: planning disabled"
+        | (Direct_backend | Sql_backend_choice), _ -> None
+      in
       (* the table-algorithm entry points (Direct.eval_closed and
          Sql_backend.run_conjunctive) strip the leading existential
          prefix before evaluating — the tree mirrors that, carrying the
@@ -227,9 +287,10 @@ let explain ?(backend = Direct_backend) ?(analyze = false) ctx f =
       in
       let tree_of ?take ctx =
         match (backend, cls) with
-        | Direct_backend, Htl.Classify.Type1 -> Explain.type1_tree ctx ?take f
+        | (Direct_backend | Auto_backend), Htl.Classify.Type1 ->
+            Explain.type1_tree ctx ?take f
         | Sql_backend_choice, Htl.Classify.Type1 -> Explain.sql_tree ctx ?take f
-        | Direct_backend, _ ->
+        | (Direct_backend | Auto_backend), _ ->
             let vars, body = strip_prefix [] f in
             with_prefix vars (Explain.direct_tree ctx ?take body)
         | Sql_backend_choice, _ ->
@@ -245,7 +306,7 @@ let explain ?(backend = Direct_backend) ?(analyze = false) ctx f =
           let script, gc =
             Obs.Resource.measure (fun () ->
                 match backend with
-                | Direct_backend ->
+                | Direct_backend | Auto_backend ->
                     ignore (dispatch ~backend ctx cls f);
                     []
                 | Sql_backend_choice ->
@@ -271,6 +332,7 @@ let explain ?(backend = Direct_backend) ?(analyze = false) ctx f =
       in
       {
         Explain.backend = backend_name backend;
+        backend_reason;
         cls;
         formula = Htl.Pretty.to_string f;
         analyzed = analyze;

@@ -6,6 +6,14 @@ exception Error of string
 type backend =
   | Direct_backend  (** the §3 interval-list / table algorithms *)
   | Sql_backend_choice  (** translation to SQL over {!Relational} *)
+  | Auto_backend
+      (** let the cost-based planner pick per query: observed
+          per-(fingerprint, backend) latency EWMAs when both backends
+          have run the formula, static cost estimates otherwise
+          ({!Planner.choose_backend}).  Resolved inside {!dispatch}, so
+          a sharded scatter resolves per shard; with planning off
+          ({!Context.without_planner}) it falls back to the direct
+          backend.  {!explain}'s report says what was picked and why. *)
 
 val classify : Htl.Ast.t -> Htl.Classify.cls
 

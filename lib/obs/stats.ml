@@ -40,6 +40,10 @@ type atom_stat = {
 
 type backend_stat = { mutable b_count : int; mutable b_errors : int }
 
+(* per-(fingerprint, backend) latency EWMA: the planner's signal for
+   choosing between backends on a formula it has seen before *)
+type lat_stat = { mutable l_count : int; mutable l_ewma_s : float }
+
 type t = {
   mutex : Mutex.t;
   alpha : float;
@@ -47,6 +51,7 @@ type t = {
   queries : (int, query_stat) Hashtbl.t; (* keyed by fingerprint *)
   atoms : (int * string, atom_stat) Hashtbl.t; (* keyed by (level, atom) *)
   backends : (string, backend_stat) Hashtbl.t;
+  latencies : (int * string, lat_stat) Hashtbl.t; (* (fingerprint, backend) *)
 }
 
 let create ?(alpha = 0.2) ?(window = 64) () =
@@ -61,6 +66,7 @@ let create ?(alpha = 0.2) ?(window = 64) () =
     queries = Hashtbl.create 64;
     atoms = Hashtbl.create 64;
     backends = Hashtbl.create 4;
+    latencies = Hashtbl.create 64;
   }
 
 let alpha t = t.alpha
@@ -105,7 +111,18 @@ let record_query t ~fingerprint ~formula ~backend ~latency_s ~error =
             b
       in
       b.b_count <- b.b_count + 1;
-      if error then b.b_errors <- b.b_errors + 1)
+      if error then b.b_errors <- b.b_errors + 1;
+      let l =
+        match Hashtbl.find_opt t.latencies (fingerprint, backend) with
+        | Some l -> l
+        | None ->
+            let l = { l_count = 0; l_ewma_s = 0. } in
+            Hashtbl.add t.latencies (fingerprint, backend) l;
+            l
+      in
+      l.l_ewma_s <-
+        ewma_step ~alpha:t.alpha ~count:l.l_count ~prev:l.l_ewma_s latency_s;
+      l.l_count <- l.l_count + 1)
 
 let record_atom t ~atom ~level ~candidates ~segments =
   if segments > 0 then
@@ -223,6 +240,12 @@ let selectivity t ~level ~atom =
       | Some a when a.a_count > 0 -> Some a.a_ewma
       | _ -> None)
 
+let backend_latency_s t ~fingerprint ~backend =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.latencies (fingerprint, backend) with
+      | Some l when l.l_count > 0 -> Some l.l_ewma_s
+      | _ -> None)
+
 let error_rate t ~backend =
   Mutex.protect t.mutex (fun () ->
       match Hashtbl.find_opt t.backends backend with
@@ -234,7 +257,8 @@ let clear t =
   Mutex.protect t.mutex (fun () ->
       Hashtbl.reset t.queries;
       Hashtbl.reset t.atoms;
-      Hashtbl.reset t.backends)
+      Hashtbl.reset t.backends;
+      Hashtbl.reset t.latencies)
 
 (* --- export -------------------------------------------------------------- *)
 

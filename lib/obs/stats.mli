@@ -85,6 +85,11 @@ val ewma_latency_s : t -> fingerprint:int -> float option
 val selectivity : t -> level:int -> atom:string -> float option
 (** Planner hook: the atom's observed-selectivity EWMA at a level. *)
 
+val backend_latency_s : t -> fingerprint:int -> backend:string -> float option
+(** Planner hook: the latency EWMA this fingerprint has shown on a
+    specific backend ([None] before any sample) — the adaptive signal
+    behind [backend:`Auto]. *)
+
 val error_rate : t -> backend:string -> float option
 (** Planner hook: the backend's error fraction. *)
 

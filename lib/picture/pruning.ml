@@ -188,6 +188,7 @@ let rec plan_of ~locals = function
       All
 
 let plan f = plan_of ~locals:[] f
+let plan_under ~locals f = plan_of ~locals f
 let is_all = function All -> true | _ -> false
 
 let rec eval ~taxonomy idx = function
@@ -213,6 +214,36 @@ let rec eval ~taxonomy idx = function
 
 let candidates ~taxonomy idx p =
   if is_all p then None else Some (eval ~taxonomy idx p)
+
+(* Cardinality upper bound for a plan without materializing it: leaves
+   read posting-list lengths, Inter can keep at most its smaller side,
+   Union at most the sum (capped at the level size).  Sound against
+   [eval] because every bound over-approximates the set it mirrors. *)
+let estimate ~taxonomy idx p =
+  let n = Index.segment_count idx in
+  let rec go = function
+    | All -> n
+    | Empty -> 0
+    | Objects -> Array.length (Index.segments_with_objects idx)
+    | Rel r -> Array.length (Index.segments_of_relationship idx r)
+    | Type_compat t ->
+        List.fold_left
+          (fun acc found ->
+            if Taxonomy.similarity taxonomy ~asked:t ~found > 0. then
+              acc + Array.length (Index.segments_of_type idx found)
+            else acc)
+          0 (Index.types_at_level idx)
+        |> min n
+    | Seg_attr_def q -> Array.length (Index.segments_with_seg_attr idx q)
+    | Seg_attr_eq (q, v) ->
+        Array.length (Index.segments_with_seg_attr_value idx q v)
+    | Obj_attr_def q -> Array.length (Index.segments_with_obj_attr idx q)
+    | Obj_attr_eq (q, v) ->
+        Array.length (Index.segments_with_obj_attr_value idx q v)
+    | Union (a, b) -> min n (go a + go b)
+    | Inter (a, b) -> min (go a) (go b)
+  in
+  go p
 
 let rec describe_plan = function
   | All -> "all"

@@ -24,12 +24,25 @@ type plan
 val plan : Htl.Ast.t -> plan
 (** Static analysis only — needs no index, usable for EXPLAIN. *)
 
+val plan_under : locals:string list -> Htl.Ast.t -> plan
+(** [plan] with object variables in [locals] treated as bound: the
+    plan for a subformula under enclosing existential binders (the
+    cost model plans each conjunct of a stripped quantifier chain
+    this way).  [plan f = plan_under ~locals:[] f]. *)
+
 val is_all : plan -> bool
 (** The plan covers the whole level (no pruning possible). *)
 
 val candidates : taxonomy:Taxonomy.t -> Index.t -> plan -> int array option
 (** Evaluate the plan: [None] when it covers the whole level, otherwise
     the sorted candidate segment ids. *)
+
+val estimate : taxonomy:Taxonomy.t -> Index.t -> plan -> int
+(** Upper bound on [candidates] cardinality from posting-list lengths
+    alone, without materializing any candidate array: intersections
+    bound by their smaller side, unions by the capped sum.  The whole
+    level ([is_all]) estimates to {!Index.segment_count}.  Cheap enough
+    to run per query — this is the cost model's row-estimate source. *)
 
 val describe : plan -> string option
 (** Human-readable rendering for EXPLAIN ([None] when the plan is the

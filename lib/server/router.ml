@@ -21,11 +21,15 @@ let default_k = 10
 let backend_name = function
   | Engine.Query.Direct_backend -> "direct"
   | Engine.Query.Sql_backend_choice -> "sql"
+  | Engine.Query.Auto_backend -> "auto"
 
 let backend_of_name = function
   | "direct" -> Ok Engine.Query.Direct_backend
   | "sql" -> Ok Engine.Query.Sql_backend_choice
-  | other -> Error (Printf.sprintf "unknown backend %S (use direct or sql)" other)
+  | "auto" -> Ok Engine.Query.Auto_backend
+  | other ->
+      Error
+        (Printf.sprintf "unknown backend %S (use direct, sql or auto)" other)
 
 let query_req_to_json r =
   Json.Obj
@@ -59,7 +63,7 @@ let shared_fields_of_json json =
     match field "backend" with
     | None | Some Json.Null -> Ok Engine.Query.Direct_backend
     | Some (Json.String s) -> backend_of_name s
-    | Some _ -> Error "\"backend\" must be \"direct\" or \"sql\""
+    | Some _ -> Error "\"backend\" must be \"direct\", \"sql\" or \"auto\""
   in
   let* explain =
     match field "explain" with

@@ -69,7 +69,7 @@ let partition n videos =
   | _ -> go 0 0 [] [] videos
 
 let create ?(shards = 1) ?config ?threshold ?conj_mode ?reorder_joins ?level
-    ?pool ?par_cutoff ?metrics ?querylog ?stats store =
+    ?planner ?pool ?par_cutoff ?metrics ?querylog ?stats store =
   if shards < 1 then
     invalid_arg (Printf.sprintf "Sharded.create: shards %d < 1" shards);
   (* partition the *current* trees: edits and appends made to the source
@@ -81,7 +81,7 @@ let create ?(shards = 1) ?config ?threshold ?conj_mode ?reorder_joins ?level
     List.map
       (fun group ->
         Context.of_store ?config ?threshold ?conj_mode ?reorder_joins ?level
-          ?pool ?par_cutoff ?metrics ?stats (Store.create group))
+          ?planner ?pool ?par_cutoff ?metrics ?stats (Store.create group))
       groups
   in
   make ~pool ~metrics ~querylog ?stats ctxs
@@ -251,9 +251,13 @@ let cache_probes t =
           (h + s.Cache.hits, m + s.Cache.misses))
     (0, 0) t.shards
 
+(* the coordinator records the *requested* backend: under
+   [Auto_backend] each shard resolves its own choice inside
+   [Query.dispatch], against its own registry and statistics *)
 let backend_name = function
   | Query.Direct_backend -> "direct"
   | Query.Sql_backend_choice -> "sql"
+  | Query.Auto_backend -> "auto"
 
 (* The coordinator's query envelope, mirroring [Query.run_observed]:
    classify once, scatter, time the gather via [consume], and record the

@@ -32,6 +32,7 @@ val create :
   ?conj_mode:Simlist.Sim_list.conj_mode ->
   ?reorder_joins:bool ->
   ?level:int ->
+  ?planner:bool ->
   ?pool:Parallel.Pool.t ->
   ?par_cutoff:int ->
   ?metrics:Obs.Metrics.t ->

@@ -30,7 +30,8 @@ A query over the paper's Casablanca tables:
   $ ../bin/htlq.exe --classify --query 'not man_woman'
   formula class: general
 
---explain prints the static evaluation plan (no timings — add --trace
+--explain prints the static evaluation plan with the cost-based
+planner's estimated rows and cost per node (no timings — add --trace
 for an analyzed run, which is not cram-stable):
 
   $ ../bin/htlq.exe --explain --query 'man_woman until moving_train'
@@ -38,15 +39,34 @@ for an analyzed run, which is not cram-stable):
   class:   type (1)
   backend: direct
   
-  type1.until
-    type1.atom {formula=man_woman, access=table}
-    type1.atom {formula=moving_train, access=table}
+  type1.until {est_rows=50, est_cost=25.2}
+    type1.atom {formula=man_woman, access=table, est_rows=44, est_cost=1.25}
+    type1.atom {formula=moving_train, access=table, est_rows=1, est_cost=0.25}
   
 
 
-Over a store dataset, EXPLAIN annotates each atom with its access
-path: the index candidate plan the pruning pass will intersect, or
-"scan" when pruning is off (--no-index) or the plan covers the level:
+
+
+Over a store dataset, EXPLAIN annotates each atom with its planned
+access path.  A selective atom keeps the index candidate plan the
+pruning pass will intersect:
+
+  $ ../bin/htlq.exe --dataset casablanca-store --explain \
+  >     --query 'exists z . name(z) = "Ilsa"'
+  query:   (exists z . name(z) = "Ilsa")
+  class:   type (1)
+  backend: direct
+  
+  type1.atom {formula=(exists z . name(z) = "Ilsa"), access=index: name="Ilsa", est_rows=7, est_cost=15}
+  
+
+
+
+
+An atom whose estimated selectivity is past the index-vs-scan
+crossover is demoted to a full scan by the planner (the taxonomy makes
+this one match almost everywhere), and --no-index turns pruning off
+unconditionally:
 
   $ ../bin/htlq.exe --dataset casablanca-store --explain \
   >     --query 'exists z . (present(z) and type(z) = "train")'
@@ -54,8 +74,10 @@ path: the index candidate plan the pruning pass will intersect, or
   class:   type (1)
   backend: direct
   
-  type1.atom {formula=(exists z . (present(z) and type(z) = "train")), access=index: (objects | type~train)}
+  type1.atom {formula=(exists z . (present(z) and type(z) = "train")), access=scan (planned, est sel 1.00), est_rows=50, est_cost=50}
   
+
+
 
 
 
@@ -65,8 +87,28 @@ path: the index candidate plan the pruning pass will intersect, or
   class:   type (1)
   backend: direct
   
-  type1.atom {formula=(exists z . (present(z) and type(z) = "train")), access=scan}
+  type1.atom {formula=(exists z . (present(z) and type(z) = "train")), access=scan, est_rows=50, est_cost=50}
   
+
+
+
+
+With --backend auto the planner also picks the backend, and EXPLAIN
+reports which one won and the estimated cost of each:
+
+  $ ../bin/htlq.exe --backend auto --explain \
+  >     --query 'man_woman until moving_train'
+  query:   (man_woman until moving_train)
+  class:   type (1)
+  backend: direct
+  planner: auto chose direct: estimated cost direct 25.2 vs sql 3.94e+03
+  
+  type1.until {est_rows=50, est_cost=25.2}
+    type1.atom {formula=man_woman, access=table, est_rows=44, est_cost=1.25}
+    type1.atom {formula=moving_train, access=table, est_rows=1, est_cost=0.25}
+  
+
+
 
 
 
@@ -131,7 +173,7 @@ So is a syntax error:
 An unknown backend is a usage error (exit 2):
 
   $ ../bin/htlq.exe --backend nope --query 'man_woman'
-  unknown backend "nope" (use direct or sql)
+  unknown backend "nope" (use direct, sql or auto)
   [2]
 
 As is an unknown flag:
@@ -216,6 +258,13 @@ And the ingest section's (qps per arm, gated as throughput; the
 committed baseline also records the invalidation counters):
 
   $ ../bench/main.exe --check --baseline ../BENCH_ingest.json \
+  >     --tolerance 1e9 | tail -1
+  no regressions (tolerance 1e+09)
+
+And the planner section's (p50 per join-order and backend arm; the
+join speedup and the auto margin gate as higher-is-better ratios):
+
+  $ ../bench/main.exe --check --baseline ../BENCH_plan.json \
   >     --tolerance 1e9 | tail -1
   no regressions (tolerance 1e+09)
 

@@ -1,6 +1,6 @@
 let () =
   let suites =
     Test_simlist.suites @ Test_video.suites @ Test_htl.suites
-    @ Test_picture.suites @ Test_relational.suites @ Test_engine.suites @ Test_analyzer.suites @ Test_storage.suites @ Test_extensions.suites @ Test_workload.suites @ Test_edges.suites @ Test_cache.suites @ Test_parallel.suites @ Test_obs.suites @ Test_differential.suites @ Test_index.suites @ Test_server.suites @ Test_shard.suites
+    @ Test_picture.suites @ Test_relational.suites @ Test_engine.suites @ Test_analyzer.suites @ Test_storage.suites @ Test_extensions.suites @ Test_workload.suites @ Test_edges.suites @ Test_cache.suites @ Test_parallel.suites @ Test_obs.suites @ Test_differential.suites @ Test_planner.suites @ Test_index.suites @ Test_server.suites @ Test_shard.suites
   in
   Alcotest.run "htl_video" suites

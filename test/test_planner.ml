@@ -1,0 +1,280 @@
+(* Cost-based planner tests (DESIGN.md §2.21).
+
+   Three harnesses:
+
+   - join-order monotonicity (qcheck): in every planned [And] chain a
+     conjunct with a lower estimated cardinality never ranks later —
+     the planned order is a permutation sorted by non-decreasing
+     [est_rows].
+
+   - estimate accuracy: {!Picture.Pruning.estimate} is a sound upper
+     bound on the index candidate count for every subformula of a
+     random corpus (and never exceeds the level), and a named table's
+     planned cardinality is its exact segment coverage.
+
+   - planned = heuristic differential (qcheck): across the four formula
+     strata, both backends, sharded and unsharded, evaluation with the
+     planner must be byte-equal ({!Sim_list.equal}) to evaluation with
+     it disabled — no plan decision may change results, only cost. *)
+
+open Engine
+module Sim_list = Simlist.Sim_list
+module Sharded = Htl_shard.Sharded
+
+let store_of_seed ?(videos = 2) seed =
+  let rng = Workload.Rng.make seed in
+  Workload.Movies.random_store rng ~videos ~branching:4 ~object_pool:4 ()
+
+(* the same plan [Query.dispatch] builds, from a context's parts *)
+let plan_of (ctx : Context.t) f =
+  Planner.build ?stats:ctx.stats ?index:(Context.index ctx)
+    ~tables:ctx.tables ~taxonomy:ctx.picture_config.taxonomy
+    ~prune:ctx.picture_config.prune
+    ~segments:(Context.segment_count ctx)
+    ~level:ctx.level f
+
+let rec flatten f =
+  match f with
+  | Htl.Ast.And (a, b) -> flatten a @ flatten b
+  | _ -> [ f ]
+
+let rec subformulas f =
+  f
+  ::
+  (match f with
+  | Htl.Ast.Atom _ -> []
+  | And (a, b) | Or (a, b) | Until (a, b) ->
+      subformulas a @ subformulas b
+  | Next g | Eventually g | Not g | Exists (_, g) | At_level (_, g) ->
+      subformulas g
+  | Freeze fr -> subformulas fr.body)
+
+(* --- join-order monotonicity --------------------------------------------- *)
+
+let monotonic_prop (seed, f) =
+  let ctx = Context.of_store ~reorder_joins:true (store_of_seed seed) in
+  let plan = plan_of ctx f in
+  List.iter
+    (fun g ->
+      match Planner.join_order plan g with
+      | None -> ()
+      | Some order ->
+          let chain = Array.of_list (flatten g) in
+          let k = Array.length chain in
+          if List.length order <> k then
+            QCheck.Test.fail_reportf
+              "planned order has %d positions for a %d-conjunct chain on %s"
+              (List.length order) k (Htl.Pretty.to_string g);
+          let seen = Array.make k false in
+          List.iter
+            (fun i ->
+              if i < 0 || i >= k || seen.(i) then
+                QCheck.Test.fail_reportf
+                  "planned order is not a permutation on %s"
+                  (Htl.Pretty.to_string g);
+              seen.(i) <- true)
+            order;
+          (* a conjunct inside a larger non-temporal unit is never
+             walked on its own: the planner scores it at the level
+             bound, and so does this check *)
+          let rows =
+            List.map
+              (fun i ->
+                match Planner.find plan chain.(i) with
+                | Some e -> e.Planner.est_rows
+                | None -> Planner.segments plan)
+              order
+          in
+          let rec non_decreasing = function
+            | a :: b :: _ when a > b ->
+                QCheck.Test.fail_reportf
+                  "a sparser conjunct ranks later (est %d before %d) on %s" a
+                  b (Htl.Pretty.to_string g)
+            | _ :: tl -> non_decreasing tl
+            | [] -> ()
+          in
+          non_decreasing rows)
+    (subformulas f);
+  true
+
+(* --- estimate accuracy ---------------------------------------------------- *)
+
+let estimate_bound_prop (seed, f) =
+  let ctx = Context.of_store (store_of_seed seed) in
+  let idx =
+    match Context.index ctx with
+    | Some idx -> idx
+    | None -> QCheck.Test.fail_report "store context has no index"
+  in
+  let taxonomy = ctx.Context.picture_config.Picture.Retrieval.taxonomy in
+  let n = Context.segment_count ctx in
+  List.iter
+    (fun g ->
+      let p = Picture.Pruning.plan g in
+      let est = Picture.Pruning.estimate ~taxonomy idx p in
+      if est < 0 || est > n then
+        QCheck.Test.fail_reportf "estimate %d outside [0, %d] on %s" est n
+          (Htl.Pretty.to_string g);
+      match Picture.Pruning.candidates ~taxonomy idx p with
+      | None -> ()
+      | Some arr ->
+          if est < Array.length arr then
+            QCheck.Test.fail_reportf
+              "estimate %d below the actual candidate count %d on %s" est
+              (Array.length arr) (Htl.Pretty.to_string g))
+    (subformulas f);
+  true
+
+let table_names = [ "p1"; "p2"; "p3" ]
+
+let table_estimate_exact () =
+  let ctx =
+    Workload.Synthetic.context_with_atoms ~seed:11 ~n:40 ~selectivity:0.4
+      table_names
+  in
+  List.iter
+    (fun name ->
+      let f = Htl.Ast.Atom (Htl.Ast.Rel (name, [])) in
+      let plan = plan_of ctx f in
+      let est =
+        match Planner.find plan f with
+        | Some e -> e.Planner.est_rows
+        | None -> Alcotest.failf "no estimate for table atom %s" name
+      in
+      let actual = Sim_list.covered (Query.run ctx f) in
+      Alcotest.(check int)
+        (Printf.sprintf "named table %s: planned rows = exact coverage" name)
+        actual est)
+    table_names
+
+(* --- access-path and backend decisions ------------------------------------ *)
+
+let scan_threshold_demotes () =
+  let ctx = Context.of_store (store_of_seed 42) in
+  let f = Htl.Parser.formula_of_string "exists z . present(z)" in
+  let build threshold =
+    Planner.build ~scan_threshold:threshold
+      ?index:(Context.index ctx) ~tables:[]
+      ~taxonomy:ctx.Context.picture_config.Picture.Retrieval.taxonomy
+      ~prune:true
+      ~segments:(Context.segment_count ctx)
+      ~level:ctx.Context.level f
+  in
+  (* at threshold 0 every indexed unit demotes to a planned scan; at a
+     threshold above 1 nothing ever does *)
+  Alcotest.(check bool)
+    "threshold 0 demotes" true
+    (Planner.scan_override (build 0.0) f);
+  Alcotest.(check bool)
+    "threshold > 1 never demotes" false
+    (Planner.scan_override (build 1.1) f)
+
+let auto_backend_decision () =
+  let ctx = Context.of_store ~reorder_joins:true (store_of_seed 7) in
+  let f =
+    Htl.Parser.formula_of_string
+      "(exists z . present(z)) until (exists z . moving(z))"
+  in
+  let plan = plan_of ctx f in
+  let fingerprint = Htl.Hcons.intern_id f in
+  (* cold: the lower static estimate wins *)
+  let cold = Planner.choose_backend ~fingerprint plan in
+  let expect_static =
+    if Planner.direct_cost plan <= Planner.sql_cost plan then `Direct
+    else `Sql
+  in
+  Alcotest.(check bool)
+    "cold choice follows the static estimates" true
+    (cold.Planner.picked = expect_static);
+  Alcotest.(check bool)
+    "cold reason cites estimates" true
+    (Helpers.contains cold.Planner.reason "estimated cost");
+  (* observed: once both backends carry a latency EWMA, the faster
+     observation overrides the static ranking *)
+  let stats = Obs.Stats.create () in
+  let record backend latency_s =
+    Obs.Stats.record_query stats ~fingerprint
+      ~formula:(fun () -> Htl.Pretty.to_string f)
+      ~backend ~latency_s ~error:false
+  in
+  record "direct" 0.5;
+  record "sql" 0.001;
+  let warm = Planner.choose_backend ~stats ~fingerprint plan in
+  Alcotest.(check bool)
+    "faster observed backend wins" true
+    (warm.Planner.picked = `Sql);
+  Alcotest.(check bool)
+    "warm reason cites observations" true
+    (Helpers.contains warm.Planner.reason "observed")
+
+(* --- planned = heuristic differential ------------------------------------- *)
+
+let outcome run =
+  match run () with
+  | list -> Ok list
+  | exception Query.Error msg -> Error msg
+
+let planned_heuristic_prop (seed, f) =
+  let store = store_of_seed seed in
+  let check what planned heuristic =
+    match (planned, heuristic) with
+    | Ok a, Ok b ->
+        if not (Sim_list.equal a b) then
+          QCheck.Test.fail_reportf
+            "planned %s differs from the heuristic evaluation on %s" what
+            (Htl.Pretty.to_string f)
+    | Error _, Error _ -> ()
+    | _ ->
+        QCheck.Test.fail_reportf
+          "planning changes the outcome class (%s) on %s" what
+          (Htl.Pretty.to_string f)
+  in
+  List.iter
+    (fun (bname, backend) ->
+      let planned_ctx = Context.of_store ~reorder_joins:true store in
+      let heur_ctx =
+        Context.of_store ~planner:false ~reorder_joins:true store
+      in
+      check bname
+        (outcome (fun () -> Query.run ~backend planned_ctx f))
+        (outcome (fun () -> Query.run ~backend heur_ctx f));
+      let planned_sh = Sharded.create ~shards:2 ~reorder_joins:true store in
+      let heur_sh =
+        Sharded.create ~shards:2 ~planner:false ~reorder_joins:true store
+      in
+      check (bname ^ ", sharded")
+        (outcome (fun () -> Sharded.run ~backend planned_sh f))
+        (outcome (fun () -> Sharded.run ~backend heur_sh f)))
+    [ ("direct", Query.Direct_backend); ("sql", Query.Sql_backend_choice) ];
+  true
+
+let suites =
+  [
+    ( "planner",
+      [
+        Helpers.qtest ~count:80 "planned And order is sorted by est_rows"
+          monotonic_prop
+          (Helpers.arb_store_formula Helpers.gen_closed_formula);
+        Helpers.qtest ~count:80
+          "Pruning.estimate bounds the candidate count" estimate_bound_prop
+          (Helpers.arb_store_formula Helpers.gen_closed_formula);
+        Alcotest.test_case "named-table estimates are exact" `Quick
+          table_estimate_exact;
+        Alcotest.test_case "scan threshold demotes high selectivity" `Quick
+          scan_threshold_demotes;
+        Alcotest.test_case "auto backend: static then observed" `Quick
+          auto_backend_decision;
+        Helpers.qtest ~count:40 "planned = heuristic (type 1)"
+          planned_heuristic_prop
+          (Helpers.arb_store_formula Helpers.gen_type1_formula);
+        Helpers.qtest ~count:40 "planned = heuristic (type 2)"
+          planned_heuristic_prop
+          (Helpers.arb_store_formula Helpers.gen_type2_formula);
+        Helpers.qtest ~count:40 "planned = heuristic (conjunctive)"
+          planned_heuristic_prop
+          (Helpers.arb_store_formula Helpers.gen_conjunctive_formula);
+        Helpers.qtest ~count:40 "planned = heuristic (mixed strata)"
+          planned_heuristic_prop
+          (Helpers.arb_store_formula Helpers.gen_closed_formula);
+      ] );
+  ]
